@@ -1,0 +1,45 @@
+// Fig 8: ALAE alignment time when varying the expectation value E from
+// 1e-15 to 10 under <1,-3,-5,-2>, for three query workloads.
+//
+// Paper shape: ALAE is barely sensitive to E — only small time *rises* as
+// E grows (larger E = smaller H = later terminations), because score
+// filtering contributes a small share of the pruning.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/util/table_printer.h"
+
+using namespace alae;
+using namespace alae::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const int64_t n = flags.N(2'000'000);
+  const ScoringScheme scheme = ScoringScheme::Default();
+
+  std::printf("Fig 8: ALAE time vs E-value (n=%lld, scheme %s)\n",
+              static_cast<long long>(n), scheme.ToString().c_str());
+  TablePrinter table({"m", "E", "H", "time (s)", "results"});
+
+  Workload base = MakeWorkload(n, 1000, flags.Q(2), AlphabetKind::kDna,
+                               flags.seed);
+  AlaeIndex index(base.text);
+  for (int64_t m : {flags.M(1000), flags.M(10'000), flags.M(30'000)}) {
+    Workload w = MakeWorkload(n, m, flags.Q(2), AlphabetKind::kDna, flags.seed);
+    w.text = base.text;
+    for (double e : {1e-15, 1e-10, 1e-5, 1.0, 10.0}) {
+      int32_t h = ThresholdFor(e, m, n, scheme, 4);
+      EngineResult r = RunAlae(index, w, scheme, h);
+      char ebuf[32];
+      std::snprintf(ebuf, sizeof(ebuf), "%.0e", e);
+      table.AddRow({std::to_string(m), ebuf, std::to_string(h),
+                    TablePrinter::Fmt(r.seconds), TablePrinter::Fmt(r.hits)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nPaper: m=10K runs 72ms (E=1e-15) to 79.9ms (E=10) — small rises\n"
+      "with E; ALAE is not very sensitive to E-values.\n");
+  return 0;
+}

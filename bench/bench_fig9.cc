@@ -1,0 +1,56 @@
+// Fig 9: alignment time of BWT-SW / BLAST / ALAE under the four
+// representative scoring schemes (E=10, paper m=100K; here default m=3K,
+// n=0.5M — the <1,-1,-5,-2> scheme explodes the positive DP area, exactly
+// as the paper discusses, so the default scale is kept modest).
+//
+// Paper shape: exact engines are scheme-sensitive, BLAST is flat; ALAE
+// beats BWT-SW on every scheme (119x / 65x at paper scale); BLAST beats
+// ALAE only on <1,-1,-5,-2>. BWT-SW has no <1,-1,-5,-2> entry: it
+// requires |sb| >= 3|sa|.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/util/table_printer.h"
+
+using namespace alae;
+using namespace alae::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const int64_t n = flags.N(500'000);
+  const int64_t m = flags.M(3'000);
+
+  std::printf("Fig 9: time vs scoring scheme (n=%lld, m=%lld, E=%g)\n",
+              static_cast<long long>(n), static_cast<long long>(m),
+              flags.evalue);
+  TablePrinter table({"scheme", "H", "BWT-SW (s)", "BLAST (s)", "ALAE (s)"});
+
+  Workload w = MakeWorkload(n, m, flags.Q(2), AlphabetKind::kDna, flags.seed);
+  AlaeIndex index(w.text);
+  FmIndex rev(w.text.Reversed());
+
+  for (int idx = 0; idx < 4; ++idx) {
+    ScoringScheme scheme = ScoringScheme::Fig9(idx);
+    int32_t h = ThresholdFor(flags.evalue, m, n, scheme, 4);
+    EngineResult alae_r = RunAlae(index, w, scheme, h);
+    EngineResult blast_r = RunBlast(w, scheme, h);
+    // The original BWT-SW requires |sb| >= 3|sa| (paper §2.4); mirror its
+    // absence for <1,-1,-5,-2>. Our implementation could run it, but the
+    // figure reproduces the paper's comparison.
+    bool bwtsw_supported = -scheme.sb >= 3 * scheme.sa;
+    std::string bwtsw_cell = "n/a (|sb|<3|sa|)";
+    if (bwtsw_supported) {
+      EngineResult bwtsw_r = RunBwtSw(rev, w, scheme, h);
+      bwtsw_cell = TablePrinter::Fmt(bwtsw_r.seconds);
+    }
+    table.AddRow({scheme.ToString(), std::to_string(h), bwtsw_cell,
+                  TablePrinter::Fmt(blast_r.seconds),
+                  TablePrinter::Fmt(alae_r.seconds)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nPaper (m=100K, n=1G): ALAE 119x faster than BWT-SW on the default\n"
+      "scheme, 65x on <1,-4,-5,-2>; slower than BLAST only on <1,-1,-5,-2>.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark): the substrate kernels — SA-IS
+// construction, FM backward search (flat vs wavelet occ), locate, DP cell
+// throughput — that determine the constants behind every table.
+
+#include <benchmark/benchmark.h>
+
+#include "src/align/dp.h"
+#include "src/baseline/smith_waterman.h"
+#include "src/index/fm_index.h"
+#include "src/index/qgram_index.h"
+#include "src/index/suffix_array.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+Sequence MakeText(int64_t n, bool protein = false) {
+  SequenceGenerator gen(1234);
+  return gen.Random(n, protein ? Alphabet::Protein() : Alphabet::Dna());
+}
+
+void BM_SaIsBuild(benchmark::State& state) {
+  Sequence text = MakeText(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSuffixArray(text.symbols(), 4));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SaIsBuild)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_FmIndexBuild(benchmark::State& state) {
+  Sequence text = MakeText(state.range(0));
+  for (auto _ : state) {
+    FmIndex fm(text);
+    benchmark::DoNotOptimize(fm.text_size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FmIndexBuild)->Arg(1 << 20);
+
+template <bool kWavelet>
+void BM_BackwardSearch(benchmark::State& state) {
+  Sequence text = MakeText(1 << 20);
+  FmIndexOptions options;
+  options.use_wavelet = kWavelet;
+  FmIndex fm(text, options);
+  SequenceGenerator gen(5);
+  std::vector<Sequence> patterns;
+  for (int i = 0; i < 64; ++i) patterns.push_back(gen.Random(12, Alphabet::Dna()));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm.Find(patterns[i++ & 63].symbols()));
+  }
+  state.SetItemsProcessed(state.iterations() * 12);  // steps per search
+}
+BENCHMARK(BM_BackwardSearch<false>)->Name("BM_BackwardSearch/flat");
+BENCHMARK(BM_BackwardSearch<true>)->Name("BM_BackwardSearch/wavelet");
+
+void BM_Locate(benchmark::State& state) {
+  Sequence text = MakeText(1 << 20);
+  FmIndex fm(text);
+  Sequence pat = text.Substr(777, 8);
+  SaRange range = fm.Find(pat.symbols());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm.Locate(range));
+  }
+  state.SetItemsProcessed(state.iterations() * range.Count());
+}
+BENCHMARK(BM_Locate);
+
+void BM_SmithWatermanCells(benchmark::State& state) {
+  SequenceGenerator gen(6);
+  Sequence a = gen.Random(2000, Alphabet::Dna());
+  Sequence b = gen.Random(2000, Alphabet::Dna());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BestLocalScore(a, b, ScoringScheme::Default()));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * 2000);
+}
+BENCHMARK(BM_SmithWatermanCells);
+
+void BM_QGramIndexBuild(benchmark::State& state) {
+  SequenceGenerator gen(7);
+  Sequence query = gen.Random(state.range(0), Alphabet::Dna());
+  for (auto _ : state) {
+    QGramIndex index(query, 4);
+    benchmark::DoNotOptimize(index.q());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QGramIndexBuild)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace alae
+
+BENCHMARK_MAIN();

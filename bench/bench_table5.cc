@@ -1,0 +1,51 @@
+// Table 5: number of entries using ALAE under the two stress schemes of
+// §7.4 — <1,-1,-5,-2> (mild mismatch: huge gap regions, low reuse) and
+// <1,-3,-2,-2> (cheap gaps: small no-gap regions).
+//
+// Paper shape: <1,-1,-5,-2> calculates vastly more entries than
+// <1,-3,-2,-2> (37x at the paper's scale) and has a lower reuse ratio.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/util/table_printer.h"
+
+using namespace alae;
+using namespace alae::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const int64_t n = flags.N(500'000);
+  const int64_t m = flags.M(3'000);
+  const int32_t queries = flags.Q(2);
+
+  std::printf("Table 5: ALAE entry accounting per scheme (n=%lld, m=%lld)\n",
+              static_cast<long long>(n), static_cast<long long>(m));
+  TablePrinter table({"scheme", "H", "reused", "accessed", "calculated",
+                      "reuse ratio %"});
+
+  Workload w = MakeWorkload(n, m, queries, AlphabetKind::kDna, flags.seed);
+  AlaeIndex index(w.text);
+
+  for (const ScoringScheme& scheme :
+       {ScoringScheme{1, -1, -5, -2}, ScoringScheme{1, -3, -2, -2}}) {
+    int32_t h = ThresholdFor(flags.evalue, m, n, scheme, 4);
+    EngineResult r = RunAlae(index, w, scheme, h);
+    double reuse_ratio =
+        r.counters.Accessed() > 0
+            ? 100.0 * static_cast<double>(r.counters.reused) /
+                  static_cast<double>(r.counters.Accessed())
+            : 0.0;
+    table.AddRow({scheme.ToString(), std::to_string(h),
+                  TablePrinter::Fmt(r.counters.reused),
+                  TablePrinter::Fmt(r.counters.Accessed()),
+                  TablePrinter::Fmt(r.counters.Calculated()),
+                  TablePrinter::Fmt(reuse_ratio, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nPaper: <1,-1,-5,-2> 30.7M reused / 381.0M accessed / 350.3M calc;\n"
+      "<1,-3,-2,-2> 19.0M / 124.8M / 105.8M — the mild-mismatch scheme\n"
+      "calculates far more entries with a lower reuse ratio.\n");
+  return 0;
+}

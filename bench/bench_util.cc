@@ -1,0 +1,124 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/baseline/blast/blast.h"
+#include "src/baseline/bwt_sw.h"
+#include "src/baseline/smith_waterman.h"
+#include "src/stats/karlin.h"
+#include "src/util/timer.h"
+
+namespace alae {
+namespace bench {
+
+BenchFlags BenchFlags::Parse(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value("--n=")) flags.n = std::atoll(v);
+    else if (const char* v = value("--m=")) flags.m = std::atoll(v);
+    else if (const char* v = value("--queries=")) flags.queries = std::atoi(v);
+    else if (const char* v = value("--evalue=")) flags.evalue = std::atof(v);
+    else if (const char* v = value("--seed=")) flags.seed = std::strtoull(v, nullptr, 10);
+    else if (const char* v = value("--scale=")) flags.scale = std::atof(v);
+    else std::fprintf(stderr, "ignoring unknown flag: %s\n", arg);
+  }
+  return flags;
+}
+
+Workload MakeWorkload(int64_t n, int64_t m, int32_t queries,
+                      AlphabetKind alphabet, uint64_t seed, double divergence) {
+  WorkloadSpec spec;
+  spec.text_length = n;
+  spec.query_length = m;
+  spec.num_queries = queries;
+  spec.alphabet = alphabet;
+  spec.seed = seed;
+  spec.divergence = divergence;
+  return BuildWorkload(spec);
+}
+
+int32_t ThresholdFor(double evalue, int64_t m, int64_t n,
+                     const ScoringScheme& scheme, int sigma) {
+  return KarlinStats::EValueToThreshold(evalue, m, n, scheme, sigma);
+}
+
+EngineResult RunAlae(const AlaeIndex& index, const Workload& w,
+                     const ScoringScheme& scheme, int32_t threshold,
+                     const AlaeConfig& config) {
+  EngineResult out;
+  Alae alae(index, config);
+  Timer timer;
+  for (const Sequence& q : w.queries) {
+    AlaeRunStats stats;
+    ResultCollector hits = alae.Run(q, scheme, threshold, &stats);
+    out.hits += hits.size();
+    out.counters.cells_cost1 += stats.counters.cells_cost1;
+    out.counters.cells_cost2 += stats.counters.cells_cost2;
+    out.counters.cells_cost3 += stats.counters.cells_cost3;
+    out.counters.assigned += stats.counters.assigned;
+    out.counters.reused += stats.counters.reused;
+    out.counters.forks_opened += stats.counters.forks_opened;
+    out.counters.forks_skipped_domination +=
+        stats.counters.forks_skipped_domination;
+    out.counters.trie_nodes_visited += stats.counters.trie_nodes_visited;
+  }
+  out.seconds = timer.ElapsedSeconds() / w.queries.size();
+  return out;
+}
+
+EngineResult RunBwtSw(const FmIndex& rev_index, const Workload& w,
+                      const ScoringScheme& scheme, int32_t threshold) {
+  EngineResult out;
+  BwtSw engine(rev_index, static_cast<int64_t>(w.text.size()));
+  Timer timer;
+  for (const Sequence& q : w.queries) {
+    DpCounters counters;
+    ResultCollector hits = engine.Run(q, scheme, threshold, &counters);
+    out.hits += hits.size();
+    out.counters.cells_cost3 += counters.cells_cost3;
+    out.counters.trie_nodes_visited += counters.trie_nodes_visited;
+  }
+  out.seconds = timer.ElapsedSeconds() / w.queries.size();
+  return out;
+}
+
+EngineResult RunBlast(const Workload& w, const ScoringScheme& scheme,
+                      int32_t threshold) {
+  EngineResult out;
+  Timer timer;
+  for (const Sequence& q : w.queries) {
+    ResultCollector hits = Blast::Run(w.text, q, scheme, threshold);
+    out.hits += hits.size();
+  }
+  out.seconds = timer.ElapsedSeconds() / w.queries.size();
+  return out;
+}
+
+EngineResult RunSmithWaterman(const Workload& w, const ScoringScheme& scheme,
+                              int32_t threshold) {
+  EngineResult out;
+  Timer timer;
+  for (const Sequence& q : w.queries) {
+    ResultCollector hits = SmithWaterman::Run(w.text, q, scheme, threshold);
+    out.hits += hits.size();
+  }
+  out.seconds = timer.ElapsedSeconds() / w.queries.size();
+  return out;
+}
+
+std::string Mb(size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f MB",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace alae

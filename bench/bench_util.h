@@ -1,0 +1,73 @@
+#ifndef ALAE_BENCH_BENCH_UTIL_H_
+#define ALAE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/align/counters.h"
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/core/alae.h"
+#include "src/sim/workload.h"
+
+namespace alae {
+namespace bench {
+
+// Minimal --key=value flag parsing shared by the table/figure harnesses.
+// Recognised keys: n, m, queries, evalue, seed, scale (a multiplier applied
+// to every size so `--scale=4` runs the whole sweep at 4x).
+struct BenchFlags {
+  int64_t n = 0;          // 0 = use the harness default
+  int64_t m = 0;
+  int32_t queries = 0;
+  double evalue = 10.0;   // the paper's default E
+  uint64_t seed = 42;
+  double scale = 1.0;
+
+  static BenchFlags Parse(int argc, char** argv);
+
+  int64_t N(int64_t fallback) const {
+    return n > 0 ? n : static_cast<int64_t>(static_cast<double>(fallback) * scale);
+  }
+  int64_t M(int64_t fallback) const {
+    return m > 0 ? m : static_cast<int64_t>(static_cast<double>(fallback) * scale);
+  }
+  int32_t Q(int32_t fallback) const { return queries > 0 ? queries : fallback; }
+};
+
+// One engine run: wall time plus counters, averaged over the workload's
+// queries (the paper reports per-workload averages, §7.1).
+struct EngineResult {
+  double seconds = 0;
+  uint64_t hits = 0;
+  DpCounters counters;
+};
+
+// Builds the standard homologous-query workload of DESIGN.md §4.
+Workload MakeWorkload(int64_t n, int64_t m, int32_t queries,
+                      AlphabetKind alphabet = AlphabetKind::kDna,
+                      uint64_t seed = 42, double divergence = 0.30);
+
+// Threshold from the paper's E-value conversion (§7).
+int32_t ThresholdFor(double evalue, int64_t m, int64_t n,
+                     const ScoringScheme& scheme, int sigma);
+
+// Engine drivers. Each aggregates across all queries of the workload.
+EngineResult RunAlae(const AlaeIndex& index, const Workload& w,
+                     const ScoringScheme& scheme, int32_t threshold,
+                     const AlaeConfig& config = {});
+EngineResult RunBwtSw(const FmIndex& rev_index, const Workload& w,
+                      const ScoringScheme& scheme, int32_t threshold);
+EngineResult RunBlast(const Workload& w, const ScoringScheme& scheme,
+                      int32_t threshold);
+EngineResult RunSmithWaterman(const Workload& w, const ScoringScheme& scheme,
+                              int32_t threshold);
+
+// Human-readable byte count (MB with two decimals).
+std::string Mb(size_t bytes);
+
+}  // namespace bench
+}  // namespace alae
+
+#endif  // ALAE_BENCH_BENCH_UTIL_H_

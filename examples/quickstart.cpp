@@ -1,0 +1,46 @@
+// Quickstart: index a text, run an exact local-alignment search with ALAE,
+// and print the hits.
+//
+//   ./examples/quickstart
+//
+// Demonstrates the three-line happy path of the public API:
+//   AlaeIndex index(text);   Alae alae(index);   alae.Run(query, ...)
+
+#include <cstdio>
+
+#include "src/core/alae.h"
+#include "src/io/sequence.h"
+
+using namespace alae;
+
+int main() {
+  // The text would normally come from FastaReader; a literal keeps the
+  // example self-contained. GCTAGC... contains two copies of GCTA.
+  Sequence text = Sequence::FromString(
+      "TTGACGGCTAGCAAGTGCTAGGTTACCAGGCATTAAGGCTAACCGGTTAACCGG",
+      Alphabet::Dna());
+  Sequence query = Sequence::FromString("GCTAG", Alphabet::Dna());
+
+  // Index once (FM-index over reverse(T) + lazily-built domination
+  // indexes); run many queries against it.
+  AlaeIndex index(text);
+  Alae alae(index);
+
+  // <1,-3,-5,-2> is the default scheme of BLAST and BWT-SW; H is the
+  // minimum alignment score to report.
+  ScoringScheme scheme = ScoringScheme::Default();
+  int32_t threshold = 4;
+
+  ResultCollector results = alae.Run(query, scheme, threshold);
+
+  std::printf("query %s against %zu-char text, H=%d: %zu hits\n",
+              query.ToString().c_str(), text.size(), threshold,
+              results.size());
+  for (const AlignmentHit& hit : results.Sorted()) {
+    std::printf("  text[%lld..%lld] ~ query[..%lld]  score=%d\n",
+                static_cast<long long>(hit.text_start),
+                static_cast<long long>(hit.text_end),
+                static_cast<long long>(hit.query_end), hit.score);
+  }
+  return 0;
+}

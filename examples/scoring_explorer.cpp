@@ -1,0 +1,63 @@
+// Scoring-scheme explorer: how the scheme drives ALAE's filters and the §6
+// complexity bound — the practical guidance behind Fig 9/10 ("which scheme
+// should I use if I care about exact-search speed?").
+//
+//   ./examples/scoring_explorer [n] [m]
+//
+// For every BLAST web-form scheme this prints the q-prefix length, the
+// FGOE threshold, the analytic bound exponent/coefficient, and a measured
+// run on a small workload.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/alae.h"
+#include "src/sim/workload.h"
+#include "src/stats/entry_bound.h"
+#include "src/stats/karlin.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+using namespace alae;
+
+int main(int argc, char** argv) {
+  int64_t n = argc > 1 ? std::atoll(argv[1]) : 200'000;
+  int64_t m = argc > 2 ? std::atoll(argv[2]) : 2'000;
+
+  WorkloadSpec spec;
+  spec.text_length = n;
+  spec.query_length = m;
+  spec.num_queries = 1;
+  Workload w = BuildWorkload(spec);
+  AlaeIndex index(w.text);
+
+  std::printf("ALAE behaviour per scoring scheme (n=%lld, m=%lld, E=10)\n\n",
+              static_cast<long long>(n), static_cast<long long>(m));
+  TablePrinter table({"scheme", "q", "|sg+ss|", "bound", "H", "time (ms)",
+                      "entries", "results"});
+  for (int idx = 0; idx < 4; ++idx) {
+    ScoringScheme scheme = ScoringScheme::Fig9(idx);
+    EntryBound bound = ComputeEntryBound(scheme, 4);
+    int32_t h = KarlinStats::EValueToThreshold(10.0, m, n, scheme, 4);
+    Alae alae(index);
+    Timer timer;
+    AlaeRunStats stats;
+    ResultCollector hits = alae.Run(w.queries[0], scheme, h, &stats);
+    char bound_str[48];
+    std::snprintf(bound_str, sizeof(bound_str), "%.2f*m*n^%.3f",
+                  bound.coefficient, bound.exponent);
+    table.AddRow({scheme.ToString(), std::to_string(scheme.QPrefixLength()),
+                  std::to_string(scheme.FgoeThreshold()), bound_str,
+                  std::to_string(h), TablePrinter::Fmt(timer.ElapsedMillis(), 1),
+                  TablePrinter::Fmt(stats.counters.Accessed()),
+                  TablePrinter::Fmt(static_cast<uint64_t>(hits.size()))});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nReading the table: larger q and |sg+ss| (relative to sa) mean\n"
+      "stronger prefix filtering and later gap regions — the fast schemes.\n"
+      "<1,-1,-5,-2> is the §6 worst case (n^0.896): expect a large entry\n"
+      "count. The measured 'entries' column should track the bound column's\n"
+      "ordering.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "src/align/dp.h"
+
+#include <algorithm>
+
+namespace alae {
+
+DpMatrix ComputeMatrix(const std::vector<Symbol>& x,
+                       const std::vector<Symbol>& p,
+                       const ScoringScheme& scheme) {
+  DpMatrix dp;
+  dp.rows = static_cast<int64_t>(x.size());
+  dp.cols = static_cast<int64_t>(p.size());
+  size_t cells = static_cast<size_t>((dp.rows + 1) * (dp.cols + 1));
+  dp.m.assign(cells, kNegInf);
+  dp.ga.assign(cells, kNegInf);
+  dp.gb.assign(cells, kNegInf);
+
+  for (int64_t j = 0; j <= dp.cols; ++j) dp.M(0, j) = 0;
+  for (int64_t i = 1; i <= dp.rows; ++i) {
+    dp.M(i, 0) = scheme.sg + static_cast<int32_t>(i) * scheme.ss;
+  }
+  for (int64_t i = 1; i <= dp.rows; ++i) {
+    for (int64_t j = 1; j <= dp.cols; ++j) {
+      int32_t ga = std::max(dp.Ga(i - 1, j) + scheme.ss,
+                            dp.M(i - 1, j) + scheme.sg + scheme.ss);
+      int32_t gb = std::max(dp.Gb(i, j - 1) + scheme.ss,
+                            dp.M(i, j - 1) + scheme.sg + scheme.ss);
+      int32_t diag = dp.M(i - 1, j - 1) +
+                     scheme.Delta(x[static_cast<size_t>(i - 1)],
+                                  p[static_cast<size_t>(j - 1)]);
+      dp.Ga(i, j) = ga;
+      dp.Gb(i, j) = gb;
+      dp.M(i, j) = std::max({diag, ga, gb});
+    }
+  }
+  return dp;
+}
+
+int32_t BestLocalScore(const Sequence& a, const Sequence& b,
+                       const ScoringScheme& scheme) {
+  // Standard Gotoh local alignment, two rolling rows.
+  int64_t n = static_cast<int64_t>(a.size());
+  int64_t m = static_cast<int64_t>(b.size());
+  std::vector<int32_t> h_prev(static_cast<size_t>(m + 1), 0);
+  std::vector<int32_t> h_cur(static_cast<size_t>(m + 1), 0);
+  std::vector<int32_t> e(static_cast<size_t>(m + 1), kNegInf);  // gap in a
+  int32_t best = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    int32_t f = kNegInf;  // gap in b within this row
+    h_cur[0] = 0;
+    for (int64_t j = 1; j <= m; ++j) {
+      e[static_cast<size_t>(j)] =
+          std::max(e[static_cast<size_t>(j)] + scheme.ss,
+                   h_prev[static_cast<size_t>(j)] + scheme.sg + scheme.ss);
+      f = std::max(f + scheme.ss,
+                   h_cur[static_cast<size_t>(j - 1)] + scheme.sg + scheme.ss);
+      int32_t diag = h_prev[static_cast<size_t>(j - 1)] +
+                     scheme.Delta(a[static_cast<size_t>(i - 1)],
+                                  b[static_cast<size_t>(j - 1)]);
+      int32_t h = std::max({0, diag, e[static_cast<size_t>(j)], f});
+      h_cur[static_cast<size_t>(j)] = h;
+      best = std::max(best, h);
+    }
+    std::swap(h_prev, h_cur);
+  }
+  return best;
+}
+
+}  // namespace alae

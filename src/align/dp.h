@@ -1,0 +1,59 @@
+#ifndef ALAE_ALIGN_DP_H_
+#define ALAE_ALIGN_DP_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/align/scoring.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Sentinel for -infinity that survives additions without overflow.
+constexpr int32_t kNegInf = std::numeric_limits<int32_t>::min() / 4;
+
+// Dense (d+1) x (m+1) matrices of the paper's §2.2 recurrence for one
+// text-side substring X against the whole query P:
+//
+//   M(i,j)  = best score of aligning X[1..i] (entirely) against any
+//             substring of P ending at j,
+//   Ga(i,j) = best score with X[i] aligned to a gap (vertical move),
+//   Gb(i,j) = best score with P[j] aligned to a gap (horizontal move),
+//
+// with init M(0,j)=0, M(i,0)=sg+i*ss, Ga(0,j)=Gb(i,0)=-inf. Row index is
+// the text side, column index the query side, both 1-based as in the paper.
+//
+// This is the reference kernel: the BASIC aligner runs it along suffix-trie
+// paths and unit tests pin its values to the worked example of Fig 1. The
+// production engines (BWT-SW, ALAE) compute sparse subsets of these values.
+struct DpMatrix {
+  int64_t rows = 0;  // |X|
+  int64_t cols = 0;  // |P|
+  std::vector<int32_t> m, ga, gb;  // (rows+1) * (cols+1), row-major
+
+  int32_t& M(int64_t i, int64_t j) { return m[Idx(i, j)]; }
+  int32_t& Ga(int64_t i, int64_t j) { return ga[Idx(i, j)]; }
+  int32_t& Gb(int64_t i, int64_t j) { return gb[Idx(i, j)]; }
+  int32_t M(int64_t i, int64_t j) const { return m[Idx(i, j)]; }
+  int32_t Ga(int64_t i, int64_t j) const { return ga[Idx(i, j)]; }
+  int32_t Gb(int64_t i, int64_t j) const { return gb[Idx(i, j)]; }
+
+  size_t Idx(int64_t i, int64_t j) const {
+    return static_cast<size_t>(i * (cols + 1) + j);
+  }
+};
+
+// Computes the full matrix for substring X vs query P.
+DpMatrix ComputeMatrix(const std::vector<Symbol>& x,
+                       const std::vector<Symbol>& p,
+                       const ScoringScheme& scheme);
+
+// Best local-alignment score between two whole sequences (Smith-Waterman
+// objective, max over all substring pairs). Used by tests and examples.
+int32_t BestLocalScore(const Sequence& a, const Sequence& b,
+                       const ScoringScheme& scheme);
+
+}  // namespace alae
+
+#endif  // ALAE_ALIGN_DP_H_

@@ -1,0 +1,39 @@
+#include "src/align/result.h"
+
+#include <algorithm>
+
+namespace alae {
+
+void ResultCollector::Add(int64_t text_end, int64_t query_end, int32_t score,
+                          int64_t text_start) {
+  uint64_t key = Key(text_end, query_end);
+  auto [it, inserted] = hits_.try_emplace(
+      key, AlignmentHit{text_end, query_end, score, text_start});
+  if (!inserted && score > it->second.score) {
+    it->second.score = score;
+    it->second.text_start = text_start;
+  }
+  if (score > best_score_) best_score_ = score;
+}
+
+std::vector<AlignmentHit> ResultCollector::Sorted() const {
+  std::vector<AlignmentHit> out;
+  out.reserve(hits_.size());
+  for (const auto& [k, hit] : hits_) {
+    (void)k;
+    out.push_back(hit);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AlignmentHit& a, const AlignmentHit& b) {
+              if (a.text_end != b.text_end) return a.text_end < b.text_end;
+              return a.query_end < b.query_end;
+            });
+  return out;
+}
+
+void ResultCollector::Clear() {
+  hits_.clear();
+  best_score_ = 0;
+}
+
+}  // namespace alae

@@ -1,0 +1,48 @@
+#include "src/align/scoring.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace alae {
+
+ScoringScheme ScoringScheme::Fig9(int idx) {
+  switch (idx) {
+    case 0: return {1, -3, -5, -2};
+    case 1: return {1, -4, -5, -2};
+    case 2: return {1, -1, -5, -2};
+    default: return {1, -3, -2, -2};
+  }
+}
+
+int32_t ScoringScheme::QPrefixLength() const {
+  int32_t defect = std::min(-sb, -(sg + ss));
+  return defect / sa + 1;
+}
+
+int32_t ScoringScheme::EffectiveQ(int32_t threshold) const {
+  int32_t q = QPrefixLength();
+  int32_t cap = (threshold + sa - 1) / sa;  // ceil(H / sa)
+  return std::max(1, std::min(q, cap));
+}
+
+std::string ScoringScheme::ToString() const {
+  std::ostringstream out;
+  out << '<' << sa << ',' << sb << ',' << sg << ',' << ss << '>';
+  return out.str();
+}
+
+int64_t LengthUpperBound(const ScoringScheme& s, int64_t m, int32_t threshold) {
+  // Lmax = max{m, m + floor((H - (sa*m + sg)) / ss)} with ss < 0; the floor
+  // of a division by a negative number must round toward -infinity.
+  int64_t num = threshold - (static_cast<int64_t>(s.sa) * m + s.sg);
+  int64_t den = s.ss;
+  int64_t q = num / den;
+  if ((num % den) != 0 && ((num < 0) != (den < 0))) --q;
+  return std::max<int64_t>(m, m + q);
+}
+
+int64_t LengthLowerBound(const ScoringScheme& s, int32_t threshold) {
+  return (threshold + s.sa - 1) / s.sa;
+}
+
+}  // namespace alae

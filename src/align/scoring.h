@@ -1,0 +1,63 @@
+#ifndef ALAE_ALIGN_SCORING_H_
+#define ALAE_ALIGN_SCORING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Affine-gap scoring scheme <sa, sb, sg, ss> (paper §2.1): match reward
+// sa > 0, mismatch penalty sb < 0, and a gap of r characters costs
+// sg + r*ss with sg < 0 (open) and ss < 0 (extend per character).
+struct ScoringScheme {
+  int32_t sa = 1;    // match (> 0)
+  int32_t sb = -3;   // mismatch (< 0)
+  int32_t sg = -5;   // gap open (< 0)
+  int32_t ss = -2;   // gap extend (< 0)
+
+  // The default of both BLAST and BWT-SW, used throughout the paper.
+  static ScoringScheme Default() { return {1, -3, -5, -2}; }
+
+  // The four representative schemes of Fig 9 / Fig 10.
+  static ScoringScheme Fig9(int idx);
+
+  bool Valid() const { return sa > 0 && sb < 0 && sg < 0 && ss < 0; }
+
+  int32_t Delta(Symbol a, Symbol b) const { return a == b ? sa : sb; }
+
+  // Cost of a gap of r >= 1 characters.
+  int32_t GapCost(int32_t r) const { return sg + r * ss; }
+
+  // q-prefix length (paper Eq. 2): every meaningful fork starts with q
+  // exact matches because a defect within the first q positions drives the
+  // running score non-positive.
+  int32_t QPrefixLength() const;
+
+  // Effective q for a threshold H: the fork decomposition is exact only
+  // when H >= q*sa, so q shrinks to ceil(H/sa) for small thresholds
+  // (see DESIGN.md, "Exactness caveat").
+  int32_t EffectiveQ(int32_t threshold) const;
+
+  // FGOE threshold |sg + ss| (paper §3.1.3): a gap region can only open
+  // from a diagonal entry whose score exceeds this value.
+  int32_t FgoeThreshold() const { return -(sg + ss); }
+
+  std::string ToString() const;
+
+  bool operator==(const ScoringScheme& o) const {
+    return sa == o.sa && sb == o.sb && sg == o.sg && ss == o.ss;
+  }
+};
+
+// Length-filter upper bound Lmax (paper Theorem 1): the longest text-side
+// substring worth aligning against a query of length m under threshold H.
+int64_t LengthUpperBound(const ScoringScheme& s, int64_t m, int32_t threshold);
+
+// Length-filter lower bound ceil(H / sa).
+int64_t LengthLowerBound(const ScoringScheme& s, int32_t threshold);
+
+}  // namespace alae
+
+#endif  // ALAE_ALIGN_SCORING_H_

@@ -1,0 +1,214 @@
+#include "src/align/traceback.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/align/dp.h"
+
+namespace alae {
+namespace {
+
+// Traceback states per cell, 2 bits each for H/E/F provenance.
+enum HFrom : uint8_t { kHZero = 0, kHDiag = 1, kHE = 2, kHF = 3 };
+enum GapFrom : uint8_t { kGapOpen = 0, kGapExtend = 1 };
+
+struct CellTrace {
+  uint8_t h_from : 2;
+  uint8_t e_from : 1;  // E = gap in query (vertical, consumes text)
+  uint8_t f_from : 1;  // F = gap in text (horizontal, consumes query)
+};
+
+}  // namespace
+
+double AlignmentPath::Identity() const {
+  int64_t cols = matches + mismatches + gap_columns;
+  return cols > 0 ? static_cast<double>(matches) / static_cast<double>(cols)
+                  : 0.0;
+}
+
+std::string AlignmentPath::Pretty(const Sequence& text, const Sequence& query,
+                                  size_t width) const {
+  std::string top, mid, bot;
+  int64_t t = text_begin, p = query_begin;
+  // Expand the CIGAR into columns.
+  int64_t run = 0;
+  for (char c : cigar) {
+    if (c >= '0' && c <= '9') {
+      run = run * 10 + (c - '0');
+      continue;
+    }
+    for (int64_t k = 0; k < run; ++k) {
+      switch (c) {
+        case 'M': {
+          char a = text.alphabet().CharOf(text[static_cast<size_t>(t)]);
+          char b = query.alphabet().CharOf(query[static_cast<size_t>(p)]);
+          top.push_back(a);
+          bot.push_back(b);
+          mid.push_back(a == b ? '|' : ' ');
+          ++t;
+          ++p;
+          break;
+        }
+        case 'D':  // consumes text only
+          top.push_back(text.alphabet().CharOf(text[static_cast<size_t>(t)]));
+          bot.push_back('-');
+          mid.push_back(' ');
+          ++t;
+          break;
+        case 'I':  // consumes query only
+          top.push_back('-');
+          bot.push_back(query.alphabet().CharOf(query[static_cast<size_t>(p)]));
+          mid.push_back(' ');
+          ++p;
+          break;
+        default:
+          break;
+      }
+    }
+    run = 0;
+  }
+  std::string out;
+  for (size_t at = 0; at < top.size(); at += width) {
+    size_t len = std::min(width, top.size() - at);
+    out += "T " + top.substr(at, len) + "\n";
+    out += "  " + mid.substr(at, len) + "\n";
+    out += "Q " + bot.substr(at, len) + "\n";
+    if (at + width < top.size()) out += "\n";
+  }
+  return out;
+}
+
+AlignmentPath TracebackAlignment(const Sequence& text, const Sequence& query,
+                                 int64_t text_end, int64_t query_end,
+                                 const ScoringScheme& scheme,
+                                 const TracebackOptions& options) {
+  AlignmentPath path;
+  path.text_end = text_end;
+  path.query_end = query_end;
+  if (text_end < 0 || query_end < 0 ||
+      text_end >= static_cast<int64_t>(text.size()) ||
+      query_end >= static_cast<int64_t>(query.size())) {
+    return path;
+  }
+  // Window: rows cover text [t0, text_end], columns query [q0, query_end].
+  int64_t rows = std::min<int64_t>(text_end + 1, options.max_window);
+  int64_t cols = std::min<int64_t>(query_end + 1, options.max_window);
+  int64_t t0 = text_end - rows + 1;
+  int64_t q0 = query_end - cols + 1;
+
+  // Full Gotoh over the window with traceback bits. H is local (max 0).
+  std::vector<int32_t> h((rows + 1) * (cols + 1), 0);
+  std::vector<int32_t> e((rows + 1) * (cols + 1), kNegInf);
+  std::vector<int32_t> f((rows + 1) * (cols + 1), kNegInf);
+  std::vector<CellTrace> trace((rows + 1) * (cols + 1), CellTrace{0, 0, 0});
+  auto idx = [cols](int64_t i, int64_t j) {
+    return static_cast<size_t>(i * (cols + 1) + j);
+  };
+  for (int64_t i = 1; i <= rows; ++i) {
+    Symbol tc = text[static_cast<size_t>(t0 + i - 1)];
+    for (int64_t j = 1; j <= cols; ++j) {
+      Symbol qc = query[static_cast<size_t>(q0 + j - 1)];
+      size_t cur = idx(i, j);
+      CellTrace tr{0, 0, 0};
+      int32_t e_open = h[idx(i - 1, j)] + scheme.sg + scheme.ss;
+      int32_t e_ext = e[idx(i - 1, j)] + scheme.ss;
+      e[cur] = std::max(e_open, e_ext);
+      tr.e_from = e_ext > e_open ? kGapExtend : kGapOpen;
+      int32_t f_open = h[idx(i, j - 1)] + scheme.sg + scheme.ss;
+      int32_t f_ext = f[idx(i, j - 1)] + scheme.ss;
+      f[cur] = std::max(f_open, f_ext);
+      tr.f_from = f_ext > f_open ? kGapExtend : kGapOpen;
+      int32_t diag = h[idx(i - 1, j - 1)] + scheme.Delta(tc, qc);
+      int32_t best = 0;
+      tr.h_from = kHZero;
+      if (diag > best) {
+        best = diag;
+        tr.h_from = kHDiag;
+      }
+      if (e[cur] > best) {
+        best = e[cur];
+        tr.h_from = kHE;
+      }
+      if (f[cur] > best) {
+        best = f[cur];
+        tr.h_from = kHF;
+      }
+      h[cur] = best;
+      trace[cur] = tr;
+    }
+  }
+
+  path.score = h[idx(rows, cols)];
+  if (path.score <= 0) {
+    path.score = 0;
+    return path;
+  }
+
+  // Walk back from the end cell.
+  std::string ops;  // one char per column, reversed
+  int64_t i = rows, j = cols;
+  enum State { kInH, kInE, kInF } state = kInH;
+  while (i > 0 || j > 0) {
+    size_t cur = idx(i, j);
+    if (state == kInH) {
+      uint8_t from = trace[cur].h_from;
+      if (from == kHZero) break;  // local alignment start
+      if (from == kHDiag) {
+        ops.push_back('M');
+        --i;
+        --j;
+      } else if (from == kHE) {
+        state = kInE;
+      } else {
+        state = kInF;
+      }
+    } else if (state == kInE) {
+      // E consumed the text character at row i.
+      uint8_t from = trace[cur].e_from;
+      ops.push_back('D');
+      --i;
+      if (from == kGapOpen) state = kInH;
+    } else {
+      uint8_t from = trace[cur].f_from;
+      ops.push_back('I');
+      --j;
+      if (from == kGapOpen) state = kInH;
+    }
+    if (i == 0 && j == 0) break;
+  }
+  std::reverse(ops.begin(), ops.end());
+
+  path.text_begin = t0 + i;
+  path.query_begin = q0 + j;
+  // Compress ops into a CIGAR and count columns.
+  int64_t tpos = path.text_begin, qpos = path.query_begin;
+  char prev = 0;
+  int64_t run = 0;
+  for (char op : ops) {
+    if (op == 'M') {
+      bool same = text[static_cast<size_t>(tpos)] ==
+                  query[static_cast<size_t>(qpos)];
+      path.matches += same ? 1 : 0;
+      path.mismatches += same ? 0 : 1;
+      ++tpos;
+      ++qpos;
+    } else if (op == 'D') {
+      ++path.gap_columns;
+      ++tpos;
+    } else {
+      ++path.gap_columns;
+      ++qpos;
+    }
+    if (op == prev) {
+      ++run;
+    } else {
+      if (run > 0) path.cigar += std::to_string(run) + prev;
+      prev = op;
+      run = 1;
+    }
+  }
+  if (run > 0) path.cigar += std::to_string(run) + prev;
+  return path;
+}
+
+}  // namespace alae

@@ -1,0 +1,57 @@
+#ifndef ALAE_ALIGN_TRACEBACK_H_
+#define ALAE_ALIGN_TRACEBACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/align/scoring.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// A reconstructed local alignment: coordinates (0-based, inclusive), the
+// CIGAR string (M = match/mismatch column, I = insertion in the text /
+// gap in the query, D = deletion from the text / gap in the text row),
+// and a three-row pretty rendering.
+//
+// The search engines report end pairs and scores (the paper's A(i,j));
+// users who need the alignment itself call TracebackAlignment, which
+// recomputes a windowed Gotoh matrix behind the end pair and walks the
+// optimal path. This mirrors how BLAST-family tools separate scanning
+// from alignment rendering.
+struct AlignmentPath {
+  int64_t text_begin = 0, text_end = -1;    // inclusive
+  int64_t query_begin = 0, query_end = -1;  // inclusive
+  int32_t score = 0;
+  int64_t matches = 0;      // identical columns
+  int64_t mismatches = 0;   // substituted columns
+  int64_t gap_columns = 0;  // inserted + deleted characters
+  std::string cigar;
+
+  // Identity over aligned columns (matches / (matches+mismatches+gaps)).
+  double Identity() const;
+
+  // Three-line rendering: text row, midline (| match, space otherwise),
+  // query row; wrapped at `width` columns.
+  std::string Pretty(const Sequence& text, const Sequence& query,
+                     size_t width = 60) const;
+};
+
+struct TracebackOptions {
+  // The DP window extends this far up/left of the end pair; alignments
+  // longer than the window are truncated at the window edge (the window
+  // defaults to generous multiples of typical local-alignment lengths).
+  int64_t max_window = 2048;
+};
+
+// Reconstructs the best local alignment ending exactly at
+// (text_end, query_end). Returns score 0 / empty cigar when no positive
+// alignment ends there.
+AlignmentPath TracebackAlignment(const Sequence& text, const Sequence& query,
+                                 int64_t text_end, int64_t query_end,
+                                 const ScoringScheme& scheme,
+                                 const TracebackOptions& options = {});
+
+}  // namespace alae
+
+#endif  // ALAE_ALIGN_TRACEBACK_H_

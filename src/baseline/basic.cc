@@ -1,0 +1,95 @@
+#include "src/baseline/basic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/align/dp.h"
+
+namespace alae {
+namespace {
+
+struct Row {
+  std::vector<int32_t> m, ga;
+};
+
+class BasicDfs {
+ public:
+  BasicDfs(const SuffixTrie& trie, const Sequence& text, const Sequence& query,
+           const ScoringScheme& scheme, int32_t threshold)
+      : trie_(trie),
+        text_(text),
+        query_(query),
+        scheme_(scheme),
+        threshold_(threshold),
+        m_(static_cast<int64_t>(query.size())),
+        lmax_(LengthUpperBound(scheme, m_, threshold)) {}
+
+  ResultCollector Run() {
+    // Row 0: M(0,j) = 0, Ga(0,j) = -inf.
+    Row row0;
+    row0.m.assign(static_cast<size_t>(m_ + 1), 0);
+    row0.ga.assign(static_cast<size_t>(m_ + 1), kNegInf);
+    rows_.push_back(std::move(row0));
+    Visit(SuffixTrie::kRoot, 0);
+    return std::move(results_);
+  }
+
+ private:
+  void Visit(int32_t node, int64_t depth) {
+    if (depth >= lmax_) return;
+    for (int c = 0; c < trie_.sigma(); ++c) {
+      int32_t child = trie_.Child(node, static_cast<Symbol>(c));
+      if (child < 0) continue;
+      PushRow(static_cast<Symbol>(c), depth + 1, child);
+      Visit(child, depth + 1);
+      rows_.pop_back();
+    }
+  }
+
+  void PushRow(Symbol x_char, int64_t depth, int32_t node) {
+    const Row& prev = rows_.back();
+    Row cur;
+    cur.m.assign(static_cast<size_t>(m_ + 1), kNegInf);
+    cur.ga.assign(static_cast<size_t>(m_ + 1), kNegInf);
+    cur.m[0] = scheme_.sg + static_cast<int32_t>(depth) * scheme_.ss;
+    int32_t gb = kNegInf;
+    for (int64_t j = 1; j <= m_; ++j) {
+      size_t sj = static_cast<size_t>(j);
+      int32_t ga = std::max(prev.ga[sj] + scheme_.ss,
+                            prev.m[sj] + scheme_.sg + scheme_.ss);
+      gb = std::max(gb + scheme_.ss, cur.m[sj - 1] + scheme_.sg + scheme_.ss);
+      int32_t diag = prev.m[sj - 1] +
+                     scheme_.Delta(x_char, query_[static_cast<size_t>(j - 1)]);
+      cur.ga[sj] = ga;
+      cur.m[sj] = std::max({diag, ga, gb});
+      if (cur.m[sj] >= threshold_) {
+        for (int32_t start : trie_.Positions(node)) {
+          results_.Add(start + depth - 1, j - 1, cur.m[sj], start);
+        }
+      }
+    }
+    rows_.push_back(std::move(cur));
+  }
+
+  const SuffixTrie& trie_;
+  const Sequence& text_;
+  const Sequence& query_;
+  const ScoringScheme& scheme_;
+  int32_t threshold_;
+  int64_t m_;
+  int64_t lmax_;
+  std::vector<Row> rows_;
+  ResultCollector results_;
+};
+
+}  // namespace
+
+ResultCollector BasicAligner::Run(const Sequence& text, const Sequence& query,
+                                  const ScoringScheme& scheme,
+                                  int32_t threshold) {
+  SuffixTrie trie(text);
+  BasicDfs dfs(trie, text, query, scheme, threshold);
+  return dfs.Run();
+}
+
+}  // namespace alae

@@ -1,0 +1,27 @@
+#ifndef ALAE_BASELINE_BASIC_H_
+#define ALAE_BASELINE_BASIC_H_
+
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/index/suffix_trie.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Algorithm 1 (BASIC) of the paper: traverse the explicit suffix trie of T
+// and run the full §2.2 dynamic programme for every root-to-node path, with
+// no pruning beyond the depth cap of Theorem 1 (beyond Lmax no entry can
+// reach the threshold, so the cap does not change the answer).
+//
+// The trie is O(n^2); this reference exists for correctness testing on
+// tiny texts, exactly as the paper treats it ("we would not report the
+// query performance for the BASIC algorithm", §7.1).
+class BasicAligner {
+ public:
+  static ResultCollector Run(const Sequence& text, const Sequence& query,
+                             const ScoringScheme& scheme, int32_t threshold);
+};
+
+}  // namespace alae
+
+#endif  // ALAE_BASELINE_BASIC_H_

@@ -1,0 +1,58 @@
+#include "src/baseline/blast/blast.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/baseline/blast/extend.h"
+#include "src/baseline/blast/seed.h"
+
+namespace alae {
+
+ResultCollector Blast::Run(const Sequence& text, const Sequence& query,
+                           const ScoringScheme& scheme, int32_t threshold,
+                           const BlastOptions& options, BlastRunStats* stats) {
+  ResultCollector results;
+  int word = options.word_size;
+  if (word <= 0) {
+    word = text.alphabet().kind() == AlphabetKind::kDna ? 11 : 3;
+  }
+  word = std::min<int>(word, static_cast<int>(query.size()));
+  if (word <= 0) return results;
+
+  WordSeeder seeder(query, word, options.two_hit);
+  std::vector<SeedHit> seeds = seeder.Scan(text);
+  if (stats) stats->seeds += seeds.size();
+
+  const int32_t trigger = std::min(options.gap_trigger, threshold);
+  // Per-diagonal high-water mark: a seed already inside an extended
+  // segment on its diagonal is skipped (BLAST's hit-culling).
+  std::unordered_map<int64_t, int64_t> covered_until;
+
+  for (const SeedHit& seed : seeds) {
+    int64_t diag = seed.Diagonal();
+    auto it = covered_until.find(diag);
+    if (it != covered_until.end() && seed.text_pos < it->second) continue;
+
+    UngappedSegment seg =
+        UngappedExtend(text, query, seed, word, scheme,
+                       options.x_drop_ungapped);
+    if (stats) {
+      ++stats->ungapped_extensions;
+      stats->dp_cells += static_cast<uint64_t>(seg.text_end - seg.text_begin);
+    }
+    covered_until[diag] = seg.text_end;
+    if (seg.score < trigger) continue;
+
+    // Anchor the gapped pass at the middle of the ungapped segment.
+    int64_t anchor_t = (seg.text_begin + seg.text_end) / 2;
+    int64_t anchor_q = (seg.query_begin + seg.query_end) / 2;
+    if (stats) ++stats->gapped_extensions;
+    uint64_t cells = 0;
+    GappedExtend(text, query, anchor_t, anchor_q, scheme,
+                 options.x_drop_gapped, threshold, &results, &cells);
+    if (stats) stats->dp_cells += cells;
+  }
+  return results;
+}
+
+}  // namespace alae

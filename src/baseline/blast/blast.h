@@ -1,0 +1,48 @@
+#ifndef ALAE_BASELINE_BLAST_BLAST_H_
+#define ALAE_BASELINE_BLAST_BLAST_H_
+
+#include <cstdint>
+
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+struct BlastOptions {
+  // Word size; <= 0 picks the classical default (11 for DNA, 3 for
+  // protein), capped by the query length.
+  int word_size = 0;
+  bool two_hit = false;
+  int32_t x_drop_ungapped = 16;
+  int32_t x_drop_gapped = 30;
+  // Ungapped score that triggers a gapped extension; effectively
+  // min(gap_trigger, threshold).
+  int32_t gap_trigger = 18;
+};
+
+struct BlastRunStats {
+  uint64_t seeds = 0;
+  uint64_t ungapped_extensions = 0;
+  uint64_t gapped_extensions = 0;
+  uint64_t dp_cells = 0;
+};
+
+// Seed-and-extend heuristic in the shape of BLAST [1,2] (paper §1/§2.4):
+// word seeding, ungapped X-drop extension, then gapped banded X-drop
+// around segments above the trigger. Heuristic: alignments whose seeds are
+// never generated (no exact word) or never reach the trigger are missed,
+// which is exactly the accuracy gap the paper's Tables 2-3 show versus the
+// exact engines. Runtime is dominated by seeding + extensions, so it
+// barely depends on the scoring scheme (Fig 9's flat BLAST curve).
+class Blast {
+ public:
+  static ResultCollector Run(const Sequence& text, const Sequence& query,
+                             const ScoringScheme& scheme, int32_t threshold,
+                             const BlastOptions& options = {},
+                             BlastRunStats* stats = nullptr);
+};
+
+}  // namespace alae
+
+#endif  // ALAE_BASELINE_BLAST_BLAST_H_

@@ -1,0 +1,177 @@
+#include "src/baseline/blast/extend.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/align/dp.h"
+
+namespace alae {
+namespace {
+
+// One direction of gapped X-drop DP. dir = +1 extends right/down from
+// (t0, q0) inclusive; dir = -1 extends left/up from (t0, q0) inclusive.
+// When `results` is non-null (forward pass), every cell with
+// base_score + h >= threshold is recorded as an end pair.
+int32_t XDropPass(const Sequence& text, const Sequence& query, int64_t t0,
+                  int64_t q0, int dir, const ScoringScheme& scheme,
+                  int32_t x_drop, int32_t base_score, int32_t threshold,
+                  ResultCollector* results, uint64_t* cells) {
+  const int64_t n = static_cast<int64_t>(text.size());
+  const int64_t m = static_cast<int64_t>(query.size());
+  const int64_t imax = dir > 0 ? n - t0 : t0 + 1;
+  const int64_t jmax = dir > 0 ? m - q0 : q0 + 1;
+  const int32_t open_ext = scheme.sg + scheme.ss;
+  if (imax <= 0 || jmax <= 0) return 0;
+
+  int32_t best = 0;
+  // Row storage: columns [lo, lo + h.size()).
+  int64_t prev_lo = 0;
+  std::vector<int32_t> h_prev = {0};
+  std::vector<int32_t> e_prev = {kNegInf};
+
+  for (int64_t i = 1; i <= imax; ++i) {
+    Symbol tc = text[static_cast<size_t>(t0 + dir * (i - 1))];
+    int64_t prev_hi = prev_lo + static_cast<int64_t>(h_prev.size()) - 1;
+    int64_t lo = prev_lo;
+    std::vector<int32_t> h_cur, e_cur;
+    h_cur.reserve(h_prev.size() + 4);
+    e_cur.reserve(h_prev.size() + 4);
+    int32_t f = kNegInf;
+    int32_t drop_floor = best - x_drop;
+    for (int64_t j = lo;; ++j) {
+      if (j > jmax) break;
+      bool beyond = j > prev_hi + 1;
+      if (beyond && f + scheme.ss <= drop_floor &&
+          (h_cur.empty() || h_cur.back() + open_ext <= drop_floor)) {
+        break;
+      }
+      int32_t hp_diag =
+          (j - 1 >= prev_lo && j - 1 <= prev_hi)
+              ? h_prev[static_cast<size_t>(j - 1 - prev_lo)]
+              : kNegInf;
+      int32_t hp_j = (j >= prev_lo && j <= prev_hi)
+                         ? h_prev[static_cast<size_t>(j - prev_lo)]
+                         : kNegInf;
+      int32_t ep_j = (j >= prev_lo && j <= prev_hi)
+                         ? e_prev[static_cast<size_t>(j - prev_lo)]
+                         : kNegInf;
+      int32_t e = std::max(ep_j + scheme.ss, hp_j + open_ext);
+      f = std::max(f + scheme.ss,
+                   (!h_cur.empty() ? h_cur.back() + open_ext : kNegInf));
+      int32_t diag = kNegInf;
+      if (j >= 1) {
+        // The first row/column only reach via gaps.
+        if (i == 1 && j == 1) {
+          diag = 0;
+        } else if (j - 1 >= prev_lo && j - 1 <= prev_hi) {
+          diag = hp_diag;
+        }
+        if (diag != kNegInf) {
+          Symbol qc = query[static_cast<size_t>(q0 + dir * (j - 1))];
+          diag += scheme.Delta(tc, qc);
+        }
+      } else {
+        // Column 0: pure leading gap in the query direction.
+        e = std::max(e, hp_j + open_ext);
+      }
+      int32_t h = std::max({diag, e, f});
+      if (cells) ++*cells;
+      if (h <= drop_floor) h = kNegInf;
+      h_cur.push_back(h);
+      e_cur.push_back(e <= drop_floor ? kNegInf : e);
+      if (h > best) best = h;
+      if (h != kNegInf && results != nullptr && j >= 1 &&
+          base_score + h >= threshold) {
+        results->Add(t0 + (i - 1), q0 + (j - 1), base_score + h);
+      }
+    }
+    // Trim dead edges to keep the band tight.
+    size_t front = 0;
+    while (front < h_cur.size() && h_cur[front] == kNegInf &&
+           e_cur[front] == kNegInf) {
+      ++front;
+    }
+    size_t back = h_cur.size();
+    while (back > front && h_cur[back - 1] == kNegInf &&
+           e_cur[back - 1] == kNegInf) {
+      --back;
+    }
+    if (back <= front) break;  // Row died: X-drop termination.
+    prev_lo = lo + static_cast<int64_t>(front);
+    h_prev.assign(h_cur.begin() + static_cast<ptrdiff_t>(front),
+                  h_cur.begin() + static_cast<ptrdiff_t>(back));
+    e_prev.assign(e_cur.begin() + static_cast<ptrdiff_t>(front),
+                  e_cur.begin() + static_cast<ptrdiff_t>(back));
+  }
+  return best;
+}
+
+}  // namespace
+
+UngappedSegment UngappedExtend(const Sequence& text, const Sequence& query,
+                               const SeedHit& seed, int word_size,
+                               const ScoringScheme& scheme, int32_t x_drop) {
+  const int64_t n = static_cast<int64_t>(text.size());
+  const int64_t m = static_cast<int64_t>(query.size());
+  UngappedSegment seg;
+  // Score of the word itself (all matches).
+  int32_t score = scheme.sa * word_size;
+  // Extend right.
+  int32_t best = score, run = score;
+  int64_t tr = seed.text_pos + word_size, qr = seed.query_pos + word_size;
+  int64_t best_tr = tr, best_qr = qr;
+  while (tr < n && qr < m) {
+    run += scheme.Delta(text[static_cast<size_t>(tr)],
+                        query[static_cast<size_t>(qr)]);
+    ++tr;
+    ++qr;
+    if (run > best) {
+      best = run;
+      best_tr = tr;
+      best_qr = qr;
+    }
+    if (run <= best - x_drop) break;
+  }
+  // Extend left.
+  int32_t best2 = best;
+  run = best;
+  int64_t tl = seed.text_pos, ql = seed.query_pos;
+  int64_t best_tl = tl, best_ql = ql;
+  while (tl > 0 && ql > 0) {
+    run += scheme.Delta(text[static_cast<size_t>(tl - 1)],
+                        query[static_cast<size_t>(ql - 1)]);
+    --tl;
+    --ql;
+    if (run > best2) {
+      best2 = run;
+      best_tl = tl;
+      best_ql = ql;
+    }
+    if (run <= best2 - x_drop) break;
+  }
+  seg.score = best2;
+  seg.text_begin = best_tl;
+  seg.query_begin = best_ql;
+  seg.text_end = best_tr;
+  seg.query_end = best_qr;
+  return seg;
+}
+
+int32_t GappedExtend(const Sequence& text, const Sequence& query,
+                     int64_t anchor_text, int64_t anchor_query,
+                     const ScoringScheme& scheme, int32_t x_drop,
+                     int32_t threshold, ResultCollector* results,
+                     uint64_t* cells) {
+  // Backward half first (no recording), then forward with the backward
+  // best as base so recorded totals are whole-alignment scores.
+  int32_t back = 0;
+  if (anchor_text > 0 && anchor_query > 0) {
+    back = XDropPass(text, query, anchor_text - 1, anchor_query - 1, -1,
+                     scheme, x_drop, 0, threshold, nullptr, cells);
+  }
+  int32_t fwd = XDropPass(text, query, anchor_text, anchor_query, +1, scheme,
+                          x_drop, back, threshold, results, cells);
+  return back + fwd;
+}
+
+}  // namespace alae

@@ -1,0 +1,43 @@
+#ifndef ALAE_BASELINE_BLAST_EXTEND_H_
+#define ALAE_BASELINE_BLAST_EXTEND_H_
+
+#include <cstdint>
+
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/baseline/blast/seed.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Result of an ungapped X-drop extension around a seed.
+struct UngappedSegment {
+  int64_t text_begin = 0, text_end = 0;    // [begin, end) in T
+  int64_t query_begin = 0, query_end = 0;  // [begin, end) in P
+  int32_t score = 0;
+};
+
+// Extends a word hit along its diagonal in both directions, dropping out
+// when the running score falls `x_drop` below the best seen (the classic
+// BLAST ungapped extension).
+UngappedSegment UngappedExtend(const Sequence& text, const Sequence& query,
+                               const SeedHit& seed, int word_size,
+                               const ScoringScheme& scheme, int32_t x_drop);
+
+// Gapped X-drop extension (Gapped BLAST): affine-gap DP grown from an
+// anchor cell in both directions, abandoning any cell whose score falls
+// more than `x_drop` below the best score of the pass. Every explored end
+// pair with total score >= threshold is recorded into `results` (so the
+// output unit matches the exact engines' A(i,j) hits). Returns the best
+// total score.
+//
+// `cells` (optional) accumulates the number of DP cells evaluated.
+int32_t GappedExtend(const Sequence& text, const Sequence& query,
+                     int64_t anchor_text, int64_t anchor_query,
+                     const ScoringScheme& scheme, int32_t x_drop,
+                     int32_t threshold, ResultCollector* results,
+                     uint64_t* cells = nullptr);
+
+}  // namespace alae
+
+#endif  // ALAE_BASELINE_BLAST_EXTEND_H_

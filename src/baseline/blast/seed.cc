@@ -1,0 +1,56 @@
+#include "src/baseline/blast/seed.h"
+
+#include <unordered_map>
+
+namespace alae {
+
+WordSeeder::WordSeeder(const Sequence& query, int word_size, bool two_hit,
+                       int64_t window)
+    : query_(query),
+      word_size_(word_size),
+      two_hit_(two_hit),
+      window_(window),
+      words_(query, word_size) {}
+
+std::vector<SeedHit> WordSeeder::Scan(const Sequence& text) const {
+  std::vector<SeedHit> hits;
+  int64_t n = static_cast<int64_t>(text.size());
+  if (n < word_size_ || static_cast<int64_t>(query_.size()) < word_size_) {
+    return hits;
+  }
+  int sigma = text.sigma();
+  uint64_t key = 0;
+  uint64_t msd = 1;
+  for (int i = 0; i < word_size_ - 1; ++i) msd *= static_cast<uint64_t>(sigma);
+
+  // For two-hit mode: last seen word-hit query position per diagonal.
+  std::unordered_map<int64_t, int64_t> last_on_diag;
+
+  for (int64_t t = 0; t + word_size_ <= n; ++t) {
+    if (t == 0) {
+      for (int i = 0; i < word_size_; ++i) {
+        key = key * static_cast<uint64_t>(sigma) + text[static_cast<size_t>(i)];
+      }
+    } else {
+      key = (key - static_cast<uint64_t>(text[static_cast<size_t>(t - 1)]) * msd) *
+                static_cast<uint64_t>(sigma) +
+            text[static_cast<size_t>(t + word_size_ - 1)];
+    }
+    for (int32_t qpos : words_.Occurrences(key)) {
+      if (!two_hit_) {
+        hits.push_back({t, qpos});
+        continue;
+      }
+      int64_t diag = t - qpos;
+      auto [it, inserted] = last_on_diag.try_emplace(diag, qpos);
+      if (inserted) continue;
+      int64_t distance = qpos - it->second;
+      if (distance < word_size_) continue;  // overlapping: keep the anchor
+      if (distance <= window_) hits.push_back({t, qpos});
+      it->second = qpos;
+    }
+  }
+  return hits;
+}
+
+}  // namespace alae

@@ -1,0 +1,49 @@
+#ifndef ALAE_BASELINE_BLAST_SEED_H_
+#define ALAE_BASELINE_BLAST_SEED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/qgram_index.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// A word hit: identical word of length w at text position t and query
+// position p (diagonal d = t - p).
+struct SeedHit {
+  int64_t text_pos = 0;
+  int64_t query_pos = 0;
+  int64_t Diagonal() const { return text_pos - query_pos; }
+};
+
+// BLAST-style word seeding (paper §1: BLAST "decomposes an input query into
+// a set of grams and identifies matches against the database").
+//
+// The query's words are indexed with QGramIndex; the text is scanned once
+// with a rolling key. With `two_hit` set, a hit is emitted only when two
+// non-overlapping word hits fall on the same diagonal within `window`
+// positions (the Gapped-BLAST two-hit heuristic), halving extension work at
+// a small sensitivity cost.
+class WordSeeder {
+ public:
+  WordSeeder(const Sequence& query, int word_size, bool two_hit = false,
+             int64_t window = 40);
+
+  // Streams over the text and returns all (filtered) seed hits in text
+  // order.
+  std::vector<SeedHit> Scan(const Sequence& text) const;
+
+  int word_size() const { return word_size_; }
+
+ private:
+  const Sequence& query_;
+  int word_size_;
+  bool two_hit_;
+  int64_t window_;
+  QGramIndex words_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_BASELINE_BLAST_SEED_H_

@@ -1,0 +1,170 @@
+#include "src/baseline/bwt_sw.h"
+
+#include <algorithm>
+
+#include "src/align/dp.h"
+
+namespace alae {
+
+BwtSw::BwtSw(const FmIndex& rev_index, int64_t text_len)
+    : index_(rev_index), n_(text_len) {}
+
+std::vector<BwtSw::Col> BwtSw::ComputeChildRow(
+    const std::vector<Col>& parent, Symbol c, const Sequence& query,
+    const ScoringScheme& scheme, int32_t threshold,
+    std::vector<std::pair<int32_t, int32_t>>* hits, uint64_t* cells) {
+  std::vector<Col> out;
+  out.reserve(parent.size() + 8);
+  const int64_t m = static_cast<int64_t>(query.size());
+  const int32_t open_ext = scheme.sg + scheme.ss;
+
+  size_t pi = 0;                // scans parent entries
+  size_t ci = 0;                // scans candidate source entries
+  int64_t forced = -1;          // gb-spill column, if alive
+  int64_t prev_j = -2;          // last computed column
+  int32_t gb_carry = kNegInf;   // Gb(i, prev_j + 1), valid when contiguous
+
+  // Candidate columns: parent.j (Ga/diag-right) and parent.j + 1 (diag),
+  // plus gb spill to the right of freshly computed cells. Parent entries
+  // are sorted, so the merged candidate stream is non-decreasing.
+  while (true) {
+    int64_t j = -1;
+    // Next candidate from the parent stream.
+    int64_t from_parent = -1;
+    if (ci < parent.size()) {
+      // Either parent[ci].j itself (not yet used as "same column") or
+      // parent[ci].j + 1; we enumerate both by visiting parent[ci].j first.
+      from_parent = parent[ci].j;
+      if (from_parent <= prev_j) from_parent = parent[ci].j + 1;
+    }
+    if (forced >= 0 && (from_parent < 0 || forced < from_parent)) {
+      j = forced;
+    } else if (from_parent >= 0) {
+      j = from_parent;
+    } else {
+      break;
+    }
+    forced = -1;
+    if (j > m) break;
+    if (j < 1) {
+      // Column 0 has no query character; M(i,0) = sg + i*ss is never
+      // positive, so the cell is dead under the positivity rule. It only
+      // matters as the diagonal input of column 1, which reads it from the
+      // parent row directly.
+      prev_j = j;
+      continue;
+    }
+    if (j != prev_j + 1) gb_carry = kNegInf;
+
+    // Parent lookups at j-1 (diag) and j (ga). pi trails the sweep.
+    while (pi < parent.size() && parent[pi].j < j - 1) ++pi;
+    int32_t pm_diag = kNegInf;
+    int32_t pm_j = kNegInf, pga_j = kNegInf;
+    size_t pk = pi;
+    if (pk < parent.size() && parent[pk].j == j - 1) {
+      pm_diag = parent[pk].m;
+      ++pk;
+    }
+    if (pk < parent.size() && parent[pk].j == j) {
+      pm_j = parent[pk].m;
+      pga_j = parent[pk].ga;
+    }
+    while (ci < parent.size() && parent[ci].j + 1 <= j) ++ci;
+
+    int32_t ga = std::max(pga_j + scheme.ss, pm_j + open_ext);
+    int32_t gb = std::max(gb_carry + scheme.ss,
+                          (prev_j == j - 1 && !out.empty() &&
+                           out.back().j == j - 1)
+                              ? out.back().m + open_ext
+                              : kNegInf);
+    int32_t diag =
+        pm_diag + scheme.Delta(c, query[static_cast<size_t>(j - 1)]);
+    int32_t mval = std::max({diag, ga, gb});
+    if (cells) ++*cells;
+
+    prev_j = j;
+    gb_carry = gb;
+    if (mval > 0) {
+      out.push_back({static_cast<int32_t>(j), mval, ga > 0 ? ga : kNegInf});
+      if (mval >= threshold && hits) {
+        hits->emplace_back(static_cast<int32_t>(j), mval);
+      }
+      // The cell can spill Gb rightward.
+      if (std::max(gb + scheme.ss, mval + open_ext) > 0) forced = j + 1;
+    }
+  }
+  return out;
+}
+
+ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
+                           int32_t threshold, DpCounters* counters) const {
+  ResultCollector results;
+  const int64_t m = static_cast<int64_t>(query.size());
+  if (m == 0 || n_ == 0) return results;
+  // Positivity alone bounds useful depth by Lmax at H=1 (any deeper prefix
+  // cannot hold a positive score); BWT-SW does not use H for pruning.
+  const int64_t lmax = LengthUpperBound(scheme, m, 1);
+  const int sigma = query.sigma();
+
+  struct Frame {
+    SaRange range;
+    std::vector<Col> row;
+    std::vector<int64_t> ends;  // lazily located text end positions
+    bool located = false;
+    Symbol next_child = 0;
+  };
+
+  // Conceptual row 0: M(0, j) = 0 for every column (including j=0 so the
+  // first diagonal step can start anywhere).
+  std::vector<Col> root_row(static_cast<size_t>(m) + 1);
+  for (int64_t j = 0; j <= m; ++j) {
+    // m=0 entries at the root are alive by definition (paper init), even
+    // though the positivity rule would drop them at deeper rows.
+    root_row[static_cast<size_t>(j)] = {static_cast<int32_t>(j), 0, kNegInf};
+  }
+
+  std::vector<Frame> stack;
+  stack.push_back(Frame{index_.FullRange(), std::move(root_row), {}, false, 0});
+
+  std::vector<std::pair<int32_t, int32_t>> hits;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_child >= sigma) {
+      stack.pop_back();
+      continue;
+    }
+    Symbol c = top.next_child++;
+    SaRange child_range = index_.Extend(top.range, c);
+    if (child_range.Empty()) continue;
+    int64_t depth = static_cast<int64_t>(stack.size());  // child depth
+    if (depth > lmax) continue;
+
+    hits.clear();
+    uint64_t cells = 0;
+    std::vector<Col> child_row = ComputeChildRow(top.row, c, query, scheme,
+                                                 threshold, &hits, &cells);
+    if (counters) {
+      counters->cells_cost3 += cells;
+      ++counters->trie_nodes_visited;
+    }
+    if (child_row.empty()) continue;
+
+    Frame child{child_range, std::move(child_row), {}, false, 0};
+    if (!hits.empty()) {
+      // Locate once per node: end position of X in T is n-1-p where p is
+      // the start of X⁻¹ in reverse(T).
+      child.ends = index_.Locate(child_range);
+      for (int64_t& p : child.ends) p = n_ - 1 - p;
+      child.located = true;
+      for (const auto& [col, score] : hits) {
+        for (int64_t end : child.ends) {
+          results.Add(end, col - 1, score, end - depth + 1);
+        }
+      }
+    }
+    stack.push_back(std::move(child));
+  }
+  return results;
+}
+
+}  // namespace alae

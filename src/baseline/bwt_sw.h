@@ -1,0 +1,59 @@
+#ifndef ALAE_BASELINE_BWT_SW_H_
+#define ALAE_BASELINE_BWT_SW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/counters.h"
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/index/fm_index.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// BWT-SW (Lam et al. 2008; paper §2.4): exact local alignment by DFS over
+// the suffix trie of T emulated with an FM-index built on reverse(T)
+// (appending a character to the trie path X is one backward-search step for
+// c·X⁻¹, paper §5).
+//
+// At trie depth i the engine holds the sparse DP row
+// {(j, M(i,j), Ga(i,j)) : M(i,j) > 0}: BWT-SW's early termination ignores
+// all non-positive scores (a non-positive prefix alignment is dominated by
+// restarting at a deeper suffix, which the trie traversal explores
+// separately), and prunes the subtree when the row becomes empty. Depth is
+// additionally capped at the positivity bound Lmax(H=1), which is implied
+// by the pruning rule and keeps worst-case paths finite.
+//
+// Every evaluated cell computes M, Ga and Gb, i.e. costs 3 in the paper's
+// Table 4 accounting.
+class BwtSw {
+ public:
+  // `rev_index` must be built over reverse(T). `text_len` = |T|.
+  BwtSw(const FmIndex& rev_index, int64_t text_len);
+
+  // Reports every end pair with best score >= threshold (threshold >= 1).
+  ResultCollector Run(const Sequence& query, const ScoringScheme& scheme,
+                      int32_t threshold, DpCounters* counters = nullptr) const;
+
+ private:
+  struct Col {
+    int32_t j;   // 1-based query column
+    int32_t m;   // M(i, j) > 0
+    int32_t ga;  // Ga(i, j), kNegInf when dead
+  };
+
+  // Computes the child row for appending `c`, appending hits >= threshold
+  // to `hits` as (column, score) pairs.
+  static std::vector<Col> ComputeChildRow(
+      const std::vector<Col>& parent, Symbol c, const Sequence& query,
+      const ScoringScheme& scheme, int32_t threshold,
+      std::vector<std::pair<int32_t, int32_t>>* hits, uint64_t* cells);
+
+  const FmIndex& index_;
+  int64_t n_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_BASELINE_BWT_SW_H_

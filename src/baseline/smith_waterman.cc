@@ -1,0 +1,39 @@
+#include "src/baseline/smith_waterman.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/align/dp.h"
+
+namespace alae {
+
+ResultCollector SmithWaterman::Run(const Sequence& text, const Sequence& query,
+                                   const ScoringScheme& scheme,
+                                   int32_t threshold) {
+  ResultCollector results;
+  int64_t n = static_cast<int64_t>(text.size());
+  int64_t m = static_cast<int64_t>(query.size());
+  std::vector<int32_t> h_prev(static_cast<size_t>(m + 1), 0);
+  std::vector<int32_t> h_cur(static_cast<size_t>(m + 1), 0);
+  std::vector<int32_t> e(static_cast<size_t>(m + 1), kNegInf);
+  for (int64_t i = 1; i <= n; ++i) {
+    int32_t f = kNegInf;
+    h_cur[0] = 0;
+    for (int64_t j = 1; j <= m; ++j) {
+      size_t sj = static_cast<size_t>(j);
+      e[sj] = std::max(e[sj] + scheme.ss, h_prev[sj] + scheme.sg + scheme.ss);
+      f = std::max(f + scheme.ss, h_cur[sj - 1] + scheme.sg + scheme.ss);
+      int32_t diag = h_prev[sj - 1] + scheme.Delta(text[static_cast<size_t>(i - 1)],
+                                                   query[static_cast<size_t>(j - 1)]);
+      int32_t h = std::max({0, diag, e[sj], f});
+      h_cur[sj] = h;
+      if (h >= threshold) {
+        results.Add(i - 1, j - 1, h);
+      }
+    }
+    std::swap(h_prev, h_cur);
+  }
+  return results;
+}
+
+}  // namespace alae

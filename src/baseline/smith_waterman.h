@@ -1,0 +1,30 @@
+#ifndef ALAE_BASELINE_SMITH_WATERMAN_H_
+#define ALAE_BASELINE_SMITH_WATERMAN_H_
+
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// The Smith–Waterman / Gotoh algorithm (paper §1, [13]): the O(mn) exact
+// reference. H(i,j) — the best local-alignment score ending at text
+// position i and query position j — equals the paper's A(i,j).score, so
+// every cell with H(i,j) >= threshold is reported. This is the ground
+// truth the property tests compare BASIC, BWT-SW and ALAE against.
+class SmithWaterman {
+ public:
+  // Reports every end pair with score >= threshold (threshold >= 1).
+  // Memory is O(m); time is O(nm).
+  static ResultCollector Run(const Sequence& text, const Sequence& query,
+                             const ScoringScheme& scheme, int32_t threshold);
+
+  // Number of DP cells a full SW run computes (used in reports).
+  static uint64_t CellCount(const Sequence& text, const Sequence& query) {
+    return static_cast<uint64_t>(text.size()) * query.size();
+  }
+};
+
+}  // namespace alae
+
+#endif  // ALAE_BASELINE_SMITH_WATERMAN_H_

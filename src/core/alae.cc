@@ -1,0 +1,562 @@
+#include "src/core/alae.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/align/dp.h"
+#include "src/core/filters.h"
+#include "src/core/fork.h"
+#include "src/core/global_filter.h"
+#include "src/core/reuse.h"
+#include "src/index/lcp.h"
+#include "src/index/qgram_index.h"
+
+namespace alae {
+
+AlaeIndex::AlaeIndex(const Sequence& text, FmIndexOptions options)
+    : text_(text), fm_(text.Reversed(), options) {}
+
+const DominationIndex& AlaeIndex::Domination(int32_t q) const {
+  std::lock_guard<std::mutex> lock(domination_mu_);
+  auto it = domination_.find(q);
+  if (it == domination_.end()) {
+    it = domination_
+             .emplace(q, std::make_unique<DominationIndex>(text_, q))
+             .first;
+  }
+  return *it->second;
+}
+
+AlaeIndex::Sizes AlaeIndex::SizeBytes() const {
+  Sizes sizes;
+  FmIndex::Sizes fm_sizes = fm_.SizeBytes();
+  sizes.bwt_bytes = fm_sizes.bwt_bytes;
+  sizes.sample_bytes = fm_sizes.sample_bytes;
+  for (const auto& [q, dom] : domination_) {
+    (void)q;
+    sizes.domination_bytes += dom->SizeBytes();
+  }
+  return sizes;
+}
+
+Alae::Alae(const AlaeIndex& index, AlaeConfig config)
+    : index_(index), config_(config) {}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+class Alae::Engine {
+ public:
+  Engine(const AlaeIndex& index, const AlaeConfig& config,
+         const Sequence& query, const ScoringScheme& scheme,
+         int32_t threshold)
+      : index_(index),
+        fm_(index.fm()),
+        config_(config),
+        query_(query),
+        scheme_(scheme),
+        n_(index.text_size()),
+        m_(static_cast<int64_t>(query.size())),
+        threshold_(threshold),
+        filters_(scheme, static_cast<int64_t>(query.size()), threshold,
+                 config),
+        qgrams_(query, filters_.q()),
+        reuse_group_(nullptr) {
+    if (config_.reuse) {
+      query_lcp_ = std::make_unique<LcpIndex>(query);
+      reuse_group_ = RowReuseGroup(query_lcp_.get());
+    }
+    if (config_.domination_filter) {
+      domination_ = &index.Domination(filters_.q());
+    }
+  }
+
+  ResultCollector Run(AlaeRunStats* stats);
+
+ private:
+  struct Frame {
+    SaRange range;
+    std::vector<DiagFork> diag;  // forks in the cheap EMR/NGR phase
+    std::vector<ForkState> gap;  // forks with open gap regions
+    std::vector<int64_t> ends;   // lazily located text end positions
+    bool located = false;
+    Symbol next_child = 0;
+  };
+
+  // One (column, score) hit discovered while computing a child row.
+  struct PendingHit {
+    int32_t col;    // 0-based query end index
+    int32_t score;
+  };
+
+  void ProcessGram(uint64_t key, const std::vector<int32_t>& anchors);
+  bool AnchorSurvivesGlobalFilters(const Symbol* gram,
+                                   const std::vector<int64_t>& starts,
+                                   int32_t anchor);
+
+  ForkState OpenGapRegion(int32_t anchor, int64_t row, int32_t fgoe_score);
+  ForkState StepGapRow(const ForkState& fork, Symbol c, int64_t row,
+                       const ForkState* source);
+
+  // Finds a reuse source among this row's already-updated gap forks.
+  static const ForkState* FindSource(const std::vector<ForkState>& updated,
+                                     int32_t anchor) {
+    if (anchor < 0) return nullptr;
+    for (const ForkState& f : updated) {
+      if (f.anchor == anchor) return &f;
+    }
+    return nullptr;
+  }
+
+  void NoteCell(int64_t row, int32_t col, int32_t score) {
+    if (score >= threshold_) pending_hits_.push_back({col, score});
+    if (bitset_ != nullptr && score >= scheme_.sa) {
+      bitset_pending_.push_back({col, score});
+    }
+    (void)row;
+  }
+
+  // Flushes pending hits/bitset updates for a node covering `range` whose
+  // paths end at depth `depth`.
+  void FlushNode(Frame* frame, int64_t depth);
+
+  const AlaeIndex& index_;
+  const FmIndex& fm_;
+  const AlaeConfig& config_;
+  const Sequence& query_;
+  const ScoringScheme& scheme_;
+  int64_t n_;
+  int64_t m_;
+  int32_t threshold_;
+  FilterContext filters_;
+  QGramIndex qgrams_;
+  std::unique_ptr<LcpIndex> query_lcp_;
+  RowReuseGroup reuse_group_;
+  const DominationIndex* domination_ = nullptr;
+  std::unique_ptr<BitsetGlobalFilter> bitset_owned_;
+  BitsetGlobalFilter* bitset_ = nullptr;
+
+  ResultCollector results_;
+  DpCounters counters_;
+  uint64_t anchors_considered_ = 0;
+  uint64_t grams_searched_ = 0;
+
+  std::vector<PendingHit> pending_hits_;
+  std::vector<PendingHit> bitset_pending_;
+};
+
+ResultCollector Alae::Engine::Run(AlaeRunStats* stats) {
+  if (config_.bitset_global_filter) {
+    bitset_owned_ = std::make_unique<BitsetGlobalFilter>();
+    bitset_ = bitset_owned_.get();
+  }
+  const int32_t q = filters_.q();
+  if (m_ >= q && n_ >= q) {
+    // Enumerate the distinct q-grams of P in first-occurrence order.
+    std::vector<std::pair<int32_t, uint64_t>> grams;  // (first occ, key)
+    {
+      std::unordered_map<uint64_t, int32_t> seen;
+      for (int64_t j = 0; j + q <= m_; ++j) {
+        uint64_t key = qgrams_.KeyOf(query_.symbols().data() + j);
+        seen.try_emplace(key, static_cast<int32_t>(j));
+      }
+      grams.reserve(seen.size());
+      for (const auto& [key, first] : seen) grams.push_back({first, key});
+      std::sort(grams.begin(), grams.end());
+    }
+    for (const auto& [first, key] : grams) {
+      (void)first;
+      ProcessGram(key, qgrams_.Occurrences(key));
+    }
+  }
+  if (stats != nullptr) {
+    stats->counters = counters_;
+    stats->anchors_considered = anchors_considered_;
+    stats->grams_searched = grams_searched_;
+  }
+  return std::move(results_);
+}
+
+bool Alae::Engine::AnchorSurvivesGlobalFilters(
+    const Symbol* gram, const std::vector<int64_t>& starts, int32_t anchor) {
+  if (domination_ != nullptr && anchor >= 1) {
+    Symbol predecessor = 0;
+    if (domination_->IsDominated(gram, &predecessor) &&
+        query_[static_cast<size_t>(anchor - 1)] == predecessor) {
+      ++counters_.forks_skipped_domination;
+      return false;
+    }
+  }
+  if (bitset_ != nullptr && !starts.empty()) {
+    bool all_set = true;
+    for (int64_t t : starts) {
+      if (!bitset_->Test(t, anchor)) {
+        all_set = false;
+        break;
+      }
+    }
+    if (all_set) {
+      ++counters_.forks_skipped_bitset;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Alae::Engine::ProcessGram(uint64_t key,
+                               const std::vector<int32_t>& anchors) {
+  if (anchors.empty()) return;
+  const int32_t q = filters_.q();
+  const Symbol* gram = query_.symbols().data() + anchors[0];
+  ++grams_searched_;
+
+  // Locate the q-gram's subtree: extend forward through the reverse-text
+  // FM-index (one backward step per appended character, §5).
+  SaRange range = fm_.FullRange();
+  for (int32_t i = 0; i < q && !range.Empty(); ++i) {
+    range = fm_.Extend(range, gram[i]);
+  }
+  if (range.Empty()) return;
+  (void)key;
+
+  // Text start positions are needed by the bitset filter only.
+  std::vector<int64_t> starts;
+  if (bitset_ != nullptr) {
+    starts = fm_.Locate(range);
+    // p is a start in reverse(T) of (gram)^-1; the gram starts in T at
+    // n - p - q.
+    for (int64_t& p : starts) p = n_ - p - q;
+  }
+
+  std::vector<DiagFork> root_forks;
+  root_forks.reserve(anchors.size());
+  for (int32_t anchor : anchors) {
+    ++anchors_considered_;
+    if (!AnchorSurvivesGlobalFilters(gram, starts, anchor)) continue;
+    root_forks.push_back({anchor, scheme_.sa * q, -1, 0});
+    ++counters_.forks_opened;
+  }
+  // Lemma 2 reuse assignments: each fork copies from the earlier anchor
+  // whose query suffix shares the longest prefix (anchors are ascending).
+  if (config_.reuse && query_lcp_ != nullptr) {
+    for (size_t k = 1; k < root_forks.size(); ++k) {
+      int64_t best = 0;
+      for (size_t j = 0; j < k; ++j) {
+        int64_t l = static_cast<int64_t>(query_lcp_->Lcp(
+            static_cast<size_t>(root_forks[j].anchor),
+            static_cast<size_t>(root_forks[k].anchor)));
+        if (l > best) {
+          best = l;
+          root_forks[k].src_anchor = root_forks[j].anchor;
+        }
+      }
+      root_forks[k].shared_len = static_cast<int32_t>(best);
+      if (best <= q) root_forks[k].src_anchor = -1;  // nothing beyond EMR
+    }
+  }
+  if (root_forks.empty()) return;
+  counters_.assigned +=
+      static_cast<uint64_t>(q) * root_forks.size();  // EMR cells
+
+  // Root-level bookkeeping: EMR scores can already be results when
+  // q == ceil(H/sa), and in bitset mode all EMR cells carry score >= sa.
+  Frame root;
+  root.range = range;
+  root.diag = std::move(root_forks);
+  pending_hits_.clear();
+  bitset_pending_.clear();
+  for (const DiagFork& fork : root.diag) {
+    for (int32_t i = 1; i <= q; ++i) {
+      NoteCell(i, fork.anchor + i - 1, scheme_.sa * i);
+    }
+  }
+  // EMR hits end at depth-relative rows; FlushNode records end positions
+  // for the node's full depth q, so translate per-row hits here instead.
+  if (!pending_hits_.empty() || !bitset_pending_.empty()) {
+    std::vector<int64_t> ends = fm_.Locate(range);
+    for (int64_t& p : ends) p = n_ - 1 - p;  // end of the q-char path
+    for (const PendingHit& hit : pending_hits_) {
+      // hit.col - fork-relative row encodes the cell's own depth: the cell
+      // at EMR row i ends q - i characters before the path end.
+      // (col = anchor + i - 1  =>  i = col - anchor + 1; we stored col
+      // absolute, so recover i from the score: score = sa * i.)
+      int32_t i = hit.score / scheme_.sa;
+      for (int64_t end : ends) {
+        results_.Add(end - (q - i), hit.col, hit.score,
+                     end - (q - i) - i + 1);
+      }
+    }
+    if (bitset_ != nullptr) {
+      for (const PendingHit& hit : bitset_pending_) {
+        int32_t i = hit.score / scheme_.sa;
+        for (int64_t end : ends) bitset_->Set(end - (q - i), hit.col);
+      }
+    }
+    pending_hits_.clear();
+    bitset_pending_.clear();
+  }
+
+  // Iterative DFS over the subtree.
+  std::vector<Frame> stack;
+  stack.push_back(std::move(root));
+  const int sigma = query_.sigma();
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_child >= sigma) {
+      stack.pop_back();
+      continue;
+    }
+    Symbol c = top.next_child++;
+    int64_t depth = static_cast<int64_t>(q) + static_cast<int64_t>(stack.size());
+    if (depth > filters_.lmax()) continue;
+    SaRange child_range = fm_.Extend(top.range, c);
+    if (child_range.Empty()) continue;
+
+    // Evolve every fork by one row. Gap forks go first (their reuse
+    // sources are earlier gap forks), then the cheap diagonal forks, whose
+    // FGOE transitions append new gap regions; within each category anchor
+    // order guarantees reuse sources are updated before dependants.
+    pending_hits_.clear();
+    bitset_pending_.clear();
+    reuse_group_.NewRow();
+    Frame child;
+    child.range = child_range;
+    child.diag.reserve(top.diag.size());
+    child.gap.reserve(top.gap.size());
+    for (const ForkState& fork : top.gap) {
+      ForkState next = StepGapRow(
+          fork, c, depth, FindSource(child.gap, fork.reuse_src_anchor));
+      if (!next.cells.empty()) child.gap.push_back(std::move(next));
+    }
+    const int32_t fgoe_threshold = filters_.fgoe_threshold();
+    for (const DiagFork& fork : top.diag) {
+      int64_t col = static_cast<int64_t>(fork.anchor) + depth - 1;  // 0-based
+      if (col >= m_) continue;  // Diagonal ran off the query.
+      // Lemma 2: within the shared prefix, this fork's diagonal score
+      // equals the already-updated source fork's (anchor order guarantees
+      // the source was stepped first). Copy instead of computing.
+      int32_t score;
+      const DiagFork* src = nullptr;
+      if (fork.src_anchor >= 0 && depth <= fork.shared_len) {
+        auto it = std::lower_bound(
+            child.diag.begin(), child.diag.end(), fork.src_anchor,
+            [](const DiagFork& f, int32_t a) { return f.anchor < a; });
+        if (it != child.diag.end() && it->anchor == fork.src_anchor) {
+          src = &*it;
+        }
+      }
+      if (src != nullptr) {
+        score = src->score;
+        ++counters_.reused;
+      } else {
+        score =
+            fork.score + scheme_.Delta(c, query_[static_cast<size_t>(col)]);
+        ++counters_.cells_cost1;  // Simplified recurrence, Eq. 3.
+        if (score <= filters_.Bound(depth, col)) continue;
+      }
+      NoteCell(depth, static_cast<int32_t>(col), score);
+      if (score > fgoe_threshold) {
+        child.gap.push_back(OpenGapRegion(fork.anchor, depth, score));
+      } else {
+        child.diag.push_back(
+            {fork.anchor, score, fork.src_anchor, fork.shared_len});
+      }
+    }
+    ++counters_.trie_nodes_visited;
+    if (child.diag.empty() && child.gap.empty()) continue;
+
+    FlushNode(&child, depth);
+    stack.push_back(std::move(child));
+  }
+}
+
+void Alae::Engine::FlushNode(Frame* frame, int64_t depth) {
+  if (pending_hits_.empty() && bitset_pending_.empty()) return;
+  if (!frame->located) {
+    frame->ends = fm_.Locate(frame->range);
+    for (int64_t& p : frame->ends) p = n_ - 1 - p;
+    frame->located = true;
+  }
+  for (const PendingHit& hit : pending_hits_) {
+    for (int64_t end : frame->ends) {
+      results_.Add(end, hit.col, hit.score, end - depth + 1);
+    }
+  }
+  if (bitset_ != nullptr) {
+    for (const PendingHit& hit : bitset_pending_) {
+      for (int64_t end : frame->ends) bitset_->Set(end, hit.col);
+    }
+  }
+  pending_hits_.clear();
+  bitset_pending_.clear();
+}
+
+ForkState Alae::Engine::OpenGapRegion(int32_t anchor, int64_t row,
+                                      int32_t fgoe_score) {
+  ForkState next;
+  next.anchor = anchor;
+  next.phase = ForkState::kGap;
+  next.fgoe_row = static_cast<int32_t>(row);
+  next.fgoe_col = static_cast<int32_t>(anchor + row - 1);
+  next.lo = 0;
+
+  RowReuseGroup::Assignment assignment;
+  if (config_.reuse) {
+    assignment = reuse_group_.Register(next.anchor, next.fgoe_col);
+    next.reuse_src_anchor = assignment.source_anchor;
+    next.reuse_len = assignment.shared_len;
+  }
+
+  // Seed row: the FGOE cell plus its rightward Gb extension entries
+  // (paper §3.1.3: from the FGOE we calculate the (l, pi_p + l) extension).
+  next.cells.push_back({fgoe_score, kNegInf, kNegInf});
+  int32_t gb = kNegInf;
+  const int32_t row_bound = filters_.RowBound(row);
+  const int64_t col_cut = filters_.ColCut(row_bound);
+  for (int64_t d = 1;; ++d) {
+    int64_t col = next.fgoe_col + d;
+    if (col >= m_) break;
+    gb = std::max(gb + scheme_.ss,
+                  next.cells[static_cast<size_t>(d - 1)].m + scheme_.sg +
+                      scheme_.ss);
+    ++counters_.cells_cost2;  // Boundary cell: two live inputs.
+    int32_t bound = col <= col_cut ? row_bound : filters_.Bound(row, col);
+    if (gb <= bound) break;
+    next.cells.push_back({gb, kNegInf, gb});
+    NoteCell(row, static_cast<int32_t>(col), gb);
+  }
+  return next;
+}
+
+ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
+                                   int64_t row, const ForkState* source) {
+  ForkState next;
+  next.anchor = fork.anchor;
+  next.fgoe_col = fork.fgoe_col;
+  next.fgoe_row = fork.fgoe_row;
+  next.reuse_src_anchor = fork.reuse_src_anchor;
+  next.reuse_len = fork.reuse_len;
+  next.lo = 0;
+  next.cells.reserve(fork.cells.size() + 4);
+
+  const int32_t open_ext = scheme_.sg + scheme_.ss;
+  const int64_t prev_lo = fork.lo;
+  const int64_t prev_hi = prev_lo + static_cast<int64_t>(fork.cells.size()) - 1;
+  const int32_t row_bound = filters_.RowBound(row);
+  const int64_t col_cut = filters_.ColCut(row_bound);
+
+  // Copyable prefix from the reuse source: offsets below the shared query
+  // length evolve identically (Lemma 3), so take them verbatim.
+  bool copied = false;
+  bool any_alive = false;
+  if (source != nullptr && config_.reuse) {
+    int64_t src_lo = source->lo;
+    int64_t src_hi = src_lo + static_cast<int64_t>(source->cells.size()) - 1;
+    int64_t limit = fork.reuse_len - 1;  // offsets 0..reuse_len-1 shareable
+    int64_t hi = std::min(src_hi, limit);
+    if (src_lo <= hi) {
+      next.lo = static_cast<int32_t>(src_lo);
+      for (int64_t d = src_lo; d <= hi; ++d) {
+        const GapCell& cell = source->cells[static_cast<size_t>(d - src_lo)];
+        next.cells.push_back(cell);
+        ++counters_.reused;
+        int64_t col = next.fgoe_col + d;
+        if (cell.m > kNegInf / 2 && col < m_) {
+          any_alive = true;
+          NoteCell(row, static_cast<int32_t>(col), cell.m);
+        }
+      }
+      copied = true;
+    }
+  }
+
+  // Compute the remaining offsets, sweeping right while cells can still be
+  // meaningful. Candidates with prev-row inputs run to prev_hi + 1; beyond
+  // that only the Gb spill chain extends the row.
+  int64_t start =
+      copied ? next.lo + static_cast<int64_t>(next.cells.size()) : prev_lo;
+  const int64_t hi_candidate = prev_hi + 1;
+  if (!copied) next.lo = static_cast<int32_t>(start);
+
+  int32_t gb = next.cells.empty() ? kNegInf : next.cells.back().gb;
+  for (int64_t d = start;; ++d) {
+    int64_t col = next.fgoe_col + d;
+    if (col >= m_) break;
+    GapCell prev_cell;   // cell (i-1, d)
+    GapCell diag_cell;   // cell (i-1, d-1)
+    if (d >= prev_lo && d <= prev_hi) {
+      prev_cell = fork.cells[static_cast<size_t>(d - prev_lo)];
+    }
+    if (d - 1 >= prev_lo && d - 1 <= prev_hi) {
+      diag_cell = fork.cells[static_cast<size_t>(d - 1 - prev_lo)];
+    }
+
+    int32_t ga = std::max(prev_cell.ga + scheme_.ss, prev_cell.m + open_ext);
+    int32_t left_m = next.cells.empty() ? kNegInf : next.cells.back().m;
+    gb = std::max(gb + scheme_.ss, left_m + open_ext);
+    int32_t diag =
+        diag_cell.m + scheme_.Delta(c, query_[static_cast<size_t>(col)]);
+    int32_t mval = std::max({diag, ga, gb});
+
+    if (d == 0) {
+      ++counters_.cells_cost2;  // Left boundary: no Gb/diag inputs.
+    } else {
+      ++counters_.cells_cost3;
+    }
+
+    int32_t bound = col <= col_cut ? row_bound : filters_.Bound(row, col);
+    if (mval <= bound) {
+      mval = kNegInf;
+      ga = kNegInf;
+      gb = kNegInf;
+    } else {
+      NoteCell(row, static_cast<int32_t>(col), mval);
+      any_alive = true;
+    }
+    next.cells.push_back({mval, ga > kNegInf / 2 ? ga : kNegInf,
+                          gb > kNegInf / 2 ? gb : kNegInf});
+    // Past the candidate range, continue only while this cell can spawn a
+    // live Gb spill to its right.
+    if (d >= hi_candidate &&
+        std::max(gb + scheme_.ss, mval + open_ext) <= 0) {
+      break;
+    }
+  }
+
+  if (!any_alive) {
+    next.cells.clear();
+    return next;
+  }
+  // Trim dead edges.
+  size_t front = 0;
+  while (front < next.cells.size() && next.cells[front].m <= kNegInf / 2 &&
+         next.cells[front].ga <= kNegInf / 2) {
+    ++front;
+  }
+  size_t back = next.cells.size();
+  while (back > front && next.cells[back - 1].m <= kNegInf / 2 &&
+         next.cells[back - 1].ga <= kNegInf / 2) {
+    --back;
+  }
+  if (back <= front) {
+    next.cells.clear();
+    return next;
+  }
+  next.lo += static_cast<int32_t>(front);
+  next.cells.erase(next.cells.begin() + static_cast<ptrdiff_t>(back),
+                   next.cells.end());
+  next.cells.erase(next.cells.begin(),
+                   next.cells.begin() + static_cast<ptrdiff_t>(front));
+  return next;
+}
+
+ResultCollector Alae::Run(const Sequence& query, const ScoringScheme& scheme,
+                          int32_t threshold, AlaeRunStats* stats) const {
+  Engine engine(index_, config_, query, scheme, threshold);
+  return engine.Run(stats);
+}
+
+}  // namespace alae

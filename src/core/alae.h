@@ -1,0 +1,91 @@
+#ifndef ALAE_CORE_ALAE_H_
+#define ALAE_CORE_ALAE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/align/counters.h"
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/core/config.h"
+#include "src/index/domination_index.h"
+#include "src/index/fm_index.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// The text-side index bundle ALAE queries against: the FM-index built over
+// reverse(T) (suffix-trie emulation, paper §5) plus lazily-built domination
+// indexes, one per q (the q-prefix length depends on the scoring scheme and
+// threshold, §3.2.2).
+class AlaeIndex {
+ public:
+  explicit AlaeIndex(const Sequence& text, FmIndexOptions options = {});
+
+  const Sequence& text() const { return text_; }
+  int64_t text_size() const { return static_cast<int64_t>(text_.size()); }
+  const FmIndex& fm() const { return fm_; }
+
+  // Domination index for prefix length q (built on first use, cached;
+  // thread-safe so batch runs can share one index).
+  const DominationIndex& Domination(int32_t q) const;
+
+  // Index footprint: FM components plus all materialised domination
+  // indexes (the two curves of Fig 11).
+  struct Sizes {
+    size_t bwt_bytes = 0;
+    size_t sample_bytes = 0;
+    size_t domination_bytes = 0;
+  };
+  Sizes SizeBytes() const;
+
+ private:
+  Sequence text_;
+  FmIndex fm_;
+  mutable std::mutex domination_mu_;
+  mutable std::map<int32_t, std::unique_ptr<DominationIndex>> domination_;
+};
+
+// One aligned query's outcome: results plus instrumentation.
+struct AlaeRunStats {
+  DpCounters counters;
+  uint64_t anchors_considered = 0;
+  uint64_t grams_searched = 0;
+};
+
+// ALAE: exact local alignment with affine gaps (the paper's contribution).
+//
+// The engine enumerates the distinct q-grams of the query P, anchors forks
+// at their occurrences (prefix filtering, Theorem 3), walks each q-gram's
+// suffix-trie subtree through the FM-index, and evolves fork states row by
+// row: EMR scores are assigned, NGR rows use the simplified Eq. 3, and gap
+// regions opened at FGOEs run the full affine recurrence over a column
+// interval pruned by the score filter (Theorem 2) and capped by the length
+// filter (Theorem 1). Forks dominated by the preceding query column are
+// skipped entirely (§3.2.2), or — in bitset mode — skipped via the online
+// G matrix (Theorem 4). Gap-region rows are copied between forks whose
+// FGOEs share a row and whose query suffixes share a prefix (§4).
+//
+// Results are identical to Smith-Waterman / BWT-SW: every end pair (i, j)
+// with A(i,j).score >= H, with the exact score (see the property tests).
+class Alae {
+ public:
+  Alae(const AlaeIndex& index, AlaeConfig config = {});
+
+  ResultCollector Run(const Sequence& query, const ScoringScheme& scheme,
+                      int32_t threshold, AlaeRunStats* stats = nullptr) const;
+
+  const AlaeConfig& config() const { return config_; }
+
+ private:
+  class Engine;  // per-run state, defined in alae.cc
+
+  const AlaeIndex& index_;
+  AlaeConfig config_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_CORE_ALAE_H_

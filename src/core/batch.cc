@@ -1,0 +1,66 @@
+#include "src/core/batch.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/util/timer.h"
+
+namespace alae {
+
+std::vector<ResultCollector> BatchRunner::Run(
+    const std::vector<Sequence>& queries, const ScoringScheme& scheme,
+    int32_t threshold, int threads, BatchStats* stats) const {
+  Timer timer;
+  std::vector<ResultCollector> results(queries.size());
+  std::vector<AlaeRunStats> run_stats(queries.size());
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(queries.size()));
+  if (threads <= 1) {
+    Alae engine(index_, config_);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = engine.Run(queries[i], scheme, threshold, &run_stats[i]);
+    }
+  } else {
+    // NOTE: the domination index is built lazily inside AlaeIndex; force
+    // it here so workers only read shared state.
+    if (config_.domination_filter) {
+      index_.Domination(config_.prefix_filter
+                            ? scheme.EffectiveQ(threshold)
+                            : 1);
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      Alae engine(index_, config_);
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= queries.size()) break;
+        results[i] = engine.Run(queries[i], scheme, threshold, &run_stats[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (stats != nullptr) {
+    stats->wall_seconds = timer.ElapsedSeconds();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      stats->total_hits += results[i].size();
+      const DpCounters& c = run_stats[i].counters;
+      stats->counters.cells_cost1 += c.cells_cost1;
+      stats->counters.cells_cost2 += c.cells_cost2;
+      stats->counters.cells_cost3 += c.cells_cost3;
+      stats->counters.assigned += c.assigned;
+      stats->counters.reused += c.reused;
+      stats->counters.forks_opened += c.forks_opened;
+      stats->counters.forks_skipped_domination += c.forks_skipped_domination;
+      stats->counters.trie_nodes_visited += c.trie_nodes_visited;
+    }
+  }
+  return results;
+}
+
+}  // namespace alae

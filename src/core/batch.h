@@ -1,0 +1,40 @@
+#ifndef ALAE_CORE_BATCH_H_
+#define ALAE_CORE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/alae.h"
+
+namespace alae {
+
+// Parallel multi-query driver: the paper's workloads run 100 queries per
+// text (§7), and ALAE queries against one shared immutable AlaeIndex are
+// embarrassingly parallel. Each worker owns its engine run; results come
+// back per query, in input order.
+struct BatchStats {
+  double wall_seconds = 0;
+  uint64_t total_hits = 0;
+  DpCounters counters;  // summed over queries
+};
+
+class BatchRunner {
+ public:
+  BatchRunner(const AlaeIndex& index, AlaeConfig config = {})
+      : index_(index), config_(config) {}
+
+  // Runs every query at the given threshold using `threads` workers
+  // (0 = hardware concurrency). Returns one collector per query.
+  std::vector<ResultCollector> Run(const std::vector<Sequence>& queries,
+                                   const ScoringScheme& scheme,
+                                   int32_t threshold, int threads = 0,
+                                   BatchStats* stats = nullptr) const;
+
+ private:
+  const AlaeIndex& index_;
+  AlaeConfig config_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_CORE_BATCH_H_

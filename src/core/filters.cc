@@ -1,0 +1,20 @@
+#include "src/core/filters.h"
+
+namespace alae {
+
+FilterContext::FilterContext(const ScoringScheme& scheme, int64_t query_len,
+                             int32_t threshold, const AlaeConfig& config)
+    : threshold_(threshold),
+      m_(query_len),
+      sa_(scheme.sa),
+      score_filter_(config.score_filter) {
+  q_ = config.prefix_filter ? scheme.EffectiveQ(threshold) : 1;
+  lmin_ = LengthLowerBound(scheme, threshold);
+  // With length filtering off, fall back to the positivity bound (H=1),
+  // which is what pure BWT-SW pruning implies.
+  lmax_ = LengthUpperBound(scheme, query_len,
+                           config.length_filter ? threshold : 1);
+  fgoe_threshold_ = scheme.FgoeThreshold();
+}
+
+}  // namespace alae

@@ -1,0 +1,70 @@
+#ifndef ALAE_CORE_FILTERS_H_
+#define ALAE_CORE_FILTERS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/align/scoring.h"
+#include "src/core/config.h"
+
+namespace alae {
+
+// Precomputed filter bounds for one (query, scheme, threshold) run:
+// the length filter's row range (Theorem 1), the q-prefix length (Eq. 2 with
+// the effective-q exactness cap), the FGOE threshold, and the score filter's
+// cell bound (Theorem 2).
+class FilterContext {
+ public:
+  FilterContext() = default;
+  FilterContext(const ScoringScheme& scheme, int64_t query_len,
+                int32_t threshold, const AlaeConfig& config);
+
+  int32_t q() const { return q_; }
+  int64_t lmin() const { return lmin_; }
+  int64_t lmax() const { return lmax_; }
+  int32_t fgoe_threshold() const { return fgoe_threshold_; }
+  int32_t threshold() const { return threshold_; }
+
+  // Theorem 2 bound for row i (1-based) and query column j0 (0-based): the
+  // cell is meaningless when its score is <= this value. The occurrence
+  // term uses Lmax in place of min(Lmax, n - pi_t), which is conservative
+  // (never prunes more than the paper's bound).
+  int32_t Bound(int64_t i, int64_t j0) const {
+    if (!score_filter_) return 0;
+    int64_t col_term =
+        threshold_ - (m_ - 1 - j0) * sa_ - 1;        // j'' can reach m
+    int64_t row_term = threshold_ - (lmax_ - i) * sa_ - 1;
+    int64_t b = std::max<int64_t>({0, col_term, row_term});
+    return static_cast<int32_t>(b);
+  }
+
+  // Row-constant part of the bound (everything except the column term),
+  // for hoisting out of per-cell loops.
+  int32_t RowBound(int64_t i) const {
+    if (!score_filter_) return 0;
+    int64_t row_term = threshold_ - (lmax_ - i) * sa_ - 1;
+    return static_cast<int32_t>(std::max<int64_t>(0, row_term));
+  }
+
+  // Largest 0-based column whose Bound(i, j0) still equals RowBound(i):
+  // beyond it the column term dominates and Bound must be consulted.
+  int64_t ColCut(int32_t row_bound) const {
+    if (!score_filter_) return m_;
+    // col_term <= row_bound  <=>  j0 <= m-1 - (H - 1 - row_bound)/sa.
+    return m_ - 1 - (threshold_ - 1 - row_bound + sa_ - 1) / sa_;
+  }
+
+ private:
+  int32_t q_ = 1;
+  int64_t lmin_ = 1;
+  int64_t lmax_ = 0;
+  int32_t fgoe_threshold_ = 0;
+  int32_t threshold_ = 1;
+  int64_t m_ = 0;
+  int32_t sa_ = 1;
+  bool score_filter_ = true;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_CORE_FILTERS_H_

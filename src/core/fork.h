@@ -1,0 +1,62 @@
+#ifndef ALAE_CORE_FORK_H_
+#define ALAE_CORE_FORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/dp.h"
+
+namespace alae {
+
+// A fork in its DIAG phase (EMR/NGR, paper Fig. 2): anchored where the
+// path's q-prefix exactly matches P at query index `anchor` (0-based), it
+// carries only the running diagonal score — EMR rows hold the assigned
+// sa*i and NGR rows evolve by the simplified Eq. 3. Deliberately small:
+// almost every live fork is in this phase, and the DFS copies fork vectors
+// at every trie node.
+//
+// src_anchor/shared_len implement Lemma 2 (Fig 4): when the query suffixes
+// at two anchors of the same q-gram share a prefix of length L, their
+// diagonal scores are identical for rows <= L, so the later fork copies
+// the earlier fork's freshly computed score instead of evaluating Eq. 3.
+struct DiagFork {
+  int32_t anchor = 0;
+  int32_t score = 0;
+  int32_t src_anchor = -1;  // earlier anchor sharing the longest prefix
+  int32_t shared_len = 0;   // prefix length (from the anchor, >= q)
+};
+
+// One gap-region cell: the three affine scores of §2.2. Dead states hold
+// kNegInf.
+struct GapCell {
+  int32_t m = kNegInf;
+  int32_t ga = kNegInf;
+  int32_t gb = kNegInf;
+};
+
+// State of one fork after its FGOE (the GAP phase): a full affine row over
+// a column interval, rebuilt at every trie depth.
+//
+// A fork starts as a DiagFork and permanently switches to this state at
+// its FGOE. Offsets are relative to fgoe_col: the row covers query columns
+// [fgoe_col + lo, fgoe_col + lo + cells.size()). Interior dead cells hold
+// kNegInf.
+struct ForkState {
+  enum Phase : uint8_t { kDiag, kGap };
+
+  int32_t anchor = 0;       // 0-based query index of the q-gram match
+  Phase phase = kGap;
+  int32_t fgoe_col = 0;     // 0-based query index of the FGOE cell
+  int32_t fgoe_row = 0;     // 1-based trie depth of the FGOE
+  int32_t lo = 0;           // first offset of the stored interval
+  std::vector<GapCell> cells;
+
+  // Reuse (§4): anchor of the group leader sharing this fork's FGOE row,
+  // and the LCP of the two FGOE-column suffixes of P. -1 = no reuse.
+  int32_t reuse_src_anchor = -1;
+  int64_t reuse_len = 0;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_CORE_FORK_H_

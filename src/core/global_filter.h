@@ -1,0 +1,41 @@
+#ifndef ALAE_CORE_GLOBAL_FILTER_H_
+#define ALAE_CORE_GLOBAL_FILTER_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace alae {
+
+// The online boolean matrix G of §3.2.1 (Theorem 4): G[(t, j)] is set once
+// some matrix produced an alignment ending at text position t and query
+// column j with score >= sa. A fork anchored at query column j for a trie
+// subtree whose q-gram occurs at text starts {t_1..t_k} can be skipped when
+// every (t_h, j) bit is already set — the prior matrices subsume every
+// extension the fork would compute.
+//
+// The paper notes this needs n*m bits; we store it sparsely. It is the
+// small-input / ablation counterpart of the domination index, which
+// achieves the same effect with an O(#distinct q-grams) structure.
+class BitsetGlobalFilter {
+ public:
+  void Set(int64_t text_pos, int64_t query_col) {
+    bits_.insert(Key(text_pos, query_col));
+  }
+
+  bool Test(int64_t text_pos, int64_t query_col) const {
+    return bits_.count(Key(text_pos, query_col)) > 0;
+  }
+
+  size_t size() const { return bits_.size(); }
+
+ private:
+  static uint64_t Key(int64_t t, int64_t j) {
+    return (static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(j);
+  }
+
+  std::unordered_set<uint64_t> bits_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_CORE_GLOBAL_FILTER_H_

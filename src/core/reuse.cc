@@ -1,0 +1,21 @@
+#include "src/core/reuse.h"
+
+namespace alae {
+
+RowReuseGroup::Assignment RowReuseGroup::Register(int32_t anchor,
+                                                  int32_t fgoe_col) {
+  Assignment out;
+  if (leader_anchor_ < 0) {
+    leader_anchor_ = anchor;
+    leader_fgoe_col_ = fgoe_col;
+    return out;
+  }
+  if (lcp_ == nullptr || leader_anchor_ == anchor) return out;
+  out.source_anchor = leader_anchor_;
+  out.shared_len =
+      static_cast<int64_t>(lcp_->Lcp(static_cast<size_t>(leader_fgoe_col_),
+                                     static_cast<size_t>(fgoe_col)));
+  return out;
+}
+
+}  // namespace alae

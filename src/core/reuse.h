@@ -1,0 +1,48 @@
+#ifndef ALAE_CORE_REUSE_H_
+#define ALAE_CORE_REUSE_H_
+
+#include <cstdint>
+
+#include "src/index/lcp.h"
+
+namespace alae {
+
+// Assigns reuse sources to forks entering the GAP phase (paper §4).
+//
+// Lemma 3's precondition is that two forks' FGOEs lie in the same row of
+// the same matrix; by Theorem 5 their FGOE scores are then equal
+// (consecutive diagonal scores at a fixed row differ by multiples of
+// sa - sb > sa while the first-crossing window has width sa, so both first
+// crossings land on the same value). "Same matrix, same row" means both
+// FGOEs are discovered during the same child-row computation of the trie
+// DFS, so group formation is strictly row-local: the first fork to open a
+// gap region in a row becomes the leader, and each later fork in that row
+// copies columns while its offset stays below the LCP of the two
+// FGOE-column suffixes of P — the black areas of Figs. 4/5. The assignment
+// itself persists in the fork state and is consumed on every subsequent
+// row until the shared prefix is exhausted or the leader dies.
+class RowReuseGroup {
+ public:
+  explicit RowReuseGroup(const LcpIndex* query_lcp) : lcp_(query_lcp) {}
+
+  struct Assignment {
+    int32_t source_anchor = -1;
+    int64_t shared_len = 0;
+  };
+
+  // Resets the group; call at the start of every child-row computation.
+  void NewRow() { leader_anchor_ = -1; }
+
+  // Registers a fork whose FGOE was just found at query column fgoe_col;
+  // returns the reuse assignment against this row's leader, if any.
+  Assignment Register(int32_t anchor, int32_t fgoe_col);
+
+ private:
+  const LcpIndex* lcp_;
+  int32_t leader_anchor_ = -1;
+  int32_t leader_fgoe_col_ = 0;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_CORE_REUSE_H_

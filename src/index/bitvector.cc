@@ -1,0 +1,45 @@
+#include "src/index/bitvector.h"
+
+#include <bit>
+
+namespace alae {
+
+RankBitVector::RankBitVector(const BitVector& bits)
+    : size_(bits.size()), words_(bits.words()) {
+  // Pad so rank lookups never index past the end.
+  size_t n_words = words_.size();
+  size_t n_blocks = n_words / kWordsPerBlock + 1;
+  words_.resize(n_blocks * kWordsPerBlock, 0);
+  block_rank_.assign(n_blocks + 1, 0);
+  word_offset_.assign(words_.size(), 0);
+  uint64_t total = 0;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    block_rank_[b] = total;
+    uint64_t in_block = 0;
+    for (size_t w = 0; w < kWordsPerBlock; ++w) {
+      size_t idx = b * kWordsPerBlock + w;
+      word_offset_[idx] = static_cast<uint16_t>(in_block);
+      in_block += static_cast<uint64_t>(std::popcount(words_[idx]));
+    }
+    total += in_block;
+  }
+  block_rank_[n_blocks] = total;
+  ones_ = total;
+}
+
+size_t RankBitVector::Rank1(size_t i) const {
+  size_t word = i >> 6;
+  size_t block = word / kWordsPerBlock;
+  uint64_t r = block_rank_[block] + word_offset_[word];
+  uint64_t mask = (i & 63) ? ((1ULL << (i & 63)) - 1) : 0;
+  r += static_cast<uint64_t>(std::popcount(words_[word] & mask));
+  return r;
+}
+
+size_t RankBitVector::SizeBytes() const {
+  return words_.size() * sizeof(uint64_t) +
+         block_rank_.size() * sizeof(uint64_t) +
+         word_offset_.size() * sizeof(uint16_t);
+}
+
+}  // namespace alae

@@ -1,0 +1,48 @@
+#include "src/index/bwt.h"
+
+namespace alae {
+
+BwtResult BuildBwt(const std::vector<Symbol>& text,
+                   const std::vector<int64_t>& sa) {
+  BwtResult out;
+  size_t n = text.size();
+  out.bwt.resize(n + 1);
+  for (size_t i = 0; i <= n; ++i) {
+    int64_t pos = sa[i];
+    if (pos == 0) {
+      out.bwt[i] = 0;  // Character before the first suffix is the sentinel.
+      out.sentinel_pos = i;
+    } else {
+      out.bwt[i] = static_cast<Symbol>(text[static_cast<size_t>(pos - 1)] + 1);
+    }
+  }
+  return out;
+}
+
+std::vector<Symbol> InvertBwt(const BwtResult& bwt, int sigma) {
+  size_t n = bwt.bwt.size();
+  // C[c] = number of symbols < c; occ via a counting pass.
+  std::vector<size_t> count(static_cast<size_t>(sigma + 2), 0);
+  for (Symbol c : bwt.bwt) ++count[static_cast<size_t>(c) + 1];
+  for (size_t c = 1; c < count.size(); ++c) count[c] += count[c - 1];
+  // LF mapping.
+  std::vector<size_t> lf(n);
+  std::vector<size_t> seen(static_cast<size_t>(sigma + 1), 0);
+  for (size_t i = 0; i < n; ++i) {
+    Symbol c = bwt.bwt[i];
+    lf[i] = count[c] + seen[c];
+    ++seen[c];
+  }
+  // Walk backwards from row 0 (the sentinel suffix "$", whose preceding
+  // character is the last character of the text).
+  std::vector<Symbol> text(n - 1);
+  size_t row = 0;
+  for (size_t k = n - 1; k-- > 0;) {
+    // bwt[row] is the character preceding the current suffix.
+    text[k] = static_cast<Symbol>(bwt.bwt[row] - 1);
+    row = lf[row];
+  }
+  return text;
+}
+
+}  // namespace alae

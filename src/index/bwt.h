@@ -1,0 +1,31 @@
+#ifndef ALAE_INDEX_BWT_H_
+#define ALAE_INDEX_BWT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Burrows–Wheeler transform of text+sentinel.
+//
+// Symbols are stored shifted by +1 (sentinel = 0, residue c = c+1) so that
+// the sentinel participates in rank queries like any other symbol. The
+// result has length n+1.
+struct BwtResult {
+  std::vector<Symbol> bwt;      // shifted symbols, length n+1
+  size_t sentinel_pos = 0;      // index of the sentinel within bwt
+};
+
+// Computes the BWT from a suffix array produced by BuildSuffixArray
+// (sa[i] is the start of the i-th smallest suffix of text$).
+BwtResult BuildBwt(const std::vector<Symbol>& text,
+                   const std::vector<int64_t>& sa);
+
+// Inverts a BWT back to the original text (sanity checking / tests).
+std::vector<Symbol> InvertBwt(const BwtResult& bwt, int sigma);
+
+}  // namespace alae
+
+#endif  // ALAE_INDEX_BWT_H_

@@ -1,0 +1,92 @@
+#include "src/index/cp_tree.h"
+
+#include <algorithm>
+
+namespace alae {
+
+CpTree::CpTree(const Sequence& query, std::vector<int64_t> columns)
+    : query_(&query), columns_(std::move(columns)) {
+  nodes_.push_back(Node{});  // root
+  reuse_.resize(columns_.size());
+  for (size_t w = 0; w < columns_.size(); ++w) Insert(w);
+}
+
+void CpTree::Insert(size_t w) {
+  const Sequence& p = *query_;
+  int64_t m = static_cast<int64_t>(p.size());
+  int64_t pos = columns_[w];      // next character of the suffix to match
+  int64_t shared = 0;             // length matched against earlier forks
+  int32_t source = -1;
+  int32_t node = 0;               // root
+  while (pos < m) {
+    // Find a child whose edge starts with p[pos].
+    int32_t next = -1;
+    for (int32_t c : nodes_[static_cast<size_t>(node)].children) {
+      if (p[static_cast<size_t>(nodes_[static_cast<size_t>(c)].start)] ==
+          p[static_cast<size_t>(pos)]) {
+        next = c;
+        break;
+      }
+    }
+    if (next < 0) {
+      // No shared continuation: add the whole remaining suffix as one edge.
+      Node leaf;
+      leaf.start = pos;
+      leaf.len = m - pos;
+      leaf.first_fork = static_cast<int32_t>(w);
+      leaf.depth = nodes_[static_cast<size_t>(node)].depth + leaf.len;
+      nodes_.push_back(leaf);
+      nodes_[static_cast<size_t>(node)].children.push_back(
+          static_cast<int32_t>(nodes_.size() - 1));
+      break;
+    }
+    // Match along the edge.
+    Node& child = nodes_[static_cast<size_t>(next)];
+    int64_t matched = 0;
+    while (matched < child.len && pos + matched < m &&
+           p[static_cast<size_t>(child.start + matched)] ==
+               p[static_cast<size_t>(pos + matched)]) {
+      ++matched;
+    }
+    // Every existing edge was created by an earlier fork, and that fork's
+    // suffix spells the whole root-to-edge path, so the deepest edge we
+    // match against shares the entire walked prefix.
+    if (matched > 0 && child.first_fork >= 0) source = child.first_fork;
+    shared += matched;
+    if (matched == child.len) {
+      pos += matched;
+      node = next;
+      continue;
+    }
+    // Split the edge at `matched`.
+    Node split;
+    split.start = child.start;
+    split.len = matched;
+    split.first_fork = child.first_fork;
+    split.depth = nodes_[static_cast<size_t>(node)].depth + matched;
+    child.start += matched;
+    child.len -= matched;
+    int32_t split_idx = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(split);
+    // Rewire: node -> split -> child, plus the new leaf for the remainder.
+    auto& siblings = nodes_[static_cast<size_t>(node)].children;
+    *std::find(siblings.begin(), siblings.end(), next) = split_idx;
+    nodes_[static_cast<size_t>(split_idx)].children.push_back(next);
+    Node leaf;
+    leaf.start = pos + matched;
+    leaf.len = m - (pos + matched);
+    leaf.first_fork = static_cast<int32_t>(w);
+    leaf.depth = nodes_[static_cast<size_t>(split_idx)].depth + leaf.len;
+    if (leaf.len > 0) {
+      nodes_.push_back(leaf);
+      nodes_[static_cast<size_t>(split_idx)].children.push_back(
+          static_cast<int32_t>(nodes_.size() - 1));
+    }
+    break;
+  }
+  reuse_[w].length = shared;
+  reuse_[w].source = source;
+  if (shared == 0) reuse_[w].source = -1;
+}
+
+}  // namespace alae

@@ -1,0 +1,64 @@
+#ifndef ALAE_INDEX_CP_TREE_H_
+#define ALAE_INDEX_CP_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Common-prefix tree over a set of query suffixes (paper §4.2, Algorithm 2,
+// CONSTRUCTCPTREE).
+//
+// Given fork columns j_1 < j_2 < ... < j_k inside one matrix, the suffixes
+// P[j_w, m) are inserted in column order with path compression (edges are
+// (start, len) slices of P, so insertion allocates O(1) nodes per fork).
+//
+// The tree answers the reuse question of §4: for fork w, what is the longest
+// prefix of P[j_w, m) that also prefixes an earlier fork's suffix, and which
+// fork is it? Gap-region columns within that shared length can copy scores
+// (Lemma 2 / Lemma 3).
+class CpTree {
+ public:
+  struct ReuseInfo {
+    int32_t source = -1;   // index (into the column vector) of the earlier
+                           // fork sharing the longest prefix, or -1
+    int64_t length = 0;    // length of the shared prefix
+  };
+
+  // `columns` must be strictly increasing positions in [0, query.size()).
+  CpTree(const Sequence& query, std::vector<int64_t> columns);
+
+  size_t num_forks() const { return columns_.size(); }
+
+  // Reuse info for fork w (0-based index into `columns`). The first fork
+  // never reuses.
+  const ReuseInfo& Reuse(size_t w) const { return reuse_[w]; }
+
+  // Internal structure inspection (tests): number of tree nodes.
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Edge label = query[start, start+len) leading into this node.
+    int64_t start = 0;
+    int64_t len = 0;
+    std::vector<int32_t> children;
+    int32_t first_fork = -1;  // earliest fork whose suffix passes here
+    int64_t depth = 0;        // string depth at the bottom of this node
+  };
+
+  const Sequence* query_;
+  std::vector<int64_t> columns_;
+  std::vector<Node> nodes_;
+  std::vector<ReuseInfo> reuse_;
+
+  // Walks/extends the tree with the suffix starting at columns_[w],
+  // recording the deepest point shared with earlier forks.
+  void Insert(size_t w);
+};
+
+}  // namespace alae
+
+#endif  // ALAE_INDEX_CP_TREE_H_

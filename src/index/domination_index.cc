@@ -1,0 +1,62 @@
+#include "src/index/domination_index.h"
+
+namespace alae {
+
+DominationIndex::DominationIndex(const Sequence& text, int q)
+    : q_(q), sigma_(text.sigma()) {
+  int64_t n = static_cast<int64_t>(text.size());
+  if (n < q_) return;
+  // One left-to-right scan (O(n)): rolling key plus predecessor bookkeeping.
+  uint64_t key = 0;
+  uint64_t msd = 1;
+  for (int i = 0; i < q_ - 1; ++i) msd *= static_cast<uint64_t>(sigma_);
+  for (int64_t t = 0; t + q_ <= n; ++t) {
+    if (t == 0) {
+      for (int i = 0; i < q_; ++i) {
+        key = key * static_cast<uint64_t>(sigma_) + text[static_cast<size_t>(i)];
+      }
+    } else {
+      key = (key - static_cast<uint64_t>(text[static_cast<size_t>(t - 1)]) * msd) *
+                static_cast<uint64_t>(sigma_) +
+            text[static_cast<size_t>(t + q_ - 1)];
+    }
+    auto [it, inserted] = entries_.try_emplace(key, int16_t{-2});
+    int16_t pred = (t == 0) ? int16_t{-1}
+                            : static_cast<int16_t>(text[static_cast<size_t>(t - 1)]);
+    if (t == 0) {
+      it->second = -1;  // Gram at the front of the text is never dominated.
+    } else if (inserted || it->second == -2) {
+      it->second = pred;
+    } else if (it->second != pred) {
+      it->second = -1;
+    }
+  }
+  for (const auto& [k, v] : entries_) {
+    (void)k;
+    if (v >= 0) ++dominated_count_;
+  }
+}
+
+uint64_t DominationIndex::KeyOf(const Symbol* gram) const {
+  uint64_t key = 0;
+  for (int i = 0; i < q_; ++i) {
+    key = key * static_cast<uint64_t>(sigma_) + gram[i];
+  }
+  return key;
+}
+
+bool DominationIndex::IsDominated(const Symbol* gram, Symbol* predecessor) const {
+  auto it = entries_.find(KeyOf(gram));
+  if (it == entries_.end() || it->second < 0) return false;
+  *predecessor = static_cast<Symbol>(it->second);
+  return true;
+}
+
+size_t DominationIndex::SizeBytes() const {
+  // Hash-map node: key + value + bucket overhead (measured conservatively
+  // as one pointer per node plus the bucket array).
+  return entries_.size() * (sizeof(uint64_t) + sizeof(int16_t) + sizeof(void*)) +
+         entries_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace alae

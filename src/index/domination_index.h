@@ -1,0 +1,53 @@
+#ifndef ALAE_INDEX_DOMINATION_INDEX_H_
+#define ALAE_INDEX_DOMINATION_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// q-prefix domination index over the text T (paper §3.2.2, Definition 1 /
+// Lemma 1). Built offline in O(n).
+//
+// A distinct q-gram g of T is *dominated* when every occurrence of g at a
+// text position t > 0 is preceded by the same character c (so the q-gram at
+// t-1 is always c·g[0..q-2]), and g does not occur at position 0 (the paper
+// forbids dominating the front-of-text gram, which has no predecessor).
+//
+// A fork anchored at query column j for trie paths starting with g can then
+// be skipped whenever P[j-1] == c: the fork anchored one column earlier on
+// the dominating gram covers every alignment the skipped fork would find,
+// with scores higher by at least sa (Theorem 4 case 2).
+class DominationIndex {
+ public:
+  DominationIndex() = default;
+  DominationIndex(const Sequence& text, int q);
+
+  int q() const { return q_; }
+  size_t num_grams() const { return entries_.size(); }
+  size_t num_dominated() const { return dominated_count_; }
+
+  // If the q-gram is dominated, returns true and sets *predecessor to the
+  // unique preceding character. `gram` must point at q symbols.
+  bool IsDominated(const Symbol* gram, Symbol* predecessor) const;
+
+  // Index footprint for the Fig 11 study.
+  size_t SizeBytes() const;
+
+ private:
+  // Value: -1 not dominated; otherwise the unique predecessor symbol.
+  // Keyed by the base-sigma value of the gram.
+  int q_ = 0;
+  int sigma_ = 4;
+  std::unordered_map<uint64_t, int16_t> entries_;
+  size_t dominated_count_ = 0;
+
+  uint64_t KeyOf(const Symbol* gram) const;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_INDEX_DOMINATION_INDEX_H_

@@ -1,0 +1,195 @@
+#include "src/index/fm_index.h"
+
+#include <istream>
+#include <ostream>
+
+#include "src/index/bwt.h"
+#include "src/index/suffix_array.h"
+#include "src/util/serialize.h"
+
+namespace alae {
+
+FmIndex::FmIndex(const Sequence& text, FmIndexOptions options)
+    : n_(text.size()),
+      sigma_(text.sigma()),
+      use_wavelet_(options.use_wavelet),
+      sample_rate_(options.sa_sample_rate) {
+  std::vector<int64_t> sa = BuildSuffixArray(text.symbols(), sigma_);
+  BwtResult bwt = BuildBwt(text.symbols(), sa);
+
+  // Cumulative counts over shifted symbols (sentinel = 0).
+  c_.assign(static_cast<size_t>(sigma_) + 2, 0);
+  for (Symbol s : bwt.bwt) ++c_[static_cast<size_t>(s) + 1];
+  for (size_t s = 1; s < c_.size(); ++s) c_[s] += c_[s - 1];
+
+  int64_t rows = static_cast<int64_t>(bwt.bwt.size());
+  if (use_wavelet_) {
+    wavelet_ = WaveletTree(bwt.bwt, sigma_ + 1);
+  } else {
+    bwt_ = bwt.bwt;
+    int64_t blocks = rows / kBlock + 1;
+    checkpoints_.assign(static_cast<size_t>(blocks * (sigma_ + 1)), 0);
+    std::vector<uint32_t> running(static_cast<size_t>(sigma_) + 1, 0);
+    for (int64_t i = 0; i < rows; ++i) {
+      if (i % kBlock == 0) {
+        int64_t b = i / kBlock;
+        for (int s = 0; s <= sigma_; ++s) {
+          checkpoints_[static_cast<size_t>(b * (sigma_ + 1) + s)] =
+              running[static_cast<size_t>(s)];
+        }
+      }
+      ++running[bwt_[static_cast<size_t>(i)]];
+    }
+    // When rows is a multiple of the block size, the main loop never
+    // reaches the final block boundary; fill it with the totals so
+    // Occ(c, rows) can read it.
+    if (rows % kBlock == 0) {
+      int64_t b = rows / kBlock;
+      for (int s = 0; s <= sigma_; ++s) {
+        checkpoints_[static_cast<size_t>(b * (sigma_ + 1) + s)] =
+            running[static_cast<size_t>(s)];
+      }
+    }
+  }
+
+  // Sampled SA: mark rows whose suffix start is a multiple of the rate
+  // (plus the sentinel row so every LF walk terminates).
+  BitVector marks(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t pos = sa[static_cast<size_t>(r)];
+    if (pos % sample_rate_ == 0 || pos == static_cast<int64_t>(n_)) {
+      marks.Set(static_cast<size_t>(r), true);
+    }
+  }
+  sampled_rows_ = RankBitVector(marks);
+  samples_.assign(sampled_rows_.ones(), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    if (marks.Get(static_cast<size_t>(r))) {
+      samples_[sampled_rows_.Rank1(static_cast<size_t>(r))] =
+          sa[static_cast<size_t>(r)];
+    }
+  }
+}
+
+Symbol FmIndex::AccessBwt(int64_t row) const {
+  if (use_wavelet_) return wavelet_.Access(static_cast<size_t>(row));
+  return bwt_[static_cast<size_t>(row)];
+}
+
+int64_t FmIndex::Occ(Symbol shifted, int64_t row) const {
+  if (use_wavelet_) {
+    return static_cast<int64_t>(wavelet_.Rank(shifted, static_cast<size_t>(row)));
+  }
+  int64_t block = row / kBlock;
+  int64_t r = checkpoints_[static_cast<size_t>(block * (sigma_ + 1) + shifted)];
+  for (int64_t i = block * kBlock; i < row; ++i) {
+    if (bwt_[static_cast<size_t>(i)] == shifted) ++r;
+  }
+  return r;
+}
+
+SaRange FmIndex::Extend(const SaRange& range, Symbol c) const {
+  if (range.Empty()) return {0, 0};
+  Symbol shifted = static_cast<Symbol>(c + 1);
+  int64_t base = c_[shifted];
+  int64_t lo = base + Occ(shifted, range.lo);
+  int64_t hi = base + Occ(shifted, range.hi);
+  return {lo, hi};
+}
+
+SaRange FmIndex::Find(const Symbol* pattern, size_t len) const {
+  SaRange range = FullRange();
+  for (size_t k = len; k-- > 0;) {
+    range = Extend(range, pattern[k]);
+    if (range.Empty()) return {0, 0};
+  }
+  return range;
+}
+
+SaRange FmIndex::Find(const std::vector<Symbol>& pattern) const {
+  return Find(pattern.data(), pattern.size());
+}
+
+int64_t FmIndex::LfStep(int64_t row) const {
+  Symbol s = AccessBwt(row);
+  return c_[s] + Occ(s, row);
+}
+
+int64_t FmIndex::LocateRow(int64_t row) const {
+  int64_t steps = 0;
+  while (!sampled_rows_.Get(static_cast<size_t>(row))) {
+    row = LfStep(row);
+    ++steps;
+  }
+  return samples_[sampled_rows_.Rank1(static_cast<size_t>(row))] + steps;
+}
+
+std::vector<int64_t> FmIndex::Locate(const SaRange& range) const {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(range.Count()));
+  for (int64_t r = range.lo; r < range.hi; ++r) out.push_back(LocateRow(r));
+  return out;
+}
+
+namespace {
+constexpr uint64_t kFmMagic = 0x414C414546314D00ULL;  // "ALAEF1M\0"
+}  // namespace
+
+bool FmIndex::Save(std::ostream& out) const {
+  if (use_wavelet_) return false;  // wavelet serialisation unsupported
+  if (!PutU64(out, kFmMagic)) return false;
+  if (!PutU64(out, n_)) return false;
+  if (!PutU64(out, static_cast<uint64_t>(sigma_))) return false;
+  if (!PutU64(out, static_cast<uint64_t>(sample_rate_))) return false;
+  if (!PutVec(out, c_)) return false;
+  if (!PutVec(out, bwt_)) return false;
+  if (!PutVec(out, checkpoints_)) return false;
+  // Sampled SA: raw mark words + sample values; rank structures rebuild.
+  if (!PutU64(out, sampled_rows_.size())) return false;
+  if (!PutVec(out, sampled_rows_.RawWords())) return false;
+  if (!PutVec(out, samples_)) return false;
+  return true;
+}
+
+bool FmIndex::Load(std::istream& in) {
+  uint64_t magic = 0, n = 0, sigma = 0, rate = 0;
+  if (!GetU64(in, &magic) || magic != kFmMagic) return false;
+  if (!GetU64(in, &n) || !GetU64(in, &sigma) || !GetU64(in, &rate)) {
+    return false;
+  }
+  n_ = n;
+  sigma_ = static_cast<int>(sigma);
+  sample_rate_ = static_cast<int>(rate);
+  use_wavelet_ = false;
+  if (!GetVec(in, &c_)) return false;
+  if (!GetVec(in, &bwt_)) return false;
+  if (!GetVec(in, &checkpoints_)) return false;
+  uint64_t mark_bits = 0;
+  std::vector<uint64_t> mark_words;
+  if (!GetU64(in, &mark_bits)) return false;
+  if (!GetVec(in, &mark_words)) return false;
+  // Basic structural validation before trusting the payload.
+  if (bwt_.size() != n_ + 1) return false;
+  if (c_.size() != static_cast<size_t>(sigma_) + 2) return false;
+  if (mark_bits != bwt_.size()) return false;
+  sampled_rows_ =
+      RankBitVector(BitVector(mark_bits, std::move(mark_words)));
+  if (!GetVec(in, &samples_)) return false;
+  if (samples_.size() != sampled_rows_.ones()) return false;
+  return true;
+}
+
+FmIndex::Sizes FmIndex::SizeBytes() const {
+  Sizes sz;
+  if (use_wavelet_) {
+    sz.bwt_bytes = wavelet_.SizeBytes();
+  } else {
+    sz.bwt_bytes =
+        bwt_.size() * sizeof(Symbol) + checkpoints_.size() * sizeof(uint32_t);
+  }
+  sz.sample_bytes =
+      sampled_rows_.SizeBytes() + samples_.size() * sizeof(int64_t);
+  return sz;
+}
+
+}  // namespace alae

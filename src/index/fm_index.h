@@ -1,0 +1,103 @@
+#ifndef ALAE_INDEX_FM_INDEX_H_
+#define ALAE_INDEX_FM_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/index/bitvector.h"
+#include "src/index/wavelet_tree.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Half-open interval of suffix-array rows [lo, hi).
+struct SaRange {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int64_t Count() const { return hi - lo; }
+  bool Empty() const { return hi <= lo; }
+  bool operator==(const SaRange& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+struct FmIndexOptions {
+  // Occ structure: flat checkpointed table (fast, larger) or wavelet tree
+  // (the compressed-suffix-array flavour; smaller, O(log sigma) rank).
+  bool use_wavelet = false;
+  // Sampled-SA density: one sample per `sa_sample_rate` text positions.
+  int sa_sample_rate = 32;
+};
+
+// FM-index over text+sentinel supporting backward search and locate.
+//
+// The aligners build this over reverse(T): one backward-search step for
+// c·X⁻¹ then emulates appending character c to the suffix-trie path X
+// (paper §5), and the located reverse positions map back to T through
+// `n - r - |X|`. The index itself is direction-agnostic.
+class FmIndex {
+ public:
+  FmIndex() = default;
+  FmIndex(const Sequence& text, FmIndexOptions options = {});
+
+  size_t text_size() const { return n_; }
+  int sigma() const { return sigma_; }
+
+  // All n+1 suffix rows (including the sentinel-only suffix).
+  SaRange FullRange() const { return {0, static_cast<int64_t>(n_) + 1}; }
+
+  // Backward-search step: rows of c·S given the rows of S. Symbols are
+  // alphabet codes in [0, sigma).
+  SaRange Extend(const SaRange& range, Symbol c) const;
+
+  // Backward search of an entire pattern (processed right to left, §2.3).
+  SaRange Find(const std::vector<Symbol>& pattern) const;
+  SaRange Find(const Symbol* pattern, size_t len) const;
+
+  // Text position (start of suffix) for a single SA row.
+  int64_t LocateRow(int64_t row) const;
+
+  // Text positions for every row of `range`, unsorted.
+  std::vector<int64_t> Locate(const SaRange& range) const;
+
+  // Component sizes for the Fig 11 index-size study.
+  struct Sizes {
+    size_t bwt_bytes = 0;       // occ structure incl. raw BWT storage
+    size_t sample_bytes = 0;    // sampled SA + marks
+    size_t Total() const { return bwt_bytes + sample_bytes; }
+  };
+  Sizes SizeBytes() const;
+
+  // Serialisation (flat-occ indexes only; wavelet mode returns false).
+  // Saves the prebuilt structures so Load skips suffix-array construction.
+  bool Save(std::ostream& out) const;
+  bool Load(std::istream& in);
+
+ private:
+  // Stored symbols are shifted by +1; 0 is the sentinel.
+  int64_t Occ(Symbol shifted, int64_t row) const;
+  Symbol AccessBwt(int64_t row) const;
+  int64_t LfStep(int64_t row) const;
+
+  static constexpr int64_t kBlock = 64;
+
+  size_t n_ = 0;
+  int sigma_ = 0;
+  bool use_wavelet_ = false;
+  int sample_rate_ = 32;
+  std::vector<int64_t> c_;  // c_[s] = #symbols (shifted) < s in the BWT
+
+  // Flat-occ representation.
+  std::vector<Symbol> bwt_;
+  std::vector<uint32_t> checkpoints_;  // (row/kBlock)*(sigma+1)+symbol
+
+  // Wavelet representation.
+  WaveletTree wavelet_;
+
+  // Sampled SA: rows whose suffix position is a multiple of sample_rate_.
+  RankBitVector sampled_rows_;
+  std::vector<int64_t> samples_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_INDEX_FM_INDEX_H_

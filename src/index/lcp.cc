@@ -1,0 +1,63 @@
+#include "src/index/lcp.h"
+
+#include <algorithm>
+
+#include "src/index/suffix_array.h"
+
+namespace alae {
+
+LcpIndex::LcpIndex(const Sequence& seq) : n_(seq.size()) {
+  const std::vector<Symbol>& s = seq.symbols();
+  std::vector<int64_t> sa = BuildSuffixArray(s, seq.sigma());
+  size_t rows = sa.size();  // n_ + 1 (includes sentinel suffix)
+  rank_.assign(rows, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    rank_[static_cast<size_t>(sa[r])] = static_cast<int64_t>(r);
+  }
+  // Kasai: lcp_[r] = LCP(suffix at row r, suffix at row r+1).
+  lcp_.assign(rows, 0);
+  size_t h = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    size_t r = static_cast<size_t>(rank_[i]);
+    if (r + 1 < rows) {
+      size_t j = static_cast<size_t>(sa[r + 1]);
+      while (i + h < n_ && j + h < n_ && s[i + h] == s[j + h]) ++h;
+      lcp_[r] = static_cast<int32_t>(h);
+      if (h > 0) --h;
+    } else {
+      h = 0;
+    }
+  }
+  // Sparse table for range-min over lcp_.
+  log2_.assign(rows + 1, 0);
+  for (size_t i = 2; i <= rows; ++i) log2_[i] = log2_[i / 2] + 1;
+  int levels = log2_[rows] + 1;
+  st_.assign(static_cast<size_t>(levels), {});
+  st_[0] = lcp_;
+  for (int k = 1; k < levels; ++k) {
+    size_t span = 1ULL << k;
+    if (rows + 1 < span) break;
+    st_[static_cast<size_t>(k)].resize(rows - span + 1);
+    for (size_t i = 0; i + span <= rows; ++i) {
+      st_[static_cast<size_t>(k)][i] =
+          std::min(st_[static_cast<size_t>(k - 1)][i],
+                   st_[static_cast<size_t>(k - 1)][i + span / 2]);
+    }
+  }
+}
+
+int32_t LcpIndex::RangeMin(size_t lo, size_t hi) const {
+  int k = log2_[hi - lo];
+  return std::min(st_[static_cast<size_t>(k)][lo],
+                  st_[static_cast<size_t>(k)][hi - (1ULL << k)]);
+}
+
+size_t LcpIndex::Lcp(size_t i, size_t j) const {
+  if (i == j) return n_ - i;
+  size_t ri = static_cast<size_t>(rank_[i]);
+  size_t rj = static_cast<size_t>(rank_[j]);
+  if (ri > rj) std::swap(ri, rj);
+  return static_cast<size_t>(RangeMin(ri, rj));
+}
+
+}  // namespace alae

@@ -1,0 +1,40 @@
+#ifndef ALAE_INDEX_LCP_H_
+#define ALAE_INDEX_LCP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// O(1) longest-common-prefix queries between arbitrary suffixes of one
+// sequence: suffix array + Kasai LCP array + sparse-table RMQ.
+//
+// The reuse engine (paper §4) uses this to find, for two fork anchors
+// j1 and j2 in the query P, how many gap-region columns have identical
+// content and can therefore share scores (Lemma 2/Lemma 3).
+class LcpIndex {
+ public:
+  LcpIndex() = default;
+  explicit LcpIndex(const Sequence& seq);
+
+  size_t size() const { return n_; }
+
+  // Length of the longest common prefix of suffixes starting at i and j
+  // (0-based). Lcp(i, i) is the full remaining length.
+  size_t Lcp(size_t i, size_t j) const;
+
+ private:
+  size_t n_ = 0;
+  std::vector<int64_t> rank_;             // suffix position -> SA row
+  std::vector<int32_t> lcp_;              // Kasai LCP between adjacent rows
+  std::vector<std::vector<int32_t>> st_;  // sparse table over lcp_
+  std::vector<int32_t> log2_;
+
+  int32_t RangeMin(size_t lo, size_t hi) const;  // min of lcp_[lo, hi)
+};
+
+}  // namespace alae
+
+#endif  // ALAE_INDEX_LCP_H_

@@ -1,0 +1,68 @@
+#include "src/index/qgram_index.h"
+
+#include <cmath>
+
+namespace alae {
+
+QGramIndex::QGramIndex(const Sequence& query, int q)
+    : q_(q), m_(query.size()), sigma_(query.sigma()) {
+  // Decide representation.
+  uint64_t size = 1;
+  bool overflow = false;
+  for (int i = 0; i < q_; ++i) {
+    size *= static_cast<uint64_t>(sigma_);
+    if (size > kFlatLimit) {
+      overflow = true;
+      break;
+    }
+  }
+  table_size_ = overflow ? 0 : size;
+  if (table_size_ > 0) flat_.resize(table_size_);
+
+  if (m_ < static_cast<size_t>(q_)) return;
+  // Rolling key over the query.
+  uint64_t key = 0;
+  uint64_t msd = 1;  // sigma^(q-1), weight of the outgoing symbol
+  for (int i = 0; i < q_ - 1; ++i) msd *= static_cast<uint64_t>(sigma_);
+  for (size_t i = 0; i < m_; ++i) {
+    key = key * static_cast<uint64_t>(sigma_) + query[i];
+    if (i + 1 >= static_cast<size_t>(q_)) {
+      int32_t pos = static_cast<int32_t>(i + 1 - static_cast<size_t>(q_));
+      if (table_size_ > 0) {
+        flat_[key].push_back(pos);
+      } else {
+        map_[key].push_back(pos);
+      }
+      key -= static_cast<uint64_t>(query[static_cast<size_t>(pos)]) * msd;
+    }
+  }
+}
+
+uint64_t QGramIndex::KeyOf(const Symbol* gram) const {
+  uint64_t key = 0;
+  for (int i = 0; i < q_; ++i) {
+    key = key * static_cast<uint64_t>(sigma_) + gram[i];
+  }
+  return key;
+}
+
+const std::vector<int32_t>& QGramIndex::Occurrences(uint64_t key) const {
+  if (table_size_ > 0) {
+    if (key < table_size_) return flat_[key];
+    return empty_;
+  }
+  auto it = map_.find(key);
+  return it == map_.end() ? empty_ : it->second;
+}
+
+size_t QGramIndex::SizeBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& v : flat_) total += sizeof(v) + v.size() * sizeof(int32_t);
+  for (const auto& [k, v] : map_) {
+    (void)k;
+    total += sizeof(uint64_t) + sizeof(v) + v.size() * sizeof(int32_t);
+  }
+  return total;
+}
+
+}  // namespace alae

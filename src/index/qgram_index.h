@@ -1,0 +1,53 @@
+#ifndef ALAE_INDEX_QGRAM_INDEX_H_
+#define ALAE_INDEX_QGRAM_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Inverted lists of the q-grams of a query P, built on the fly in O(m)
+// (paper §3.1.3). A fork can only be anchored where the suffix-trie path's
+// q-prefix exactly matches a q-gram of P, so these lists are the entry
+// point of prefix filtering.
+//
+// Keys are the base-sigma value of the q-gram. For small sigma^q a flat
+// table is used; otherwise a hash map.
+class QGramIndex {
+ public:
+  QGramIndex() = default;
+  QGramIndex(const Sequence& query, int q);
+
+  int q() const { return q_; }
+  size_t query_size() const { return m_; }
+
+  // Base-sigma key of a q-gram (first symbol is the most significant digit).
+  uint64_t KeyOf(const Symbol* gram) const;
+
+  // Start positions (0-based) of the q-gram in P, ascending. Empty list if
+  // the q-gram does not occur.
+  const std::vector<int32_t>& Occurrences(uint64_t key) const;
+  const std::vector<int32_t>& Occurrences(const Symbol* gram) const {
+    return Occurrences(KeyOf(gram));
+  }
+
+  size_t SizeBytes() const;
+
+ private:
+  static constexpr uint64_t kFlatLimit = 1ULL << 22;
+
+  int q_ = 0;
+  size_t m_ = 0;
+  int sigma_ = 4;
+  uint64_t table_size_ = 0;  // sigma^q if flat, else 0
+  std::vector<std::vector<int32_t>> flat_;
+  std::unordered_map<uint64_t, std::vector<int32_t>> map_;
+  std::vector<int32_t> empty_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_INDEX_QGRAM_INDEX_H_

@@ -1,0 +1,159 @@
+#include "src/index/suffix_array.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace alae {
+namespace {
+
+// SA-IS over an integer string `s` of length n whose last character is a
+// unique smallest sentinel (value 0). `sa` receives the suffix order.
+// `k` is the alphabet size including the sentinel.
+void SaIs(const int64_t* s, int64_t* sa, int64_t n, int64_t k) {
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+  std::vector<bool> is_s(static_cast<size_t>(n));
+  is_s[static_cast<size_t>(n - 1)] = true;
+  for (int64_t i = n - 2; i >= 0; --i) {
+    is_s[static_cast<size_t>(i)] =
+        s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[static_cast<size_t>(i + 1)]);
+  }
+  auto is_lms = [&](int64_t i) {
+    return i > 0 && is_s[static_cast<size_t>(i)] && !is_s[static_cast<size_t>(i - 1)];
+  };
+
+  std::vector<int64_t> bucket(static_cast<size_t>(k), 0);
+  for (int64_t i = 0; i < n; ++i) ++bucket[static_cast<size_t>(s[i])];
+  std::vector<int64_t> bucket_start(static_cast<size_t>(k)),
+      bucket_end(static_cast<size_t>(k));
+  auto reset_buckets = [&]() {
+    int64_t sum = 0;
+    for (int64_t c = 0; c < k; ++c) {
+      bucket_start[static_cast<size_t>(c)] = sum;
+      sum += bucket[static_cast<size_t>(c)];
+      bucket_end[static_cast<size_t>(c)] = sum;
+    }
+  };
+
+  // Induced sort: given LMS positions (in `lms_order`), produce SA.
+  auto induce = [&](const std::vector<int64_t>& lms_order) {
+    std::fill(sa, sa + n, -1);
+    reset_buckets();
+    // Place LMS suffixes at the ends of their buckets, in reverse order.
+    for (auto it = lms_order.rbegin(); it != lms_order.rend(); ++it) {
+      int64_t i = *it;
+      sa[--bucket_end[static_cast<size_t>(s[i])]] = i;
+    }
+    // Induce L-type from left to right.
+    reset_buckets();
+    for (int64_t p = 0; p < n; ++p) {
+      int64_t j = sa[p] - 1;
+      if (sa[p] > 0 && !is_s[static_cast<size_t>(j)]) {
+        sa[bucket_start[static_cast<size_t>(s[j])]++] = j;
+      }
+    }
+    // Induce S-type from right to left.
+    reset_buckets();
+    for (int64_t p = n - 1; p >= 0; --p) {
+      int64_t j = sa[p] - 1;
+      if (sa[p] > 0 && is_s[static_cast<size_t>(j)]) {
+        sa[--bucket_end[static_cast<size_t>(s[j])]] = j;
+      }
+    }
+  };
+
+  // Step 1: rough induced sort from unsorted LMS positions.
+  std::vector<int64_t> lms;
+  for (int64_t i = 1; i < n; ++i) {
+    if (is_lms(i)) lms.push_back(i);
+  }
+  induce(lms);
+
+  // Step 2: name LMS substrings using their order in `sa`.
+  std::vector<int64_t> name(static_cast<size_t>(n), -1);
+  int64_t names = 0;
+  int64_t prev = -1;
+  for (int64_t p = 0; p < n; ++p) {
+    int64_t i = sa[p];
+    if (!is_lms(i)) continue;
+    if (prev >= 0) {
+      // Compare LMS substrings at prev and i.
+      bool same = true;
+      for (int64_t d = 0;; ++d) {
+        bool end_prev = d > 0 && is_lms(prev + d);
+        bool end_cur = d > 0 && is_lms(i + d);
+        if (s[prev + d] != s[i + d] ||
+            is_s[static_cast<size_t>(prev + d)] != is_s[static_cast<size_t>(i + d)]) {
+          same = false;
+          break;
+        }
+        if (end_prev || end_cur) {
+          same = end_prev && end_cur;
+          break;
+        }
+      }
+      if (!same) ++names;
+    }
+    name[static_cast<size_t>(i)] = names;
+    prev = i;
+  }
+
+  // Step 3: recurse if names are not yet unique.
+  std::vector<int64_t> reduced;
+  reduced.reserve(lms.size());
+  for (int64_t i : lms) reduced.push_back(name[static_cast<size_t>(i)]);
+  std::vector<int64_t> lms_sorted(lms.size());
+  if (names + 1 < static_cast<int64_t>(lms.size())) {
+    std::vector<int64_t> sub_sa(reduced.size());
+    SaIs(reduced.data(), sub_sa.data(), static_cast<int64_t>(reduced.size()),
+         names + 1);
+    for (size_t r = 0; r < sub_sa.size(); ++r) {
+      lms_sorted[r] = lms[static_cast<size_t>(sub_sa[r])];
+    }
+  } else {
+    // Names already unique: order LMS positions by name directly.
+    for (size_t idx = 0; idx < lms.size(); ++idx) {
+      lms_sorted[static_cast<size_t>(reduced[idx])] = lms[idx];
+    }
+  }
+
+  // Step 4: final induced sort from sorted LMS suffixes.
+  induce(lms_sorted);
+}
+
+}  // namespace
+
+std::vector<int64_t> BuildSuffixArray(const std::vector<Symbol>& text, int sigma) {
+  int64_t n = static_cast<int64_t>(text.size());
+  // Shift symbols by +1 so the sentinel (0) is strictly smallest.
+  std::vector<int64_t> s(static_cast<size_t>(n + 1));
+  for (int64_t i = 0; i < n; ++i) {
+    s[static_cast<size_t>(i)] = static_cast<int64_t>(text[static_cast<size_t>(i)]) + 1;
+  }
+  s[static_cast<size_t>(n)] = 0;
+  std::vector<int64_t> sa(static_cast<size_t>(n + 1));
+  SaIs(s.data(), sa.data(), n + 1, sigma + 1);
+  return sa;
+}
+
+std::vector<int64_t> BuildSuffixArrayNaive(const std::vector<Symbol>& text) {
+  int64_t n = static_cast<int64_t>(text.size());
+  std::vector<int64_t> sa(static_cast<size_t>(n + 1));
+  for (int64_t i = 0; i <= n; ++i) sa[static_cast<size_t>(i)] = i;
+  std::sort(sa.begin(), sa.end(), [&](int64_t a, int64_t b) {
+    // The sentinel (position n) is smaller than any suffix.
+    while (a < n && b < n) {
+      if (text[static_cast<size_t>(a)] != text[static_cast<size_t>(b)]) {
+        return text[static_cast<size_t>(a)] < text[static_cast<size_t>(b)];
+      }
+      ++a;
+      ++b;
+    }
+    return a > b;  // Shorter suffix (hits sentinel first) sorts first.
+  });
+  return sa;
+}
+
+}  // namespace alae

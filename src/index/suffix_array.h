@@ -1,0 +1,26 @@
+#ifndef ALAE_INDEX_SUFFIX_ARRAY_H_
+#define ALAE_INDEX_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Suffix-array construction.
+//
+// BuildSuffixArray appends an implicit sentinel smaller than every symbol:
+// the returned array has size n+1 and sa[0] == n (the empty suffix /
+// sentinel position), matching the paper's SA over T' = T$ (§2.3).
+//
+// The main implementation is SA-IS (Nong, Zhang, Chan 2009), linear time and
+// memory-lean, which is what makes indexing multi-megabyte texts practical.
+// BuildSuffixArrayNaive is an O(n^2 log n) comparison sort kept as a test
+// oracle.
+std::vector<int64_t> BuildSuffixArray(const std::vector<Symbol>& text, int sigma);
+std::vector<int64_t> BuildSuffixArrayNaive(const std::vector<Symbol>& text);
+
+}  // namespace alae
+
+#endif  // ALAE_INDEX_SUFFIX_ARRAY_H_

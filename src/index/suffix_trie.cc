@@ -1,0 +1,36 @@
+#include "src/index/suffix_trie.h"
+
+namespace alae {
+
+SuffixTrie::SuffixTrie(const Sequence& text) : sigma_(text.sigma()) {
+  Node root;
+  root.children.assign(static_cast<size_t>(sigma_), -1);
+  nodes_.push_back(std::move(root));
+  int64_t n = static_cast<int64_t>(text.size());
+  for (int64_t start = 0; start < n; ++start) {
+    int32_t node = kRoot;
+    nodes_[static_cast<size_t>(kRoot)].positions.push_back(
+        static_cast<int32_t>(start));
+    for (int64_t i = start; i < n; ++i) {
+      Symbol c = text[static_cast<size_t>(i)];
+      int32_t next = nodes_[static_cast<size_t>(node)].children[c];
+      if (next < 0) {
+        Node fresh;
+        fresh.children.assign(static_cast<size_t>(sigma_), -1);
+        fresh.depth = nodes_[static_cast<size_t>(node)].depth + 1;
+        next = static_cast<int32_t>(nodes_.size());
+        nodes_.push_back(std::move(fresh));
+        nodes_[static_cast<size_t>(node)].children[c] = next;
+      }
+      nodes_[static_cast<size_t>(next)].positions.push_back(
+          static_cast<int32_t>(start));
+      node = next;
+    }
+  }
+}
+
+int32_t SuffixTrie::Child(int32_t node, Symbol c) const {
+  return nodes_[static_cast<size_t>(node)].children[c];
+}
+
+}  // namespace alae

@@ -1,0 +1,52 @@
+#ifndef ALAE_INDEX_SUFFIX_TRIE_H_
+#define ALAE_INDEX_SUFFIX_TRIE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// Explicit (uncompressed) suffix trie of a text, O(n^2) nodes.
+//
+// This is the literal structure of the paper's §2.3 and the substrate of the
+// BASIC algorithm (Algorithm 1). It is intentionally naive: it exists as a
+// reference implementation to validate the FM-index suffix-trie emulation
+// and as the engine of the tiny-input BASIC aligner used in tests. Do not
+// use it for texts beyond a few thousand characters.
+class SuffixTrie {
+ public:
+  static constexpr int32_t kRoot = 0;
+
+  explicit SuffixTrie(const Sequence& text);
+
+  // Child of `node` on symbol c, or -1.
+  int32_t Child(int32_t node, Symbol c) const;
+
+  // Start positions in the text of the substring spelled root->node.
+  const std::vector<int32_t>& Positions(int32_t node) const {
+    return nodes_[static_cast<size_t>(node)].positions;
+  }
+
+  int32_t Depth(int32_t node) const {
+    return nodes_[static_cast<size_t>(node)].depth;
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int sigma() const { return sigma_; }
+
+ private:
+  struct Node {
+    std::vector<int32_t> children;  // sigma entries, -1 if absent
+    std::vector<int32_t> positions;
+    int32_t depth = 0;
+  };
+
+  int sigma_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_INDEX_SUFFIX_TRIE_H_

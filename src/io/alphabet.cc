@@ -1,0 +1,58 @@
+#include "src/io/alphabet.h"
+
+#include <cctype>
+
+namespace alae {
+
+Alphabet::Alphabet(AlphabetKind kind, std::string_view chars)
+    : kind_(kind), sigma_(static_cast<int>(chars.size())) {
+  for (int i = 0; i < 256; ++i) code_of_[i] = -1;
+  for (int i = 0; i < 32; ++i) char_of_[i] = '?';
+  for (int i = 0; i < sigma_; ++i) {
+    char c = chars[static_cast<size_t>(i)];
+    char_of_[i] = c;
+    code_of_[static_cast<unsigned char>(c)] = i;
+    code_of_[static_cast<unsigned char>(std::tolower(c))] = i;
+  }
+}
+
+const Alphabet& Alphabet::Dna() {
+  static const Alphabet* a = new Alphabet(AlphabetKind::kDna, "ACGT");
+  return *a;
+}
+
+const Alphabet& Alphabet::Protein() {
+  // The 20 standard amino acids in the conventional single-letter order.
+  static const Alphabet* a =
+      new Alphabet(AlphabetKind::kProtein, "ARNDCQEGHILKMFPSTWYV");
+  return *a;
+}
+
+const Alphabet& Alphabet::Get(AlphabetKind kind) {
+  return kind == AlphabetKind::kDna ? Dna() : Protein();
+}
+
+std::vector<Symbol> Alphabet::Encode(std::string_view text, size_t* masked) const {
+  std::vector<Symbol> out;
+  out.reserve(text.size());
+  size_t bad = 0;
+  for (char c : text) {
+    int code = CodeOf(c);
+    if (code < 0) {
+      ++bad;
+      code = 0;
+    }
+    out.push_back(static_cast<Symbol>(code));
+  }
+  if (masked != nullptr) *masked = bad;
+  return out;
+}
+
+std::string Alphabet::Decode(const std::vector<Symbol>& codes) const {
+  std::string out;
+  out.reserve(codes.size());
+  for (Symbol s : codes) out.push_back(CharOf(s));
+  return out;
+}
+
+}  // namespace alae

@@ -1,0 +1,56 @@
+#ifndef ALAE_IO_ALPHABET_H_
+#define ALAE_IO_ALPHABET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alae {
+
+// Symbol type used throughout the library. Sequences are stored as small
+// integer codes in [0, sigma); the FM-index additionally reserves code
+// `sigma` internally for the sentinel.
+using Symbol = uint8_t;
+
+enum class AlphabetKind { kDna, kProtein };
+
+// Maps between ASCII residue characters and dense integer codes.
+//
+// DNA uses A,C,G,T (sigma = 4). Protein uses the 20 standard amino acids
+// (sigma = 20). Characters outside the alphabet (N, ambiguity codes, ...)
+// are canonicalised to code 0, mirroring the common practice of masking
+// unknown residues; parsing APIs report how many were replaced.
+class Alphabet {
+ public:
+  static const Alphabet& Dna();
+  static const Alphabet& Protein();
+  static const Alphabet& Get(AlphabetKind kind);
+
+  AlphabetKind kind() const { return kind_; }
+  int sigma() const { return sigma_; }
+
+  // Returns the code for an ASCII character, or -1 if it is not a canonical
+  // residue (callers decide whether to mask or reject).
+  int CodeOf(char c) const { return code_of_[static_cast<unsigned char>(c)]; }
+
+  char CharOf(Symbol code) const { return char_of_[code]; }
+
+  // Encodes `text`, masking unknown characters to code 0. If `masked` is
+  // non-null it receives the number of masked characters.
+  std::vector<Symbol> Encode(std::string_view text, size_t* masked = nullptr) const;
+
+  std::string Decode(const std::vector<Symbol>& codes) const;
+
+ private:
+  Alphabet(AlphabetKind kind, std::string_view chars);
+
+  AlphabetKind kind_;
+  int sigma_;
+  char char_of_[32];
+  int code_of_[256];
+};
+
+}  // namespace alae
+
+#endif  // ALAE_IO_ALPHABET_H_

@@ -1,0 +1,113 @@
+#include "src/io/fasta.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace alae {
+
+bool FastaReader::ParseString(const std::string& payload,
+                              std::vector<FastaRecord>* records,
+                              std::string* error) {
+  records->clear();
+  std::istringstream in(payload);
+  std::string line;
+  FastaRecord current;
+  bool have_record = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      if (have_record) {
+        if (current.residues.empty()) {
+          if (error) *error = "empty record before line " + std::to_string(line_no);
+          return false;
+        }
+        records->push_back(std::move(current));
+        current = FastaRecord();
+      }
+      current.header = line.substr(1);
+      have_record = true;
+    } else if (line[0] == ';') {
+      continue;  // Old-style comment lines are skipped.
+    } else {
+      if (!have_record) {
+        if (error) {
+          *error = "residues before first '>' header at line " +
+                   std::to_string(line_no);
+        }
+        return false;
+      }
+      for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          current.residues.push_back(c);
+        }
+      }
+    }
+  }
+  if (have_record) {
+    if (current.residues.empty()) {
+      if (error) *error = "empty final record";
+      return false;
+    }
+    records->push_back(std::move(current));
+  }
+  if (records->empty()) {
+    if (error) *error = "no FASTA records found";
+    return false;
+  }
+  return true;
+}
+
+bool FastaReader::ParseFile(const std::string& path,
+                            std::vector<FastaRecord>* records,
+                            std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseString(buf.str(), records, error);
+}
+
+Sequence FastaReader::ToText(const std::vector<FastaRecord>& records,
+                             const Alphabet& alphabet,
+                             std::vector<size_t>* boundaries) {
+  Sequence text({}, alphabet);
+  if (boundaries) boundaries->clear();
+  for (const auto& rec : records) {
+    if (boundaries) boundaries->push_back(text.size());
+    text.Append(Sequence::FromString(rec.residues, alphabet));
+  }
+  return text;
+}
+
+std::string FastaWriter::ToString(const std::vector<FastaRecord>& records,
+                                  size_t line_width) {
+  std::ostringstream out;
+  for (const auto& rec : records) {
+    out << '>' << rec.header << '\n';
+    for (size_t i = 0; i < rec.residues.size(); i += line_width) {
+      out << rec.residues.substr(i, line_width) << '\n';
+    }
+  }
+  return out.str();
+}
+
+bool FastaWriter::WriteFile(const std::string& path,
+                            const std::vector<FastaRecord>& records,
+                            std::string* error, size_t line_width) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << ToString(records, line_width);
+  return static_cast<bool>(out);
+}
+
+}  // namespace alae

@@ -1,0 +1,55 @@
+#ifndef ALAE_IO_FASTA_H_
+#define ALAE_IO_FASTA_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// One FASTA record: ">header" line plus residue lines.
+struct FastaRecord {
+  std::string header;
+  std::string residues;
+};
+
+// Minimal, strict FASTA reader/writer.
+//
+// Parse errors (no '>' at start, empty record, stray characters before the
+// first header) are reported through the bool return + error string rather
+// than exceptions, per the project style.
+class FastaReader {
+ public:
+  // Parses an entire FASTA payload. Returns false and sets *error on
+  // malformed input. Whitespace inside residue lines is ignored.
+  static bool ParseString(const std::string& payload,
+                          std::vector<FastaRecord>* records,
+                          std::string* error);
+
+  static bool ParseFile(const std::string& path,
+                        std::vector<FastaRecord>* records,
+                        std::string* error);
+
+  // Concatenates all records of a parsed FASTA payload into one Sequence
+  // (the paper's collection-of-sequences-to-single-text reduction, §2.2).
+  // `boundaries` (optional) receives the start offset of each record.
+  static Sequence ToText(const std::vector<FastaRecord>& records,
+                         const Alphabet& alphabet,
+                         std::vector<size_t>* boundaries = nullptr);
+};
+
+class FastaWriter {
+ public:
+  // Serialises records with the given line width (default 70 columns).
+  static std::string ToString(const std::vector<FastaRecord>& records,
+                              size_t line_width = 70);
+  static bool WriteFile(const std::string& path,
+                        const std::vector<FastaRecord>& records,
+                        std::string* error, size_t line_width = 70);
+};
+
+}  // namespace alae
+
+#endif  // ALAE_IO_FASTA_H_

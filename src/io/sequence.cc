@@ -1,0 +1,38 @@
+#include "src/io/sequence.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace alae {
+
+Sequence Sequence::FromString(std::string_view text, const Alphabet& alphabet) {
+  return Sequence(alphabet.Encode(text), alphabet);
+}
+
+Sequence Sequence::Substr(size_t pos, size_t len) const {
+  pos = std::min(pos, symbols_.size());
+  len = std::min(len, symbols_.size() - pos);
+  return Sequence(
+      std::vector<Symbol>(symbols_.begin() + static_cast<ptrdiff_t>(pos),
+                          symbols_.begin() + static_cast<ptrdiff_t>(pos + len)),
+      *alphabet_);
+}
+
+Sequence Sequence::Reversed() const {
+  std::vector<Symbol> rev(symbols_.rbegin(), symbols_.rend());
+  return Sequence(std::move(rev), *alphabet_);
+}
+
+void Sequence::Append(const Sequence& other) {
+  symbols_.insert(symbols_.end(), other.symbols_.begin(), other.symbols_.end());
+}
+
+PackedDnaStore::PackedDnaStore(const std::vector<Symbol>& symbols)
+    : size_(symbols.size()) {
+  words_.assign((size_ + 31) / 32, 0);
+  for (size_t i = 0; i < size_; ++i) {
+    words_[i >> 5] |= static_cast<uint64_t>(symbols[i] & 3) << ((i & 31) * 2);
+  }
+}
+
+}  // namespace alae

@@ -1,0 +1,75 @@
+#ifndef ALAE_IO_SEQUENCE_H_
+#define ALAE_IO_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/io/alphabet.h"
+
+namespace alae {
+
+// A biosequence: encoded symbols plus the alphabet they were encoded with.
+//
+// This is the unit the aligners consume. Sequences are value types; large
+// texts are typically built once and passed by const reference.
+class Sequence {
+ public:
+  Sequence() : alphabet_(&Alphabet::Dna()) {}
+  Sequence(std::vector<Symbol> symbols, const Alphabet& alphabet)
+      : symbols_(std::move(symbols)), alphabet_(&alphabet) {}
+
+  // Builds a sequence from ASCII text, masking unknown residues to code 0.
+  static Sequence FromString(std::string_view text, const Alphabet& alphabet);
+
+  size_t size() const { return symbols_.size(); }
+  bool empty() const { return symbols_.empty(); }
+  Symbol operator[](size_t i) const { return symbols_[i]; }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  const Alphabet& alphabet() const { return *alphabet_; }
+  int sigma() const { return alphabet_->sigma(); }
+
+  // Subsequence [pos, pos+len) as a new Sequence.
+  Sequence Substr(size_t pos, size_t len) const;
+
+  // Reversed copy (used to build the FM-index over T^-1; see paper §5).
+  Sequence Reversed() const;
+
+  // Appends another sequence (used to concatenate database records, §2.2).
+  void Append(const Sequence& other);
+
+  std::string ToString() const { return alphabet_->Decode(symbols_); }
+
+  bool operator==(const Sequence& other) const {
+    return symbols_ == other.symbols_ &&
+           alphabet_->kind() == other.alphabet_->kind();
+  }
+
+ private:
+  std::vector<Symbol> symbols_;
+  const Alphabet* alphabet_;
+};
+
+// 2-bit packed storage for DNA texts. The FM-index stores its BWT this way
+// when sigma <= 4, which is what makes the "BWT index" curve of Fig 11(a)
+// small (2 bits/char plus rank samples).
+class PackedDnaStore {
+ public:
+  PackedDnaStore() = default;
+  explicit PackedDnaStore(const std::vector<Symbol>& symbols);
+
+  size_t size() const { return size_; }
+  Symbol Get(size_t i) const {
+    return static_cast<Symbol>((words_[i >> 5] >> ((i & 31) * 2)) & 3);
+  }
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_IO_SEQUENCE_H_

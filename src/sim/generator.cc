@@ -1,0 +1,116 @@
+#include "src/sim/generator.h"
+
+#include <algorithm>
+
+namespace alae {
+namespace {
+
+// Robinson & Robinson (1991) amino-acid frequencies, indexed in the order
+// of Alphabet::Protein() ("ARNDCQEGHILKMFPSTWYV"), in 1e-5 units.
+constexpr int32_t kRobinson[20] = {
+    7805, 5129, 4487, 5364, 1925, 4264, 6295, 7377, 2199, 5142,
+    9019, 5744, 2243, 3856, 5203, 7120, 5841, 1330, 3216, 6441};
+
+}  // namespace
+
+Symbol SequenceGenerator::RandomSymbol(const Alphabet& alphabet,
+                                       bool residue_freqs) {
+  if (residue_freqs && alphabet.kind() == AlphabetKind::kProtein) {
+    int32_t total = 0;
+    for (int32_t f : kRobinson) total += f;
+    int32_t pick = static_cast<int32_t>(rng_.Below(static_cast<uint64_t>(total)));
+    for (int i = 0; i < 20; ++i) {
+      pick -= kRobinson[i];
+      if (pick < 0) return static_cast<Symbol>(i);
+    }
+    return 19;
+  }
+  return static_cast<Symbol>(rng_.Below(static_cast<uint64_t>(alphabet.sigma())));
+}
+
+Sequence SequenceGenerator::Random(int64_t length, const Alphabet& alphabet,
+                                   bool use_residue_frequencies) {
+  std::vector<Symbol> out(static_cast<size_t>(length));
+  for (auto& c : out) c = RandomSymbol(alphabet, use_residue_frequencies);
+  return Sequence(std::move(out), alphabet);
+}
+
+Sequence SequenceGenerator::TextWithRepeats(
+    int64_t length, const Alphabet& alphabet,
+    const std::vector<RepeatSpec>& families) {
+  Sequence text = Random(length, alphabet, false);
+  std::vector<Symbol> symbols = text.symbols();
+  for (const RepeatSpec& family : families) {
+    if (family.unit_length >= length) continue;
+    Sequence unit = Random(family.unit_length, alphabet, false);
+    for (int32_t copy = 0; copy < family.copies; ++copy) {
+      int64_t at = static_cast<int64_t>(
+          rng_.Below(static_cast<uint64_t>(length - family.unit_length)));
+      for (int64_t i = 0; i < family.unit_length; ++i) {
+        Symbol c = unit[static_cast<size_t>(i)];
+        if (rng_.Bernoulli(family.divergence)) {
+          c = RandomSymbol(alphabet, false);
+        }
+        symbols[static_cast<size_t>(at + i)] = c;
+      }
+    }
+  }
+  return Sequence(std::move(symbols), alphabet);
+}
+
+void SequenceGenerator::MutateInto(const Sequence& text, int64_t src_begin,
+                                   int64_t src_len, double divergence,
+                                   double indel_rate,
+                                   std::vector<Symbol>* out) {
+  const Alphabet& alphabet = text.alphabet();
+  for (int64_t i = 0; i < src_len; ++i) {
+    if (indel_rate > 0 && rng_.Bernoulli(indel_rate)) {
+      // Geometric indel: 50/50 insertion vs deletion, mean length 2.
+      int64_t len = 1;
+      while (rng_.Bernoulli(0.5)) ++len;
+      if (rng_.Bernoulli(0.5)) {
+        for (int64_t k = 0; k < len; ++k) {
+          out->push_back(RandomSymbol(alphabet, false));
+        }
+      } else {
+        i += len - 1;  // deletion: skip source characters
+        continue;
+      }
+    }
+    Symbol c = text[static_cast<size_t>(src_begin + i)];
+    if (rng_.Bernoulli(divergence)) c = RandomSymbol(alphabet, false);
+    out->push_back(c);
+  }
+}
+
+Sequence SequenceGenerator::HomologousQuery(const Sequence& text,
+                                            int64_t length,
+                                            double homolog_fraction,
+                                            double divergence,
+                                            double indel_rate) {
+  const Alphabet& alphabet = text.alphabet();
+  std::vector<Symbol> out;
+  out.reserve(static_cast<size_t>(length));
+  // Alternate random spacers and mutated segments until the target length
+  // is reached. Segment length ~ 1/20 of the query, at least 50.
+  int64_t segment_len = std::max<int64_t>(50, length / 20);
+  while (static_cast<int64_t>(out.size()) < length) {
+    bool homolog = rng_.NextDouble() < homolog_fraction &&
+                   static_cast<int64_t>(text.size()) > segment_len + 1;
+    int64_t remaining = length - static_cast<int64_t>(out.size());
+    int64_t len = std::min(segment_len, remaining);
+    if (homolog) {
+      int64_t src = static_cast<int64_t>(rng_.Below(
+          static_cast<uint64_t>(static_cast<int64_t>(text.size()) - len)));
+      MutateInto(text, src, len, divergence, indel_rate, &out);
+    } else {
+      for (int64_t i = 0; i < len; ++i) {
+        out.push_back(RandomSymbol(alphabet, false));
+      }
+    }
+  }
+  out.resize(static_cast<size_t>(length));
+  return Sequence(std::move(out), alphabet);
+}
+
+}  // namespace alae

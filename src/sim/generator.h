@@ -1,0 +1,64 @@
+#ifndef ALAE_SIM_GENERATOR_H_
+#define ALAE_SIM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/io/sequence.h"
+#include "src/util/rng.h"
+
+namespace alae {
+
+// Synthetic biosequence generator.
+//
+// Substitutes for the paper's real corpora (GRCh37 human chromosomes,
+// MGSCv37 mouse chr1, UniParc): ALAE's filtering behaviour depends on
+// q-gram statistics and its reuse behaviour on repeat content, and the
+// generator exposes both as knobs (see DESIGN.md §4). Real FASTA input
+// remains supported through FastaReader.
+struct RepeatSpec {
+  int64_t unit_length = 300;   // length of one repeat unit
+  int32_t copies = 20;         // occurrences planted across the text
+  double divergence = 0.05;    // per-character substitution rate per copy
+};
+
+class SequenceGenerator {
+ public:
+  explicit SequenceGenerator(uint64_t seed) : rng_(seed) {}
+
+  // Uniform random sequence over the alphabet. For proteins,
+  // `use_residue_frequencies` switches to Robinson-Robinson background
+  // frequencies (the standard amino-acid composition).
+  Sequence Random(int64_t length, const Alphabet& alphabet,
+                  bool use_residue_frequencies = false);
+
+  // Random text with planted repeat families: the background is random and
+  // each family's unit is copied `copies` times at random offsets with
+  // per-copy divergence. Mimics genomic repeat structure (LINE/SINE-like).
+  Sequence TextWithRepeats(int64_t length, const Alphabet& alphabet,
+                           const std::vector<RepeatSpec>& families);
+
+  // A homologous query (the mouse-vs-human workload, paper §7): sample
+  // `homolog_fraction` of the query as segments copied from random
+  // positions of `text` and mutated (substitution rate `divergence`,
+  // geometric indels at rate `indel_rate`), embedded in random background.
+  // Divergence >= ~0.25 keeps DNA local-alignment scores bounded, which is
+  // what real inter-species homology looks like under <1,-3,-5,-2>.
+  Sequence HomologousQuery(const Sequence& text, int64_t length,
+                           double homolog_fraction, double divergence,
+                           double indel_rate);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Symbol RandomSymbol(const Alphabet& alphabet, bool residue_freqs);
+  void MutateInto(const Sequence& text, int64_t src_begin, int64_t src_len,
+                  double divergence, double indel_rate,
+                  std::vector<Symbol>* out);
+
+  Rng rng_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_SIM_GENERATOR_H_

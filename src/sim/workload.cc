@@ -1,0 +1,49 @@
+#include "src/sim/workload.h"
+
+#include "src/sim/generator.h"
+
+namespace alae {
+
+Workload BuildWorkload(const WorkloadSpec& spec) {
+  SequenceGenerator gen(spec.seed);
+  const Alphabet& alphabet = Alphabet::Get(spec.alphabet);
+  Workload w;
+  if (spec.plant_repeats) {
+    // Three families scaled to the text (LINE/SINE-like structure),
+    // together ~15% of the text — real mammalian genomes are ~50%
+    // repetitive, and the repeat content is what drives ALAE's reuse
+    // ratio (queries sampled from the text then contain near-duplicate
+    // stretches, Fig 7(b)).
+    std::vector<RepeatSpec> families;
+    RepeatSpec line_family;
+    line_family.unit_length = 500;
+    line_family.copies =
+        static_cast<int32_t>(std::max<int64_t>(4, spec.text_length / 10000));
+    line_family.divergence = 0.10;
+    RepeatSpec mid_family;
+    mid_family.unit_length = 150;
+    mid_family.copies =
+        static_cast<int32_t>(std::max<int64_t>(8, spec.text_length / 3000));
+    mid_family.divergence = 0.12;
+    RepeatSpec sine_family;
+    sine_family.unit_length = 70;
+    sine_family.copies =
+        static_cast<int32_t>(std::max<int64_t>(12, spec.text_length / 1500));
+    sine_family.divergence = 0.15;
+    families.push_back(line_family);
+    families.push_back(mid_family);
+    families.push_back(sine_family);
+    w.text = gen.TextWithRepeats(spec.text_length, alphabet, families);
+  } else {
+    w.text = gen.Random(spec.text_length, alphabet,
+                        spec.alphabet == AlphabetKind::kProtein);
+  }
+  for (int32_t i = 0; i < spec.num_queries; ++i) {
+    w.queries.push_back(gen.HomologousQuery(w.text, spec.query_length,
+                                            spec.homolog_fraction,
+                                            spec.divergence, spec.indel_rate));
+  }
+  return w;
+}
+
+}  // namespace alae

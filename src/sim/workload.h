@@ -1,0 +1,39 @@
+#ifndef ALAE_SIM_WORKLOAD_H_
+#define ALAE_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/scoring.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+
+// A benchmark workload: one text and a batch of queries, mirroring the
+// paper's setup (one genome, 100 queries of a fixed length sampled from a
+// related genome; §7 "Data sets").
+struct Workload {
+  Sequence text;
+  std::vector<Sequence> queries;
+};
+
+struct WorkloadSpec {
+  int64_t text_length = 1 << 20;
+  int64_t query_length = 2000;
+  int32_t num_queries = 4;
+  AlphabetKind alphabet = AlphabetKind::kDna;
+  // Repeat structure of the text (drives the reuse ratio, Fig 7(b)).
+  bool plant_repeats = true;
+  // Homology model of the queries (drives hit counts, Tables 2-3).
+  double homolog_fraction = 0.5;
+  double divergence = 0.30;
+  double indel_rate = 0.01;
+  uint64_t seed = 42;
+};
+
+// Deterministically builds the workload for a spec.
+Workload BuildWorkload(const WorkloadSpec& spec);
+
+}  // namespace alae
+
+#endif  // ALAE_SIM_WORKLOAD_H_

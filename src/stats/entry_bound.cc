@@ -1,0 +1,56 @@
+#include "src/stats/entry_bound.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace alae {
+
+double EntryBound::Evaluate(double m, double n) const {
+  return coefficient * m * std::pow(n, exponent);
+}
+
+std::string EntryBound::ToString() const {
+  std::ostringstream out;
+  out.precision(4);
+  out << coefficient << "*m*n^" << exponent << " (q=" << q << ", s=" << s
+      << ", k1=" << k1 << ", k2=" << k2 << ")";
+  return out.str();
+}
+
+EntryBound ComputeEntryBound(const ScoringScheme& scheme, int sigma) {
+  EntryBound b;
+  b.s = 1.0 + static_cast<double>(-scheme.sb) / scheme.sa;
+  b.q = scheme.QPrefixLength();
+  double s = b.s;
+  double sig = sigma;
+  b.k1 = std::pow(1.0 - 1.0 / s, b.q) * ((sig - 1.0) / (sig - 2.0)) * s /
+         std::sqrt(2.0 * M_PI * (s - 1.0));
+  b.k2 = s * std::pow(sig - 1.0, 1.0 / s) / std::pow(s - 1.0, (s - 1.0) / s);
+  b.exponent = std::log(b.k2) / std::log(sig);
+  b.coefficient = b.k1 / (b.k2 - 1.0) + b.k1 * sig * sig / (sig - b.k2);
+  return b;
+}
+
+std::vector<ScoringScheme> BlastSchemeGrid() {
+  // BLAST's web-form (sa, sb) choices (§6) and the gap ratios the paper
+  // cites: |sg|/|sa| in {1,2,3,5}, |ss|/|sa| in {1,2}.
+  const int pairs[][2] = {{1, -2}, {1, -3}, {1, -4}, {2, -3}, {4, -5}, {1, -1}};
+  const int open_ratio[] = {1, 2, 3, 5};
+  const int extend_ratio[] = {1, 2};
+  std::vector<ScoringScheme> out;
+  for (const auto& p : pairs) {
+    for (int g : open_ratio) {
+      for (int e : extend_ratio) {
+        ScoringScheme s;
+        s.sa = p[0];
+        s.sb = p[1];
+        s.sg = -g * p[0];
+        s.ss = -e * p[0];
+        out.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace alae

@@ -1,0 +1,48 @@
+#ifndef ALAE_STATS_ENTRY_BOUND_H_
+#define ALAE_STATS_ENTRY_BOUND_H_
+
+#include <string>
+#include <vector>
+
+#include "src/align/scoring.h"
+
+namespace alae {
+
+// Closed-form upper bound on the expected number of DP entries ALAE
+// calculates for random sequences (paper §6).
+//
+// With s = 1 + |sb|/sa and q the prefix length of Eq. 2:
+//   k1 = (1 - 1/s)^q * ((sigma-1)/(sigma-2)) * s / sqrt(2*pi*(s-1))
+//   k2 = s * (sigma-1)^{1/s} / (s-1)^{(s-1)/s}
+// and the expected total number of calculated entries is bounded by
+//   ( k1/(k2-1) + k1*sigma^2/(sigma-k2) ) * m * n^{log_sigma k2}   (Eq. 4).
+//
+// The paper evaluates this over the BLAST parameter grid and reports the
+// coefficient/exponent extremes 4.50*m*n^0.520 ... 9.05*m*n^0.896 for DNA
+// and 8.28*m*n^0.364 ... 7.49*m*n^0.723 for proteins; unit tests pin those
+// values.
+struct EntryBound {
+  double s = 0;
+  int q = 0;
+  double k1 = 0;
+  double k2 = 0;
+  double exponent = 0;     // log_sigma k2
+  double coefficient = 0;  // k1/(k2-1) + k1*sigma^2/(sigma-k2)
+
+  // Bound value for given m, n.
+  double Evaluate(double m, double n) const;
+
+  std::string ToString() const;
+};
+
+// Computes the bound constants for a scheme and alphabet size. Requires
+// sigma > 2 and k2 < sigma (true for all BLAST schemes on DNA/protein).
+EntryBound ComputeEntryBound(const ScoringScheme& scheme, int sigma);
+
+// The BLAST parameter grid of §6: (sa, sb) pairs crossed with the
+// |sg|/|sa| and |ss|/|sa| ratios the paper enumerates.
+std::vector<ScoringScheme> BlastSchemeGrid();
+
+}  // namespace alae
+
+#endif  // ALAE_STATS_ENTRY_BOUND_H_

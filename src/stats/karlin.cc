@@ -1,0 +1,123 @@
+#include "src/stats/karlin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace alae {
+namespace {
+
+double RestrictedMgf(double lambda, double p_match, const ScoringScheme& s) {
+  return p_match * std::exp(lambda * s.sa) +
+         (1.0 - p_match) * std::exp(lambda * s.sb);
+}
+
+// Empirical K: generate pairs of random sequences, take the best ungapped
+// segment score per pair, and invert the Gumbel tail
+// P(M >= x) = 1 - exp(-K·m·n·e^{-λx}) at the median.
+double CalibrateK(const ScoringScheme& scheme, int sigma, double lambda) {
+  constexpr int kPairs = 48;
+  constexpr int kLen = 256;
+  Rng rng(0xA1AEULL * static_cast<uint64_t>(sigma) +
+          static_cast<uint64_t>(scheme.sa * 1000003 + scheme.sb));
+  std::vector<int32_t> best_scores;
+  best_scores.reserve(kPairs);
+  std::vector<Symbol> a(kLen), b(kLen);
+  for (int p = 0; p < kPairs; ++p) {
+    for (auto& c : a) c = static_cast<Symbol>(rng.Below(static_cast<uint64_t>(sigma)));
+    for (auto& c : b) c = static_cast<Symbol>(rng.Below(static_cast<uint64_t>(sigma)));
+    // Best ungapped segment score over all diagonals (O(len^2)).
+    int32_t best = 0;
+    for (int d = -(kLen - 1); d < kLen; ++d) {
+      int32_t run = 0;
+      int lo = std::max(0, d), hi = std::min(kLen, kLen + d);
+      for (int i = lo; i < hi; ++i) {
+        run += (a[static_cast<size_t>(i)] == b[static_cast<size_t>(i - d)])
+                   ? scheme.sa
+                   : scheme.sb;
+        if (run < 0) run = 0;
+        best = std::max(best, run);
+      }
+    }
+    best_scores.push_back(best);
+  }
+  std::sort(best_scores.begin(), best_scores.end());
+  double median = best_scores[best_scores.size() / 2];
+  // At the median, 0.5 = 1 - exp(-K·m·n·e^{-λx})  =>
+  // K = ln 2 / (m·n·e^{-λx}).
+  double mn = static_cast<double>(kLen) * kLen;
+  double k = std::log(2.0) / (mn * std::exp(-lambda * median));
+  // Clamp into the physically sensible range.
+  return std::min(1.0, std::max(1e-3, k));
+}
+
+}  // namespace
+
+double KarlinStats::Lambda(const ScoringScheme& scheme, int sigma) {
+  double p_match = 1.0 / sigma;
+  // The expected score must be negative for lambda to exist; the schemes we
+  // accept (sb < 0 < sa, sigma >= 4) always satisfy this for p=1/sigma when
+  // (sigma-1)*|sb| > sa. Guard anyway.
+  double mean = p_match * scheme.sa + (1 - p_match) * scheme.sb;
+  if (mean >= 0) return 0.0;
+  // f(lambda) = MGF - 1 is 0 at lambda=0, dips negative, then grows; find
+  // the positive root by doubling + bisection.
+  double hi = 1e-3;
+  while (RestrictedMgf(hi, p_match, scheme) < 1.0) hi *= 2.0;
+  double lo = hi / 2.0;
+  // lo may still be in the dip; walk it down toward 0 if f(lo) >= 1 fails
+  // is impossible since f is increasing past the dip; bisect on [0+, hi].
+  lo = 1e-12;
+  for (int it = 0; it < 200; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (RestrictedMgf(mid, p_match, scheme) < 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+KarlinParams KarlinStats::Compute(const ScoringScheme& scheme, int sigma) {
+  static std::mutex mu;
+  static std::map<std::tuple<int, int, int, int, int>, KarlinParams>* cache =
+      new std::map<std::tuple<int, int, int, int, int>, KarlinParams>();
+  auto key = std::make_tuple(scheme.sa, scheme.sb, scheme.sg, scheme.ss, sigma);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  KarlinParams params;
+  params.lambda = Lambda(scheme, sigma);
+  params.k = CalibrateK(scheme, sigma, params.lambda);
+  std::lock_guard<std::mutex> lock(mu);
+  (*cache)[key] = params;
+  return params;
+}
+
+int32_t KarlinStats::EValueToThreshold(double e_value, int64_t m, int64_t n,
+                                       const ScoringScheme& scheme, int sigma) {
+  KarlinParams params = Compute(scheme, sigma);
+  double h = (std::log(params.k * static_cast<double>(m) *
+                       static_cast<double>(n)) -
+              std::log(e_value)) /
+             params.lambda;
+  int32_t t = static_cast<int32_t>(std::ceil(h));
+  return std::max(1, t);
+}
+
+double KarlinStats::ScoreToEValue(int32_t score, int64_t m, int64_t n,
+                                  const ScoringScheme& scheme, int sigma) {
+  KarlinParams params = Compute(scheme, sigma);
+  return params.k * static_cast<double>(m) * static_cast<double>(n) *
+         std::exp(-params.lambda * score);
+}
+
+}  // namespace alae

@@ -1,0 +1,46 @@
+#ifndef ALAE_STATS_KARLIN_H_
+#define ALAE_STATS_KARLIN_H_
+
+#include <cstdint>
+
+#include "src/align/scoring.h"
+
+namespace alae {
+
+// Karlin–Altschul statistics for ungapped local alignment scores under a
+// match/mismatch scheme with uniform residue frequencies (paper §7:
+// "E = K·m·n·e^{−λS}, where K and λ are scaling constants computed by
+// BLAST").
+//
+// λ is the unique positive root of  p_match·e^{λ·sa} + (1−p_match)·e^{λ·sb}
+// = 1 and is computed by bisection to 1e-12. K has no elementary closed
+// form; we calibrate it once per (scheme, sigma) by fitting the Gumbel law
+// to the empirical distribution of maximal ungapped segment scores on
+// random sequences (deterministic seed, cached). The paper's E↔H mapping
+// is insensitive to K's precision because K enters through ln K.
+struct KarlinParams {
+  double lambda = 0.0;
+  double k = 0.0;
+};
+
+class KarlinStats {
+ public:
+  // Computes lambda exactly and K by cached calibration.
+  static KarlinParams Compute(const ScoringScheme& scheme, int sigma);
+
+  // Lambda only (exact root; no calibration).
+  static double Lambda(const ScoringScheme& scheme, int sigma);
+
+  // H = ceil((ln(K·m·n) − ln E) / lambda), the paper's §7 conversion
+  // (attributed to OASIS [11]). Result is clamped to >= 1.
+  static int32_t EValueToThreshold(double e_value, int64_t m, int64_t n,
+                                   const ScoringScheme& scheme, int sigma);
+
+  // E = K·m·n·e^{−λS} for a given score.
+  static double ScoreToEValue(int32_t score, int64_t m, int64_t n,
+                              const ScoringScheme& scheme, int sigma);
+};
+
+}  // namespace alae
+
+#endif  // ALAE_STATS_KARLIN_H_

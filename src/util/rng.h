@@ -1,0 +1,60 @@
+#ifndef ALAE_UTIL_RNG_H_
+#define ALAE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace alae {
+
+// xoshiro256** 1.0 — small, fast, high-quality PRNG used for workload
+// generation and property tests. Deterministic for a given seed so every
+// experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace alae
+
+#endif  // ALAE_UTIL_RNG_H_

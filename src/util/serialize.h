@@ -1,0 +1,49 @@
+#ifndef ALAE_UTIL_SERIALIZE_H_
+#define ALAE_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace alae {
+
+// Tiny little-endian binary (de)serialisation helpers for the index
+// save/load paths. All methods return false on stream failure so callers
+// can surface I/O errors without exceptions.
+
+inline bool PutU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  return static_cast<bool>(out);
+}
+
+inline bool GetU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool PutVec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (!PutU64(out, v.size())) return false;
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool GetVec(std::istream& in, std::vector<T>* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t size = 0;
+  if (!GetU64(in, &size)) return false;
+  // Cap pathological sizes (corrupt streams) at 16 GiB of payload.
+  if (size > (16ULL << 30) / sizeof(T)) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace alae
+
+#endif  // ALAE_UTIL_SERIALIZE_H_

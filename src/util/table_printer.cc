@@ -1,0 +1,51 @@
+#include "src/util/table_printer.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace alae {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t v) { return std::to_string(v); }
+
+}  // namespace alae

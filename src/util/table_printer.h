@@ -1,0 +1,34 @@
+#ifndef ALAE_UTIL_TABLE_PRINTER_H_
+#define ALAE_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace alae {
+
+// Renders aligned ASCII tables for the benchmark harnesses, mirroring the
+// row/column layout of the paper's tables so measured output can be compared
+// side by side with the published numbers.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one row; cells beyond the header width are dropped, missing cells
+  // are rendered empty.
+  void AddRow(std::vector<std::string> row);
+
+  // Returns the fully formatted table with a separator under the header.
+  std::string ToString() const;
+
+  // Convenience: formats a double with the given precision.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_UTIL_TABLE_PRINTER_H_

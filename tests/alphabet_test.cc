@@ -1,0 +1,55 @@
+#include "src/io/alphabet.h"
+
+#include <gtest/gtest.h>
+
+namespace alae {
+namespace {
+
+TEST(Alphabet, DnaBasics) {
+  const Alphabet& dna = Alphabet::Dna();
+  EXPECT_EQ(dna.sigma(), 4);
+  EXPECT_EQ(dna.kind(), AlphabetKind::kDna);
+  EXPECT_EQ(dna.CodeOf('A'), 0);
+  EXPECT_EQ(dna.CodeOf('C'), 1);
+  EXPECT_EQ(dna.CodeOf('G'), 2);
+  EXPECT_EQ(dna.CodeOf('T'), 3);
+  EXPECT_EQ(dna.CodeOf('a'), 0);  // lowercase accepted
+  EXPECT_EQ(dna.CodeOf('N'), -1);
+  EXPECT_EQ(dna.CharOf(2), 'G');
+}
+
+TEST(Alphabet, ProteinBasics) {
+  const Alphabet& prot = Alphabet::Protein();
+  EXPECT_EQ(prot.sigma(), 20);
+  EXPECT_EQ(prot.kind(), AlphabetKind::kProtein);
+  // Round trip for every residue.
+  for (int c = 0; c < 20; ++c) {
+    char ch = prot.CharOf(static_cast<Symbol>(c));
+    EXPECT_EQ(prot.CodeOf(ch), c);
+  }
+  EXPECT_EQ(prot.CodeOf('B'), -1);  // ambiguity code not canonical
+  EXPECT_EQ(prot.CodeOf('Z'), -1);
+}
+
+TEST(Alphabet, EncodeMasksUnknown) {
+  size_t masked = 0;
+  std::vector<Symbol> codes = Alphabet::Dna().Encode("ACGTNNRA", &masked);
+  EXPECT_EQ(masked, 3u);
+  ASSERT_EQ(codes.size(), 8u);
+  EXPECT_EQ(codes[4], 0);  // N masked to code 0
+  EXPECT_EQ(codes[7], 0);  // A
+}
+
+TEST(Alphabet, EncodeDecodeRoundTrip) {
+  std::string s = "GATTACAGATTACA";
+  std::vector<Symbol> codes = Alphabet::Dna().Encode(s);
+  EXPECT_EQ(Alphabet::Dna().Decode(codes), s);
+}
+
+TEST(Alphabet, GetByKind) {
+  EXPECT_EQ(Alphabet::Get(AlphabetKind::kDna).sigma(), 4);
+  EXPECT_EQ(Alphabet::Get(AlphabetKind::kProtein).sigma(), 20);
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,67 @@
+#include "src/baseline/basic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/smith_waterman.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+TEST(BasicAligner, ReportsStartPositions) {
+  // Text with a known duplicated region; BASIC records A(i,j).pos.
+  Sequence text = Sequence::FromString("GCTAGCTA", Alphabet::Dna());
+  Sequence query = Sequence::FromString("GCTAG", Alphabet::Dna());
+  ResultCollector rc =
+      BasicAligner::Run(text, query, ScoringScheme::Default(), 4);
+  bool found_first = false;
+  for (const AlignmentHit& hit : rc.Sorted()) {
+    if (hit.text_end == 3 && hit.query_end == 3) {
+      EXPECT_EQ(hit.score, 4);
+      EXPECT_EQ(hit.text_start, 0);
+      found_first = true;
+    }
+  }
+  EXPECT_TRUE(found_first);
+}
+
+TEST(BasicAligner, DuplicateSubstringsShareOneComputation) {
+  // Both GCTA occurrences must be reported even though the suffix trie
+  // aligns the shared path once (Algorithm 1 lines 6-10).
+  Sequence text = Sequence::FromString("GCTAGCTA", Alphabet::Dna());
+  Sequence query = Sequence::FromString("GCTA", Alphabet::Dna());
+  ResultCollector rc =
+      BasicAligner::Run(text, query, ScoringScheme::Default(), 4);
+  int ends_at_four = 0;
+  for (const AlignmentHit& hit : rc.Sorted()) {
+    if (hit.query_end == 3 && hit.score == 4) ++ends_at_four;
+  }
+  EXPECT_EQ(ends_at_four, 2);  // text ends 3 and 7
+}
+
+TEST(BasicAligner, AgreesWithSmithWatermanOnProtein) {
+  SequenceGenerator gen(91);
+  Sequence text = gen.Random(80, Alphabet::Protein());
+  Sequence query = gen.HomologousQuery(text, 30, 0.7, 0.1, 0.05);
+  for (int32_t h : {3, 6, 10}) {
+    ScoringScheme scheme = ScoringScheme::Default();
+    EXPECT_EQ(SmithWaterman::Run(text, query, scheme, h).Sorted(),
+              BasicAligner::Run(text, query, scheme, h).Sorted())
+        << "H=" << h;
+  }
+}
+
+TEST(BasicAligner, NoResultsAboveBestScore) {
+  SequenceGenerator gen(92);
+  Sequence text = gen.Random(60, Alphabet::Dna());
+  Sequence query = gen.Random(20, Alphabet::Dna());
+  ResultCollector all = SmithWaterman::Run(text, query,
+                                           ScoringScheme::Default(), 1);
+  int32_t best = all.BestScore();
+  EXPECT_EQ(
+      BasicAligner::Run(text, query, ScoringScheme::Default(), best + 1).size(),
+      0u);
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,89 @@
+#include "src/core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/smith_waterman.h"
+#include "src/sim/workload.h"
+
+namespace alae {
+namespace {
+
+TEST(BatchRunner, ParallelEqualsSequential) {
+  WorkloadSpec spec;
+  spec.text_length = 20'000;
+  spec.query_length = 300;
+  spec.num_queries = 12;
+  Workload w = BuildWorkload(spec);
+  AlaeIndex index(w.text);
+  BatchRunner runner(index);
+  ScoringScheme scheme = ScoringScheme::Default();
+  std::vector<ResultCollector> seq = runner.Run(w.queries, scheme, 20, 1);
+  std::vector<ResultCollector> par = runner.Run(w.queries, scheme, 20, 8);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].Sorted(), par[i].Sorted()) << "query " << i;
+  }
+}
+
+TEST(BatchRunner, MatchesSmithWatermanPerQuery) {
+  WorkloadSpec spec;
+  spec.text_length = 5'000;
+  spec.query_length = 150;
+  spec.num_queries = 6;
+  spec.divergence = 0.15;
+  Workload w = BuildWorkload(spec);
+  AlaeIndex index(w.text);
+  BatchRunner runner(index);
+  ScoringScheme scheme = ScoringScheme::Default();
+  std::vector<ResultCollector> got = runner.Run(w.queries, scheme, 18, 4);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(SmithWaterman::Run(w.text, w.queries[i], scheme, 18).Sorted(),
+              got[i].Sorted())
+        << "query " << i;
+  }
+}
+
+TEST(BatchRunner, StatsAggregateAcrossQueries) {
+  WorkloadSpec spec;
+  spec.text_length = 10'000;
+  spec.query_length = 200;
+  spec.num_queries = 4;
+  Workload w = BuildWorkload(spec);
+  AlaeIndex index(w.text);
+  BatchRunner runner(index);
+  BatchStats stats;
+  std::vector<ResultCollector> results =
+      runner.Run(w.queries, ScoringScheme::Default(), 20, 2, &stats);
+  uint64_t expected_hits = 0;
+  for (const ResultCollector& rc : results) expected_hits += rc.size();
+  EXPECT_EQ(stats.total_hits, expected_hits);
+  EXPECT_GT(stats.counters.Calculated(), 0u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST(BatchRunner, HandlesEmptyQueryList) {
+  WorkloadSpec spec;
+  spec.text_length = 1'000;
+  spec.num_queries = 1;
+  Workload w = BuildWorkload(spec);
+  AlaeIndex index(w.text);
+  BatchRunner runner(index);
+  std::vector<Sequence> none;
+  EXPECT_TRUE(runner.Run(none, ScoringScheme::Default(), 10, 4).empty());
+}
+
+TEST(BatchRunner, ZeroThreadsUsesHardwareConcurrency) {
+  WorkloadSpec spec;
+  spec.text_length = 5'000;
+  spec.query_length = 100;
+  spec.num_queries = 3;
+  Workload w = BuildWorkload(spec);
+  AlaeIndex index(w.text);
+  BatchRunner runner(index);
+  std::vector<ResultCollector> results =
+      runner.Run(w.queries, ScoringScheme::Default(), 15, 0);
+  EXPECT_EQ(results.size(), 3u);
+}
+
+}  // namespace
+}  // namespace alae

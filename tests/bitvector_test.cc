@@ -1,0 +1,77 @@
+#include "src/index/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace alae {
+namespace {
+
+TEST(BitVector, SetGet) {
+  BitVector bits(130);
+  bits.Set(0, true);
+  bits.Set(63, true);
+  bits.Set(64, true);
+  bits.Set(129, true);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_FALSE(bits.Get(1));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(129));
+  bits.Set(64, false);
+  EXPECT_FALSE(bits.Get(64));
+}
+
+TEST(RankBitVector, RankMatchesNaiveOnRandom) {
+  Rng rng(3);
+  for (size_t n : {0ul, 1ul, 63ul, 64ul, 65ul, 511ul, 512ul, 513ul, 10000ul}) {
+    BitVector bits(n);
+    std::vector<int> naive(n + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+      bool v = rng.Bernoulli(0.3);
+      bits.Set(i, v);
+      naive[i + 1] = naive[i] + (v ? 1 : 0);
+    }
+    RankBitVector rank(bits);
+    ASSERT_EQ(rank.size(), n);
+    for (size_t i = 0; i <= n; ++i) {
+      ASSERT_EQ(rank.Rank1(i), static_cast<size_t>(naive[i])) << "n=" << n
+                                                              << " i=" << i;
+      ASSERT_EQ(rank.Rank0(i), i - static_cast<size_t>(naive[i]));
+    }
+    EXPECT_EQ(rank.ones(), static_cast<size_t>(naive[n]));
+  }
+}
+
+TEST(RankBitVector, GetPreservesBits) {
+  Rng rng(4);
+  BitVector bits(1000);
+  std::vector<bool> truth(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    truth[i] = rng.Bernoulli(0.5);
+    bits.Set(i, truth[i]);
+  }
+  RankBitVector rank(bits);
+  for (size_t i = 0; i < 1000; ++i) EXPECT_EQ(rank.Get(i), truth[i]);
+}
+
+TEST(RankBitVector, DenseAndSparseExtremes) {
+  for (double p : {0.0, 1.0}) {
+    BitVector bits(700);
+    for (size_t i = 0; i < 700; ++i) bits.Set(i, p > 0.5);
+    RankBitVector rank(bits);
+    EXPECT_EQ(rank.Rank1(700), p > 0.5 ? 700u : 0u);
+    EXPECT_EQ(rank.Rank1(350), p > 0.5 ? 350u : 0u);
+  }
+}
+
+TEST(RankBitVector, SizeBytesAccounted) {
+  BitVector bits(100000);
+  RankBitVector rank(bits);
+  // ~1.3 bits/bit: raw words plus rank samples.
+  EXPECT_GT(rank.SizeBytes(), 100000u / 8);
+  EXPECT_LT(rank.SizeBytes(), 100000u / 4);
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,132 @@
+#include "src/baseline/blast/blast.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/blast/extend.h"
+#include "src/baseline/blast/seed.h"
+#include "src/baseline/smith_waterman.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+TEST(WordSeeder, FindsAllWordHits) {
+  Sequence text = Sequence::FromString("ACGTACGTAA", Alphabet::Dna());
+  Sequence query = Sequence::FromString("TACG", Alphabet::Dna());
+  WordSeeder seeder(query, 4);
+  std::vector<SeedHit> hits = seeder.Scan(text);
+  // "TACG" occurs in text at position 3 only; the query word at 0.
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].text_pos, 3);
+  EXPECT_EQ(hits[0].query_pos, 0);
+}
+
+TEST(WordSeeder, TwoHitModeRequiresPairedHitsOnDiagonal) {
+  SequenceGenerator gen(105);
+  Sequence text = gen.Random(500, Alphabet::Dna());
+  Sequence query = text.Substr(100, 60);  // long exact region
+  WordSeeder one_hit(query, 8, false);
+  WordSeeder two_hit(query, 8, true);
+  size_t ones = one_hit.Scan(text).size();
+  size_t twos = two_hit.Scan(text).size();
+  EXPECT_GT(ones, 0u);
+  EXPECT_LT(twos, ones);  // two-hit culls
+  EXPECT_GT(twos, 0u);    // but the long match still seeds
+}
+
+TEST(UngappedExtend, ExtendsAcrossTheFullExactMatch) {
+  SequenceGenerator gen(106);
+  Sequence text = gen.Random(300, Alphabet::Dna());
+  Sequence query = text.Substr(120, 40);
+  SeedHit seed{140, 20};  // word hit inside the copied region
+  UngappedSegment seg = UngappedExtend(text, query, seed, 8,
+                                       ScoringScheme::Default(), 16);
+  EXPECT_EQ(seg.score, 40);
+  EXPECT_EQ(seg.text_begin, 120);
+  EXPECT_EQ(seg.text_end, 160);
+  EXPECT_EQ(seg.query_begin, 0);
+  EXPECT_EQ(seg.query_end, 40);
+}
+
+TEST(GappedExtend, RecoversAlignmentAcrossAnIndel) {
+  // Query = text segment with a 2-char deletion in the middle.
+  SequenceGenerator gen(107);
+  Sequence text = gen.Random(400, Alphabet::Dna());
+  std::vector<Symbol> q;
+  for (int64_t i = 100; i < 130; ++i) q.push_back(text[static_cast<size_t>(i)]);
+  for (int64_t i = 132; i < 162; ++i) q.push_back(text[static_cast<size_t>(i)]);
+  Sequence query(std::move(q), Alphabet::Dna());
+  ResultCollector rc;
+  int32_t best = GappedExtend(text, query, 110, 10, ScoringScheme::Default(),
+                              30, 20, &rc);
+  // 60 matches minus one gap of 2: 60 + (-5 - 4) = 51.
+  EXPECT_EQ(best, 51);
+  EXPECT_GT(rc.size(), 0u);
+}
+
+TEST(Blast, FindsStrongPlantedAlignment) {
+  SequenceGenerator gen(108);
+  Sequence text = gen.Random(5000, Alphabet::Dna());
+  Sequence query = gen.HomologousQuery(text, 300, 0.8, 0.05, 0.01);
+  int32_t h = 30;
+  ResultCollector exact = SmithWaterman::Run(text, query,
+                                             ScoringScheme::Default(), h);
+  BlastRunStats stats;
+  ResultCollector blast = Blast::Run(text, query, ScoringScheme::Default(), h,
+                                     {}, &stats);
+  ASSERT_GT(exact.size(), 0u);
+  EXPECT_GT(blast.size(), 0u);
+  EXPECT_GT(stats.seeds, 0u);
+  EXPECT_GT(stats.gapped_extensions, 0u);
+}
+
+// The defining property of the heuristic: it is a subset of the exact
+// results, never a superset, and scores never exceed the true A(i,j).
+TEST(Blast, IsSoundButIncomplete) {
+  SequenceGenerator gen(109);
+  for (int trial = 0; trial < 6; ++trial) {
+    Sequence text = gen.Random(2000, Alphabet::Dna());
+    Sequence query = gen.HomologousQuery(text, 150, 0.6, 0.2, 0.03);
+    int32_t h = 18;
+    ResultCollector exact =
+        SmithWaterman::Run(text, query, ScoringScheme::Default(), h);
+    BlastOptions options;
+    options.word_size = 9;
+    ResultCollector blast =
+        Blast::Run(text, query, ScoringScheme::Default(), h, options);
+    // Index exact hits for lookup.
+    std::map<std::pair<int64_t, int64_t>, int32_t> truth;
+    for (const AlignmentHit& hit : exact.Sorted()) {
+      truth[{hit.text_end, hit.query_end}] = hit.score;
+    }
+    for (const AlignmentHit& hit : blast.Sorted()) {
+      auto it = truth.find({hit.text_end, hit.query_end});
+      ASSERT_NE(it, truth.end())
+          << "BLAST reported a non-result (" << hit.text_end << ","
+          << hit.query_end << ")";
+      EXPECT_LE(hit.score, it->second);
+    }
+    EXPECT_LE(blast.size(), exact.size());
+  }
+}
+
+TEST(Blast, WordSizeDefaultsByAlphabet) {
+  SequenceGenerator gen(110);
+  Sequence prot_text = gen.Random(2000, Alphabet::Protein());
+  Sequence prot_query = gen.HomologousQuery(prot_text, 100, 0.8, 0.1, 0.01);
+  // Protein default word=3 seeds fine on a 100-char homolog.
+  BlastRunStats stats;
+  Blast::Run(prot_text, prot_query, ScoringScheme::Default(), 15, {}, &stats);
+  EXPECT_GT(stats.seeds, 0u);
+}
+
+TEST(Blast, QueryShorterThanWordStillSafe) {
+  Sequence text = Sequence::FromString("ACGTACGTACGT", Alphabet::Dna());
+  Sequence query = Sequence::FromString("ACG", Alphabet::Dna());
+  // word_size falls back to |query|.
+  ResultCollector rc = Blast::Run(text, query, ScoringScheme::Default(), 3);
+  EXPECT_GT(rc.size(), 0u);
+}
+
+}  // namespace
+}  // namespace alae

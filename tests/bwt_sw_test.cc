@@ -1,0 +1,85 @@
+#include "src/baseline/bwt_sw.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/smith_waterman.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+TEST(BwtSw, CountsEveryCellAtCostThree) {
+  SequenceGenerator gen(95);
+  Sequence text = gen.Random(300, Alphabet::Dna());
+  Sequence query = gen.HomologousQuery(text, 60, 0.7, 0.15, 0.05);
+  FmIndex rev(text.Reversed());
+  BwtSw engine(rev, static_cast<int64_t>(text.size()));
+  DpCounters counters;
+  engine.Run(query, ScoringScheme::Default(), 12, &counters);
+  EXPECT_GT(counters.cells_cost3, 0u);
+  EXPECT_EQ(counters.cells_cost1, 0u);
+  EXPECT_EQ(counters.cells_cost2, 0u);
+  EXPECT_EQ(counters.reused, 0u);
+  EXPECT_EQ(counters.ComputationCost(), 3 * counters.cells_cost3);
+  EXPECT_GT(counters.trie_nodes_visited, 0u);
+}
+
+TEST(BwtSw, CalculatesFarFewerCellsThanSmithWaterman) {
+  SequenceGenerator gen(96);
+  Sequence text = gen.Random(5000, Alphabet::Dna());
+  Sequence query = gen.HomologousQuery(text, 200, 0.5, 0.3, 0.02);
+  FmIndex rev(text.Reversed());
+  BwtSw engine(rev, static_cast<int64_t>(text.size()));
+  DpCounters counters;
+  engine.Run(query, ScoringScheme::Default(), 25, &counters);
+  // The suffix-trie pruning is the whole point: orders of magnitude below
+  // the n*m full matrix.
+  EXPECT_LT(counters.cells_cost3, SmithWaterman::CellCount(text, query) / 10);
+}
+
+TEST(BwtSw, ThresholdDoesNotChangeCellCount) {
+  // BWT-SW prunes on positivity only; H filters reporting, not work
+  // (ALAE's score filter is the improvement, §7.3).
+  SequenceGenerator gen(97);
+  Sequence text = gen.Random(2000, Alphabet::Dna());
+  Sequence query = gen.HomologousQuery(text, 100, 0.6, 0.25, 0.02);
+  FmIndex rev(text.Reversed());
+  BwtSw engine(rev, static_cast<int64_t>(text.size()));
+  DpCounters low, high;
+  engine.Run(query, ScoringScheme::Default(), 10, &low);
+  engine.Run(query, ScoringScheme::Default(), 40, &high);
+  EXPECT_EQ(low.cells_cost3, high.cells_cost3);
+}
+
+TEST(BwtSw, HandlesQueryWithNoHits) {
+  Sequence text = Sequence::FromString(std::string(100, 'A'), Alphabet::Dna());
+  Sequence query = Sequence::FromString("CGCGCGCG", Alphabet::Dna());
+  FmIndex rev(text.Reversed());
+  BwtSw engine(rev, static_cast<int64_t>(text.size()));
+  EXPECT_EQ(engine.Run(query, ScoringScheme::Default(), 4).size(), 0u);
+}
+
+TEST(BwtSw, EmptyQuery) {
+  Sequence text = Sequence::FromString("ACGT", Alphabet::Dna());
+  Sequence query;
+  FmIndex rev(text.Reversed());
+  BwtSw engine(rev, static_cast<int64_t>(text.size()));
+  EXPECT_EQ(engine.Run(query, ScoringScheme::Default(), 1).size(), 0u);
+}
+
+TEST(BwtSw, MultipleSchemesAgreeWithSmithWaterman) {
+  SequenceGenerator gen(98);
+  Sequence text = gen.Random(400, Alphabet::Protein());
+  Sequence query = gen.HomologousQuery(text, 60, 0.7, 0.15, 0.03);
+  FmIndex rev(text.Reversed());
+  BwtSw engine(rev, static_cast<int64_t>(text.size()));
+  for (int idx = 0; idx < 4; ++idx) {
+    ScoringScheme scheme = ScoringScheme::Fig9(idx);
+    EXPECT_EQ(SmithWaterman::Run(text, query, scheme, 10).Sorted(),
+              engine.Run(query, scheme, 10).Sorted())
+        << scheme.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace alae

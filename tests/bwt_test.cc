@@ -1,0 +1,58 @@
+#include "src/index/bwt.h"
+
+#include <gtest/gtest.h>
+
+#include "src/index/suffix_array.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+TEST(Bwt, PaperExample) {
+  // BWT of GCTAGC$ is CTGGA$C (paper §2.3).
+  Sequence t = Sequence::FromString("GCTAGC", Alphabet::Dna());
+  std::vector<int64_t> sa = BuildSuffixArray(t.symbols(), 4);
+  BwtResult bwt = BuildBwt(t.symbols(), sa);
+  std::string rendered;
+  for (Symbol s : bwt.bwt) {
+    rendered += (s == 0) ? '$' : Alphabet::Dna().CharOf(static_cast<Symbol>(s - 1));
+  }
+  EXPECT_EQ(rendered, "CTGGA$C");
+  EXPECT_EQ(bwt.sentinel_pos, 5u);
+}
+
+TEST(Bwt, InvertRoundTripRandom) {
+  SequenceGenerator gen(21);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Alphabet& alphabet =
+        trial % 2 ? Alphabet::Protein() : Alphabet::Dna();
+    int64_t n = 1 + static_cast<int64_t>(gen.rng().Below(500));
+    Sequence t = gen.Random(n, alphabet);
+    std::vector<int64_t> sa = BuildSuffixArray(t.symbols(), alphabet.sigma());
+    BwtResult bwt = BuildBwt(t.symbols(), sa);
+    EXPECT_EQ(InvertBwt(bwt, alphabet.sigma()), t.symbols()) << "trial "
+                                                             << trial;
+  }
+}
+
+TEST(Bwt, EmptyText) {
+  std::vector<Symbol> empty;
+  std::vector<int64_t> sa = BuildSuffixArray(empty, 4);
+  BwtResult bwt = BuildBwt(empty, sa);
+  ASSERT_EQ(bwt.bwt.size(), 1u);
+  EXPECT_EQ(bwt.bwt[0], 0);  // just the sentinel
+}
+
+TEST(Bwt, RepetitiveTextCompressesRuns) {
+  // The BWT of a highly repetitive text groups identical characters; check
+  // the transform round-trips (the compression property itself is what the
+  // Burrows-Wheeler construction is for, §2.3).
+  Sequence t = Sequence::FromString(std::string(64, 'A') + std::string(64, 'C'),
+                                    Alphabet::Dna());
+  std::vector<int64_t> sa = BuildSuffixArray(t.symbols(), 4);
+  BwtResult bwt = BuildBwt(t.symbols(), sa);
+  EXPECT_EQ(InvertBwt(bwt, 4), t.symbols());
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,98 @@
+#include "src/index/cp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/index/lcp.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+// Oracle: the longest prefix of P[col_w..] shared with any earlier fork's
+// suffix, via direct LCP comparison.
+int64_t OracleSharedLen(const Sequence& p, const std::vector<int64_t>& cols,
+                        size_t w) {
+  LcpIndex lcp(p);
+  int64_t best = 0;
+  for (size_t u = 0; u < w; ++u) {
+    best = std::max(best, static_cast<int64_t>(
+                              lcp.Lcp(static_cast<size_t>(cols[u]),
+                                      static_cast<size_t>(cols[w]))));
+  }
+  return best;
+}
+
+TEST(CpTree, PaperStyleExample) {
+  // P=CACGTATACG with columns {1,3,5,7} (0-based for the paper's
+  // j1=2, j2=4, j3=6, j4=8): suffixes ACGTATACG, GTATACG, ATACG, ACG.
+  Sequence p = Sequence::FromString("CACGTATACG", Alphabet::Dna());
+  CpTree tree(p, {1, 3, 5, 7});
+  EXPECT_EQ(tree.Reuse(0).source, -1);
+  EXPECT_EQ(tree.Reuse(1).length, 0);          // GT... shares nothing
+  EXPECT_EQ(tree.Reuse(2).length, 1);          // "A" shared with fork 0
+  EXPECT_EQ(tree.Reuse(2).source, 0);
+  EXPECT_EQ(tree.Reuse(3).length, 3);          // "ACG" shared with fork 0
+  EXPECT_EQ(tree.Reuse(3).source, 0);
+}
+
+TEST(CpTree, SharedLengthMatchesLcpOracle) {
+  SequenceGenerator gen(51);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Alphabet& alphabet = trial % 2 ? Alphabet::Dna() : Alphabet::Protein();
+    int64_t m = 20 + static_cast<int64_t>(gen.rng().Below(100));
+    Sequence p = gen.Random(m, alphabet);
+    std::vector<int64_t> cols;
+    for (int64_t j = static_cast<int64_t>(gen.rng().Below(4)); j < m;
+         j += 1 + static_cast<int64_t>(gen.rng().Below(8))) {
+      cols.push_back(j);
+    }
+    if (cols.empty()) continue;
+    CpTree tree(p, cols);
+    for (size_t w = 0; w < cols.size(); ++w) {
+      ASSERT_EQ(tree.Reuse(w).length, OracleSharedLen(p, cols, w))
+          << "trial " << trial << " fork " << w;
+    }
+  }
+}
+
+TEST(CpTree, SourceActuallySharesThePrefix) {
+  SequenceGenerator gen(52);
+  Sequence p = gen.Random(120, Alphabet::Dna());
+  std::vector<int64_t> cols;
+  for (int64_t j = 0; j < 110; j += 3) cols.push_back(j);
+  CpTree tree(p, cols);
+  LcpIndex lcp(p);
+  for (size_t w = 0; w < cols.size(); ++w) {
+    const CpTree::ReuseInfo& info = tree.Reuse(w);
+    if (info.source < 0) continue;
+    ASSERT_LT(static_cast<size_t>(info.source), w);
+    // The reported source must share at least the reported length.
+    EXPECT_GE(static_cast<int64_t>(
+                  lcp.Lcp(static_cast<size_t>(cols[static_cast<size_t>(
+                              info.source)]),
+                          static_cast<size_t>(cols[w]))),
+              info.length);
+  }
+}
+
+TEST(CpTree, HighlyRepetitiveQueryBuildsCompactTree) {
+  Sequence p = Sequence::FromString(std::string(60, 'A'), Alphabet::Dna());
+  std::vector<int64_t> cols = {0, 10, 20, 30};
+  CpTree tree(p, cols);
+  // Suffixes are nested runs of A; everything shares with fork 0.
+  EXPECT_EQ(tree.Reuse(1).source, 0);
+  EXPECT_EQ(tree.Reuse(1).length, 50);
+  EXPECT_EQ(tree.Reuse(3).length, 30);
+  // Path compression keeps the node count linear in #forks.
+  EXPECT_LE(tree.num_nodes(), 2 * cols.size() + 2);
+}
+
+TEST(CpTree, SingleFork) {
+  Sequence p = Sequence::FromString("ACGTACGT", Alphabet::Dna());
+  CpTree tree(p, {2});
+  EXPECT_EQ(tree.Reuse(0).source, -1);
+  EXPECT_EQ(tree.Reuse(0).length, 0);
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,106 @@
+#include "src/index/domination_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+// Brute-force domination oracle: gram g (of length q) is dominated by
+// character c iff g never occurs at position 0 and every occurrence at
+// t >= 1 has text[t-1] == c.
+std::map<std::string, int> OracleDomination(const Sequence& text, int q) {
+  std::map<std::string, int> out;  // -1 = not dominated, else char code
+  int64_t n = static_cast<int64_t>(text.size());
+  for (int64_t t = 0; t + q <= n; ++t) {
+    std::string key;
+    for (int i = 0; i < q; ++i) key.push_back(static_cast<char>(text[t + i]));
+    int pred = (t == 0) ? -1 : text[static_cast<size_t>(t - 1)];
+    auto it = out.find(key);
+    if (it == out.end()) {
+      out[key] = pred;
+    } else if (it->second != pred) {
+      it->second = -1;
+    }
+  }
+  return out;
+}
+
+TEST(DominationIndex, MatchesOracleRandom) {
+  SequenceGenerator gen(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Alphabet& alphabet = trial % 2 ? Alphabet::Protein() : Alphabet::Dna();
+    int64_t n = 20 + static_cast<int64_t>(gen.rng().Below(400));
+    int q = 2 + trial % 3;
+    Sequence text = gen.Random(n, alphabet);
+    DominationIndex index(text, q);
+    std::map<std::string, int> oracle = OracleDomination(text, q);
+    size_t oracle_dominated = 0;
+    for (const auto& [key, pred] : oracle) {
+      Symbol c = 255;
+      bool dominated = index.IsDominated(
+          reinterpret_cast<const Symbol*>(key.data()), &c);
+      if (pred >= 0) {
+        ++oracle_dominated;
+        ASSERT_TRUE(dominated) << "trial " << trial;
+        ASSERT_EQ(static_cast<int>(c), pred);
+      } else {
+        ASSERT_FALSE(dominated);
+      }
+    }
+    EXPECT_EQ(index.num_dominated(), oracle_dominated);
+    EXPECT_EQ(index.num_grams(), oracle.size());
+  }
+}
+
+TEST(DominationIndex, UniqueOccurrenceIsDominated) {
+  // In "GCTAGG", the gram "CTA" occurs once at position 1, preceded by G.
+  Sequence text = Sequence::FromString("GCTAGG", Alphabet::Dna());
+  DominationIndex index(text, 3);
+  Sequence gram = Sequence::FromString("CTA", Alphabet::Dna());
+  Symbol pred = 255;
+  ASSERT_TRUE(index.IsDominated(gram.symbols().data(), &pred));
+  EXPECT_EQ(pred, Alphabet::Dna().CodeOf('G'));
+}
+
+TEST(DominationIndex, FrontOfTextGramNeverDominated) {
+  Sequence text = Sequence::FromString("CTACTA", Alphabet::Dna());
+  DominationIndex index(text, 3);
+  // "CTA" occurs at 0 and 3; the position-0 occurrence forbids domination
+  // even though the other occurrence has a consistent predecessor.
+  Sequence gram = Sequence::FromString("CTA", Alphabet::Dna());
+  Symbol pred = 255;
+  EXPECT_FALSE(index.IsDominated(gram.symbols().data(), &pred));
+}
+
+TEST(DominationIndex, MixedPredecessorsNotDominated) {
+  Sequence text = Sequence::FromString("ACTAGCTAG", Alphabet::Dna());
+  DominationIndex index(text, 3);
+  // "CTA" at 1 (pred A) and 5 (pred G): not dominated.
+  Sequence gram = Sequence::FromString("CTA", Alphabet::Dna());
+  Symbol pred = 255;
+  EXPECT_FALSE(index.IsDominated(gram.symbols().data(), &pred));
+}
+
+TEST(DominationIndex, TextShorterThanQ) {
+  Sequence text = Sequence::FromString("AC", Alphabet::Dna());
+  DominationIndex index(text, 5);
+  EXPECT_EQ(index.num_grams(), 0u);
+}
+
+TEST(DominationIndex, SizeBytesGrowsWithDistinctGrams) {
+  SequenceGenerator gen(72);
+  Sequence small = gen.Random(100, Alphabet::Dna());
+  Sequence large = gen.Random(10000, Alphabet::Dna());
+  DominationIndex a(small, 6);
+  DominationIndex b(large, 6);
+  EXPECT_GT(b.num_grams(), a.num_grams());
+  EXPECT_GT(b.SizeBytes(), a.SizeBytes());
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,94 @@
+#include "src/align/dp.h"
+
+#include <gtest/gtest.h>
+
+namespace alae {
+namespace {
+
+// Pins the worked example of the paper's Fig 1: X=GCTA against P=GCTAG
+// under <1,-3,-5,-2>.
+TEST(DpMatrix, PaperFig1Values) {
+  Sequence x = Sequence::FromString("GCTA", Alphabet::Dna());
+  Sequence p = Sequence::FromString("GCTAG", Alphabet::Dna());
+  DpMatrix dp = ComputeMatrix(x.symbols(), p.symbols(), ScoringScheme::Default());
+
+  // Row 0 and column 0 initial conditions (§2.2).
+  for (int64_t j = 0; j <= 5; ++j) EXPECT_EQ(dp.M(0, j), 0);
+  EXPECT_EQ(dp.M(1, 0), -7);
+  EXPECT_EQ(dp.M(2, 0), -9);
+  EXPECT_EQ(dp.M(3, 0), -11);
+  EXPECT_EQ(dp.M(4, 0), -13);
+
+  // The bold M values of Fig 1, row by row.
+  const int32_t expected[4][5] = {
+      {1, -3, -3, -3, 1},
+      {-6, 2, -5, -6, -6},
+      {-8, -5, 3, -4, -6},
+      {-10, -7, -4, 4, -3},
+  };
+  for (int64_t i = 1; i <= 4; ++i) {
+    for (int64_t j = 1; j <= 5; ++j) {
+      EXPECT_EQ(dp.M(i, j), expected[i - 1][j - 1])
+          << "M(" << i << "," << j << ")";
+    }
+  }
+
+  // Spot-check the worked Ga/Gb recurrence from §2.2: Ga(4,3) = -4 and
+  // Gb(4,3) = -14, giving M(4,3) = max(-5-3, -4, -14) = -4.
+  EXPECT_EQ(dp.Ga(4, 3), -4);
+  EXPECT_EQ(dp.Gb(4, 3), -14);
+}
+
+TEST(DpMatrix, SimilarityExampleFromSection2) {
+  // sim(AAACG, AACCG) = 1*4 + (-3) = 1 under the default scheme (§2.1) —
+  // aligning the full strings with one substitution. ComputeMatrix's
+  // M(i, j) lets any query substring end at j, so check the global-ish
+  // cell M(5, 5) >= 1 and that the best all-of-X alignment value is 1.
+  Sequence x = Sequence::FromString("AAACG", Alphabet::Dna());
+  Sequence p = Sequence::FromString("AACCG", Alphabet::Dna());
+  DpMatrix dp = ComputeMatrix(x.symbols(), p.symbols(), ScoringScheme::Default());
+  EXPECT_EQ(dp.M(5, 5), 1);
+}
+
+TEST(DpMatrix, MatchRunScoresLinearly) {
+  Sequence x = Sequence::FromString("ACGT", Alphabet::Dna());
+  DpMatrix dp = ComputeMatrix(x.symbols(), x.symbols(), ScoringScheme::Default());
+  for (int64_t i = 1; i <= 4; ++i) EXPECT_EQ(dp.M(i, i), i);
+}
+
+TEST(BestLocalScore, SymmetricAndMatchesKnownCases) {
+  ScoringScheme s = ScoringScheme::Default();
+  Sequence a = Sequence::FromString("ACGTACGT", Alphabet::Dna());
+  Sequence b = Sequence::FromString("TTACGTAA", Alphabet::Dna());
+  // Best shared substring: ACGTA (score 5).
+  EXPECT_EQ(BestLocalScore(a, b, s), 5);
+  EXPECT_EQ(BestLocalScore(b, a, s), 5);
+}
+
+TEST(BestLocalScore, GapBeatsUngappedFlank) {
+  // a = 6 A's, TT, 6 A's vs b = 12 A's under <1,-3,-2,-1>: bridging the TT
+  // with a 2-gap scores 12 + (sg + 2*ss) = 12 - 4 = 8, beating the best
+  // ungapped flank alignment (6).
+  ScoringScheme s{1, -3, -2, -1};
+  Sequence a = Sequence::FromString("AAAAAATTAAAAAA", Alphabet::Dna());
+  Sequence b = Sequence::FromString("AAAAAAAAAAAA", Alphabet::Dna());
+  EXPECT_EQ(BestLocalScore(a, b, s), 8);
+}
+
+TEST(BestLocalScore, NoSimilarityGivesZero) {
+  ScoringScheme s = ScoringScheme::Default();
+  Sequence a = Sequence::FromString("AAAA", Alphabet::Dna());
+  Sequence b = Sequence::FromString("CCCC", Alphabet::Dna());
+  EXPECT_EQ(BestLocalScore(a, b, s), 0);
+}
+
+TEST(BestLocalScore, EmptyInputs) {
+  ScoringScheme s = ScoringScheme::Default();
+  Sequence a;
+  Sequence b = Sequence::FromString("ACGT", Alphabet::Dna());
+  EXPECT_EQ(BestLocalScore(a, b, s), 0);
+  EXPECT_EQ(BestLocalScore(b, a, s), 0);
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,100 @@
+#include "src/stats/entry_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace alae {
+namespace {
+
+// §6's headline numbers. The paper reports, for the default DNA scheme
+// <1,-3,-5,-2>: 4.47*m*n^0.6038, versus BWT-SW's 69*m*n^0.628.
+TEST(EntryBound, DefaultDnaSchemeMatchesPaper) {
+  EntryBound b = ComputeEntryBound(ScoringScheme::Default(), 4);
+  EXPECT_EQ(b.q, 4);
+  EXPECT_NEAR(b.s, 4.0, 1e-12);
+  EXPECT_NEAR(b.exponent, 0.6038, 5e-4);
+  EXPECT_NEAR(b.coefficient, 4.47, 5e-2);
+}
+
+// DNA worst case <1,-1,-5,-2>: 9.05*m*n^0.896 (§6, §7.4).
+TEST(EntryBound, DnaWorstCaseMatchesPaper) {
+  EntryBound b = ComputeEntryBound(ScoringScheme::Fig9(2), 4);
+  EXPECT_EQ(b.q, 2);
+  EXPECT_NEAR(b.exponent, 0.896, 5e-3);
+  EXPECT_NEAR(b.coefficient, 9.05, 5e-2);
+}
+
+// DNA best case <1,-4,-5,-2>: 4.50*m*n^0.520.
+TEST(EntryBound, DnaBestCaseMatchesPaper) {
+  EntryBound b = ComputeEntryBound(ScoringScheme::Fig9(1), 4);
+  EXPECT_EQ(b.q, 5);
+  EXPECT_NEAR(b.exponent, 0.520, 5e-3);
+  EXPECT_NEAR(b.coefficient, 4.50, 5e-2);
+}
+
+// Protein corners: 8.28*m*n^0.364 (sb=-4, q=5) and 7.49*m*n^0.723 (sb=-1).
+TEST(EntryBound, ProteinCornersMatchPaper) {
+  EntryBound best = ComputeEntryBound(ScoringScheme{1, -4, -5, -2}, 20);
+  EXPECT_NEAR(best.exponent, 0.364, 5e-3);
+  EXPECT_NEAR(best.coefficient, 8.28, 5e-2);
+  EntryBound worst = ComputeEntryBound(ScoringScheme{1, -1, -5, -2}, 20);
+  EXPECT_NEAR(worst.exponent, 0.723, 5e-3);
+  EXPECT_NEAR(worst.coefficient, 7.49, 5e-2);
+}
+
+// Sweeping the full BLAST grid reproduces the ranges the abstract quotes:
+// DNA exponents within [0.520, 0.896], protein within [0.364, 0.723].
+TEST(EntryBound, BlastGridRangesMatchAbstract) {
+  for (int sigma : {4, 20}) {
+    double lo_exp = 1e9, hi_exp = -1e9;
+    for (const ScoringScheme& s : BlastSchemeGrid()) {
+      EntryBound b = ComputeEntryBound(s, sigma);
+      lo_exp = std::min(lo_exp, b.exponent);
+      hi_exp = std::max(hi_exp, b.exponent);
+      EXPECT_GT(b.coefficient, 0) << s.ToString();
+      EXPECT_GT(b.k2, 1.0) << s.ToString();  // sublinear growth needs k2>1
+      EXPECT_LT(b.k2, sigma) << s.ToString();
+    }
+    if (sigma == 4) {
+      EXPECT_NEAR(lo_exp, 0.520, 5e-3);
+      EXPECT_NEAR(hi_exp, 0.896, 5e-3);
+    } else {
+      EXPECT_NEAR(lo_exp, 0.364, 5e-3);
+      EXPECT_NEAR(hi_exp, 0.723, 5e-3);
+    }
+  }
+}
+
+TEST(EntryBound, AlaeBeatsBwtSwBoundForDefaultScheme) {
+  // ALAE: 4.47*m*n^0.6038 vs BWT-SW: 69*m*n^0.628 — for any n >= 1 the
+  // ALAE bound is smaller.
+  EntryBound b = ComputeEntryBound(ScoringScheme::Default(), 4);
+  for (double n : {1e6, 1e8, 1e9}) {
+    double alae = b.Evaluate(1.0, n);
+    double bwtsw = 69.0 * std::pow(n, 0.628);
+    EXPECT_LT(alae, bwtsw) << "n=" << n;
+  }
+}
+
+TEST(EntryBound, EvaluateScalesLinearlyInM) {
+  EntryBound b = ComputeEntryBound(ScoringScheme::Default(), 4);
+  EXPECT_NEAR(b.Evaluate(2000, 1e6), 2 * b.Evaluate(1000, 1e6), 1e-6);
+}
+
+TEST(EntryBound, LargerQImprovesTheBound) {
+  // Larger |sb| -> larger q and s -> smaller exponent.
+  EntryBound b2 = ComputeEntryBound(ScoringScheme{1, -2, -5, -2}, 4);
+  EntryBound b3 = ComputeEntryBound(ScoringScheme{1, -3, -5, -2}, 4);
+  EntryBound b4 = ComputeEntryBound(ScoringScheme{1, -4, -5, -2}, 4);
+  EXPECT_GT(b2.exponent, b3.exponent);
+  EXPECT_GT(b3.exponent, b4.exponent);
+}
+
+TEST(EntryBound, GridHas48Schemes) {
+  EXPECT_EQ(BlastSchemeGrid().size(), 48u);  // 6 pairs x 4 opens x 2 extends
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,93 @@
+#include "src/io/fasta.h"
+
+#include <gtest/gtest.h>
+
+namespace alae {
+namespace {
+
+TEST(FastaReader, ParsesMultipleRecords) {
+  std::string payload =
+      ">seq1 description\nACGT\nACGT\n>seq2\nTTTT\n";
+  std::vector<FastaRecord> records;
+  std::string error;
+  ASSERT_TRUE(FastaReader::ParseString(payload, &records, &error)) << error;
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].header, "seq1 description");
+  EXPECT_EQ(records[0].residues, "ACGTACGT");
+  EXPECT_EQ(records[1].residues, "TTTT");
+}
+
+TEST(FastaReader, HandlesWindowsLineEndingsAndBlankLines) {
+  std::string payload = ">a\r\nAC GT\r\n\r\nACGT\r\n";
+  std::vector<FastaRecord> records;
+  std::string error;
+  ASSERT_TRUE(FastaReader::ParseString(payload, &records, &error)) << error;
+  EXPECT_EQ(records[0].residues, "ACGTACGT");  // inner whitespace stripped
+}
+
+TEST(FastaReader, RejectsResiduesBeforeHeader) {
+  std::vector<FastaRecord> records;
+  std::string error;
+  EXPECT_FALSE(FastaReader::ParseString("ACGT\n>a\nACGT\n", &records, &error));
+  EXPECT_NE(error.find("before first"), std::string::npos);
+}
+
+TEST(FastaReader, RejectsEmptyRecord) {
+  std::vector<FastaRecord> records;
+  std::string error;
+  EXPECT_FALSE(FastaReader::ParseString(">a\n>b\nACGT\n", &records, &error));
+  EXPECT_FALSE(FastaReader::ParseString(">only\n", &records, &error));
+}
+
+TEST(FastaReader, RejectsEmptyPayload) {
+  std::vector<FastaRecord> records;
+  std::string error;
+  EXPECT_FALSE(FastaReader::ParseString("", &records, &error));
+}
+
+TEST(FastaReader, SkipsCommentLines) {
+  std::vector<FastaRecord> records;
+  std::string error;
+  ASSERT_TRUE(
+      FastaReader::ParseString(">a\n;comment\nACGT\n", &records, &error));
+  EXPECT_EQ(records[0].residues, "ACGT");
+}
+
+TEST(FastaReader, ToTextConcatenatesWithBoundaries) {
+  std::vector<FastaRecord> records = {{"a", "ACGT"}, {"b", "TT"}};
+  std::vector<size_t> boundaries;
+  Sequence text = FastaReader::ToText(records, Alphabet::Dna(), &boundaries);
+  EXPECT_EQ(text.ToString(), "ACGTTT");
+  EXPECT_EQ(boundaries, (std::vector<size_t>{0, 4}));
+}
+
+TEST(FastaWriter, RoundTripsThroughReader) {
+  std::vector<FastaRecord> records = {
+      {"chr1", std::string(150, 'A')}, {"chr2", "ACGTACGT"}};
+  std::string payload = FastaWriter::ToString(records, 70);
+  std::vector<FastaRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(FastaReader::ParseString(payload, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].residues, records[0].residues);
+  EXPECT_EQ(parsed[1].residues, records[1].residues);
+}
+
+TEST(FastaWriter, FileRoundTrip) {
+  std::vector<FastaRecord> records = {{"x", "ACGT"}};
+  std::string path = ::testing::TempDir() + "/alae_fasta_test.fa";
+  std::string error;
+  ASSERT_TRUE(FastaWriter::WriteFile(path, records, &error)) << error;
+  std::vector<FastaRecord> parsed;
+  ASSERT_TRUE(FastaReader::ParseFile(path, &parsed, &error)) << error;
+  EXPECT_EQ(parsed[0].residues, "ACGT");
+}
+
+TEST(FastaReader, MissingFileFails) {
+  std::vector<FastaRecord> records;
+  std::string error;
+  EXPECT_FALSE(FastaReader::ParseFile("/nonexistent/file.fa", &records, &error));
+}
+
+}  // namespace
+}  // namespace alae

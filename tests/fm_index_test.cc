@@ -1,0 +1,142 @@
+#include "src/index/fm_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+// Brute-force occurrence count/starts of a pattern in a text.
+std::vector<int64_t> BruteFind(const Sequence& text, const Sequence& pat) {
+  std::vector<int64_t> out;
+  if (pat.size() == 0 || pat.size() > text.size()) return out;
+  for (size_t i = 0; i + pat.size() <= text.size(); ++i) {
+    bool ok = true;
+    for (size_t k = 0; k < pat.size(); ++k) {
+      if (text[i + k] != pat[k]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+class FmIndexTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(FmIndexTest, FindAndLocateMatchBruteForce) {
+  SequenceGenerator gen(7);
+  FmIndexOptions options;
+  options.use_wavelet = GetParam();
+  for (int trial = 0; trial < 12; ++trial) {
+    int64_t n = 50 + static_cast<int64_t>(gen.rng().Below(400));
+    const Alphabet& alphabet =
+        trial % 2 ? Alphabet::Protein() : Alphabet::Dna();
+    Sequence text = gen.Random(n, alphabet);
+    FmIndex fm(text, options);
+    for (int p = 0; p < 30; ++p) {
+      int64_t plen = 1 + static_cast<int64_t>(gen.rng().Below(8));
+      Sequence pat;
+      if (p % 3 == 0 && n > plen) {
+        // Guaranteed hit: sample from the text.
+        int64_t at = static_cast<int64_t>(
+            gen.rng().Below(static_cast<uint64_t>(n - plen)));
+        pat = text.Substr(static_cast<size_t>(at), static_cast<size_t>(plen));
+      } else {
+        pat = gen.Random(plen, alphabet);
+      }
+      std::vector<int64_t> expected = BruteFind(text, pat);
+      SaRange range = fm.Find(pat.symbols());
+      EXPECT_EQ(range.Count(), static_cast<int64_t>(expected.size()));
+      if (!range.Empty()) {
+        std::vector<int64_t> got = fm.Locate(range);
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, expected);
+      }
+    }
+  }
+}
+
+TEST_P(FmIndexTest, ExtendBuildsPatternsBackwards) {
+  // Extend(range, c) must compute the range of c·S from the range of S.
+  FmIndexOptions options;
+  options.use_wavelet = GetParam();
+  Sequence text = Sequence::FromString("GCTAGCTAGGCTA", Alphabet::Dna());
+  FmIndex fm(text, options);
+  // Build "CTA" backwards: A, TA, CTA.
+  SaRange r = fm.FullRange();
+  Sequence a = Sequence::FromString("A", Alphabet::Dna());
+  Sequence ta = Sequence::FromString("TA", Alphabet::Dna());
+  Sequence cta = Sequence::FromString("CTA", Alphabet::Dna());
+  r = fm.Extend(r, static_cast<Symbol>(0));  // 'A'
+  EXPECT_EQ(r.Count(), static_cast<int64_t>(BruteFind(text, a).size()));
+  r = fm.Extend(r, static_cast<Symbol>(3));  // 'T'
+  EXPECT_EQ(r.Count(), static_cast<int64_t>(BruteFind(text, ta).size()));
+  r = fm.Extend(r, static_cast<Symbol>(1));  // 'C'
+  EXPECT_EQ(r.Count(), static_cast<int64_t>(BruteFind(text, cta).size()));
+}
+
+TEST_P(FmIndexTest, FullRangeCountsAllSuffixes) {
+  FmIndexOptions options;
+  options.use_wavelet = GetParam();
+  SequenceGenerator gen(8);
+  Sequence text = gen.Random(100, Alphabet::Dna());
+  FmIndex fm(text, options);
+  EXPECT_EQ(fm.FullRange().Count(), 101);
+}
+
+TEST_P(FmIndexTest, EmptyPatternAbsentPattern) {
+  FmIndexOptions options;
+  options.use_wavelet = GetParam();
+  Sequence text = Sequence::FromString("AAAA", Alphabet::Dna());
+  FmIndex fm(text, options);
+  Sequence absent = Sequence::FromString("G", Alphabet::Dna());
+  EXPECT_TRUE(fm.Find(absent.symbols()).Empty());
+  // Extending an empty range stays empty.
+  SaRange empty{0, 0};
+  EXPECT_TRUE(fm.Extend(empty, 0).Empty());
+}
+
+TEST_P(FmIndexTest, SampleRateVariationsLocateCorrectly) {
+  SequenceGenerator gen(9);
+  Sequence text = gen.Random(300, Alphabet::Dna());
+  for (int rate : {1, 4, 64}) {
+    FmIndexOptions options;
+    options.use_wavelet = GetParam();
+    options.sa_sample_rate = rate;
+    FmIndex fm(text, options);
+    Sequence pat = text.Substr(100, 5);
+    std::vector<int64_t> expected = BruteFind(text, pat);
+    std::vector<int64_t> got = fm.Locate(fm.Find(pat.symbols()));
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "rate " << rate;
+  }
+}
+
+TEST_P(FmIndexTest, SizesArePositiveAndWaveletIsSmallerForDna) {
+  SequenceGenerator gen(10);
+  Sequence text = gen.Random(20000, Alphabet::Dna());
+  FmIndexOptions flat;
+  FmIndexOptions wave;
+  wave.use_wavelet = true;
+  FmIndex fm_flat(text, flat);
+  FmIndex fm_wave(text, wave);
+  EXPECT_GT(fm_flat.SizeBytes().Total(), 0u);
+  EXPECT_GT(fm_wave.SizeBytes().Total(), 0u);
+  // The wavelet occ (3 bits/char + rank overhead) beats byte-BWT +
+  // checkpoints for DNA.
+  EXPECT_LT(fm_wave.SizeBytes().bwt_bytes, fm_flat.SizeBytes().bwt_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlatAndWavelet, FmIndexTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Wavelet" : "Flat";
+                         });
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,89 @@
+#include "src/sim/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/align/dp.h"
+
+namespace alae {
+namespace {
+
+TEST(Generator, DeterministicForSeed) {
+  SequenceGenerator a(5), b(5), c(6);
+  Sequence sa = a.Random(100, Alphabet::Dna());
+  Sequence sb = b.Random(100, Alphabet::Dna());
+  Sequence sc = c.Random(100, Alphabet::Dna());
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa.ToString(), sc.ToString());
+}
+
+TEST(Generator, UniformDnaIsRoughlyBalanced) {
+  SequenceGenerator gen(6);
+  Sequence s = gen.Random(40000, Alphabet::Dna());
+  int64_t counts[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < s.size(); ++i) ++counts[s[i]];
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(static_cast<double>(counts[c]) / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(Generator, RobinsonFrequenciesSkewProtein) {
+  SequenceGenerator gen(7);
+  Sequence s = gen.Random(100000, Alphabet::Protein(), true);
+  int64_t counts[20] = {0};
+  for (size_t i = 0; i < s.size(); ++i) ++counts[s[i]];
+  // Leucine ('L', code 10) is the most common residue (~9%), tryptophan
+  // ('W', code 17) the rarest (~1.3%).
+  int l = Alphabet::Protein().CodeOf('L');
+  int w = Alphabet::Protein().CodeOf('W');
+  EXPECT_GT(counts[l], counts[w] * 4);
+}
+
+TEST(Generator, TextWithRepeatsContainsNearCopies) {
+  SequenceGenerator gen(8);
+  RepeatSpec family;
+  family.unit_length = 100;
+  family.copies = 5;
+  family.divergence = 0.0;
+  Sequence text = gen.TextWithRepeats(5000, Alphabet::Dna(), {family});
+  // Exact copies mean some 100-char substring occurs multiple times; find
+  // a high local alignment between disjoint halves as evidence.
+  Sequence left = text.Substr(0, 2500);
+  Sequence right = text.Substr(2500, 2500);
+  // With 5 copies in 5000 chars, at least two land in different halves
+  // with high probability; score ~100 >> random (~20).
+  EXPECT_GT(BestLocalScore(left, right, ScoringScheme::Default()), 50);
+}
+
+TEST(Generator, HomologousQueryHasPlantedSimilarity) {
+  SequenceGenerator gen(9);
+  Sequence text = gen.Random(3000, Alphabet::Dna());
+  Sequence hom = gen.HomologousQuery(text, 200, 0.9, 0.05, 0.01);
+  Sequence rnd = gen.Random(200, Alphabet::Dna());
+  int32_t hom_score = BestLocalScore(text, hom, ScoringScheme::Default());
+  int32_t rnd_score = BestLocalScore(text, rnd, ScoringScheme::Default());
+  EXPECT_GT(hom_score, rnd_score * 2);
+}
+
+TEST(Generator, HighDivergenceKeepsScoresBounded) {
+  // At 30% divergence the expected per-char score under <1,-3,-5,-2> is
+  // negative, so local scores stay far below the segment length — this is
+  // the property that keeps exact engines' bands narrow (DESIGN.md §4).
+  SequenceGenerator gen(10);
+  Sequence text = gen.Random(3000, Alphabet::Dna());
+  Sequence query = gen.HomologousQuery(text, 300, 1.0, 0.30, 0.01);
+  int32_t score = BestLocalScore(text, query, ScoringScheme::Default());
+  EXPECT_LT(score, 100);
+  EXPECT_GT(score, 5);  // but still clearly above pure noise
+}
+
+TEST(Generator, QueryLengthIsExact) {
+  SequenceGenerator gen(11);
+  Sequence text = gen.Random(1000, Alphabet::Dna());
+  for (int64_t len : {1, 50, 999, 2000}) {
+    EXPECT_EQ(gen.HomologousQuery(text, len, 0.5, 0.2, 0.05).size(),
+              static_cast<size_t>(len));
+  }
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,86 @@
+#include "src/stats/karlin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alae {
+namespace {
+
+TEST(Karlin, LambdaSolvesTheMgfEquation) {
+  for (int scheme_idx = 0; scheme_idx < 4; ++scheme_idx) {
+    for (int sigma : {4, 20}) {
+      ScoringScheme s = ScoringScheme::Fig9(scheme_idx);
+      double lambda = KarlinStats::Lambda(s, sigma);
+      ASSERT_GT(lambda, 0.0) << s.ToString();
+      double p = 1.0 / sigma;
+      double mgf = p * std::exp(lambda * s.sa) +
+                   (1 - p) * std::exp(lambda * s.sb);
+      EXPECT_NEAR(mgf, 1.0, 1e-9) << s.ToString() << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(Karlin, LambdaKnownValueForDefaultDna) {
+  // For <1,-3> on uniform DNA: 0.25*e^l + 0.75*e^{-3l} = 1 has the root
+  // l = ln(...) ~ 1.374 (the NCBI table value for match/mismatch 1/-3).
+  double lambda = KarlinStats::Lambda(ScoringScheme::Default(), 4);
+  EXPECT_NEAR(lambda, 1.374, 0.01);
+}
+
+TEST(Karlin, LambdaDecreasesWithMilderMismatch) {
+  // |sb| = 1 makes high scores easier, so lambda must be smaller.
+  double harsh = KarlinStats::Lambda(ScoringScheme::Default(), 4);     // -3
+  double mild = KarlinStats::Lambda(ScoringScheme::Fig9(2), 4);        // -1
+  EXPECT_LT(mild, harsh);
+}
+
+TEST(Karlin, KIsInPhysicalRange) {
+  for (int scheme_idx = 0; scheme_idx < 4; ++scheme_idx) {
+    KarlinParams params =
+        KarlinStats::Compute(ScoringScheme::Fig9(scheme_idx), 4);
+    EXPECT_GT(params.k, 0.0);
+    EXPECT_LE(params.k, 1.0);
+  }
+}
+
+TEST(Karlin, EValueThresholdConversionRoundTrips) {
+  ScoringScheme s = ScoringScheme::Default();
+  int64_t m = 10000, n = 1000000;
+  for (double e : {1e-15, 1e-5, 1.0, 10.0}) {
+    int32_t h = KarlinStats::EValueToThreshold(e, m, n, s, 4);
+    ASSERT_GE(h, 1);
+    // The E-value of a score at the threshold must be <= requested E, and
+    // one score lower must exceed it (ceiling semantics).
+    EXPECT_LE(KarlinStats::ScoreToEValue(h, m, n, s, 4), e * 1.0001);
+    EXPECT_GT(KarlinStats::ScoreToEValue(h - 1, m, n, s, 4), e * 0.9999);
+  }
+}
+
+TEST(Karlin, SmallerEValueMeansLargerThreshold) {
+  ScoringScheme s = ScoringScheme::Default();
+  int32_t h10 = KarlinStats::EValueToThreshold(10, 10000, 1000000, s, 4);
+  int32_t h5 = KarlinStats::EValueToThreshold(1e-5, 10000, 1000000, s, 4);
+  int32_t h15 = KarlinStats::EValueToThreshold(1e-15, 10000, 1000000, s, 4);
+  EXPECT_LT(h10, h5);
+  EXPECT_LT(h5, h15);
+}
+
+TEST(Karlin, ThresholdGrowsLogarithmicallyWithSearchSpace) {
+  ScoringScheme s = ScoringScheme::Default();
+  int32_t h1 = KarlinStats::EValueToThreshold(10, 1000, 100000, s, 4);
+  int32_t h2 = KarlinStats::EValueToThreshold(10, 1000, 10000000, s, 4);
+  EXPECT_GT(h2, h1);
+  // ln(100x) / lambda ~ 3.3 extra score.
+  EXPECT_LE(h2 - h1, 6);
+}
+
+TEST(Karlin, ComputeIsCachedAndDeterministic) {
+  KarlinParams a = KarlinStats::Compute(ScoringScheme::Default(), 4);
+  KarlinParams b = KarlinStats::Compute(ScoringScheme::Default(), 4);
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.k, b.k);
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,56 @@
+#include "src/index/lcp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+size_t NaiveLcp(const Sequence& s, size_t i, size_t j) {
+  size_t k = 0;
+  while (i + k < s.size() && j + k < s.size() && s[i + k] == s[j + k]) ++k;
+  return k;
+}
+
+TEST(LcpIndex, MatchesNaiveRandom) {
+  SequenceGenerator gen(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Alphabet& alphabet =
+        trial % 2 ? Alphabet::Protein() : Alphabet::Dna();
+    int64_t n = 5 + static_cast<int64_t>(gen.rng().Below(300));
+    Sequence s = gen.Random(n, alphabet);
+    LcpIndex lcp(s);
+    for (int pair = 0; pair < 200; ++pair) {
+      size_t i = static_cast<size_t>(gen.rng().Below(static_cast<uint64_t>(n)));
+      size_t j = static_cast<size_t>(gen.rng().Below(static_cast<uint64_t>(n)));
+      ASSERT_EQ(lcp.Lcp(i, j), NaiveLcp(s, i, j))
+          << "trial " << trial << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(LcpIndex, RepetitiveText) {
+  Sequence s = Sequence::FromString("ACACACACAC", Alphabet::Dna());
+  LcpIndex lcp(s);
+  EXPECT_EQ(lcp.Lcp(0, 2), 8u);
+  EXPECT_EQ(lcp.Lcp(0, 1), 0u);
+  EXPECT_EQ(lcp.Lcp(1, 3), 7u);
+  EXPECT_EQ(lcp.Lcp(4, 4), 6u);  // self: remaining length
+}
+
+TEST(LcpIndex, AllSameCharacter) {
+  Sequence s = Sequence::FromString(std::string(64, 'A'), Alphabet::Dna());
+  LcpIndex lcp(s);
+  EXPECT_EQ(lcp.Lcp(0, 32), 32u);
+  EXPECT_EQ(lcp.Lcp(10, 20), 44u);
+}
+
+TEST(LcpIndex, SingleCharacterSequence) {
+  Sequence s = Sequence::FromString("G", Alphabet::Dna());
+  LcpIndex lcp(s);
+  EXPECT_EQ(lcp.Lcp(0, 0), 1u);
+}
+
+}  // namespace
+}  // namespace alae

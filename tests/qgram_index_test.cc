@@ -1,0 +1,85 @@
+#include "src/index/qgram_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+std::vector<int32_t> NaiveOccurrences(const Sequence& s, const Sequence& gram) {
+  std::vector<int32_t> out;
+  if (gram.size() > s.size()) return out;
+  for (size_t i = 0; i + gram.size() <= s.size(); ++i) {
+    bool ok = true;
+    for (size_t k = 0; k < gram.size(); ++k) {
+      if (s[i + k] != gram[k]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(static_cast<int32_t>(i));
+  }
+  return out;
+}
+
+TEST(QGramIndex, MatchesNaiveDna) {
+  SequenceGenerator gen(31);
+  for (int q : {1, 2, 4, 8}) {
+    Sequence query = gen.Random(300, Alphabet::Dna());
+    QGramIndex index(query, q);
+    for (int trial = 0; trial < 40; ++trial) {
+      Sequence gram = gen.Random(q, Alphabet::Dna());
+      EXPECT_EQ(index.Occurrences(gram.symbols().data()),
+                NaiveOccurrences(query, gram))
+          << "q=" << q;
+    }
+  }
+}
+
+TEST(QGramIndex, MatchesNaiveProteinUsesHashMap) {
+  SequenceGenerator gen(32);
+  // q=6 over sigma=20 exceeds the flat-table limit and exercises the map.
+  Sequence query = gen.Random(500, Alphabet::Protein());
+  QGramIndex index(query, 6);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Half sampled from the query (guaranteed hits).
+    Sequence gram = trial % 2 ? gen.Random(6, Alphabet::Protein())
+                              : query.Substr(static_cast<size_t>(trial) * 7, 6);
+    EXPECT_EQ(index.Occurrences(gram.symbols().data()),
+              NaiveOccurrences(query, gram));
+  }
+}
+
+TEST(QGramIndex, QueryShorterThanQ) {
+  Sequence query = Sequence::FromString("ACG", Alphabet::Dna());
+  QGramIndex index(query, 5);
+  Sequence gram = Sequence::FromString("ACGTT", Alphabet::Dna());
+  EXPECT_TRUE(index.Occurrences(gram.symbols().data()).empty());
+}
+
+TEST(QGramIndex, OccurrencesAreAscending) {
+  Sequence query = Sequence::FromString("AAAAAAA", Alphabet::Dna());
+  QGramIndex index(query, 3);
+  Sequence gram = Sequence::FromString("AAA", Alphabet::Dna());
+  const std::vector<int32_t>& occ = index.Occurrences(gram.symbols().data());
+  ASSERT_EQ(occ.size(), 5u);
+  for (size_t i = 1; i < occ.size(); ++i) EXPECT_LT(occ[i - 1], occ[i]);
+}
+
+TEST(QGramIndex, KeyOfIsConsistentWithRolling) {
+  SequenceGenerator gen(33);
+  Sequence query = gen.Random(100, Alphabet::Dna());
+  QGramIndex index(query, 4);
+  // Every position must be found under the key computed from scratch.
+  for (size_t j = 0; j + 4 <= query.size(); ++j) {
+    uint64_t key = index.KeyOf(query.symbols().data() + j);
+    const auto& occ = index.Occurrences(key);
+    EXPECT_NE(std::find(occ.begin(), occ.end(), static_cast<int32_t>(j)),
+              occ.end())
+        << "position " << j;
+  }
+}
+
+}  // namespace
+}  // namespace alae

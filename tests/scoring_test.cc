@@ -1,0 +1,94 @@
+#include "src/align/scoring.h"
+
+#include <gtest/gtest.h>
+
+namespace alae {
+namespace {
+
+TEST(ScoringScheme, DefaultIsPaperDefault) {
+  ScoringScheme s = ScoringScheme::Default();
+  EXPECT_EQ(s.sa, 1);
+  EXPECT_EQ(s.sb, -3);
+  EXPECT_EQ(s.sg, -5);
+  EXPECT_EQ(s.ss, -2);
+  EXPECT_TRUE(s.Valid());
+}
+
+TEST(ScoringScheme, DeltaAndGapCost) {
+  ScoringScheme s = ScoringScheme::Default();
+  EXPECT_EQ(s.Delta(1, 1), 1);
+  EXPECT_EQ(s.Delta(1, 2), -3);
+  // Affine gap: sg + r*ss (paper §2.1).
+  EXPECT_EQ(s.GapCost(1), -7);
+  EXPECT_EQ(s.GapCost(3), -11);
+}
+
+TEST(ScoringScheme, QPrefixLengthMatchesPaperExamples) {
+  // q = floor(min(|sb|, |sg+ss|)/sa) + 1 (Eq. 2). For <1,-3,-5,-2>:
+  // min(3, 7) = 3, q = 4 — the paper's running example.
+  EXPECT_EQ(ScoringScheme::Default().QPrefixLength(), 4);
+  // <1,-1,-5,-2>: min(1,7)=1 -> q=2.
+  EXPECT_EQ(ScoringScheme::Fig9(2).QPrefixLength(), 2);
+  // <1,-4,-5,-2>: min(4,7)=4 -> q=5.
+  EXPECT_EQ(ScoringScheme::Fig9(1).QPrefixLength(), 5);
+  // <1,-3,-2,-2>: min(3,4)=3 -> q=4.
+  EXPECT_EQ(ScoringScheme::Fig9(3).QPrefixLength(), 4);
+  // <2,-3,...>: floor(3/2)+1 = 2.
+  ScoringScheme s{2, -3, -5, -2};
+  EXPECT_EQ(s.QPrefixLength(), 2);
+}
+
+TEST(ScoringScheme, EffectiveQCapsAtThresholdOverSa) {
+  ScoringScheme s = ScoringScheme::Default();
+  EXPECT_EQ(s.EffectiveQ(100), 4);  // full q
+  EXPECT_EQ(s.EffectiveQ(4), 4);
+  EXPECT_EQ(s.EffectiveQ(3), 3);    // capped: H < q*sa
+  EXPECT_EQ(s.EffectiveQ(1), 1);
+  ScoringScheme s2{2, -3, -5, -2};
+  EXPECT_EQ(s2.EffectiveQ(3), 2);   // ceil(3/2) = 2 = q
+  EXPECT_EQ(s2.EffectiveQ(2), 1);   // ceil(2/2) = 1
+}
+
+TEST(ScoringScheme, FgoeThreshold) {
+  EXPECT_EQ(ScoringScheme::Default().FgoeThreshold(), 7);
+  EXPECT_EQ(ScoringScheme::Fig9(3).FgoeThreshold(), 4);
+}
+
+TEST(LengthBounds, PaperExampleLowerBound) {
+  // T=CTAGCTAG, P=GCTAC, H=3 under the default scheme (§3.1.1): the row
+  // lower bound is ceil(H/sa) = 3. (The prose also claims an upper bound
+  // of 4, but Theorem 1's formula takes max with m = 5; the max is
+  // required for exactness — a full-length perfect match of P scores
+  // 5 >= H and must not be filtered.)
+  ScoringScheme s = ScoringScheme::Default();
+  EXPECT_EQ(LengthLowerBound(s, 3), 3);
+  EXPECT_EQ(LengthUpperBound(s, 5, 3), 5);
+}
+
+TEST(LengthBounds, UpperBoundNeverBelowQueryLength) {
+  ScoringScheme s = ScoringScheme::Default();
+  // With a high threshold the correction term goes negative; Lmax = m.
+  EXPECT_EQ(LengthUpperBound(s, 100, 100), 100);
+}
+
+TEST(LengthBounds, GapAllowanceExtendsPastQueryLength) {
+  ScoringScheme s = ScoringScheme::Default();
+  // H=1, m=10: floor((1 - (10-5)) / -2) = 2 extra gapped rows -> 12.
+  EXPECT_EQ(LengthUpperBound(s, 10, 1), 12);
+  // H=1, m=9: floor((1 - 4) / -2) = floor(1.5) = 1 -> 10.
+  EXPECT_EQ(LengthUpperBound(s, 9, 1), 10);
+}
+
+TEST(ScoringScheme, ToStringFormat) {
+  EXPECT_EQ(ScoringScheme::Default().ToString(), "<1,-3,-5,-2>");
+}
+
+TEST(ScoringScheme, ValidRejectsBadSchemes) {
+  EXPECT_FALSE((ScoringScheme{0, -3, -5, -2}).Valid());
+  EXPECT_FALSE((ScoringScheme{1, 3, -5, -2}).Valid());
+  EXPECT_FALSE((ScoringScheme{1, -3, 5, -2}).Valid());
+  EXPECT_FALSE((ScoringScheme{1, -3, -5, 2}).Valid());
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,74 @@
+#include "src/baseline/smith_waterman.h"
+
+#include <gtest/gtest.h>
+
+#include "src/align/dp.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+TEST(SmithWaterman, FindsPlantedExactMatch) {
+  SequenceGenerator gen(81);
+  Sequence text = gen.Random(200, Alphabet::Dna());
+  Sequence query = text.Substr(50, 30);
+  ResultCollector rc =
+      SmithWaterman::Run(text, query, ScoringScheme::Default(), 30);
+  // The full 30-char match ends at text position 79, query position 29.
+  bool found = false;
+  for (const AlignmentHit& hit : rc.Sorted()) {
+    if (hit.text_end == 79 && hit.query_end == 29 && hit.score == 30) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SmithWaterman, BestScoreMatchesBestLocalScore) {
+  SequenceGenerator gen(82);
+  for (int trial = 0; trial < 10; ++trial) {
+    Sequence a = gen.Random(120, Alphabet::Dna());
+    Sequence b = gen.HomologousQuery(a, 60, 0.6, 0.2, 0.05);
+    ScoringScheme scheme = ScoringScheme::Fig9(trial % 4);
+    int32_t best = BestLocalScore(a, b, scheme);
+    ResultCollector rc = SmithWaterman::Run(a, b, scheme, 1);
+    EXPECT_EQ(rc.BestScore(), best) << "trial " << trial;
+  }
+}
+
+TEST(SmithWaterman, ThresholdFiltersMonotonically) {
+  SequenceGenerator gen(83);
+  Sequence text = gen.Random(300, Alphabet::Dna());
+  Sequence query = gen.HomologousQuery(text, 80, 0.8, 0.1, 0.02);
+  ScoringScheme scheme = ScoringScheme::Default();
+  size_t prev = SmithWaterman::Run(text, query, scheme, 1).size();
+  for (int32_t h = 2; h < 20; h += 3) {
+    size_t cur = SmithWaterman::Run(text, query, scheme, h).size();
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(SmithWaterman, GapsAreAffine) {
+  // Text AAAA CC AAAA vs query AAAAAAAA: one 2-gap (sg+2ss = -9) on 8
+  // matches = -1 < threshold... use <1,-3,-2,-1>: 8 - 4 = 4.
+  ScoringScheme scheme{1, -3, -2, -1};
+  Sequence text = Sequence::FromString("AAAACCAAAA", Alphabet::Dna());
+  Sequence query = Sequence::FromString("AAAAAAAA", Alphabet::Dna());
+  ResultCollector rc = SmithWaterman::Run(text, query, scheme, 4);
+  EXPECT_EQ(rc.BestScore(), 8 - 2 - 2 * 1);
+}
+
+TEST(SmithWaterman, EmptyAndDegenerateInputs) {
+  ScoringScheme scheme = ScoringScheme::Default();
+  Sequence empty;
+  Sequence s = Sequence::FromString("ACGT", Alphabet::Dna());
+  EXPECT_EQ(SmithWaterman::Run(empty, s, scheme, 1).size(), 0u);
+  EXPECT_EQ(SmithWaterman::Run(s, empty, scheme, 1).size(), 0u);
+  // Single char match.
+  Sequence a = Sequence::FromString("A", Alphabet::Dna());
+  EXPECT_EQ(SmithWaterman::Run(a, a, scheme, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,93 @@
+#include "src/index/suffix_array.h"
+
+#include <gtest/gtest.h>
+
+#include "src/io/sequence.h"
+#include "src/sim/generator.h"
+#include "src/util/rng.h"
+
+namespace alae {
+namespace {
+
+TEST(SuffixArray, PaperExample) {
+  // SA of GCTAGC$ is {7,4,6,2,5,1,3} in the paper's 1-based numbering
+  // (§2.3); 0-based that is {6,3,5,1,4,0,2}.
+  Sequence t = Sequence::FromString("GCTAGC", Alphabet::Dna());
+  std::vector<int64_t> sa = BuildSuffixArray(t.symbols(), 4);
+  std::vector<int64_t> expected = {6, 3, 5, 1, 4, 0, 2};
+  EXPECT_EQ(sa, expected);
+}
+
+TEST(SuffixArray, EmptyText) {
+  std::vector<Symbol> empty;
+  std::vector<int64_t> sa = BuildSuffixArray(empty, 4);
+  ASSERT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa[0], 0);
+}
+
+TEST(SuffixArray, SingleCharacter) {
+  Sequence t = Sequence::FromString("A", Alphabet::Dna());
+  std::vector<int64_t> sa = BuildSuffixArray(t.symbols(), 4);
+  std::vector<int64_t> expected = {1, 0};
+  EXPECT_EQ(sa, expected);
+}
+
+TEST(SuffixArray, AllIdenticalCharacters) {
+  Sequence t = Sequence::FromString(std::string(50, 'C'), Alphabet::Dna());
+  std::vector<int64_t> sa = BuildSuffixArray(t.symbols(), 4);
+  // Suffixes sort by decreasing start (shorter = smaller).
+  ASSERT_EQ(sa.size(), 51u);
+  for (int64_t i = 0; i <= 50; ++i) EXPECT_EQ(sa[static_cast<size_t>(i)], 50 - i);
+}
+
+TEST(SuffixArray, MatchesNaiveOnRandomDna) {
+  SequenceGenerator gen(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t len = 1 + static_cast<int64_t>(gen.rng().Below(300));
+    Sequence t = gen.Random(len, Alphabet::Dna());
+    EXPECT_EQ(BuildSuffixArray(t.symbols(), 4),
+              BuildSuffixArrayNaive(t.symbols()))
+        << "trial " << trial << " len " << len;
+  }
+}
+
+TEST(SuffixArray, MatchesNaiveOnRandomProtein) {
+  SequenceGenerator gen(100);
+  for (int trial = 0; trial < 10; ++trial) {
+    int64_t len = 1 + static_cast<int64_t>(gen.rng().Below(200));
+    Sequence t = gen.Random(len, Alphabet::Protein());
+    EXPECT_EQ(BuildSuffixArray(t.symbols(), 20),
+              BuildSuffixArrayNaive(t.symbols()))
+        << "trial " << trial;
+  }
+}
+
+TEST(SuffixArray, MatchesNaiveOnRepetitiveText) {
+  SequenceGenerator gen(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    RepeatSpec family;
+    family.unit_length = 7;
+    family.copies = 12;
+    family.divergence = 0.0;
+    Sequence t = gen.TextWithRepeats(150, Alphabet::Dna(), {family});
+    EXPECT_EQ(BuildSuffixArray(t.symbols(), 4),
+              BuildSuffixArrayNaive(t.symbols()))
+        << "trial " << trial;
+  }
+}
+
+TEST(SuffixArray, IsPermutation) {
+  SequenceGenerator gen(102);
+  Sequence t = gen.Random(5000, Alphabet::Dna());
+  std::vector<int64_t> sa = BuildSuffixArray(t.symbols(), 4);
+  std::vector<bool> seen(sa.size(), false);
+  for (int64_t v : sa) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, static_cast<int64_t>(sa.size()));
+    ASSERT_FALSE(seen[static_cast<size_t>(v)]);
+    seen[static_cast<size_t>(v)] = true;
+  }
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,88 @@
+#include "src/index/suffix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "src/index/fm_index.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+TEST(SuffixTrie, PositionsOfSubstrings) {
+  Sequence t = Sequence::FromString("GCTAGC", Alphabet::Dna());
+  SuffixTrie trie(t);
+  // "GC" occurs at 0 and 4.
+  int32_t node = trie.Child(SuffixTrie::kRoot, 2);  // G
+  ASSERT_GE(node, 0);
+  node = trie.Child(node, 1);  // C
+  ASSERT_GE(node, 0);
+  std::vector<int32_t> pos = trie.Positions(node);
+  std::sort(pos.begin(), pos.end());
+  EXPECT_EQ(pos, (std::vector<int32_t>{0, 4}));
+  EXPECT_EQ(trie.Depth(node), 2);
+  // Absent substring.
+  int32_t a = trie.Child(SuffixTrie::kRoot, 0);  // A
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(trie.Child(a, 0), -1);  // "AA" does not occur
+}
+
+TEST(SuffixTrie, NodeCountForDistinctSubstrings) {
+  // #nodes = #distinct substrings + 1 (root).
+  Sequence t = Sequence::FromString("AAA", Alphabet::Dna());
+  SuffixTrie trie(t);
+  // Distinct substrings of AAA: A, AA, AAA.
+  EXPECT_EQ(trie.num_nodes(), 4u);
+}
+
+// The FM-index suffix-trie emulation (paper §5) must enumerate exactly the
+// distinct substrings the explicit trie contains, with the same occurrence
+// sets. This validates the emulation the production engines rely on.
+TEST(SuffixTrie, FmIndexEmulationAgrees) {
+  SequenceGenerator gen(61);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Alphabet& alphabet = trial % 2 ? Alphabet::Protein() : Alphabet::Dna();
+    int64_t n = 10 + static_cast<int64_t>(gen.rng().Below(80));
+    Sequence t = gen.Random(n, alphabet);
+    SuffixTrie trie(t);
+    FmIndex fm(t.Reversed());
+    int64_t checked = 0;
+
+    // DFS both structures in lockstep (cap depth to keep the test fast).
+    std::function<void(int32_t, SaRange, int)> dfs = [&](int32_t node,
+                                                         SaRange range,
+                                                         int depth) {
+      if (depth >= 6) return;
+      for (int c = 0; c < alphabet.sigma(); ++c) {
+        int32_t child = trie.Child(node, static_cast<Symbol>(c));
+        SaRange ext = fm.Extend(range, static_cast<Symbol>(c));
+        if (child < 0) {
+          ASSERT_TRUE(ext.Empty()) << "depth " << depth << " char " << c;
+          continue;
+        }
+        ASSERT_EQ(ext.Count(),
+                  static_cast<int64_t>(trie.Positions(child).size()));
+        // Occurrence positions agree: FM gives reverse-text starts p; the
+        // substring starts in T at n - p - (depth + 1).
+        std::vector<int64_t> fm_pos = fm.Locate(ext);
+        for (int64_t& p : fm_pos) p = n - p - (depth + 1);
+        std::sort(fm_pos.begin(), fm_pos.end());
+        std::vector<int32_t> trie_pos = trie.Positions(child);
+        std::sort(trie_pos.begin(), trie_pos.end());
+        ASSERT_EQ(fm_pos.size(), trie_pos.size());
+        for (size_t i = 0; i < fm_pos.size(); ++i) {
+          ASSERT_EQ(fm_pos[i], trie_pos[i]);
+        }
+        ++checked;
+        dfs(child, ext, depth + 1);
+      }
+    };
+    dfs(SuffixTrie::kRoot, fm.FullRange(), 0);
+    EXPECT_GT(checked, 0);
+  }
+}
+
+}  // namespace
+}  // namespace alae

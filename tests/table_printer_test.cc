@@ -1,0 +1,36 @@
+#include "src/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace alae {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TablePrinter, PadsMissingAndDropsExtraCells) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"x"});            // missing cell rendered empty
+  t.AddRow({"y", "z", "w"});  // extra cell dropped
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| x |   |"), std::string::npos);
+  EXPECT_NE(out.find("| y | z |"), std::string::npos);
+  EXPECT_EQ(out.find("w"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<uint64_t>(12345)), "12345");
+  EXPECT_EQ(TablePrinter::Fmt(0.5, 0), "0");  // rounds to even/near
+}
+
+}  // namespace
+}  // namespace alae

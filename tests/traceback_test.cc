@@ -1,0 +1,146 @@
+#include "src/align/traceback.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/smith_waterman.h"
+#include "src/sim/generator.h"
+
+namespace alae {
+namespace {
+
+TEST(Traceback, ExactMatchGivesAllMatchCigar) {
+  SequenceGenerator gen(301);
+  Sequence text = gen.Random(200, Alphabet::Dna());
+  Sequence query = text.Substr(50, 30);
+  AlignmentPath path = TracebackAlignment(text, query, 79, 29,
+                                          ScoringScheme::Default());
+  EXPECT_EQ(path.score, 30);
+  EXPECT_EQ(path.cigar, "30M");
+  EXPECT_EQ(path.text_begin, 50);
+  EXPECT_EQ(path.query_begin, 0);
+  EXPECT_EQ(path.matches, 30);
+  EXPECT_EQ(path.mismatches, 0);
+  EXPECT_DOUBLE_EQ(path.Identity(), 1.0);
+}
+
+TEST(Traceback, RecoversAnIndel) {
+  // Query = text[100..130) + text[132..162): a 2-char deletion.
+  SequenceGenerator gen(302);
+  Sequence text = gen.Random(300, Alphabet::Dna());
+  std::vector<Symbol> q;
+  for (int64_t i = 100; i < 130; ++i) q.push_back(text[static_cast<size_t>(i)]);
+  for (int64_t i = 132; i < 162; ++i) q.push_back(text[static_cast<size_t>(i)]);
+  Sequence query(std::move(q), Alphabet::Dna());
+  // Alignment ends at text 161, query 59; score 60 - (5 + 2*2) = 51.
+  AlignmentPath path = TracebackAlignment(text, query, 161, 59,
+                                          ScoringScheme::Default());
+  EXPECT_EQ(path.score, 51);
+  EXPECT_EQ(path.cigar, "30M2D30M");
+  EXPECT_EQ(path.gap_columns, 2);
+  EXPECT_EQ(path.text_begin, 100);
+}
+
+TEST(Traceback, ScoreMatchesSmithWatermanPerEndPair) {
+  SequenceGenerator gen(303);
+  for (int trial = 0; trial < 8; ++trial) {
+    Sequence text = gen.Random(150, Alphabet::Dna());
+    Sequence query = gen.HomologousQuery(text, 60, 0.8, 0.15, 0.05);
+    ScoringScheme scheme = ScoringScheme::Fig9(trial % 4);
+    ResultCollector hits = SmithWaterman::Run(text, query, scheme, 6);
+    for (const AlignmentHit& hit : hits.Sorted()) {
+      AlignmentPath path = TracebackAlignment(text, query, hit.text_end,
+                                              hit.query_end, scheme);
+      ASSERT_EQ(path.score, hit.score)
+          << "trial " << trial << " end (" << hit.text_end << ","
+          << hit.query_end << ")";
+      ASSERT_EQ(path.text_end, hit.text_end);
+      // Column counts must be consistent with the coordinates.
+      EXPECT_EQ(path.matches + path.mismatches +
+                    (path.text_end - path.text_begin + 1 -
+                     (path.matches + path.mismatches)),
+                path.text_end - path.text_begin + 1);
+    }
+  }
+}
+
+TEST(Traceback, CigarConsumesExactCoordinateSpans) {
+  SequenceGenerator gen(304);
+  Sequence text = gen.Random(200, Alphabet::Dna());
+  Sequence query = gen.HomologousQuery(text, 80, 0.9, 0.1, 0.08);
+  ResultCollector hits =
+      SmithWaterman::Run(text, query, ScoringScheme::Default(), 10);
+  for (const AlignmentHit& hit : hits.Sorted()) {
+    AlignmentPath path = TracebackAlignment(text, query, hit.text_end,
+                                            hit.query_end,
+                                            ScoringScheme::Default());
+    // Parse the CIGAR: M/D consume text, M/I consume query.
+    int64_t t = 0, p = 0, run = 0;
+    for (char c : path.cigar) {
+      if (c >= '0' && c <= '9') {
+        run = run * 10 + (c - '0');
+        continue;
+      }
+      if (c == 'M') {
+        t += run;
+        p += run;
+      } else if (c == 'D') {
+        t += run;
+      } else if (c == 'I') {
+        p += run;
+      }
+      run = 0;
+    }
+    EXPECT_EQ(t, path.text_end - path.text_begin + 1);
+    EXPECT_EQ(p, path.query_end - path.query_begin + 1);
+  }
+}
+
+TEST(Traceback, NoPositiveAlignmentReturnsEmpty) {
+  Sequence text = Sequence::FromString("AAAAAAA", Alphabet::Dna());
+  Sequence query = Sequence::FromString("CCCC", Alphabet::Dna());
+  AlignmentPath path = TracebackAlignment(text, query, 5, 2,
+                                          ScoringScheme::Default());
+  EXPECT_EQ(path.score, 0);
+  EXPECT_TRUE(path.cigar.empty());
+}
+
+TEST(Traceback, OutOfRangeCoordinatesAreSafe) {
+  Sequence text = Sequence::FromString("ACGT", Alphabet::Dna());
+  Sequence query = Sequence::FromString("ACGT", Alphabet::Dna());
+  EXPECT_EQ(TracebackAlignment(text, query, 10, 2, ScoringScheme::Default())
+                .score,
+            0);
+  EXPECT_EQ(TracebackAlignment(text, query, -1, 2, ScoringScheme::Default())
+                .score,
+            0);
+}
+
+TEST(Traceback, PrettyRendersAlignedRows) {
+  SequenceGenerator gen(305);
+  Sequence text = gen.Random(100, Alphabet::Dna());
+  Sequence query = text.Substr(20, 15);
+  AlignmentPath path = TracebackAlignment(text, query, 34, 14,
+                                          ScoringScheme::Default());
+  std::string pretty = path.Pretty(text, query, 40);
+  // Three rows: text, midline of pipes, query.
+  EXPECT_NE(pretty.find("T " + text.Substr(20, 15).ToString()),
+            std::string::npos);
+  EXPECT_NE(pretty.find("Q " + query.ToString()), std::string::npos);
+  EXPECT_NE(pretty.find("|||||||||||||||"), std::string::npos);
+}
+
+TEST(Traceback, WindowCapTruncatesVeryLongAlignments) {
+  SequenceGenerator gen(306);
+  Sequence text = gen.Random(600, Alphabet::Dna());
+  Sequence query = text;  // perfect 600-char self alignment
+  TracebackOptions options;
+  options.max_window = 128;
+  AlignmentPath path =
+      TracebackAlignment(text, query, 599, 599, ScoringScheme::Default(),
+                         options);
+  EXPECT_EQ(path.score, 128);  // clipped at the window edge
+  EXPECT_EQ(path.cigar, "128M");
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,61 @@
+#include "src/index/wavelet_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace alae {
+namespace {
+
+class WaveletTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaveletTreeTest, AccessAndRankMatchNaive) {
+  int sigma = GetParam();
+  Rng rng(17);
+  for (size_t n : {1ul, 5ul, 64ul, 257ul, 2000ul}) {
+    std::vector<Symbol> data(n);
+    for (auto& c : data) {
+      c = static_cast<Symbol>(rng.Below(static_cast<uint64_t>(sigma)));
+    }
+    WaveletTree wt(data, sigma);
+    ASSERT_EQ(wt.size(), n);
+    // Access.
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(wt.Access(i), data[i]);
+    // Rank for every symbol at sampled prefixes.
+    for (int c = 0; c < sigma; ++c) {
+      size_t count = 0;
+      for (size_t i = 0; i <= n; ++i) {
+        if (i % 37 == 0 || i == n) {
+          ASSERT_EQ(wt.Rank(static_cast<Symbol>(c), i), count)
+              << "sigma=" << sigma << " n=" << n << " c=" << c << " i=" << i;
+        }
+        if (i < n && data[i] == c) ++count;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, WaveletTreeTest,
+                         ::testing::Values(2, 3, 5, 21, 26));
+
+TEST(WaveletTree, SingleSymbolAlphabetDegenerate) {
+  std::vector<Symbol> data(10, 0);
+  WaveletTree wt(data, 2);
+  EXPECT_EQ(wt.Rank(0, 10), 10u);
+  EXPECT_EQ(wt.Rank(1, 10), 0u);
+}
+
+TEST(WaveletTree, SizeScalesWithLogSigma) {
+  Rng rng(18);
+  std::vector<Symbol> small(100000), large(100000);
+  for (auto& c : small) c = static_cast<Symbol>(rng.Below(4));
+  for (auto& c : large) c = static_cast<Symbol>(rng.Below(20));
+  WaveletTree wt4(small, 4);
+  WaveletTree wt20(large, 20);
+  // log2(20)/log2(4) ~ 2.2; allow slack for rank overhead.
+  EXPECT_GT(wt20.SizeBytes(), wt4.SizeBytes());
+  EXPECT_LT(wt20.SizeBytes(), wt4.SizeBytes() * 4);
+}
+
+}  // namespace
+}  // namespace alae

@@ -1,0 +1,52 @@
+#include "src/sim/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace alae {
+namespace {
+
+TEST(Workload, BuildsRequestedShape) {
+  WorkloadSpec spec;
+  spec.text_length = 5000;
+  spec.query_length = 120;
+  spec.num_queries = 3;
+  Workload w = BuildWorkload(spec);
+  EXPECT_EQ(w.text.size(), 5000u);
+  ASSERT_EQ(w.queries.size(), 3u);
+  for (const Sequence& q : w.queries) EXPECT_EQ(q.size(), 120u);
+}
+
+TEST(Workload, DeterministicAcrossBuilds) {
+  WorkloadSpec spec;
+  spec.text_length = 2000;
+  spec.query_length = 80;
+  spec.num_queries = 2;
+  Workload a = BuildWorkload(spec);
+  Workload b = BuildWorkload(spec);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.queries[0], b.queries[0]);
+  EXPECT_EQ(a.queries[1], b.queries[1]);
+}
+
+TEST(Workload, SeedChangesContent) {
+  WorkloadSpec spec;
+  spec.text_length = 2000;
+  WorkloadSpec spec2 = spec;
+  spec2.seed = 43;
+  EXPECT_NE(BuildWorkload(spec).text.ToString(),
+            BuildWorkload(spec2).text.ToString());
+}
+
+TEST(Workload, ProteinAlphabetRespected) {
+  WorkloadSpec spec;
+  spec.alphabet = AlphabetKind::kProtein;
+  spec.text_length = 1000;
+  spec.query_length = 50;
+  spec.num_queries = 1;
+  Workload w = BuildWorkload(spec);
+  EXPECT_EQ(w.text.alphabet().kind(), AlphabetKind::kProtein);
+  EXPECT_EQ(w.queries[0].alphabet().kind(), AlphabetKind::kProtein);
+}
+
+}  // namespace
+}  // namespace alae
