@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
   std::printf("Ablation: per-filter contribution (n=%lld, m=%lld, H=%d)\n",
               static_cast<long long>(n), static_cast<long long>(m), h);
   Workload w = MakeWorkload(n, m, flags.Q(2), AlphabetKind::kDna, flags.seed);
-  AlaeIndex index(w.text);
+  // The facade: one indexed registry, one "alae" backend, per-variant
+  // configs ride in on the request.
+  api::AlignerRegistry registry(w.text);
+  std::unique_ptr<api::Aligner> alae = *registry.Create("alae");
 
   struct Variant {
     const char* name;
@@ -67,7 +70,11 @@ int main(int argc, char** argv) {
   TablePrinter table({"variant", "time (s)", "calculated", "cost", "reused",
                       "forks", "results"});
   for (const Variant& v : variants) {
-    EngineResult r = RunAlae(index, w, scheme, h, v.config);
+    api::SearchRequest base;
+    base.scheme = scheme;
+    base.threshold = h;
+    base.alae = v.config;
+    EngineResult r = RunAligner(*alae, w, base);
     table.AddRow({v.name, TablePrinter::Fmt(r.seconds),
                   TablePrinter::Fmt(r.counters.Calculated()),
                   TablePrinter::Fmt(r.counters.ComputationCost()),

@@ -1,10 +1,12 @@
 // Microbenchmarks (google-benchmark): the substrate kernels — SA-IS
 // construction, FM backward search (flat vs wavelet occ), locate, DP cell
-// throughput — that determine the constants behind every table.
+// throughput — that determine the constants behind every table, plus the
+// api::Aligner facade path (dispatch + validation + sink overhead).
 
 #include <benchmark/benchmark.h>
 
 #include "src/align/dp.h"
+#include "src/api/api.h"
 #include "src/baseline/smith_waterman.h"
 #include "src/index/fm_index.h"
 #include "src/index/qgram_index.h"
@@ -78,6 +80,54 @@ void BM_SmithWatermanCells(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000 * 2000);
 }
 BENCHMARK(BM_SmithWatermanCells);
+
+// Facade search end to end through a registry-created backend. The
+// comparison alae vs bwt-sw on the same request is the paper's headline
+// speedup as seen by an API caller.
+template <int kBackend>  // 0 = alae, 1 = bwt-sw
+void BM_FacadeSearch(benchmark::State& state) {
+  SequenceGenerator gen(9);
+  Sequence text = gen.Random(1 << 16, Alphabet::Dna());
+  api::AlignerRegistry registry(text);
+  std::unique_ptr<api::Aligner> aligner =
+      *registry.Create(kBackend == 0 ? "alae" : "bwt-sw");
+  api::SearchRequest request;
+  request.query = gen.HomologousQuery(text, 500, 0.6, 0.2, 0.02);
+  request.threshold = 30;
+  // Warm the lazily-built shared state outside the timed region.
+  if (!aligner->Prepare(request).ok()) {
+    state.SkipWithError("prepare failed");
+    return;
+  }
+  for (auto _ : state) {
+    api::StatusOr<api::SearchResponse> response = aligner->Search(request);
+    benchmark::DoNotOptimize(response->hits.size());
+  }
+  state.SetItemsProcessed(state.iterations() * request.query.size());
+}
+BENCHMARK(BM_FacadeSearch<0>)->Name("BM_FacadeSearch/alae");
+BENCHMARK(BM_FacadeSearch<1>)->Name("BM_FacadeSearch/bwt-sw");
+
+// Streaming early stop: a top-1 consumer cancels the scan via the HitSink,
+// which is the facade's answer to "first hit only" workloads.
+void BM_FacadeFirstHit(benchmark::State& state) {
+  SequenceGenerator gen(10);
+  Sequence text = gen.Random(1 << 16, Alphabet::Dna());
+  api::AlignerRegistry registry(text);
+  std::unique_ptr<api::Aligner> sw = *registry.Create("sw");
+  api::SearchRequest request;
+  request.query = gen.HomologousQuery(text, 500, 0.6, 0.2, 0.02);
+  request.threshold = 30;
+  for (auto _ : state) {
+    int32_t best = 0;
+    sw->Search(request, [&](const AlignmentHit& hit) {
+      best = hit.score;
+      return false;  // stop at the first qualifying hit
+    });
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_FacadeFirstHit);
 
 void BM_QGramIndexBuild(benchmark::State& state) {
   SequenceGenerator gen(7);

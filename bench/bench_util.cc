@@ -49,6 +49,33 @@ int32_t ThresholdFor(double evalue, int64_t m, int64_t n,
   return KarlinStats::EValueToThreshold(evalue, m, n, scheme, sigma);
 }
 
+EngineResult RunAligner(const api::Aligner& aligner, const Workload& w,
+                        api::SearchRequest base) {
+  EngineResult out;
+  Timer timer;
+  for (const Sequence& q : w.queries) {
+    base.query = q;
+    api::StatusOr<api::SearchResponse> response = aligner.Search(base);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s: %s\n", std::string(aligner.name()).c_str(),
+                   response.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.hits += response->hits.size();
+    const DpCounters& c = response->stats.counters;
+    out.counters.cells_cost1 += c.cells_cost1;
+    out.counters.cells_cost2 += c.cells_cost2;
+    out.counters.cells_cost3 += c.cells_cost3;
+    out.counters.assigned += c.assigned;
+    out.counters.reused += c.reused;
+    out.counters.forks_opened += c.forks_opened;
+    out.counters.forks_skipped_domination += c.forks_skipped_domination;
+    out.counters.trie_nodes_visited += c.trie_nodes_visited;
+  }
+  out.seconds = timer.ElapsedSeconds() / w.queries.size();
+  return out;
+}
+
 EngineResult RunAlae(const AlaeIndex& index, const Workload& w,
                      const ScoringScheme& scheme, int32_t threshold,
                      const AlaeConfig& config) {

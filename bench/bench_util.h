@@ -8,6 +8,7 @@
 #include "src/align/counters.h"
 #include "src/align/result.h"
 #include "src/align/scoring.h"
+#include "src/api/api.h"
 #include "src/core/alae.h"
 #include "src/sim/workload.h"
 
@@ -52,6 +53,12 @@ Workload MakeWorkload(int64_t n, int64_t m, int32_t queries,
 // Threshold from the paper's E-value conversion (§7).
 int32_t ThresholdFor(double evalue, int64_t m, int64_t n,
                      const ScoringScheme& scheme, int sigma);
+
+// Facade driver: runs any api::Aligner over every query of the workload
+// through the unified SearchRequest path (`base.query` is overwritten per
+// query), aggregating hits and counters like the engine drivers below.
+EngineResult RunAligner(const api::Aligner& aligner, const Workload& w,
+                        api::SearchRequest base);
 
 // Engine drivers. Each aggregates across all queries of the workload.
 EngineResult RunAlae(const AlaeIndex& index, const Workload& w,

@@ -9,14 +9,18 @@
 //   --scheme=a,b,g,s   scoring scheme, e.g. --scheme=1,-3,-5,-2 (default)
 //   --evalue=E         threshold from the Karlin-Altschul conversion (§7)
 //   --threshold=H      explicit score threshold (overrides --evalue)
-//   --engine=alae|bwtsw|blast|sw   search engine (default alae)
-//   --threads=N        parallel queries for the alae engine (default 1)
+//   --engine=NAME      any registered backend: alae (default), bwt-sw,
+//                      blast, sw, basic
+//   --threads=N        parallel queries (0 = hardware concurrency)
 //   --max-hits=N       print at most N hits per query (default 25)
 //   --traceback        also print CIGAR + identity per hit
 //   --demo             run on a built-in synthetic workload (no files)
 //
 // Output: TSV with one row per hit:
 //   query_id  text_end  query_end  score  e_value  [cigar  identity]
+//
+// Every engine rides the same AlignerRegistry/SearchRequest facade, so
+// --engine switches backends without touching any other code path.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,10 +30,7 @@
 #include <vector>
 
 #include "src/align/traceback.h"
-#include "src/baseline/blast/blast.h"
-#include "src/baseline/bwt_sw.h"
-#include "src/baseline/smith_waterman.h"
-#include "src/core/batch.h"
+#include "src/api/api.h"
 #include "src/io/fasta.h"
 #include "src/sim/generator.h"
 #include "src/stats/karlin.h"
@@ -63,8 +64,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --text=ref.fa --query=queries.fa "
                "[--protein] [--scheme=1,-3,-5,-2] [--evalue=10 | "
-               "--threshold=H] [--engine=alae|bwtsw|blast|sw] [--threads=N] "
-               "[--max-hits=N] [--traceback] | --demo\n",
+               "--threshold=H] [--engine=alae|bwt-sw|blast|sw|basic] "
+               "[--threads=N] [--max-hits=N] [--traceback] | --demo\n",
                argv0);
   return 2;
 }
@@ -135,53 +136,82 @@ int main(int argc, char** argv) {
 
   const int64_t n = static_cast<int64_t>(text.size());
   Timer timer;
-  std::printf("#query\ttext_end\tquery_end\tscore\te_value%s\n",
-              opt.traceback ? "\tcigar\tidentity" : "");
 
-  // Index once for the index-based engines.
-  std::unique_ptr<AlaeIndex> index;
-  std::unique_ptr<FmIndex> rev;
-  if (opt.engine == "alae") {
-    index = std::make_unique<AlaeIndex>(text);
-  } else if (opt.engine == "bwtsw") {
-    rev = std::make_unique<FmIndex>(text.Reversed());
+  // Index once; the registry hands any backend the shared index.
+  api::AlignerRegistry registry(text);
+  api::StatusOr<std::unique_ptr<api::Aligner>> aligner =
+      registry.Create(opt.engine);
+  if (!aligner.ok()) {
+    std::fprintf(stderr, "%s\n", aligner.status().ToString().c_str());
+    return 2;
   }
   std::fprintf(stderr, "setup: %.2fs\n", timer.ElapsedSeconds());
 
+  // One request per query; thresholds are per-query because the E-value
+  // conversion depends on the query length.
+  std::vector<api::SearchRequest> requests;
+  requests.reserve(queries.size());
   for (const auto& [id, query] : queries) {
-    int64_t m = static_cast<int64_t>(query.size());
-    int32_t h = opt.threshold > 0
-                    ? opt.threshold
-                    : KarlinStats::EValueToThreshold(opt.evalue, m, n,
-                                                     opt.scheme,
-                                                     alphabet.sigma());
-    timer.Reset();
-    ResultCollector hits;
-    if (opt.engine == "alae") {
-      if (opt.threads > 1) {
-        BatchRunner runner(*index);
-        hits = std::move(
-            runner.Run({query}, opt.scheme, h, opt.threads)[0]);
-      } else {
-        Alae engine(*index);
-        hits = engine.Run(query, opt.scheme, h);
-      }
-    } else if (opt.engine == "bwtsw") {
-      BwtSw engine(*rev, n);
-      hits = engine.Run(query, opt.scheme, h);
-    } else if (opt.engine == "blast") {
-      hits = Blast::Run(text, query, opt.scheme, h);
-    } else if (opt.engine == "sw") {
-      hits = SmithWaterman::Run(text, query, opt.scheme, h);
+    (void)id;
+    api::SearchRequest request;
+    request.query = query;
+    request.scheme = opt.scheme;
+    // 0 means "derive from --evalue"; anything else (including a negative)
+    // goes to the API, whose validation rejects non-positive thresholds.
+    request.threshold =
+        opt.threshold != 0
+            ? opt.threshold
+            : KarlinStats::EValueToThreshold(
+                  opt.evalue, static_cast<int64_t>(query.size()), n,
+                  opt.scheme, alphabet.sigma());
+    requests.push_back(std::move(request));
+  }
+
+  // One bad record must not abort the rest: the driver is all-or-nothing,
+  // so validate per query and batch only the valid ones.
+  std::vector<api::SearchRequest> valid_requests;
+  std::vector<size_t> origin;  // valid_requests[k] answers queries[origin[k]]
+  for (size_t qi = 0; qi < requests.size(); ++qi) {
+    api::Status status = (*aligner)->Validate(requests[qi]);
+    if (status.ok()) {
+      valid_requests.push_back(requests[qi]);
+      origin.push_back(qi);
     } else {
-      std::fprintf(stderr, "unknown engine %s\n", opt.engine.c_str());
-      return 2;
+      std::fprintf(stderr, "%s: skipped (%s)\n", queries[qi].first.c_str(),
+                   status.ToString().c_str());
     }
-    std::fprintf(stderr, "%s: H=%d, %zu hits, %.3fs\n", id.c_str(), h,
-                 hits.size(), timer.ElapsedSeconds());
+  }
+
+  if (valid_requests.empty() && !queries.empty()) {
+    std::fprintf(stderr, "search failed: every query was rejected\n");
+    return 1;
+  }
+
+  api::MultiQueryDriver driver(**aligner);
+  api::StatusOr<std::vector<api::SearchResponse>> batch =
+      driver.Run(valid_requests, opt.threads);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 batch.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<api::SearchResponse> responses(queries.size());
+  for (size_t k = 0; k < batch->size(); ++k) {
+    responses[origin[k]] = std::move((*batch)[k]);
+  }
+
+  std::printf("#query\ttext_end\tquery_end\tscore\te_value%s\n",
+              opt.traceback ? "\tcigar\tidentity" : "");
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto& [id, query] = queries[qi];
+    const api::SearchResponse& response = responses[qi];
+    int64_t m = static_cast<int64_t>(query.size());
+    std::fprintf(stderr, "%s: H=%d, %zu hits, %.3fs\n", id.c_str(),
+                 requests[qi].threshold, response.hits.size(),
+                 response.stats.seconds);
 
     // Best-scoring hits first.
-    std::vector<AlignmentHit> sorted = hits.Sorted();
+    std::vector<AlignmentHit> sorted = response.hits;
     std::stable_sort(sorted.begin(), sorted.end(),
                      [](const AlignmentHit& a, const AlignmentHit& b) {
                        return a.score > b.score;

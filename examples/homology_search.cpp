@@ -1,7 +1,7 @@
 // Homology search: the paper's motivating workload (§1, §7) — align long
 // queries sampled from a related genome against a reference, with the
 // threshold derived from an E-value, and compare the exact answer (ALAE)
-// with the heuristic one (BLAST).
+// with the heuristic one (BLAST) through the same Aligner facade.
 //
 //   ./examples/homology_search [n] [m]
 //
@@ -12,8 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/baseline/blast/blast.h"
-#include "src/core/alae.h"
+#include "src/api/api.h"
 #include "src/sim/generator.h"
 #include "src/stats/karlin.h"
 #include "src/util/timer.h"
@@ -36,18 +35,20 @@ int main(int argc, char** argv) {
   std::printf("sampling a %lld-char homologous query (70%% identity "
               "segments + indels)...\n",
               static_cast<long long>(m));
-  Sequence query = gen.HomologousQuery(reference, m, /*homolog_fraction=*/0.6,
-                                       /*divergence=*/0.30,
-                                       /*indel_rate=*/0.01);
 
-  ScoringScheme scheme = ScoringScheme::Default();
+  api::SearchRequest request;
+  request.query = gen.HomologousQuery(reference, m, /*homolog_fraction=*/0.6,
+                                      /*divergence=*/0.30,
+                                      /*indel_rate=*/0.01);
   double e_value = 10.0;
-  int32_t h = KarlinStats::EValueToThreshold(e_value, m, n, scheme, 4);
-  std::printf("scheme %s, E=%g  =>  H=%d\n", scheme.ToString().c_str(),
-              e_value, h);
+  request.threshold = KarlinStats::EValueToThreshold(e_value, m, n,
+                                                     request.scheme, 4);
+  std::printf("scheme %s, E=%g  =>  H=%d\n", request.scheme.ToString().c_str(),
+              e_value, request.threshold);
 
   Timer timer;
-  AlaeIndex index(reference);
+  api::AlignerRegistry registry(reference);
+  const AlaeIndex& index = registry.index();
   std::printf("index built in %.2fs (%s + %s samples)\n",
               timer.ElapsedSeconds(),
               std::to_string(index.SizeBytes().bwt_bytes / 1024 / 1024)
@@ -57,37 +58,42 @@ int main(int argc, char** argv) {
                   .append("MB")
                   .c_str());
 
-  timer.Reset();
-  Alae alae(index);
-  AlaeRunStats stats;
-  ResultCollector exact = alae.Run(query, scheme, h, &stats);
-  double alae_time = timer.ElapsedSeconds();
-
-  timer.Reset();
-  ResultCollector heuristic = Blast::Run(reference, query, scheme, h);
-  double blast_time = timer.ElapsedSeconds();
-
-  std::printf("\nALAE  : %6.3fs  %8zu end pairs >= H (exact)\n", alae_time,
-              exact.size());
-  std::printf("BLAST : %6.3fs  %8zu end pairs >= H (heuristic)\n",
-              blast_time, heuristic.size());
-  if (exact.size() > 0) {
-    std::printf("BLAST recall: %.1f%%  (the accuracy gap of §7.1)\n",
-                100.0 * static_cast<double>(heuristic.size()) /
-                    static_cast<double>(exact.size()));
+  // Same request, two backends: the facade is what makes this a one-line
+  // swap instead of two call shapes.
+  api::StatusOr<api::SearchResponse> exact =
+      (*registry.Create("alae"))->Search(request);
+  api::StatusOr<api::SearchResponse> heuristic =
+      (*registry.Create("blast"))->Search(request);
+  if (!exact.ok() || !heuristic.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 (!exact.ok() ? exact.status() : heuristic.status())
+                     .ToString()
+                     .c_str());
+    return 1;
   }
+
+  std::printf("\nALAE  : %6.3fs  %8zu end pairs >= H (exact)\n",
+              exact->stats.seconds, exact->hits.size());
+  std::printf("BLAST : %6.3fs  %8zu end pairs >= H (heuristic)\n",
+              heuristic->stats.seconds, heuristic->hits.size());
+  if (!exact->hits.empty()) {
+    std::printf("BLAST recall: %.1f%%  (the accuracy gap of §7.1)\n",
+                100.0 * static_cast<double>(heuristic->hits.size()) /
+                    static_cast<double>(exact->hits.size()));
+  }
+  const DpCounters& counters = exact->stats.counters;
   std::printf("ALAE pruning: %llu entries calculated, %llu reused, "
               "%llu forks (%llu skipped by domination)\n",
-              static_cast<unsigned long long>(stats.counters.Calculated()),
-              static_cast<unsigned long long>(stats.counters.reused),
-              static_cast<unsigned long long>(stats.counters.forks_opened),
+              static_cast<unsigned long long>(counters.Calculated()),
+              static_cast<unsigned long long>(counters.reused),
+              static_cast<unsigned long long>(counters.forks_opened),
               static_cast<unsigned long long>(
-                  stats.counters.forks_skipped_domination));
+                  counters.forks_skipped_domination));
 
   // Show the strongest alignment.
   int32_t best = 0;
   AlignmentHit best_hit;
-  for (const AlignmentHit& hit : exact.Sorted()) {
+  for (const AlignmentHit& hit : exact->hits) {
     if (hit.score > best) {
       best = hit.score;
       best_hit = hit;
@@ -98,7 +104,7 @@ int main(int argc, char** argv) {
                 "(E = %.2e)\n",
                 best, static_cast<long long>(best_hit.text_end),
                 static_cast<long long>(best_hit.query_end),
-                KarlinStats::ScoreToEValue(best, m, n, scheme, 4));
+                KarlinStats::ScoreToEValue(best, m, n, request.scheme, 4));
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 // Protein motif search: short queries against a protein database (the
 // "short reads / motifs" use case of §1), using the paper's protein scheme
-// <1,-3,-11,-1> and the concatenated-records reduction of §2.2.
+// <1,-3,-11,-1> and the concatenated-records reduction of §2.2, driven
+// through the unified Aligner facade.
 //
 //   ./examples/protein_motif
 //
@@ -13,8 +14,7 @@
 #include <set>
 #include <string>
 
-#include "src/baseline/blast/blast.h"
-#include "src/core/alae.h"
+#include "src/api/api.h"
 #include "src/io/fasta.h"
 #include "src/sim/generator.h"
 
@@ -26,7 +26,6 @@ int main() {
 
   // A C2H2 zinc-finger-like motif (23 residues).
   const std::string motif = "FQCRICMRNFSRSDHLTTHIRTH";
-  Sequence motif_seq = Sequence::FromString(motif, aa);
 
   // Database: 40 random protein records; plant the motif into 8 of them
   // with 0..3 substitutions.
@@ -61,21 +60,29 @@ int main() {
     return rec;
   };
 
-  ScoringScheme scheme{1, -3, -11, -1};  // the paper's protein scheme (§7.5)
+  // One request, served by two backends below.
+  api::SearchRequest request;
+  request.query = Sequence::FromString(motif, aa);
+  request.scheme = ScoringScheme{1, -3, -11, -1};  // the paper's protein
+                                                   // scheme (§7.5)
   // A k-substitution copy of the 23-mer scores 23 - 4k; H = 15 accepts up
   // to two substitutions and correctly excludes the 3-substitution plants.
-  int32_t h = 15;
+  request.threshold = 15;
 
-  AlaeIndex index(database);
-  Alae alae(index);
-  ResultCollector hits = alae.Run(motif_seq, scheme, h);
+  api::AlignerRegistry registry(database);
+  api::StatusOr<api::SearchResponse> exact =
+      (*registry.Create("alae"))->Search(request);
+  if (!exact.ok()) {
+    std::fprintf(stderr, "%s\n", exact.status().ToString().c_str());
+    return 1;
+  }
 
   std::set<size_t> found;
-  for (const AlignmentHit& hit : hits.Sorted()) {
+  for (const AlignmentHit& hit : exact->hits) {
     found.insert(record_of(hit.text_end));
   }
-  std::printf("motif %s (H=%d, scheme %s)\n", motif.c_str(), h,
-              scheme.ToString().c_str());
+  std::printf("motif %s (H=%d, scheme %s)\n", motif.c_str(), request.threshold,
+              request.scheme.ToString().c_str());
   std::printf("planted into %zu records; ALAE hit %zu records:\n",
               planted.size(), found.size());
   for (size_t rec : found) {
@@ -85,12 +92,18 @@ int main() {
 
   // Contrast with an exact-word heuristic (word size 6, no mismatches in
   // the seed): diverged copies whose every 6-mer is mutated are missed.
-  BlastOptions strict;
-  strict.word_size = 6;
-  ResultCollector blast_hits =
-      Blast::Run(database, motif_seq, scheme, h, strict);
+  // Same request, one extra option block — the facade keeps the comparison
+  // honest.
+  api::SearchRequest strict = request;
+  strict.blast.word_size = 6;
+  api::StatusOr<api::SearchResponse> heuristic =
+      (*registry.Create("blast"))->Search(strict);
+  if (!heuristic.ok()) {
+    std::fprintf(stderr, "%s\n", heuristic.status().ToString().c_str());
+    return 1;
+  }
   std::set<size_t> blast_found;
-  for (const AlignmentHit& hit : blast_hits.Sorted()) {
+  for (const AlignmentHit& hit : heuristic->hits) {
     blast_found.insert(record_of(hit.text_end));
   }
   std::printf("\nword-6 heuristic hit %zu records (exactness gap: %zu)\n",

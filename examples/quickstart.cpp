@@ -1,14 +1,18 @@
-// Quickstart: index a text, run an exact local-alignment search with ALAE,
-// and print the hits.
+// Quickstart: index a text, run an exact local-alignment search through the
+// unified Aligner facade, and print the hits.
 //
 //   ./examples/quickstart
 //
-// Demonstrates the three-line happy path of the public API:
-//   AlaeIndex index(text);   Alae alae(index);   alae.Run(query, ...)
+// Demonstrates the happy path of the public API:
+//   AlignerRegistry registry(text);
+//   auto aligner = registry.Create("alae");
+//   auto response = (*aligner)->Search(request);
+// Swap "alae" for "bwt-sw", "blast", "sw" or "basic" and nothing else
+// changes — all five backends answer the same request.
 
 #include <cstdio>
 
-#include "src/core/alae.h"
+#include "src/api/api.h"
 #include "src/io/sequence.h"
 
 using namespace alae;
@@ -19,24 +23,34 @@ int main() {
   Sequence text = Sequence::FromString(
       "TTGACGGCTAGCAAGTGCTAGGTTACCAGGCATTAAGGCTAACCGGTTAACCGG",
       Alphabet::Dna());
-  Sequence query = Sequence::FromString("GCTAG", Alphabet::Dna());
 
   // Index once (FM-index over reverse(T) + lazily-built domination
-  // indexes); run many queries against it.
-  AlaeIndex index(text);
-  Alae alae(index);
+  // indexes); every backend the registry creates shares it.
+  api::AlignerRegistry registry(text);
+  api::StatusOr<std::unique_ptr<api::Aligner>> aligner =
+      registry.Create("alae");
+  if (!aligner.ok()) {
+    std::fprintf(stderr, "%s\n", aligner.status().ToString().c_str());
+    return 1;
+  }
 
-  // <1,-3,-5,-2> is the default scheme of BLAST and BWT-SW; H is the
-  // minimum alignment score to report.
-  ScoringScheme scheme = ScoringScheme::Default();
-  int32_t threshold = 4;
+  // <1,-3,-5,-2> is the default scheme of BLAST and BWT-SW; threshold is
+  // the minimum alignment score to report.
+  api::SearchRequest request;
+  request.query = Sequence::FromString("GCTAG", Alphabet::Dna());
+  request.threshold = 4;
 
-  ResultCollector results = alae.Run(query, scheme, threshold);
+  api::StatusOr<api::SearchResponse> response = (*aligner)->Search(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
 
-  std::printf("query %s against %zu-char text, H=%d: %zu hits\n",
-              query.ToString().c_str(), text.size(), threshold,
-              results.size());
-  for (const AlignmentHit& hit : results.Sorted()) {
+  std::printf("query %s against %zu-char text, H=%d: %zu hits (%s backend)\n",
+              request.query.ToString().c_str(), text.size(), request.threshold,
+              response->hits.size(),
+              std::string((*aligner)->name()).c_str());
+  for (const AlignmentHit& hit : response->hits) {
     std::printf("  text[%lld..%lld] ~ query[..%lld]  score=%d\n",
                 static_cast<long long>(hit.text_start),
                 static_cast<long long>(hit.text_end),

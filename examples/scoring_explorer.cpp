@@ -6,17 +6,16 @@
 //
 // For every BLAST web-form scheme this prints the q-prefix length, the
 // FGOE threshold, the analytic bound exponent/coefficient, and a measured
-// run on a small workload.
+// run on a small workload, all through the Aligner facade.
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/core/alae.h"
+#include "src/api/api.h"
 #include "src/sim/workload.h"
 #include "src/stats/entry_bound.h"
 #include "src/stats/karlin.h"
 #include "src/util/table_printer.h"
-#include "src/util/timer.h"
 
 using namespace alae;
 
@@ -29,28 +28,36 @@ int main(int argc, char** argv) {
   spec.query_length = m;
   spec.num_queries = 1;
   Workload w = BuildWorkload(spec);
-  AlaeIndex index(w.text);
+  api::AlignerRegistry registry(w.text);
+  std::unique_ptr<api::Aligner> aligner = *registry.Create("alae");
 
   std::printf("ALAE behaviour per scoring scheme (n=%lld, m=%lld, E=10)\n\n",
               static_cast<long long>(n), static_cast<long long>(m));
   TablePrinter table({"scheme", "q", "|sg+ss|", "bound", "H", "time (ms)",
                       "entries", "results"});
   for (int idx = 0; idx < 4; ++idx) {
-    ScoringScheme scheme = ScoringScheme::Fig9(idx);
-    EntryBound bound = ComputeEntryBound(scheme, 4);
-    int32_t h = KarlinStats::EValueToThreshold(10.0, m, n, scheme, 4);
-    Alae alae(index);
-    Timer timer;
-    AlaeRunStats stats;
-    ResultCollector hits = alae.Run(w.queries[0], scheme, h, &stats);
+    api::SearchRequest request;
+    request.query = w.queries[0];
+    request.scheme = ScoringScheme::Fig9(idx);
+    request.threshold =
+        KarlinStats::EValueToThreshold(10.0, m, n, request.scheme, 4);
+    EntryBound bound = ComputeEntryBound(request.scheme, 4);
+    api::StatusOr<api::SearchResponse> response = aligner->Search(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 1;
+    }
     char bound_str[48];
     std::snprintf(bound_str, sizeof(bound_str), "%.2f*m*n^%.3f",
                   bound.coefficient, bound.exponent);
-    table.AddRow({scheme.ToString(), std::to_string(scheme.QPrefixLength()),
-                  std::to_string(scheme.FgoeThreshold()), bound_str,
-                  std::to_string(h), TablePrinter::Fmt(timer.ElapsedMillis(), 1),
-                  TablePrinter::Fmt(stats.counters.Accessed()),
-                  TablePrinter::Fmt(static_cast<uint64_t>(hits.size()))});
+    table.AddRow({request.scheme.ToString(),
+                  std::to_string(request.scheme.QPrefixLength()),
+                  std::to_string(request.scheme.FgoeThreshold()), bound_str,
+                  std::to_string(request.threshold),
+                  TablePrinter::Fmt(response->stats.seconds * 1000.0, 1),
+                  TablePrinter::Fmt(response->stats.counters.Accessed()),
+                  TablePrinter::Fmt(
+                      static_cast<uint64_t>(response->hits.size()))});
   }
   std::printf("%s", table.ToString().c_str());
   std::printf(

@@ -1,6 +1,7 @@
 #ifndef ALAE_ALIGN_RESULT_H_
 #define ALAE_ALIGN_RESULT_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -56,6 +57,10 @@ class ResultCollector {
 
   // Injective for coordinates below 2^32, far beyond the supported scale.
   static uint64_t Key(int64_t text_end, int64_t query_end) {
+    assert(text_end >= 0 && text_end < (int64_t{1} << 32) &&
+           "text_end outside the injective [0, 2^32) key range");
+    assert(query_end >= 0 && query_end < (int64_t{1} << 32) &&
+           "query_end outside the injective [0, 2^32) key range");
     return (static_cast<uint64_t>(text_end) << 32) |
            static_cast<uint64_t>(query_end);
   }

@@ -1,0 +1,84 @@
+#include "src/api/aligner.h"
+
+#include <string>
+
+#include "src/util/timer.h"
+
+namespace alae {
+namespace api {
+
+namespace {
+
+std::string_view KindName(AlphabetKind kind) {
+  return kind == AlphabetKind::kDna ? "DNA" : "protein";
+}
+
+}  // namespace
+
+Status Aligner::Validate(const SearchRequest& request) const {
+  if (request.query.empty()) {
+    return Status::InvalidArgument("query is empty");
+  }
+  if (request.query.alphabet().kind() != text().alphabet().kind()) {
+    return Status::InvalidArgument(
+        std::string("alphabet mismatch: query is ") +
+        std::string(KindName(request.query.alphabet().kind())) +
+        " but the indexed text is " +
+        std::string(KindName(text().alphabet().kind())));
+  }
+  if (request.threshold <= 0) {
+    return Status::InvalidArgument(
+        "threshold must be >= 1, got " + std::to_string(request.threshold));
+  }
+  if (!request.scheme.Valid()) {
+    return Status::InvalidArgument(
+        "scoring scheme " + request.scheme.ToString() +
+        " is malformed (need sa > 0 and sb, sg, ss < 0)");
+  }
+  return Status::Ok();
+}
+
+Status Aligner::Search(const SearchRequest& request, const HitSink& sink,
+                       EngineStats* stats) const {
+  if (Status status = Validate(request); !status.ok()) return status;
+
+  Timer timer;
+  EngineStats local;
+  bool stopped = false;
+  HitSink wrapped = [&](const AlignmentHit& hit) {
+    ++local.hits_emitted;
+    bool more = sink(hit);
+    if (request.max_hits > 0 && local.hits_emitted >= request.max_hits) {
+      more = false;
+    }
+    if (!more) stopped = true;
+    return more;
+  };
+  Status status = SearchImpl(request, wrapped, &local);
+  local.truncated = stopped;
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return status;
+}
+
+StatusOr<SearchResponse> Aligner::Search(const SearchRequest& request) const {
+  SearchResponse response;
+  Status status = Search(
+      request,
+      [&](const AlignmentHit& hit) {
+        response.hits.push_back(hit);
+        return true;
+      },
+      &response.stats);
+  if (!status.ok()) return status;
+  return response;
+}
+
+void Aligner::Drain(const ResultCollector& collector, const HitSink& sink) {
+  for (const AlignmentHit& hit : collector.Sorted()) {
+    if (!sink(hit)) return;
+  }
+}
+
+}  // namespace api
+}  // namespace alae

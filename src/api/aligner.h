@@ -1,0 +1,75 @@
+#ifndef ALAE_API_ALIGNER_H_
+#define ALAE_API_ALIGNER_H_
+
+#include <string_view>
+
+#include "src/api/search.h"
+#include "src/api/status.h"
+
+namespace alae {
+namespace api {
+
+// The one public search interface. ALAE, BWT-SW, BLAST, Smith-Waterman and
+// BASIC all answer the same question (paper §2.1), so they all sit behind
+// this facade; callers pick a backend through AlignerRegistry and never see
+// the five divergent engine call shapes underneath.
+//
+// Contract:
+//  - Search validates the request (empty query, alphabet mismatch,
+//    non-positive threshold, malformed scheme) and returns a Status
+//    instead of silently misbehaving.
+//  - Hits reach the sink in (text_end, query_end) order, each end pair at
+//    most once, every reported score >= request.threshold.
+//  - Exact backends emit precisely the Smith-Waterman answer set; heuristic
+//    backends (exact() == false) may emit a subset with under-estimated
+//    scores, never spurious pairs above their true score.
+//  - Search is const and thread-safe: one Aligner may serve concurrent
+//    requests (the multi-query driver relies on this).
+class Aligner {
+ public:
+  virtual ~Aligner() = default;
+
+  // Registry name of the backend ("alae", "bwt-sw", "blast", "sw", "basic").
+  virtual std::string_view name() const = 0;
+
+  // Whether the backend reports the exact answer set.
+  virtual bool exact() const = 0;
+
+  // The indexed text this aligner searches.
+  virtual const Sequence& text() const = 0;
+
+  // Validates a request against this backend without running it.
+  Status Validate(const SearchRequest& request) const;
+
+  // Warms shared per-(scheme, threshold) state so concurrent Search calls
+  // only read (e.g. ALAE's lazily-built domination index). Optional; Search
+  // works without it.
+  virtual Status Prepare(const SearchRequest& request) const {
+    return Validate(request);
+  }
+
+  // Streaming search: validates, runs the engine, feeds `sink`. The sink's
+  // false return and request.max_hits both stop the stream early; `stats`
+  // (optional) receives timing, counters and truncation info.
+  Status Search(const SearchRequest& request, const HitSink& sink,
+                EngineStats* stats = nullptr) const;
+
+  // Materialising convenience built on the streaming form.
+  StatusOr<SearchResponse> Search(const SearchRequest& request) const;
+
+ protected:
+  // Engine-specific body. `sink` already enforces max_hits and counts
+  // emissions; implementations just stream ordered hits into it and stop
+  // when it returns false.
+  virtual Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+                            EngineStats* stats) const = 0;
+
+  // Streams a collector's sorted hits into a sink (the adapter for engines
+  // that materialise internally).
+  static void Drain(const ResultCollector& collector, const HitSink& sink);
+};
+
+}  // namespace api
+}  // namespace alae
+
+#endif  // ALAE_API_ALIGNER_H_

@@ -1,0 +1,120 @@
+#include "src/api/backends.h"
+
+#include <string>
+
+#include "src/baseline/basic.h"
+#include "src/baseline/blast/blast.h"
+#include "src/baseline/bwt_sw.h"
+#include "src/baseline/smith_waterman.h"
+
+namespace alae {
+namespace api {
+
+// ---------------------------------------------------------------------------
+// ALAE
+// ---------------------------------------------------------------------------
+
+Status AlaeBackend::Prepare(const SearchRequest& request) const {
+  if (Status status = Validate(request); !status.ok()) return status;
+  // Force the lazily-built domination index for this (scheme, threshold)
+  // so concurrent Search calls only read shared state.
+  if (request.alae.domination_filter) {
+    index_->Domination(request.alae.prefix_filter
+                           ? request.scheme.EffectiveQ(request.threshold)
+                           : 1);
+  }
+  return Status::Ok();
+}
+
+Status AlaeBackend::SearchImpl(const SearchRequest& request,
+                               const HitSink& sink, EngineStats* stats) const {
+  Alae engine(*index_, request.alae);
+  AlaeRunStats run;
+  ResultCollector hits =
+      engine.Run(request.query, request.scheme, request.threshold, &run);
+  stats->counters = run.counters;
+  stats->anchors_considered = run.anchors_considered;
+  stats->grams_searched = run.grams_searched;
+  Drain(hits, sink);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// BWT-SW
+// ---------------------------------------------------------------------------
+
+Status BwtSwBackend::SearchImpl(const SearchRequest& request,
+                                const HitSink& sink,
+                                EngineStats* stats) const {
+  ResultCollector hits = engine_.Run(request.query, request.scheme,
+                                     request.threshold, &stats->counters);
+  Drain(hits, sink);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// BLAST
+// ---------------------------------------------------------------------------
+
+Status BlastBackend::SearchImpl(const SearchRequest& request,
+                                const HitSink& sink,
+                                EngineStats* stats) const {
+  BlastRunStats run;
+  ResultCollector hits = Blast::Run(index_->text(), request.query,
+                                    request.scheme, request.threshold,
+                                    request.blast, &run);
+  stats->seeds = run.seeds;
+  stats->ungapped_extensions = run.ungapped_extensions;
+  stats->gapped_extensions = run.gapped_extensions;
+  // BLAST's gapped DP computes M, Ga and Gb per cell, i.e. cost 3 in the
+  // paper's Table 4 accounting.
+  stats->counters.cells_cost3 = run.dp_cells;
+  Drain(hits, sink);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Smith-Waterman
+// ---------------------------------------------------------------------------
+
+Status SmithWatermanBackend::SearchImpl(const SearchRequest& request,
+                                        const HitSink& sink,
+                                        EngineStats* stats) const {
+  // SW computes each (i, j) cell exactly once and row order matches the
+  // sink's ordering contract, so this backend streams with no collector;
+  // Stream returns the cells actually computed (less than n*m when the
+  // sink cancelled early).
+  stats->counters.cells_cost3 = SmithWaterman::Stream(
+      index_->text(), request.query, request.scheme, request.threshold,
+      [&](int64_t text_end, int64_t query_end, int32_t score) {
+        return sink({text_end, query_end, score, -1});
+      });
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// BASIC
+// ---------------------------------------------------------------------------
+
+Status BasicBackend::Prepare(const SearchRequest& request) const {
+  if (Status status = Validate(request); !status.ok()) return status;
+  if (index_->text_size() > kMaxTextLen) {
+    return Status::FailedPrecondition(
+        "basic backend builds an O(n^2) suffix trie; text of " +
+        std::to_string(index_->text_size()) + " chars exceeds the " +
+        std::to_string(kMaxTextLen) + "-char cap");
+  }
+  return Status::Ok();
+}
+
+Status BasicBackend::SearchImpl(const SearchRequest& request,
+                                const HitSink& sink, EngineStats*) const {
+  if (Status status = Prepare(request); !status.ok()) return status;
+  ResultCollector hits = BasicAligner::Run(index_->text(), request.query,
+                                           request.scheme, request.threshold);
+  Drain(hits, sink);
+  return Status::Ok();
+}
+
+}  // namespace api
+}  // namespace alae

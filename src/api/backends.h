@@ -1,0 +1,120 @@
+#ifndef ALAE_API_BACKENDS_H_
+#define ALAE_API_BACKENDS_H_
+
+#include <memory>
+
+#include "src/api/aligner.h"
+#include "src/baseline/bwt_sw.h"
+#include "src/core/alae.h"
+
+namespace alae {
+namespace api {
+
+// The five engines of the paper wrapped as Aligner implementations. Every
+// backend shares one AlaeIndex: the text lives there, and the FM-index it
+// carries is built over reverse(T), which is exactly the index BWT-SW
+// needs — so "alae" and "bwt-sw" share the same suffix-trie emulation and
+// the text-only engines ("blast", "sw", "basic") read index->text().
+//
+// Constructed by AlignerRegistry; the shared_ptr keeps the index alive for
+// as long as any backend does.
+
+class AlaeBackend : public Aligner {
+ public:
+  explicit AlaeBackend(std::shared_ptr<const AlaeIndex> index)
+      : index_(std::move(index)) {}
+
+  std::string_view name() const override { return "alae"; }
+  bool exact() const override { return true; }
+  const Sequence& text() const override { return index_->text(); }
+  Status Prepare(const SearchRequest& request) const override;
+
+ protected:
+  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+                    EngineStats* stats) const override;
+
+ private:
+  std::shared_ptr<const AlaeIndex> index_;
+};
+
+class BwtSwBackend : public Aligner {
+ public:
+  explicit BwtSwBackend(std::shared_ptr<const AlaeIndex> index)
+      : index_(std::move(index)),
+        engine_(index_->fm(), index_->text_size()) {}
+
+  std::string_view name() const override { return "bwt-sw"; }
+  bool exact() const override { return true; }
+  const Sequence& text() const override { return index_->text(); }
+
+ protected:
+  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+                    EngineStats* stats) const override;
+
+ private:
+  std::shared_ptr<const AlaeIndex> index_;
+  BwtSw engine_;
+};
+
+class BlastBackend : public Aligner {
+ public:
+  explicit BlastBackend(std::shared_ptr<const AlaeIndex> index)
+      : index_(std::move(index)) {}
+
+  std::string_view name() const override { return "blast"; }
+  bool exact() const override { return false; }
+  const Sequence& text() const override { return index_->text(); }
+
+ protected:
+  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+                    EngineStats* stats) const override;
+
+ private:
+  std::shared_ptr<const AlaeIndex> index_;
+};
+
+class SmithWatermanBackend : public Aligner {
+ public:
+  explicit SmithWatermanBackend(std::shared_ptr<const AlaeIndex> index)
+      : index_(std::move(index)) {}
+
+  std::string_view name() const override { return "sw"; }
+  bool exact() const override { return true; }
+  const Sequence& text() const override { return index_->text(); }
+
+ protected:
+  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+                    EngineStats* stats) const override;
+
+ private:
+  std::shared_ptr<const AlaeIndex> index_;
+};
+
+class BasicBackend : public Aligner {
+ public:
+  // BASIC materialises the O(n^2) explicit suffix trie (~n^2/2 nodes and
+  // position entries); beyond this text size a search is refused with
+  // kFailedPrecondition instead of exhausting memory (the paper only ever
+  // runs BASIC on tiny texts, §7.1).
+  static constexpr int64_t kMaxTextLen = 2'000;
+
+  explicit BasicBackend(std::shared_ptr<const AlaeIndex> index)
+      : index_(std::move(index)) {}
+
+  std::string_view name() const override { return "basic"; }
+  bool exact() const override { return true; }
+  const Sequence& text() const override { return index_->text(); }
+  Status Prepare(const SearchRequest& request) const override;
+
+ protected:
+  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+                    EngineStats* stats) const override;
+
+ private:
+  std::shared_ptr<const AlaeIndex> index_;
+};
+
+}  // namespace api
+}  // namespace alae
+
+#endif  // ALAE_API_BACKENDS_H_

@@ -1,0 +1,91 @@
+#include "src/api/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "src/util/timer.h"
+
+namespace alae {
+namespace api {
+
+int MultiQueryDriver::ResolveThreads(int threads, size_t num_requests) {
+  if (threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(1, std::min<int>(threads, static_cast<int>(num_requests)));
+}
+
+StatusOr<std::vector<SearchResponse>> MultiQueryDriver::Run(
+    const std::vector<SearchRequest>& requests, int threads,
+    MultiSearchStats* stats) const {
+  Timer timer;
+  // Fail fast, before spawning anything: validate every request and warm
+  // the backend's shared per-(scheme, threshold) state.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (Status status = aligner_.Prepare(requests[i]); !status.ok()) {
+      return Status(status.code(), "request " + std::to_string(i) + ": " +
+                                       status.message());
+    }
+  }
+
+  std::vector<SearchResponse> responses(requests.size());
+  std::vector<Status> statuses(requests.size());
+  threads = ResolveThreads(threads, requests.size());
+  if (threads <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      StatusOr<SearchResponse> r = aligner_.Search(requests[i]);
+      if (r.ok()) {
+        responses[i] = std::move(r).value();
+      } else {
+        statuses[i] = r.status();
+      }
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= requests.size()) break;
+        StatusOr<SearchResponse> r = aligner_.Search(requests[i]);
+        if (r.ok()) {
+          responses[i] = std::move(r).value();
+        } else {
+          statuses[i] = r.status();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(), "request " + std::to_string(i) +
+                                            ": " + statuses[i].message());
+    }
+  }
+  if (stats != nullptr) {
+    stats->wall_seconds = timer.ElapsedSeconds();
+    for (const SearchResponse& r : responses) {
+      stats->total_hits += r.hits.size();
+      stats->stats.Merge(r.stats);
+    }
+  }
+  return responses;
+}
+
+StatusOr<std::vector<SearchResponse>> MultiQueryDriver::Run(
+    const std::vector<Sequence>& queries, const SearchRequest& base,
+    int threads, MultiSearchStats* stats) const {
+  std::vector<SearchRequest> requests(queries.size(), base);
+  for (size_t i = 0; i < queries.size(); ++i) requests[i].query = queries[i];
+  return Run(requests, threads, stats);
+}
+
+}  // namespace api
+}  // namespace alae

@@ -1,0 +1,55 @@
+#ifndef ALAE_API_DRIVER_H_
+#define ALAE_API_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/aligner.h"
+
+namespace alae {
+namespace api {
+
+// Aggregate outcome of a multi-query run.
+struct MultiSearchStats {
+  double wall_seconds = 0;
+  uint64_t total_hits = 0;
+  EngineStats stats;  // merged across queries
+};
+
+// Backend-agnostic parallel multi-query driver: the generalisation of the
+// old ALAE-only BatchRunner. The paper's workloads run 100 queries per text
+// (§7) and queries against one shared immutable index are embarrassingly
+// parallel, for every backend — Aligner::Search is const and thread-safe.
+//
+// Requests are validated (and the backend's shared state warmed via
+// Prepare) before any worker starts, so a malformed request fails the whole
+// batch fast with its index in the message. Responses come back in input
+// order.
+class MultiQueryDriver {
+ public:
+  explicit MultiQueryDriver(const Aligner& aligner) : aligner_(aligner) {}
+
+  // Runs every request using `threads` workers (<= 0 picks hardware
+  // concurrency, which is itself clamped to >= 1: hardware_concurrency()
+  // may legitimately return 0).
+  StatusOr<std::vector<SearchResponse>> Run(
+      const std::vector<SearchRequest>& requests, int threads = 0,
+      MultiSearchStats* stats = nullptr) const;
+
+  // Convenience: the common one-scheme many-queries shape. `base` supplies
+  // everything but the query.
+  StatusOr<std::vector<SearchResponse>> Run(
+      const std::vector<Sequence>& queries, const SearchRequest& base,
+      int threads = 0, MultiSearchStats* stats = nullptr) const;
+
+  // Number of workers a run with this `threads` argument would use.
+  static int ResolveThreads(int threads, size_t num_requests);
+
+ private:
+  const Aligner& aligner_;
+};
+
+}  // namespace api
+}  // namespace alae
+
+#endif  // ALAE_API_DRIVER_H_

@@ -1,0 +1,78 @@
+#ifndef ALAE_API_SEARCH_H_
+#define ALAE_API_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/align/counters.h"
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/baseline/blast/blast.h"
+#include "src/core/config.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+namespace api {
+
+// One local-alignment search: "every end pair of T x P scoring >= threshold
+// under scheme" (the paper's problem statement, §2.1). The same request is
+// valid against every backend; the per-backend option blocks are consulted
+// only by the engine they belong to.
+struct SearchRequest {
+  Sequence query;
+  ScoringScheme scheme = ScoringScheme::Default();
+  int32_t threshold = 0;  // must be >= 1
+
+  // Stop after this many hits (0 = unlimited). When the cap fires the
+  // response is truncated, which EngineStats reports.
+  uint64_t max_hits = 0;
+
+  // Per-backend knobs. Ignored by backends they do not apply to.
+  AlaeConfig alae;
+  BlastOptions blast;
+};
+
+// Instrumentation merged across all backends: wall time and emission info
+// always; DpCounters for the exact engines (paper Tables 4-5); the ALAE and
+// BLAST extras when those engines ran.
+struct EngineStats {
+  double seconds = 0;
+  uint64_t hits_emitted = 0;
+  // True when the hit stream was cut short (sink returned false or
+  // max_hits was reached): `hits` is then a prefix of the full answer.
+  bool truncated = false;
+
+  // Exact engines (ALAE, BWT-SW, SW; BLAST reports its gapped DP cells as
+  // cost-3 cells so cross-backend cost comparisons stay meaningful).
+  DpCounters counters;
+
+  // ALAE (AlaeRunStats).
+  uint64_t anchors_considered = 0;
+  uint64_t grams_searched = 0;
+
+  // BLAST (BlastRunStats).
+  uint64_t seeds = 0;
+  uint64_t ungapped_extensions = 0;
+  uint64_t gapped_extensions = 0;
+
+  // Accumulates `o` into this (used by the multi-query driver).
+  void Merge(const EngineStats& o);
+};
+
+// The materialised answer: hits sorted by (text_end, query_end).
+struct SearchResponse {
+  std::vector<AlignmentHit> hits;
+  EngineStats stats;
+};
+
+// Streaming consumer: receives hits in (text_end, query_end) order as the
+// backend finishes them. Return false to stop the search early (top-k
+// consumers, result forwarding under deadline); the backend then reports a
+// truncated response instead of materialising a full ResultCollector.
+using HitSink = std::function<bool(const AlignmentHit&)>;
+
+}  // namespace api
+}  // namespace alae
+
+#endif  // ALAE_API_SEARCH_H_

@@ -1,0 +1,104 @@
+#ifndef ALAE_API_STATUS_H_
+#define ALAE_API_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace alae {
+namespace api {
+
+// Error vocabulary of the public API. The facade never throws and never
+// silently misbehaves on bad input: every entry point reports one of these.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // the request itself is malformed
+  kNotFound,            // unknown backend name
+  kFailedPrecondition,  // request is well-formed but this backend can't run it
+  kInternal,            // engine invariant violated (a bug)
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type status: a code plus a human-readable message. Cheap to copy,
+// cheap to test (`if (!status.ok())`), and composable with RETURN_IF_ERROR-
+// style early returns.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: query is empty".
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A Status or a value: the return type of fallible constructors such as
+// AlignerRegistry::Create. Access to value() asserts ok() in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from an OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(value()); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace api
+}  // namespace alae
+
+#endif  // ALAE_API_STATUS_H_

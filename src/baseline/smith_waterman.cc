@@ -11,11 +11,24 @@ ResultCollector SmithWaterman::Run(const Sequence& text, const Sequence& query,
                                    const ScoringScheme& scheme,
                                    int32_t threshold) {
   ResultCollector results;
+  Stream(text, query, scheme, threshold,
+         [&](int64_t text_end, int64_t query_end, int32_t score) {
+           results.Add(text_end, query_end, score);
+           return true;
+         });
+  return results;
+}
+
+uint64_t SmithWaterman::Stream(
+    const Sequence& text, const Sequence& query, const ScoringScheme& scheme,
+    int32_t threshold,
+    const std::function<bool(int64_t, int64_t, int32_t)>& emit) {
   int64_t n = static_cast<int64_t>(text.size());
   int64_t m = static_cast<int64_t>(query.size());
   std::vector<int32_t> h_prev(static_cast<size_t>(m + 1), 0);
   std::vector<int32_t> h_cur(static_cast<size_t>(m + 1), 0);
   std::vector<int32_t> e(static_cast<size_t>(m + 1), kNegInf);
+  uint64_t cells = 0;
   for (int64_t i = 1; i <= n; ++i) {
     int32_t f = kNegInf;
     h_cur[0] = 0;
@@ -27,13 +40,14 @@ ResultCollector SmithWaterman::Run(const Sequence& text, const Sequence& query,
                                                    query[static_cast<size_t>(j - 1)]);
       int32_t h = std::max({0, diag, e[sj], f});
       h_cur[sj] = h;
+      ++cells;
       if (h >= threshold) {
-        results.Add(i - 1, j - 1, h);
+        if (!emit(i - 1, j - 1, h)) return cells;
       }
     }
     std::swap(h_prev, h_cur);
   }
-  return results;
+  return cells;
 }
 
 }  // namespace alae

@@ -1,6 +1,8 @@
 #ifndef ALAE_BASELINE_SMITH_WATERMAN_H_
 #define ALAE_BASELINE_SMITH_WATERMAN_H_
 
+#include <functional>
+
 #include "src/align/result.h"
 #include "src/align/scoring.h"
 #include "src/io/sequence.h"
@@ -18,6 +20,16 @@ class SmithWaterman {
   // Memory is O(m); time is O(nm).
   static ResultCollector Run(const Sequence& text, const Sequence& query,
                              const ScoringScheme& scheme, int32_t threshold);
+
+  // Streaming form: every cell is computed exactly once, so qualifying end
+  // pairs can be emitted in (text_end, query_end) order with no collector.
+  // `emit(text_end, query_end, score)` returns false to stop the scan.
+  // Returns the number of DP cells actually computed (n*m on a full scan,
+  // less when emit cancelled early).
+  static uint64_t Stream(
+      const Sequence& text, const Sequence& query, const ScoringScheme& scheme,
+      int32_t threshold,
+      const std::function<bool(int64_t, int64_t, int32_t)>& emit);
 
   // Number of DP cells a full SW run computes (used in reports).
   static uint64_t CellCount(const Sequence& text, const Sequence& query) {

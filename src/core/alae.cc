@@ -14,8 +14,8 @@
 
 namespace alae {
 
-AlaeIndex::AlaeIndex(const Sequence& text, FmIndexOptions options)
-    : text_(text), fm_(text.Reversed(), options) {}
+AlaeIndex::AlaeIndex(Sequence text, FmIndexOptions options)
+    : text_(std::move(text)), fm_(text_.Reversed(), options) {}
 
 const DominationIndex& AlaeIndex::Domination(int32_t q) const {
   std::lock_guard<std::mutex> lock(domination_mu_);

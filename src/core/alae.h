@@ -22,7 +22,9 @@ namespace alae {
 // threshold, §3.2.2).
 class AlaeIndex {
  public:
-  explicit AlaeIndex(const Sequence& text, FmIndexOptions options = {});
+  // Takes the text by value so callers that are done with it can move it
+  // in; the index keeps its own copy either way.
+  explicit AlaeIndex(Sequence text, FmIndexOptions options = {});
 
   const Sequence& text() const { return text_; }
   int64_t text_size() const { return static_cast<int64_t>(text_.size()); }

@@ -1,64 +1,59 @@
 #include "src/core/batch.h"
 
-#include <atomic>
-#include <thread>
+#include <memory>
+#include <utility>
 
-#include "src/util/timer.h"
+#include "src/api/backends.h"
+#include "src/api/driver.h"
 
 namespace alae {
 
+// BatchRunner keeps its historical ALAE-only signature but is now a thin
+// adapter over the backend-agnostic api::MultiQueryDriver (which any
+// Aligner can drive, and which guards against hardware_concurrency() == 0).
 std::vector<ResultCollector> BatchRunner::Run(
     const std::vector<Sequence>& queries, const ScoringScheme& scheme,
     int32_t threshold, int threads, BatchStats* stats) const {
-  Timer timer;
-  std::vector<ResultCollector> results(queries.size());
-  std::vector<AlaeRunStats> run_stats(queries.size());
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
+  // Non-owning view of the caller's index: the backend's shared_ptr must
+  // not delete it.
+  api::AlaeBackend backend(
+      std::shared_ptr<const AlaeIndex>(std::shared_ptr<void>(), &index_));
+
+  // The historical interface has no error channel, so queries that fail
+  // validation simply report no hits — without aborting the valid ones
+  // (the driver itself is all-or-nothing by design).
+  std::vector<api::SearchRequest> requests;
+  std::vector<size_t> origin;  // requests[k] answers queries[origin[k]]
+  for (size_t i = 0; i < queries.size(); ++i) {
+    api::SearchRequest request;
+    request.query = queries[i];
+    request.scheme = scheme;
+    request.threshold = threshold;
+    request.alae = config_;
+    if (backend.Validate(request).ok()) {
+      requests.push_back(std::move(request));
+      origin.push_back(i);
+    }
   }
-  threads = std::min<int>(threads, static_cast<int>(queries.size()));
-  if (threads <= 1) {
-    Alae engine(index_, config_);
-    for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = engine.Run(queries[i], scheme, threshold, &run_stats[i]);
+
+  api::MultiQueryDriver driver(backend);
+  api::MultiSearchStats multi_stats;
+  std::vector<ResultCollector> results(queries.size());
+  api::StatusOr<std::vector<api::SearchResponse>> responses =
+      driver.Run(requests, threads, &multi_stats);
+  if (!responses.ok()) {
+    return results;
+  }
+  for (size_t k = 0; k < responses->size(); ++k) {
+    for (const AlignmentHit& hit : (*responses)[k].hits) {
+      results[origin[k]].Add(hit.text_end, hit.query_end, hit.score,
+                             hit.text_start);
     }
-  } else {
-    // NOTE: the domination index is built lazily inside AlaeIndex; force
-    // it here so workers only read shared state.
-    if (config_.domination_filter) {
-      index_.Domination(config_.prefix_filter
-                            ? scheme.EffectiveQ(threshold)
-                            : 1);
-    }
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-      Alae engine(index_, config_);
-      while (true) {
-        size_t i = next.fetch_add(1);
-        if (i >= queries.size()) break;
-        results[i] = engine.Run(queries[i], scheme, threshold, &run_stats[i]);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
   }
   if (stats != nullptr) {
-    stats->wall_seconds = timer.ElapsedSeconds();
-    for (size_t i = 0; i < queries.size(); ++i) {
-      stats->total_hits += results[i].size();
-      const DpCounters& c = run_stats[i].counters;
-      stats->counters.cells_cost1 += c.cells_cost1;
-      stats->counters.cells_cost2 += c.cells_cost2;
-      stats->counters.cells_cost3 += c.cells_cost3;
-      stats->counters.assigned += c.assigned;
-      stats->counters.reused += c.reused;
-      stats->counters.forks_opened += c.forks_opened;
-      stats->counters.forks_skipped_domination += c.forks_skipped_domination;
-      stats->counters.trie_nodes_visited += c.trie_nodes_visited;
-    }
+    stats->wall_seconds = multi_stats.wall_seconds;
+    stats->total_hits = multi_stats.total_hits;
+    stats->counters = multi_stats.stats.counters;
   }
   return results;
 }

@@ -72,6 +72,32 @@ TEST(BatchRunner, HandlesEmptyQueryList) {
   EXPECT_TRUE(runner.Run(none, ScoringScheme::Default(), 10, 4).empty());
 }
 
+// One invalid query (here: empty) must not poison the batch: the valid
+// queries still get their full answers and the invalid one reports no hits.
+TEST(BatchRunner, InvalidQueryDoesNotAbortTheBatch) {
+  WorkloadSpec spec;
+  spec.text_length = 5'000;
+  spec.query_length = 150;
+  spec.num_queries = 3;
+  spec.divergence = 0.15;
+  Workload w = BuildWorkload(spec);
+  AlaeIndex index(w.text);
+  BatchRunner runner(index);
+  ScoringScheme scheme = ScoringScheme::Default();
+
+  std::vector<Sequence> queries = w.queries;
+  queries.insert(queries.begin() + 1, Sequence());  // empty query
+  std::vector<ResultCollector> got = runner.Run(queries, scheme, 18, 2);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[1].size(), 0u);
+  EXPECT_EQ(SmithWaterman::Run(w.text, w.queries[0], scheme, 18).Sorted(),
+            got[0].Sorted());
+  EXPECT_EQ(SmithWaterman::Run(w.text, w.queries[1], scheme, 18).Sorted(),
+            got[2].Sorted());
+  EXPECT_EQ(SmithWaterman::Run(w.text, w.queries[2], scheme, 18).Sorted(),
+            got[3].Sorted());
+}
+
 TEST(BatchRunner, ZeroThreadsUsesHardwareConcurrency) {
   WorkloadSpec spec;
   spec.text_length = 5'000;

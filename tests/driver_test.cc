@@ -1,0 +1,139 @@
+#include "src/api/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/api.h"
+#include "src/sim/workload.h"
+
+namespace alae {
+namespace api {
+namespace {
+
+// Small enough that even the O(n^2)-trie "basic" backend runs it.
+Workload SmallWorkload(int32_t num_queries) {
+  WorkloadSpec spec;
+  spec.text_length = 800;
+  spec.query_length = 80;
+  spec.num_queries = num_queries;
+  spec.divergence = 0.15;
+  return BuildWorkload(spec);
+}
+
+SearchRequest BaseRequest(int32_t threshold) {
+  SearchRequest base;
+  base.threshold = threshold;
+  return base;
+}
+
+// The driver must work over ANY backend, and parallel runs must equal
+// sequential runs per query.
+TEST(MultiQueryDriver, ParallelEqualsSequentialAcrossBackends) {
+  Workload w = SmallWorkload(6);
+  AlignerRegistry registry(w.text);
+  for (const std::string& name : AlignerRegistry::BuiltinNames()) {
+    std::unique_ptr<Aligner> aligner = *registry.Create(name);
+    MultiQueryDriver driver(*aligner);
+    StatusOr<std::vector<SearchResponse>> seq =
+        driver.Run(w.queries, BaseRequest(18), /*threads=*/1);
+    StatusOr<std::vector<SearchResponse>> par =
+        driver.Run(w.queries, BaseRequest(18), /*threads=*/8);
+    ASSERT_TRUE(seq.ok()) << name << ": " << seq.status().ToString();
+    ASSERT_TRUE(par.ok()) << name << ": " << par.status().ToString();
+    ASSERT_EQ(seq->size(), par->size()) << name;
+    for (size_t i = 0; i < seq->size(); ++i) {
+      EXPECT_EQ((*seq)[i].hits, (*par)[i].hits) << name << " query " << i;
+    }
+  }
+}
+
+TEST(MultiQueryDriver, ExactBackendsAgreeThroughTheDriver) {
+  Workload w = SmallWorkload(4);
+  AlignerRegistry registry(w.text);
+  std::vector<std::vector<AlignmentHit>> reference;
+  for (const std::string& name : AlignerRegistry::BuiltinNames()) {
+    std::unique_ptr<Aligner> aligner = *registry.Create(name);
+    if (!aligner->exact()) continue;
+    MultiQueryDriver driver(*aligner);
+    StatusOr<std::vector<SearchResponse>> got =
+        driver.Run(w.queries, BaseRequest(20), /*threads=*/4);
+    ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+    if (reference.empty()) {
+      for (const SearchResponse& r : *got) reference.push_back(r.hits);
+      continue;
+    }
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].hits, reference[i]) << name << " query " << i;
+    }
+  }
+  ASSERT_FALSE(reference.empty());
+}
+
+TEST(MultiQueryDriver, StatsAggregateAcrossQueries) {
+  Workload w = SmallWorkload(4);
+  AlignerRegistry registry(w.text);
+  std::unique_ptr<Aligner> alae = *registry.Create("alae");
+  MultiQueryDriver driver(*alae);
+  MultiSearchStats stats;
+  StatusOr<std::vector<SearchResponse>> got =
+      driver.Run(w.queries, BaseRequest(20), /*threads=*/2, &stats);
+  ASSERT_TRUE(got.ok());
+  uint64_t expected_hits = 0;
+  uint64_t expected_cells = 0;
+  for (const SearchResponse& r : *got) {
+    expected_hits += r.hits.size();
+    expected_cells += r.stats.counters.Calculated();
+  }
+  EXPECT_EQ(stats.total_hits, expected_hits);
+  EXPECT_EQ(stats.stats.counters.Calculated(), expected_cells);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST(MultiQueryDriver, InvalidRequestFailsFastWithIndex) {
+  Workload w = SmallWorkload(3);
+  AlignerRegistry registry(w.text);
+  std::unique_ptr<Aligner> alae = *registry.Create("alae");
+  MultiQueryDriver driver(*alae);
+
+  std::vector<SearchRequest> requests;
+  for (const Sequence& q : w.queries) {
+    SearchRequest r = BaseRequest(15);
+    r.query = q;
+    requests.push_back(std::move(r));
+  }
+  requests[1].threshold = -1;
+  StatusOr<std::vector<SearchResponse>> got = driver.Run(requests);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("request 1"), std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(MultiQueryDriver, EmptyBatch) {
+  Workload w = SmallWorkload(1);
+  AlignerRegistry registry(w.text);
+  std::unique_ptr<Aligner> sw = *registry.Create("sw");
+  MultiQueryDriver driver(*sw);
+  StatusOr<std::vector<SearchResponse>> got =
+      driver.Run(std::vector<SearchRequest>{}, /*threads=*/4);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+// The hardware-concurrency guard: threads <= 0 resolves to >= 1 workers
+// even where std::thread::hardware_concurrency() returns 0.
+TEST(MultiQueryDriver, ResolveThreadsNeverZero) {
+  EXPECT_GE(MultiQueryDriver::ResolveThreads(0, 100), 1);
+  EXPECT_GE(MultiQueryDriver::ResolveThreads(-3, 100), 1);
+  EXPECT_EQ(MultiQueryDriver::ResolveThreads(8, 2), 2);
+  EXPECT_EQ(MultiQueryDriver::ResolveThreads(4, 100), 4);
+  // Even an empty batch resolves to one worker rather than zero.
+  EXPECT_EQ(MultiQueryDriver::ResolveThreads(0, 0), 1);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace alae

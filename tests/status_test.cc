@@ -1,0 +1,79 @@
+#include "src/api/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alae {
+namespace api {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status invalid = Status::InvalidArgument("query is empty");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(invalid.message(), "query is empty");
+  EXPECT_EQ(invalid.ToString(), "INVALID_ARGUMENT: query is empty");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::InvalidArgument("a"), Status::InvalidArgument("a"));
+  EXPECT_FALSE(Status::InvalidArgument("a") == Status::InvalidArgument("b"));
+  EXPECT_FALSE(Status::InvalidArgument("a") == Status::NotFound("a"));
+}
+
+TEST(StatusCodeName, CoversAllCodes) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOr, HoldsStatus) {
+  StatusOr<int> result(Status::NotFound("no such backend"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "no such backend");
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace alae
