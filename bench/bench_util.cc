@@ -27,6 +27,8 @@ BenchFlags BenchFlags::Parse(int argc, char** argv) {
     else if (const char* v = value("--evalue=")) flags.evalue = std::atof(v);
     else if (const char* v = value("--seed=")) flags.seed = std::strtoull(v, nullptr, 10);
     else if (const char* v = value("--scale=")) flags.scale = std::atof(v);
+    else if (const char* v = value("--json=")) flags.json = v;
+    else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) flags.json = argv[++i];
     else std::fprintf(stderr, "ignoring unknown flag: %s\n", arg);
   }
   return flags;
@@ -62,15 +64,7 @@ EngineResult RunAligner(const api::Aligner& aligner, const Workload& w,
       std::exit(1);
     }
     out.hits += response->hits.size();
-    const DpCounters& c = response->stats.counters;
-    out.counters.cells_cost1 += c.cells_cost1;
-    out.counters.cells_cost2 += c.cells_cost2;
-    out.counters.cells_cost3 += c.cells_cost3;
-    out.counters.assigned += c.assigned;
-    out.counters.reused += c.reused;
-    out.counters.forks_opened += c.forks_opened;
-    out.counters.forks_skipped_domination += c.forks_skipped_domination;
-    out.counters.trie_nodes_visited += c.trie_nodes_visited;
+    out.counters.Merge(response->stats.counters);
   }
   out.seconds = timer.ElapsedSeconds() / w.queries.size();
   return out;
@@ -86,15 +80,7 @@ EngineResult RunAlae(const AlaeIndex& index, const Workload& w,
     AlaeRunStats stats;
     ResultCollector hits = alae.Run(q, scheme, threshold, &stats);
     out.hits += hits.size();
-    out.counters.cells_cost1 += stats.counters.cells_cost1;
-    out.counters.cells_cost2 += stats.counters.cells_cost2;
-    out.counters.cells_cost3 += stats.counters.cells_cost3;
-    out.counters.assigned += stats.counters.assigned;
-    out.counters.reused += stats.counters.reused;
-    out.counters.forks_opened += stats.counters.forks_opened;
-    out.counters.forks_skipped_domination +=
-        stats.counters.forks_skipped_domination;
-    out.counters.trie_nodes_visited += stats.counters.trie_nodes_visited;
+    out.counters.Merge(stats.counters);
   }
   out.seconds = timer.ElapsedSeconds() / w.queries.size();
   return out;
@@ -109,8 +95,7 @@ EngineResult RunBwtSw(const FmIndex& rev_index, const Workload& w,
     DpCounters counters;
     ResultCollector hits = engine.Run(q, scheme, threshold, &counters);
     out.hits += hits.size();
-    out.counters.cells_cost3 += counters.cells_cost3;
-    out.counters.trie_nodes_visited += counters.trie_nodes_visited;
+    out.counters.Merge(counters);
   }
   out.seconds = timer.ElapsedSeconds() / w.queries.size();
   return out;
@@ -145,6 +130,32 @@ std::string Mb(size_t bytes) {
   std::snprintf(buf, sizeof(buf), "%.2f MB",
                 static_cast<double>(bytes) / (1024.0 * 1024.0));
   return buf;
+}
+
+void JsonReport::Add(std::string name, double ns_per_op,
+                     double extends_per_sec) {
+  entries_.push_back({std::move(name), ns_per_op, extends_per_sec});
+}
+
+bool JsonReport::WriteTo(const std::string& path) const {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                 "\"extends_per_sec\": %.1f}%s\n",
+                 e.name.c_str(), e.ns_per_op, e.extends_per_sec,
+                 i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  bool ok = std::fclose(f) == 0;
+  return ok;
 }
 
 }  // namespace bench

@@ -25,12 +25,34 @@ struct DpCounters {
   uint64_t forks_skipped_bitset = 0;
   uint64_t trie_nodes_visited = 0;
 
+  // FM-index hot path: single-symbol backward-search steps (pattern/q-gram
+  // descent), batched sigma-way extends (one per expanded trie node), and
+  // LF walk steps spent locating hit positions.
+  uint64_t fm_extends = 0;
+  uint64_t fm_extend_alls = 0;
+  uint64_t fm_lf_steps = 0;
+
   uint64_t Calculated() const {
     return cells_cost1 + cells_cost2 + cells_cost3;
   }
   uint64_t Accessed() const { return Calculated() + reused + assigned; }
   uint64_t ComputationCost() const {
     return cells_cost1 + 2 * cells_cost2 + 3 * cells_cost3;
+  }
+
+  void Merge(const DpCounters& o) {
+    cells_cost1 += o.cells_cost1;
+    cells_cost2 += o.cells_cost2;
+    cells_cost3 += o.cells_cost3;
+    assigned += o.assigned;
+    reused += o.reused;
+    forks_opened += o.forks_opened;
+    forks_skipped_domination += o.forks_skipped_domination;
+    forks_skipped_bitset += o.forks_skipped_bitset;
+    trie_nodes_visited += o.trie_nodes_visited;
+    fm_extends += o.fm_extends;
+    fm_extend_alls += o.fm_extend_alls;
+    fm_lf_steps += o.fm_lf_steps;
   }
 
   void Reset() { *this = DpCounters(); }

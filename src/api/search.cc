@@ -7,15 +7,7 @@ void EngineStats::Merge(const EngineStats& o) {
   seconds += o.seconds;
   hits_emitted += o.hits_emitted;
   truncated = truncated || o.truncated;
-  counters.cells_cost1 += o.counters.cells_cost1;
-  counters.cells_cost2 += o.counters.cells_cost2;
-  counters.cells_cost3 += o.counters.cells_cost3;
-  counters.assigned += o.counters.assigned;
-  counters.reused += o.counters.reused;
-  counters.forks_opened += o.counters.forks_opened;
-  counters.forks_skipped_domination += o.counters.forks_skipped_domination;
-  counters.forks_skipped_bitset += o.counters.forks_skipped_bitset;
-  counters.trie_nodes_visited += o.counters.trie_nodes_visited;
+  counters.Merge(o.counters);
   anchors_considered += o.anchors_considered;
   grams_searched += o.grams_searched;
   seeds += o.seeds;

@@ -44,7 +44,10 @@ struct EngineStats {
   bool truncated = false;
 
   // Exact engines (ALAE, BWT-SW, SW; BLAST reports its gapped DP cells as
-  // cost-3 cells so cross-backend cost comparisons stay meaningful).
+  // cost-3 cells so cross-backend cost comparisons stay meaningful). Also
+  // carries the per-query FM-index counters — fm_extends (single-symbol
+  // backward steps), fm_extend_alls (batched sigma-way trie-node extends)
+  // and fm_lf_steps (locate walks) — for the index-backed engines.
   DpCounters counters;
 
   // ALAE (AlaeRunStats).

@@ -108,6 +108,7 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
 
   struct Frame {
     SaRange range;
+    std::vector<SaRange> children;  // all sigma child ranges, one ExtendAll
     std::vector<Col> row;
     std::vector<int64_t> ends;  // lazily located text end positions
     bool located = false;
@@ -124,7 +125,8 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
   }
 
   std::vector<Frame> stack;
-  stack.push_back(Frame{index_.FullRange(), std::move(root_row), {}, false, 0});
+  stack.push_back(
+      Frame{index_.FullRange(), {}, std::move(root_row), {}, false, 0});
 
   std::vector<std::pair<int32_t, int32_t>> hits;
   while (!stack.empty()) {
@@ -133,11 +135,25 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
       stack.pop_back();
       continue;
     }
-    Symbol c = top.next_child++;
-    SaRange child_range = index_.Extend(top.range, c);
-    if (child_range.Empty()) continue;
     int64_t depth = static_cast<int64_t>(stack.size());  // child depth
-    if (depth > lmax) continue;
+    if (top.next_child == 0) {
+      // First visit: every child sits at the same depth, so the length cap
+      // prunes the whole frame at once, and one batched ExtendAll replaces
+      // sigma single-symbol Extend calls.
+      if (depth > lmax) {
+        stack.pop_back();
+        continue;
+      }
+      // ExtendAll fills one entry per *index* symbol; size for whichever
+      // alphabet is wider so a query/index mismatch cannot overflow.
+      top.children.resize(
+          static_cast<size_t>(std::max(sigma, index_.sigma())));
+      index_.ExtendAll(top.range, top.children.data());
+      if (counters) ++counters->fm_extend_alls;
+    }
+    Symbol c = top.next_child++;
+    SaRange child_range = top.children[c];
+    if (child_range.Empty()) continue;
 
     hits.clear();
     uint64_t cells = 0;
@@ -149,11 +165,12 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
     }
     if (child_row.empty()) continue;
 
-    Frame child{child_range, std::move(child_row), {}, false, 0};
+    Frame child{child_range, {}, std::move(child_row), {}, false, 0};
     if (!hits.empty()) {
       // Locate once per node: end position of X in T is n-1-p where p is
       // the start of X⁻¹ in reverse(T).
-      child.ends = index_.Locate(child_range);
+      child.ends = index_.Locate(
+          child_range, counters ? &counters->fm_lf_steps : nullptr);
       for (int64_t& p : child.ends) p = n_ - 1 - p;
       child.located = true;
       for (const auto& [col, score] : hits) {

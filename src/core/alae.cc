@@ -78,6 +78,7 @@ class Alae::Engine {
  private:
   struct Frame {
     SaRange range;
+    std::vector<SaRange> children;  // all sigma child ranges, one ExtendAll
     std::vector<DiagFork> diag;  // forks in the cheap EMR/NGR phase
     std::vector<ForkState> gap;  // forks with open gap regions
     std::vector<int64_t> ends;   // lazily located text end positions
@@ -217,6 +218,7 @@ void Alae::Engine::ProcessGram(uint64_t key,
   SaRange range = fm_.FullRange();
   for (int32_t i = 0; i < q && !range.Empty(); ++i) {
     range = fm_.Extend(range, gram[i]);
+    ++counters_.fm_extends;
   }
   if (range.Empty()) return;
   (void)key;
@@ -224,7 +226,7 @@ void Alae::Engine::ProcessGram(uint64_t key,
   // Text start positions are needed by the bitset filter only.
   std::vector<int64_t> starts;
   if (bitset_ != nullptr) {
-    starts = fm_.Locate(range);
+    starts = fm_.Locate(range, &counters_.fm_lf_steps);
     // p is a start in reverse(T) of (gram)^-1; the gram starts in T at
     // n - p - q.
     for (int64_t& p : starts) p = n_ - p - q;
@@ -275,7 +277,7 @@ void Alae::Engine::ProcessGram(uint64_t key,
   // EMR hits end at depth-relative rows; FlushNode records end positions
   // for the node's full depth q, so translate per-row hits here instead.
   if (!pending_hits_.empty() || !bitset_pending_.empty()) {
-    std::vector<int64_t> ends = fm_.Locate(range);
+    std::vector<int64_t> ends = fm_.Locate(range, &counters_.fm_lf_steps);
     for (int64_t& p : ends) p = n_ - 1 - p;  // end of the q-char path
     for (const PendingHit& hit : pending_hits_) {
       // hit.col - fork-relative row encodes the cell's own depth: the cell
@@ -309,10 +311,25 @@ void Alae::Engine::ProcessGram(uint64_t key,
       stack.pop_back();
       continue;
     }
-    Symbol c = top.next_child++;
     int64_t depth = static_cast<int64_t>(q) + static_cast<int64_t>(stack.size());
-    if (depth > filters_.lmax()) continue;
-    SaRange child_range = fm_.Extend(top.range, c);
+    if (top.next_child == 0) {
+      // First visit: the children's depth is fixed for the whole frame, so
+      // the length filter prunes all of them at once, and one batched
+      // ExtendAll over the two boundary blocks replaces sigma single-symbol
+      // Extend calls.
+      if (depth > filters_.lmax()) {
+        stack.pop_back();
+        continue;
+      }
+      // ExtendAll fills one entry per *index* symbol; size for whichever
+      // alphabet is wider so a query/index mismatch cannot overflow.
+      top.children.resize(
+          static_cast<size_t>(std::max(sigma, fm_.sigma())));
+      fm_.ExtendAll(top.range, top.children.data());
+      ++counters_.fm_extend_alls;
+    }
+    Symbol c = top.next_child++;
+    SaRange child_range = top.children[c];
     if (child_range.Empty()) continue;
 
     // Evolve every fork by one row. Gap forks go first (their reuse
@@ -376,7 +393,7 @@ void Alae::Engine::ProcessGram(uint64_t key,
 void Alae::Engine::FlushNode(Frame* frame, int64_t depth) {
   if (pending_hits_.empty() && bitset_pending_.empty()) return;
   if (!frame->located) {
-    frame->ends = fm_.Locate(frame->range);
+    frame->ends = fm_.Locate(frame->range, &counters_.fm_lf_steps);
     for (int64_t& p : frame->ends) p = n_ - 1 - p;
     frame->located = true;
   }

@@ -21,8 +21,8 @@ struct SaRange {
 };
 
 struct FmIndexOptions {
-  // Occ structure: flat checkpointed table (fast, larger) or wavelet tree
-  // (the compressed-suffix-array flavour; smaller, O(log sigma) rank).
+  // Occ structure: packed checkpointed blocks (fast, popcount rank) or
+  // wavelet tree (the compressed-suffix-array flavour; O(log sigma) rank).
   bool use_wavelet = false;
   // Sampled-SA density: one sample per `sa_sample_rate` text positions.
   int sa_sample_rate = 32;
@@ -34,6 +34,17 @@ struct FmIndexOptions {
 // c·X⁻¹ then emulates appending character c to the suffix-trie path X
 // (paper §5), and the located reverse positions map back to T through
 // `n - r - |X|`. The index itself is direction-agnostic.
+//
+// Flat-occ representation ("packed occ blocks"): the BWT is bit-packed —
+// 2 bits/symbol for sigma <= 4 (DNA; the sentinel row is stored out of
+// band), 4 bits for sigma <= 15, one byte otherwise — and interleaved with
+// its per-symbol checkpoint counts in fixed-size blocks of uint64 words:
+//
+//   [ cp_words x u64 : two u32 checkpoints per word ][ data_words x u64 ]
+//
+// so a rank lands on one block (64 bytes for DNA: exactly a cache line)
+// and counts symbols with mask+popcount over whole 64-bit words instead of
+// a per-symbol scalar scan. See README "Index internals & performance".
 class FmIndex {
  public:
   FmIndex() = default;
@@ -49,6 +60,13 @@ class FmIndex {
   // alphabet codes in [0, sigma).
   SaRange Extend(const SaRange& range, Symbol c) const;
 
+  // Batched backward-search step: fills out[c] = Extend(range, c) for every
+  // symbol c in [0, sigma) in one pass over the two boundary blocks of
+  // `range` (one all-symbol rank per boundary instead of two single-symbol
+  // ranks per child). This is what the trie-descent loops use: a node with
+  // several live children pays the block scan once, not sigma times.
+  void ExtendAll(const SaRange& range, SaRange* out) const;
+
   // Backward search of an entire pattern (processed right to left, §2.3).
   SaRange Find(const std::vector<Symbol>& pattern) const;
   SaRange Find(const Symbol* pattern, size_t len) const;
@@ -56,29 +74,45 @@ class FmIndex {
   // Text position (start of suffix) for a single SA row.
   int64_t LocateRow(int64_t row) const;
 
-  // Text positions for every row of `range`, unsorted.
-  std::vector<int64_t> Locate(const SaRange& range) const;
+  // Text positions for every row of `range`, unsorted. When `lf_steps` is
+  // non-null it is incremented by the number of LF walk steps taken.
+  std::vector<int64_t> Locate(const SaRange& range,
+                              uint64_t* lf_steps = nullptr) const;
 
   // Component sizes for the Fig 11 index-size study.
   struct Sizes {
-    size_t bwt_bytes = 0;       // occ structure incl. raw BWT storage
+    size_t bwt_bytes = 0;       // occ structure incl. packed BWT storage
     size_t sample_bytes = 0;    // sampled SA + marks
     size_t Total() const { return bwt_bytes + sample_bytes; }
   };
   Sizes SizeBytes() const;
 
-  // Serialisation (flat-occ indexes only; wavelet mode returns false).
-  // Saves the prebuilt structures so Load skips suffix-array construction.
+  // Serialisation of the packed flat-occ format (magic "ALAEF2M").
+  //
+  // Save returns false in wavelet mode: the wavelet tree has no on-disk
+  // format, so callers that need persistence must build with
+  // `use_wavelet = false` (see FmIndexSerialize.WaveletModeRefusesToSave).
+  // Load validates every derived size (c table, occ blocks, SA marks and
+  // samples, per-symbol totals) before accepting the payload and returns
+  // false — never a partially-initialised index — on any mismatch,
+  // including files written by the retired byte-BWT "ALAEF1M" format.
   bool Save(std::ostream& out) const;
   bool Load(std::istream& in);
 
  private:
+  // How the flat occ blocks pack BWT symbols (chosen from sigma).
+  enum class OccPacking : uint8_t { kTwoBit = 0, kFourBit = 1, kByte = 2 };
+
+  // Sets the block geometry fields from sigma_.
+  void InitOccGeometry();
+  void BuildFlatOcc(const std::vector<Symbol>& bwt);
+  bool LoadImpl(std::istream& in);
+
   // Stored symbols are shifted by +1; 0 is the sentinel.
   int64_t Occ(Symbol shifted, int64_t row) const;
   Symbol AccessBwt(int64_t row) const;
   int64_t LfStep(int64_t row) const;
-
-  static constexpr int64_t kBlock = 64;
+  int64_t LocateRowSteps(int64_t row, uint64_t* steps) const;
 
   size_t n_ = 0;
   int sigma_ = 0;
@@ -86,9 +120,15 @@ class FmIndex {
   int sample_rate_ = 32;
   std::vector<int64_t> c_;  // c_[s] = #symbols (shifted) < s in the BWT
 
-  // Flat-occ representation.
-  std::vector<Symbol> bwt_;
-  std::vector<uint32_t> checkpoints_;  // (row/kBlock)*(sigma+1)+symbol
+  // Flat-occ representation: interleaved checkpoint+data blocks.
+  OccPacking packing_ = OccPacking::kTwoBit;
+  int32_t syms_per_block_ = 0;
+  int32_t data_words_ = 0;
+  int32_t cp_count_ = 0;   // checkpointed codes per block
+  int32_t cp_words_ = 0;   // ceil(cp_count / 2)
+  int32_t block_words_ = 0;
+  int64_t sentinel_row_ = -1;  // 2-bit mode: BWT row holding the sentinel
+  std::vector<uint64_t> occ_data_;
 
   // Wavelet representation.
   WaveletTree wavelet_;
