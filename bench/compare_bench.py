@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Compares a fresh BENCH_*.json against a checked-in baseline and fails on
+throughput regressions.
+
+CI machines differ from the machines baselines were recorded on, so raw
+ns_per_op is not comparable across runs. Instead each entry is normalised by
+an anchor entry *from the same run* (e.g. the scalar kernel, or the legacy
+occ layout): the anchored ratio r = ns(entry) / ns(anchor) cancels the
+machine's absolute speed and tracks what the repo actually promises —
+relative speedups. An entry regresses when its fresh ratio is more than
+--tolerance worse than the baseline ratio:
+
+    fresh_ratio > base_ratio * (1 + tolerance)
+
+Raw mode (--absolute) compares ns_per_op directly, for same-machine use.
+
+Exit codes: 0 ok, 1 regression (or structural mismatch), 2 usage error.
+
+    compare_bench.py --baseline bench/baselines/BENCH_dp.json \
+                     --fresh BENCH_dp.json --anchor dna/row512/scalar
+    compare_bench.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        entries = json.load(f)
+    out = {}
+    for e in entries:
+        out[e["name"]] = float(e["ns_per_op"])
+    return out
+
+
+def compare(base, fresh, anchor, tolerance, absolute, optional=(), log=print):
+    """Returns a list of failure strings (empty = pass).
+
+    Baseline entries whose name contains one of the `optional` substrings
+    may be absent from the fresh run (e.g. an ISA tier the runner's CPU
+    lacks) — they are skipped with a note instead of failing the gate.
+    """
+    failures = []
+    if not absolute:
+        if anchor not in base:
+            return ["anchor %r missing from baseline" % anchor]
+        if anchor not in fresh:
+            return ["anchor %r missing from fresh run" % anchor]
+    base_anchor = 1.0 if absolute else base[anchor]
+    fresh_anchor = 1.0 if absolute else fresh[anchor]
+    for name, base_ns in sorted(base.items()):
+        if name not in fresh:
+            if any(sub in name for sub in optional):
+                log("%-40s (optional entry absent from fresh run; skipped)"
+                    % name)
+                continue
+            failures.append("entry %r missing from fresh run" % name)
+            continue
+        base_ratio = base_ns / base_anchor
+        fresh_ratio = fresh[name] / fresh_anchor
+        limit = base_ratio * (1.0 + tolerance)
+        verdict = "FAIL" if fresh_ratio > limit else "ok"
+        log(
+            "%-40s base %8.3f  fresh %8.3f  limit %8.3f  %s"
+            % (name, base_ratio, fresh_ratio, limit, verdict)
+        )
+        if fresh_ratio > limit:
+            failures.append(
+                "%s regressed: anchored ns ratio %.3f vs baseline %.3f "
+                "(tolerance %d%%)"
+                % (name, fresh_ratio, base_ratio, round(tolerance * 100))
+            )
+    for name in sorted(set(fresh) - set(base)):
+        log("%-40s (new entry, not in baseline; ignored)" % name)
+    return failures
+
+
+def self_test():
+    """Demonstrates the gate: a >20% anchored regression must fail, noise
+    within tolerance and whole-machine slowdowns must pass."""
+    base = {"anchor": 10.0, "fast": 2.0, "other": 5.0}
+
+    # Same ratios, machine twice as slow overall: must pass.
+    fresh = {"anchor": 20.0, "fast": 4.0, "other": 10.0}
+    assert not compare(base, fresh, "anchor", 0.20, False, log=lambda *_: 0)
+
+    # 'fast' loses 30% relative to the anchor: must fail.
+    fresh = {"anchor": 10.0, "fast": 2.6, "other": 5.0}
+    fails = compare(base, fresh, "anchor", 0.20, False, log=lambda *_: 0)
+    assert fails and "fast regressed" in fails[0], fails
+
+    # 15% drift stays within the 20% tolerance: must pass.
+    fresh = {"anchor": 10.0, "fast": 2.3, "other": 5.0}
+    assert not compare(base, fresh, "anchor", 0.20, False, log=lambda *_: 0)
+
+    # A benchmark disappearing from the fresh run must fail.
+    fresh = {"anchor": 10.0, "fast": 2.0}
+    fails = compare(base, fresh, "anchor", 0.20, False, log=lambda *_: 0)
+    assert any("missing" in f for f in fails), fails
+
+    # ...unless it matches an --optional substring (an ISA tier the runner
+    # lacks): then the gate skips it.
+    base_t = {"anchor": 10.0, "dna/row16/avx2": 2.0}
+    fresh_t = {"anchor": 10.0}
+    assert not compare(base_t, fresh_t, "anchor", 0.20, False,
+                       optional=("/avx2",), log=lambda *_: 0)
+
+    # Absolute mode: raw 25% slowdown fails, 10% passes.
+    assert compare({"a": 4.0}, {"a": 5.0}, None, 0.20, True, log=lambda *_: 0)
+    assert not compare({"a": 4.0}, {"a": 4.4}, None, 0.20, True,
+                       log=lambda *_: 0)
+
+    print("self-test ok")
+    return 0
+
+
+def main(argv):
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--baseline", help="checked-in bench/baselines/*.json")
+    p.add_argument("--fresh", help="JSON produced by this run")
+    p.add_argument("--anchor", help="entry name used to normalise ns_per_op")
+    p.add_argument("--tolerance", type=float, default=0.20,
+                   help="allowed relative regression (default 0.20)")
+    p.add_argument("--absolute", action="store_true",
+                   help="compare raw ns_per_op instead of anchored ratios")
+    p.add_argument("--optional", action="append", default=[],
+                   help="substring of baseline entries allowed to be absent "
+                        "from the fresh run (repeatable, e.g. an ISA tier "
+                        "the runner's CPU lacks)")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the built-in regression-gate demonstration")
+    args = p.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        p.error("--baseline and --fresh are required (or use --self-test)")
+    if not args.absolute and not args.anchor:
+        p.error("--anchor is required in ratio mode")
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = compare(base, fresh, args.anchor, args.tolerance,
+                       args.absolute, optional=tuple(args.optional))
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for f in failures:
+            print("  - " + f)
+        return 1
+    print("\nbench regression gate passed (%d entries)" % len(base))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -66,4 +66,17 @@ int32_t BestLocalScore(const Sequence& a, const Sequence& b,
   return best;
 }
 
+std::vector<int32_t> BuildDeltaProfile(const ScoringScheme& scheme,
+                                       const Sequence& query) {
+  const size_t sigma = static_cast<size_t>(query.sigma());
+  const size_t m = query.size();
+  std::vector<int32_t> profile(sigma * m);
+  for (size_t c = 0; c < sigma; ++c) {
+    for (size_t j = 0; j < m; ++j) {
+      profile[c * m + j] = scheme.Delta(static_cast<Symbol>(c), query[j]);
+    }
+  }
+  return profile;
+}
+
 }  // namespace alae

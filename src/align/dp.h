@@ -6,12 +6,10 @@
 #include <vector>
 
 #include "src/align/scoring.h"
+#include "src/align/simd_dp.h"  // kNegInf, the shared row kernel
 #include "src/io/sequence.h"
 
 namespace alae {
-
-// Sentinel for -infinity that survives additions without overflow.
-constexpr int32_t kNegInf = std::numeric_limits<int32_t>::min() / 4;
 
 // Dense (d+1) x (m+1) matrices of the paper's §2.2 recurrence for one
 // text-side substring X against the whole query P:
@@ -48,6 +46,12 @@ struct DpMatrix {
 DpMatrix ComputeMatrix(const std::vector<Symbol>& x,
                        const std::vector<Symbol>& p,
                        const ScoringScheme& scheme);
+
+// sigma x |P| substitution profile for the SIMD row kernel: entry
+// [c * |P| + j] = Delta(c, P[j]), so a row's delta lane is pure pointer
+// arithmetic. Shared by the ALAE and BWT-SW engines.
+std::vector<int32_t> BuildDeltaProfile(const ScoringScheme& scheme,
+                                       const Sequence& query);
 
 // Best local-alignment score between two whole sequences (Smith-Waterman
 // objective, max over all substring pairs). Used by tests and examples.

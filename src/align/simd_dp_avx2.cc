@@ -1,0 +1,171 @@
+// AVX2 implementation of the shared affine-gap row kernel. This is the only
+// translation unit compiled with -mavx2 (see CMakeLists flag probing): when
+// the compiler lacks the flag the stub below keeps the build portable and
+// runtime dispatch falls back to SSE2/scalar.
+
+#include "src/align/simd_dp.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace alae {
+namespace simd {
+namespace {
+
+inline int32_t Lane7(__m256i v) {
+  return _mm256_extract_epi32(v, 7);
+}
+
+// kAffineBound selects between a per-lane affine prune bound (ALAE's score
+// filter) and the hoisted constant bound (BWT-SW positivity, filter off).
+template <bool kAffineBound>
+void RowAvx2Impl(const RowSpec& spec, RowStats* stats) {
+  const int32_t ss = spec.gap_extend;
+  const int32_t oe = spec.gap_open_extend;
+  // The Gb prefix scan runs in a "biased unsigned" domain: adding
+  // INT32_MIN (an xor of the sign bit, folded into the additive constants
+  // as a wrapping add) turns signed max into unsigned max, whose identity
+  // is 0 — exactly what in-lane vpslldq shifts fill with. That halves the
+  // port-5 shuffle traffic of the scan versus cross-lane alignr shifts
+  // with an explicit -inf fill, and it is exact for every int32 input.
+  const uint32_t kBias = 0x80000000u;
+  const __m256i vss = _mm256_set1_epi32(ss);
+  const __m256i voe = _mm256_set1_epi32(oe);
+  const __m256i voe_minus_ss_biased =
+      _mm256_set1_epi32(static_cast<int32_t>(static_cast<uint32_t>(oe - ss) + kBias));
+  const __m256i vninf = _mm256_set1_epi32(kNegInf);
+  const __m256i vbase = _mm256_set1_epi32(spec.bound_base);
+  const __m256i vbias = _mm256_set1_epi32(static_cast<int32_t>(kBias));
+
+  // k*ss - bias per lane (so gb = excl_biased + vkss_mb is unbiased), and
+  // the affine column bound, both advanced by adds per block.
+  const auto mb = [&](int64_t k) {
+    return static_cast<int32_t>(
+        static_cast<uint32_t>(static_cast<int32_t>(k) * ss) - kBias);
+  };
+  __m256i vkss_mb = _mm256_setr_epi32(mb(0), mb(1), mb(2), mb(3), mb(4),
+                                      mb(5), mb(6), mb(7));
+  const __m256i vkss_step = _mm256_set1_epi32(8 * ss);
+  const int32_t b0 = spec.bound0;
+  const int32_t bstep = spec.bound_step;
+  __m256i vcol = _mm256_setr_epi32(b0, b0 + bstep, b0 + 2 * bstep,
+                                   b0 + 3 * bstep, b0 + 4 * bstep,
+                                   b0 + 5 * bstep, b0 + 6 * bstep,
+                                   b0 + 7 * bstep);
+  const __m256i vcol_step = _mm256_set1_epi32(8 * bstep);
+  const __m256i vbound_const =
+      _mm256_max_epi32(vbase, _mm256_set1_epi32(b0));
+
+  // Running max(gb_init, w(0..k-1)) in the biased domain, all lanes equal.
+  __m256i vcarry = _mm256_set1_epi32(
+      static_cast<int32_t>(static_cast<uint32_t>(spec.gb_init) + kBias));
+  __m256i last_gb = vninf, last_mu = vninf;  // lane 7 extracted after the loop
+  int64_t k = 0;
+  for (; k + 8 <= spec.len; k += 8) {
+    __m256i pm = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(spec.prev_m + k));
+    __m256i pg = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(spec.prev_ga + k));
+    __m256i dm = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(spec.prev_diag_m + k));
+    __m256i dl = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(spec.delta + k));
+
+    __m256i ga = _mm256_max_epi32(_mm256_add_epi32(pg, vss),
+                                  _mm256_add_epi32(pm, voe));
+    __m256i tmp = _mm256_max_epi32(_mm256_add_epi32(dm, dl), ga);
+
+    // Gb as a weighted max-prefix scan: with w(k) = tmp(k)+oe-(k+1)*ss,
+    // Gb(k) = k*ss + max(gb_init, max_{j<k} w(j)), evaluated as an
+    // inclusive in-lane scan, one cross-lane fixup, then an exclusive
+    // shift merged with the carry — all in the biased domain.
+    __m256i xw = _mm256_sub_epi32(_mm256_add_epi32(tmp, voe_minus_ss_biased),
+                                  _mm256_add_epi32(vkss_mb, vbias));
+    __m256i x = _mm256_max_epu32(xw, _mm256_slli_si256(xw, 4));
+    x = _mm256_max_epu32(x, _mm256_slli_si256(x, 8));  // in-lane inclusive
+    // c holds the two in-lane scan totals broadcast within their halves:
+    // [l3 x4 | h3 x4] with l3 = max(w0..w3), h3 = max(w4..w7).
+    __m256i c = _mm256_shuffle_epi32(x, 0xFF);
+    __m256i t = _mm256_permute2x128_si256(c, c, 0x08);  // [0 x4, l3 x4]
+    __m256i xf = _mm256_max_epu32(x, t);  // full inclusive scan
+    __m256i excl = _mm256_max_epu32(_mm256_slli_si256(xf, 4), t);
+    excl = _mm256_max_epu32(excl, vcarry);
+    __m256i gb = _mm256_add_epi32(excl, vkss_mb);
+    // Cross-block carry, still vectorised: the block max is max(l3, h3).
+    vcarry = _mm256_max_epu32(
+        vcarry,
+        _mm256_max_epu32(c, _mm256_permute2x128_si256(c, c, 0x01)));
+
+    __m256i mu = _mm256_max_epi32(tmp, gb);
+    __m256i bound = vbound_const;
+    if constexpr (kAffineBound) bound = _mm256_max_epi32(vbase, vcol);
+    __m256i alive = _mm256_cmpgt_epi32(mu, bound);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(spec.out_m + k),
+                        _mm256_blendv_epi8(vninf, mu, alive));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(spec.out_ga + k),
+                        _mm256_max_epi32(ga, vninf));
+    if (spec.out_gb != nullptr) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(spec.out_gb + k),
+                          _mm256_max_epi32(gb, vninf));
+    }
+    int mask = _mm256_movemask_ps(_mm256_castsi256_ps(alive));
+    if (mask != 0) {
+      if (stats->first_alive < 0) {
+        stats->first_alive = k + __builtin_ctz(static_cast<unsigned>(mask));
+      }
+      stats->last_alive = k + 31 - __builtin_clz(static_cast<unsigned>(mask));
+    }
+    last_gb = gb;
+    last_mu = mu;
+
+    vkss_mb = _mm256_add_epi32(vkss_mb, vkss_step);
+    if constexpr (kAffineBound) vcol = _mm256_add_epi32(vcol, vcol_step);
+  }
+  int32_t gb_last = kNegInf, mu_last = kNegInf;
+  if (k > 0) {
+    gb_last = Lane7(last_gb);
+    mu_last = Lane7(last_mu);
+    stats->gb_last = gb_last;
+    stats->mu_last = mu_last;
+  }
+  internal::RowScalarTail(spec, k, gb_last, mu_last, stats);
+}
+
+void RowAvx2(const RowSpec& spec, RowStats* stats) {
+  // Engine rows are frequently just a handful of cells; below one vector
+  // block the (inlined) scalar loop wins outright and skips the constant
+  // setup.
+  if (spec.len < kMinVectorRow) {
+    internal::RowScalarTail(spec, 0, kNegInf, kNegInf, stats);
+    return;
+  }
+  if (spec.bound_step == 0) {
+    RowAvx2Impl<false>(spec, stats);
+  } else {
+    RowAvx2Impl<true>(spec, stats);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+RowKernelFn Avx2Kernel() { return &RowAvx2; }
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace alae
+
+#else  // !__AVX2__
+
+namespace alae {
+namespace simd {
+namespace internal {
+RowKernelFn Avx2Kernel() { return nullptr; }
+}  // namespace internal
+}  // namespace simd
+}  // namespace alae
+
+#endif

@@ -1,0 +1,141 @@
+// SSE2 implementation of the shared affine-gap row kernel. Built without
+// extra ISA flags: SSE2 is the x86-64 baseline, and the TU compiles to the
+// scalar-stub variant elsewhere. SSE2 predates pmaxsd/palignr/pblendvb, so
+// 32-bit max, lane shifts with a non-zero fill, and blends are all spelled
+// out with compare/and/or.
+
+#include "src/align/simd_dp.h"
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+
+#include <emmintrin.h>
+
+#include <algorithm>
+
+namespace alae {
+namespace simd {
+namespace {
+
+inline __m128i Max32(__m128i a, __m128i b) {
+  __m128i gt = _mm_cmpgt_epi32(a, b);
+  return _mm_or_si128(_mm_and_si128(gt, a), _mm_andnot_si128(gt, b));
+}
+
+inline __m128i Blend(__m128i mask, __m128i on, __m128i off) {
+  return _mm_or_si128(_mm_and_si128(mask, on), _mm_andnot_si128(mask, off));
+}
+
+inline int32_t Lane3(__m128i v) {
+  return _mm_cvtsi128_si32(_mm_shuffle_epi32(v, _MM_SHUFFLE(3, 3, 3, 3)));
+}
+
+void RowSse2(const RowSpec& spec, RowStats* stats) {
+  // Below kMinVectorRow the (inlined) scalar loop wins outright and skips
+  // the constant setup — the same cutoff every tier uses, so ComputeRow
+  // and ComputeRowAuto take the same path for any length.
+  if (spec.len < kMinVectorRow) {
+    internal::RowScalarTail(spec, 0, kNegInf, kNegInf, stats);
+    return;
+  }
+  const int32_t ss = spec.gap_extend;
+  const int32_t oe = spec.gap_open_extend;
+  // Identity for the max scan: below any reachable score, above wrap-around.
+  constexpr int32_t kFill = std::numeric_limits<int32_t>::min() / 2;
+  const __m128i vfill = _mm_set1_epi32(kFill);
+  const __m128i vss = _mm_set1_epi32(ss);
+  const __m128i voe = _mm_set1_epi32(oe);
+  const __m128i voe_minus_ss = _mm_set1_epi32(oe - ss);
+  const __m128i vninf = _mm_set1_epi32(kNegInf);
+  const __m128i vbase = _mm_set1_epi32(spec.bound_base);
+  const __m128i mask_lane0 = _mm_setr_epi32(-1, 0, 0, 0);
+  const __m128i mask_lane01 = _mm_setr_epi32(-1, -1, 0, 0);
+
+  // k*ss and the affine column bound per lane, advanced by adds per block
+  // (SSE2 has no 32-bit multiply).
+  __m128i vkss = _mm_setr_epi32(0, ss, 2 * ss, 3 * ss);
+  const __m128i vkss_step = _mm_set1_epi32(4 * ss);
+  const int32_t bstep = spec.bound_step;
+  __m128i vcol = _mm_setr_epi32(spec.bound0, spec.bound0 + bstep,
+                                spec.bound0 + 2 * bstep, spec.bound0 + 3 * bstep);
+  const __m128i vcol_step = _mm_set1_epi32(4 * bstep);
+
+  int32_t carry = spec.gb_init;  // running max(gb_init, w(0..k-1))
+  __m128i last_gb = vninf, last_mu = vninf;  // lane 3 extracted after the loop
+  int64_t k = 0;
+  for (; k + 4 <= spec.len; k += 4) {
+    __m128i pm = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(spec.prev_m + k));
+    __m128i pg = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(spec.prev_ga + k));
+    __m128i dm = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(spec.prev_diag_m + k));
+    __m128i dl = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(spec.delta + k));
+
+    __m128i ga = Max32(_mm_add_epi32(pg, vss), _mm_add_epi32(pm, voe));
+    __m128i tmp = Max32(_mm_add_epi32(dm, dl), ga);
+
+    // Gb as a weighted max-prefix scan: with w(k) = tmp(k)+oe-(k+1)*ss,
+    // Gb(k) = k*ss + max(gb_init, max_{j<k} w(j)).
+    __m128i w = _mm_sub_epi32(_mm_add_epi32(tmp, voe_minus_ss), vkss);
+    __m128i x = Max32(w, Blend(mask_lane0, vfill, _mm_slli_si128(w, 4)));
+    x = Max32(x, Blend(mask_lane01, vfill, _mm_slli_si128(x, 8)));
+    __m128i excl = Blend(mask_lane0, vfill, _mm_slli_si128(x, 4));
+    excl = Max32(excl, _mm_set1_epi32(carry));
+    __m128i gb = _mm_add_epi32(excl, vkss);
+    carry = std::max(carry, Lane3(x));
+
+    __m128i mu = Max32(tmp, gb);
+    __m128i bound = Max32(vbase, vcol);
+    __m128i alive = _mm_cmpgt_epi32(mu, bound);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(spec.out_m + k),
+                     Blend(alive, mu, vninf));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(spec.out_ga + k),
+                     Max32(ga, vninf));
+    if (spec.out_gb != nullptr) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(spec.out_gb + k),
+                       Max32(gb, vninf));
+    }
+    int mask = _mm_movemask_ps(_mm_castsi128_ps(alive));
+    if (mask != 0) {
+      if (stats->first_alive < 0) {
+        stats->first_alive = k + __builtin_ctz(static_cast<unsigned>(mask));
+      }
+      stats->last_alive = k + 31 - __builtin_clz(static_cast<unsigned>(mask));
+    }
+    last_gb = gb;
+    last_mu = mu;
+
+    vkss = _mm_add_epi32(vkss, vkss_step);
+    vcol = _mm_add_epi32(vcol, vcol_step);
+  }
+  int32_t gb_last = kNegInf, mu_last = kNegInf;
+  if (k > 0) {
+    gb_last = Lane3(last_gb);
+    mu_last = Lane3(last_mu);
+    stats->gb_last = gb_last;
+    stats->mu_last = mu_last;
+  }
+  internal::RowScalarTail(spec, k, gb_last, mu_last, stats);
+}
+
+}  // namespace
+
+namespace internal {
+RowKernelFn Sse2Kernel() { return &RowSse2; }
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace alae
+
+#else  // !SSE2
+
+namespace alae {
+namespace simd {
+namespace internal {
+RowKernelFn Sse2Kernel() { return nullptr; }
+}  // namespace internal
+}  // namespace simd
+}  // namespace alae
+
+#endif

@@ -6,94 +6,259 @@
 
 namespace alae {
 
+namespace {
+
+// Accumulates computed cells of one child row into dense SoA segments,
+// splitting whenever more than kSplitGap consecutive columns are dead.
+// Leading and trailing dead cells of a segment are never stored. Segment
+// buffers come from / return to the caller's pool to avoid per-segment
+// heap churn.
+class SegmentBuilder {
+ public:
+  SegmentBuilder(std::vector<simd::DpRow>* out,
+                 std::vector<simd::DpRow>* pool, int64_t split_gap)
+      : out_(out), pool_(pool), split_gap_(split_gap) {}
+
+  void Append(int64_t col, int32_t m, int32_t ga) {
+    const bool live = m != kNegInf;
+    if (cur_.Empty()) {
+      if (!live) return;
+      Open(col);
+    } else if (col - last_live_ > split_gap_) {
+      Flush();
+      if (!live) return;
+      Open(col);
+    } else {
+      // Pad any skipped (uncomputed, hence dead) columns so the segment
+      // stays dense.
+      for (int64_t j = cur_.lo + cur_.Size(); j < col; ++j) {
+        cur_.m.push_back(kNegInf);
+        cur_.ga.push_back(kNegInf);
+      }
+    }
+    cur_.m.push_back(m);
+    cur_.ga.push_back(ga);
+    if (live) last_live_ = col;
+  }
+
+  // Bulk form of Append for a kernel window's surviving span: emits the
+  // cells [fa, la] of the window starting at column col0 (both indices are
+  // alive), splitting chunks on dead runs wider than the split gap and
+  // block-copying each chunk instead of pushing cell by cell.
+  void AppendDense(int64_t col0, const int32_t* m, const int32_t* ga,
+                   int64_t fa, int64_t la) {
+    int64_t k = fa;
+    while (k <= la) {
+      int64_t last = k;
+      int64_t j = k + 1;
+      for (; j <= la; ++j) {
+        if (m[j] != kNegInf) {
+          if (j - last > split_gap_) break;
+          last = j;
+        }
+      }
+      const int64_t start_col = col0 + k;
+      if (cur_.Empty()) {
+        Open(start_col);
+      } else if (start_col - last_live_ > split_gap_) {
+        Flush();
+        Open(start_col);
+      } else {
+        for (int64_t col = cur_.lo + cur_.Size(); col < start_col; ++col) {
+          cur_.m.push_back(kNegInf);
+          cur_.ga.push_back(kNegInf);
+        }
+      }
+      cur_.m.insert(cur_.m.end(), m + k, m + last + 1);
+      cur_.ga.insert(cur_.ga.end(), ga + k, ga + last + 1);
+      last_live_ = col0 + last;
+      k = j;  // the alive cell that broke the run, or past la
+    }
+  }
+
+  void Flush() {
+    if (!cur_.Empty()) {
+      // Trim trailing dead cells (live <= last_live_ by construction).
+      const int64_t keep = last_live_ - cur_.lo + 1;
+      cur_.m.resize(static_cast<size_t>(keep));
+      cur_.ga.resize(static_cast<size_t>(keep));
+      out_->push_back(std::move(cur_));
+      cur_.Clear();
+    }
+  }
+
+ private:
+  void Open(int64_t col) {
+    if (!pool_->empty()) {
+      cur_ = std::move(pool_->back());
+      pool_->pop_back();
+      cur_.Clear();
+    }
+    cur_.lo = col;
+  }
+
+  std::vector<simd::DpRow>* out_;
+  std::vector<simd::DpRow>* pool_;
+  int64_t split_gap_;
+  simd::DpRow cur_;
+  int64_t last_live_ = 0;
+};
+
+// The raw Gb/M chain state after the most recently computed column; feeds
+// the next window's gb_init when contiguous, and the scalar spill loops.
+struct ChainState {
+  int64_t col = -2;  // last computed column, -2 = nothing yet
+  int32_t gb = kNegInf;
+  int32_t mu = kNegInf;
+};
+
+}  // namespace
+
 BwtSw::BwtSw(const FmIndex& rev_index, int64_t text_len)
     : index_(rev_index), n_(text_len) {}
 
-std::vector<BwtSw::Col> BwtSw::ComputeChildRow(
-    const std::vector<Col>& parent, Symbol c, const Sequence& query,
-    const ScoringScheme& scheme, int32_t threshold,
-    std::vector<std::pair<int32_t, int32_t>>* hits, uint64_t* cells) {
-  std::vector<Col> out;
-  out.reserve(parent.size() + 8);
-  const int64_t m = static_cast<int64_t>(query.size());
-  const int32_t open_ext = scheme.sg + scheme.ss;
+void BwtSw::ComputeChildRow(RowCtx* ctx,
+                            const std::vector<simd::DpRow>& parent, Symbol c,
+                            std::vector<simd::DpRow>* child,
+                            std::vector<std::pair<int32_t, int32_t>>* hits,
+                            uint64_t* cells) {
+  child->clear();
+  const int64_t m = ctx->m;
+  const int32_t ss = ctx->scheme.ss;
+  const int32_t open_ext = ctx->scheme.sg + ctx->scheme.ss;
+  const int32_t threshold = ctx->threshold;
 
-  size_t pi = 0;                // scans parent entries
-  size_t ci = 0;                // scans candidate source entries
-  int64_t forced = -1;          // gb-spill column, if alive
-  int64_t prev_j = -2;          // last computed column
-  int32_t gb_carry = kNegInf;   // Gb(i, prev_j + 1), valid when contiguous
-
-  // Candidate columns: parent.j (Ga/diag-right) and parent.j + 1 (diag),
-  // plus gb spill to the right of freshly computed cells. Parent entries
-  // are sorted, so the merged candidate stream is non-decreasing.
-  while (true) {
-    int64_t j = -1;
-    // Next candidate from the parent stream.
-    int64_t from_parent = -1;
-    if (ci < parent.size()) {
-      // Either parent[ci].j itself (not yet used as "same column") or
-      // parent[ci].j + 1; we enumerate both by visiting parent[ci].j first.
-      from_parent = parent[ci].j;
-      if (from_parent <= prev_j) from_parent = parent[ci].j + 1;
-    }
-    if (forced >= 0 && (from_parent < 0 || forced < from_parent)) {
-      j = forced;
-    } else if (from_parent >= 0) {
-      j = from_parent;
+  // Candidate windows: each parent segment feeds columns [lo, hi+1]
+  // (same-column Ga plus one diagonal step), clipped to real query columns;
+  // near-adjacent windows coalesce into one kernel call.
+  auto& wins = ctx->wins;
+  wins.clear();
+  for (const simd::DpRow& seg : parent) {
+    int64_t a = std::max<int64_t>(seg.lo, 1);
+    int64_t b = std::min<int64_t>(seg.hi() + 1, m);
+    if (a > b) continue;
+    if (!wins.empty() && a - wins.back().second <= kSplitGap + 1) {
+      wins.back().second = std::max(wins.back().second, b);
     } else {
-      break;
-    }
-    forced = -1;
-    if (j > m) break;
-    if (j < 1) {
-      // Column 0 has no query character; M(i,0) = sg + i*ss is never
-      // positive, so the cell is dead under the positivity rule. It only
-      // matters as the diagonal input of column 1, which reads it from the
-      // parent row directly.
-      prev_j = j;
-      continue;
-    }
-    if (j != prev_j + 1) gb_carry = kNegInf;
-
-    // Parent lookups at j-1 (diag) and j (ga). pi trails the sweep.
-    while (pi < parent.size() && parent[pi].j < j - 1) ++pi;
-    int32_t pm_diag = kNegInf;
-    int32_t pm_j = kNegInf, pga_j = kNegInf;
-    size_t pk = pi;
-    if (pk < parent.size() && parent[pk].j == j - 1) {
-      pm_diag = parent[pk].m;
-      ++pk;
-    }
-    if (pk < parent.size() && parent[pk].j == j) {
-      pm_j = parent[pk].m;
-      pga_j = parent[pk].ga;
-    }
-    while (ci < parent.size() && parent[ci].j + 1 <= j) ++ci;
-
-    int32_t ga = std::max(pga_j + scheme.ss, pm_j + open_ext);
-    int32_t gb = std::max(gb_carry + scheme.ss,
-                          (prev_j == j - 1 && !out.empty() &&
-                           out.back().j == j - 1)
-                              ? out.back().m + open_ext
-                              : kNegInf);
-    int32_t diag =
-        pm_diag + scheme.Delta(c, query[static_cast<size_t>(j - 1)]);
-    int32_t mval = std::max({diag, ga, gb});
-    if (cells) ++*cells;
-
-    prev_j = j;
-    gb_carry = gb;
-    if (mval > 0) {
-      out.push_back({static_cast<int32_t>(j), mval, ga > 0 ? ga : kNegInf});
-      if (mval >= threshold && hits) {
-        hits->emplace_back(static_cast<int32_t>(j), mval);
-      }
-      // The cell can spill Gb rightward.
-      if (std::max(gb + scheme.ss, mval + open_ext) > 0) forced = j + 1;
+      wins.emplace_back(a, b);
     }
   }
-  return out;
+
+  SegmentBuilder builder(child, &ctx->pool, kSplitGap);
+  ChainState chain;
+
+  // Scalar Gb spill over columns with no parent inputs: M~ = Gb there, and
+  // under the positivity rule the chain is dead (and can never revive
+  // before the next window seeds it afresh) once it drops to <= 0.
+  auto spill = [&](int64_t stop_col) {
+    for (int64_t col = chain.col + 1; col < stop_col; ++col) {
+      if (col > m) return;
+      int32_t gb = std::max(chain.gb + ss, chain.mu + open_ext);
+      if (gb <= 0) return;
+      ++*cells;
+      builder.Append(col, gb, kNegInf);
+      if (gb >= threshold) {
+        hits->emplace_back(static_cast<int32_t>(col), gb);
+      }
+      chain = {col, gb, gb};
+    }
+  };
+
+  // Most rows on realistic workloads are a few 1-3 cell islands, so the
+  // per-window buffers must not touch the allocator: short windows densify
+  // into fixed stack arrays, only wide ones use the reusable ctx vectors.
+  constexpr int64_t kStackWin = 32;
+  int32_t sb_prev_m[kStackWin], sb_prev_ga[kStackWin], sb_diag[kStackWin];
+  int32_t sb_out_m[kStackWin], sb_out_ga[kStackWin];
+  size_t seg_cursor = 0;  // windows and segments are both ascending
+
+  for (const auto& [win_a, win_b] : wins) {
+    spill(win_a);
+    const int64_t len = win_b - win_a + 1;
+    const size_t slen = static_cast<size_t>(len);
+    int32_t *prev_m, *prev_ga, *diag_m, *out_m, *out_ga;
+    if (len <= kStackWin) {
+      prev_m = sb_prev_m;
+      prev_ga = sb_prev_ga;
+      diag_m = sb_diag;
+      out_m = sb_out_m;
+      out_ga = sb_out_ga;
+      for (int64_t k = 0; k < len; ++k) {
+        prev_m[k] = kNegInf;
+        prev_ga[k] = kNegInf;
+        diag_m[k] = kNegInf;
+      }
+    } else {
+      ctx->prev_m.assign(slen, kNegInf);
+      ctx->prev_ga.assign(slen, kNegInf);
+      ctx->diag_m.assign(slen, kNegInf);
+      ctx->out_m.resize(slen);
+      ctx->out_ga.resize(slen);
+      prev_m = ctx->prev_m.data();
+      prev_ga = ctx->prev_ga.data();
+      diag_m = ctx->diag_m.data();
+      out_m = ctx->out_m.data();
+      out_ga = ctx->out_ga.data();
+    }
+    // Densify the parent row over [a-1, b]: same-column M/Ga and the
+    // diagonal M, padding holes with kNegInf.
+    while (seg_cursor < parent.size() &&
+           parent[seg_cursor].hi() < win_a - 1) {
+      ++seg_cursor;
+    }
+    for (size_t si = seg_cursor;
+         si < parent.size() && parent[si].lo <= win_b; ++si) {
+      const simd::DpRow& seg = parent[si];
+      int64_t s = std::max(seg.lo, win_a);
+      int64_t e = std::min(seg.hi(), win_b);
+      for (int64_t j = s; j <= e; ++j) {
+        prev_m[j - win_a] = seg.m[static_cast<size_t>(j - seg.lo)];
+        prev_ga[j - win_a] = seg.ga[static_cast<size_t>(j - seg.lo)];
+      }
+      s = std::max(seg.lo, win_a - 1);
+      e = std::min(seg.hi(), win_b - 1);
+      for (int64_t j = s; j <= e; ++j) {
+        diag_m[j + 1 - win_a] = seg.m[static_cast<size_t>(j - seg.lo)];
+      }
+    }
+
+    simd::RowSpec spec;
+    spec.prev_m = prev_m;
+    spec.prev_ga = prev_ga;
+    spec.prev_diag_m = diag_m;
+    spec.delta = ctx->profile.data() +
+                 static_cast<size_t>(c) * static_cast<size_t>(m) +
+                 static_cast<size_t>(win_a - 1);
+    spec.out_m = out_m;
+    spec.out_ga = out_ga;
+    spec.out_gb = nullptr;  // Gb never crosses rows in BWT-SW
+    spec.len = len;
+    spec.gap_extend = ss;
+    spec.gap_open_extend = open_ext;
+    spec.gb_init = chain.col == win_a - 1
+                       ? std::max(chain.gb + ss, chain.mu + open_ext)
+                       : kNegInf;
+    spec.bound_base = 0;  // the positivity rule
+    spec.bound0 = kNegInf;
+    spec.bound_step = 0;
+    simd::RowStats stats;
+    simd::ComputeRowAuto(spec, &stats);
+    *cells += static_cast<uint64_t>(len);
+
+    if (stats.first_alive >= 0) {
+      for (int64_t k = stats.first_alive; k <= stats.last_alive; ++k) {
+        int32_t mv = out_m[k];
+        if (mv != kNegInf && mv >= threshold) {
+          hits->emplace_back(static_cast<int32_t>(win_a + k), mv);
+        }
+      }
+      builder.AppendDense(win_a, out_m, out_ga, stats.first_alive,
+                          stats.last_alive);
+    }
+    chain = {win_b, stats.gb_last, stats.mu_last};
+  }
+  spill(m + 1);
+  builder.Flush();
 }
 
 ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
@@ -106,32 +271,43 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
   const int64_t lmax = LengthUpperBound(scheme, m, 1);
   const int sigma = query.sigma();
 
+  RowCtx ctx;
+  ctx.scheme = scheme;
+  ctx.threshold = threshold;
+  ctx.m = m;
+  ctx.profile = BuildDeltaProfile(scheme, query);
+
   struct Frame {
     SaRange range;
     std::vector<SaRange> children;  // all sigma child ranges, one ExtendAll
-    std::vector<Col> row;
+    std::vector<simd::DpRow> row;
     std::vector<int64_t> ends;  // lazily located text end positions
     bool located = false;
     Symbol next_child = 0;
   };
 
-  // Conceptual row 0: M(0, j) = 0 for every column (including j=0 so the
-  // first diagonal step can start anywhere).
-  std::vector<Col> root_row(static_cast<size_t>(m) + 1);
-  for (int64_t j = 0; j <= m; ++j) {
-    // m=0 entries at the root are alive by definition (paper init), even
-    // though the positivity rule would drop them at deeper rows.
-    root_row[static_cast<size_t>(j)] = {static_cast<int32_t>(j), 0, kNegInf};
-  }
+  // Conceptual row 0: M(0, j) = 0 for every column, including j=0 so the
+  // first diagonal step can start anywhere. These cells are alive by
+  // definition (paper init) even though the positivity rule would drop
+  // them at deeper rows.
+  std::vector<simd::DpRow> root_row(1);
+  root_row[0].lo = 0;
+  root_row[0].m.assign(static_cast<size_t>(m) + 1, 0);
+  root_row[0].ga.assign(static_cast<size_t>(m) + 1, kNegInf);
 
   std::vector<Frame> stack;
   stack.push_back(
       Frame{index_.FullRange(), {}, std::move(root_row), {}, false, 0});
 
   std::vector<std::pair<int32_t, int32_t>> hits;
+  std::vector<simd::DpRow> child_row;
+  auto recycle = [&ctx](Frame* frame) {
+    for (simd::DpRow& seg : frame->row) ctx.pool.push_back(std::move(seg));
+  };
   while (!stack.empty()) {
     Frame& top = stack.back();
     if (top.next_child >= sigma) {
+      recycle(&top);
       stack.pop_back();
       continue;
     }
@@ -141,6 +317,7 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
       // prunes the whole frame at once, and one batched ExtendAll replaces
       // sigma single-symbol Extend calls.
       if (depth > lmax) {
+        recycle(&top);
         stack.pop_back();
         continue;
       }
@@ -157,8 +334,7 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
 
     hits.clear();
     uint64_t cells = 0;
-    std::vector<Col> child_row = ComputeChildRow(top.row, c, query, scheme,
-                                                 threshold, &hits, &cells);
+    ComputeChildRow(&ctx, top.row, c, &child_row, &hits, &cells);
     if (counters) {
       counters->cells_cost3 += cells;
       ++counters->trie_nodes_visited;
@@ -166,6 +342,7 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
     if (child_row.empty()) continue;
 
     Frame child{child_range, {}, std::move(child_row), {}, false, 0};
+    child_row.clear();
     if (!hits.empty()) {
       // Locate once per node: end position of X in T is n-1-p where p is
       // the start of X⁻¹ in reverse(T).

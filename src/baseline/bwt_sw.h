@@ -2,11 +2,13 @@
 #define ALAE_BASELINE_BWT_SW_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/align/counters.h"
 #include "src/align/result.h"
 #include "src/align/scoring.h"
+#include "src/align/simd_dp.h"
 #include "src/index/fm_index.h"
 #include "src/io/sequence.h"
 
@@ -17,13 +19,16 @@ namespace alae {
 // (appending a character to the trie path X is one backward-search step for
 // c·X⁻¹, paper §5).
 //
-// At trie depth i the engine holds the sparse DP row
-// {(j, M(i,j), Ga(i,j)) : M(i,j) > 0}: BWT-SW's early termination ignores
-// all non-positive scores (a non-positive prefix alignment is dominated by
+// At trie depth i the engine holds the DP row as a short list of dense SoA
+// segments over 1-based query columns, each fed to the shared SIMD row
+// kernel (src/align/simd_dp.h): BWT-SW's early termination ignores all
+// non-positive scores (a non-positive prefix alignment is dominated by
 // restarting at a deeper suffix, which the trie traversal explores
-// separately), and prunes the subtree when the row becomes empty. Depth is
-// additionally capped at the positivity bound Lmax(H=1), which is implied
-// by the pruning rule and keeps worst-case paths finite.
+// separately), and prunes the subtree when the row becomes empty. Segments
+// split where more than kSplitGap consecutive columns are dead, so the
+// vector kernel sweeps dense islands while far-apart islands stay sparse.
+// Depth is additionally capped at the positivity bound Lmax(H=1), which is
+// implied by the pruning rule and keeps worst-case paths finite.
 //
 // Every evaluated cell computes M, Ga and Gb, i.e. costs 3 in the paper's
 // Table 4 accounting.
@@ -37,18 +42,33 @@ class BwtSw {
                       int32_t threshold, DpCounters* counters = nullptr) const;
 
  private:
-  struct Col {
-    int32_t j;   // 1-based query column
-    int32_t m;   // M(i, j) > 0
-    int32_t ga;  // Ga(i, j), kNegInf when dead
+  // A dead run longer than this closes the current row segment; shorter
+  // holes are carried inside a segment and recomputed vectorised, which is
+  // cheaper than the bookkeeping of splitting (two AVX2 blocks).
+  static constexpr int64_t kSplitGap = 8;
+
+  // Per-query state shared by every child-row computation: the
+  // substitution profile, the densified kernel scratch buffers, and the
+  // recycled segment buffers (the DFS would otherwise pay two heap
+  // allocations per emitted row segment).
+  struct RowCtx {
+    ScoringScheme scheme;
+    int32_t threshold = 1;
+    int64_t m = 0;
+    std::vector<int32_t> profile;  // sigma x m, Delta(c, P[j-1])
+    std::vector<int32_t> prev_m, prev_ga, diag_m, out_m, out_ga;  // scratch
+    std::vector<std::pair<int64_t, int64_t>> wins;  // coalesced windows
+    std::vector<simd::DpRow> pool;  // retired segments for reuse
   };
 
-  // Computes the child row for appending `c`, appending hits >= threshold
-  // to `hits` as (column, score) pairs.
-  static std::vector<Col> ComputeChildRow(
-      const std::vector<Col>& parent, Symbol c, const Sequence& query,
-      const ScoringScheme& scheme, int32_t threshold,
-      std::vector<std::pair<int32_t, int32_t>>* hits, uint64_t* cells);
+  // Computes the child row for appending `c` into `*child`, appending hits
+  // >= threshold to `hits` as (1-based column, score) pairs and counting
+  // every evaluated cell into `*cells`.
+  static void ComputeChildRow(RowCtx* ctx,
+                              const std::vector<simd::DpRow>& parent,
+                              Symbol c, std::vector<simd::DpRow>* child,
+                              std::vector<std::pair<int32_t, int32_t>>* hits,
+                              uint64_t* cells);
 
   const FmIndex& index_;
   int64_t n_;

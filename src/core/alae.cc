@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/align/dp.h"
+#include "src/align/simd_dp.h"
 #include "src/core/filters.h"
 #include "src/core/fork.h"
 #include "src/core/global_filter.h"
@@ -71,6 +72,7 @@ class Alae::Engine {
     if (config_.domination_filter) {
       domination_ = &index.Domination(filters_.q());
     }
+    profile_ = BuildDeltaProfile(scheme, query);
   }
 
   ResultCollector Run(AlaeRunStats* stats);
@@ -146,6 +148,25 @@ class Alae::Engine {
 
   std::vector<PendingHit> pending_hits_;
   std::vector<PendingHit> bitset_pending_;
+
+  // Row-kernel inputs: the per-symbol substitution profile and the buffer
+  // for the one-cell-shifted diagonal view of the previous row.
+  std::vector<int32_t> profile_;
+  std::vector<int32_t> scratch_diag_m_;
+
+  // Retired gap-row buffers, recycled so the DFS does not pay three heap
+  // allocations per stepped row.
+  std::vector<simd::DpRow> row_pool_;
+
+  void AcquireRow(simd::DpRow* row) {
+    if (!row_pool_.empty()) {
+      *row = std::move(row_pool_.back());
+      row_pool_.pop_back();
+      row->Clear();
+      row->lo = 0;
+    }
+  }
+  void ReleaseRow(simd::DpRow&& row) { row_pool_.push_back(std::move(row)); }
 };
 
 ResultCollector Alae::Engine::Run(AlaeRunStats* stats) {
@@ -308,6 +329,7 @@ void Alae::Engine::ProcessGram(uint64_t key,
   while (!stack.empty()) {
     Frame& top = stack.back();
     if (top.next_child >= sigma) {
+      for (ForkState& fork : top.gap) ReleaseRow(std::move(fork.cells));
       stack.pop_back();
       continue;
     }
@@ -318,6 +340,7 @@ void Alae::Engine::ProcessGram(uint64_t key,
       // ExtendAll over the two boundary blocks replaces sigma single-symbol
       // Extend calls.
       if (depth > filters_.lmax()) {
+        for (ForkState& fork : top.gap) ReleaseRow(std::move(fork.cells));
         stack.pop_back();
         continue;
       }
@@ -346,7 +369,11 @@ void Alae::Engine::ProcessGram(uint64_t key,
     for (const ForkState& fork : top.gap) {
       ForkState next = StepGapRow(
           fork, c, depth, FindSource(child.gap, fork.reuse_src_anchor));
-      if (!next.cells.empty()) child.gap.push_back(std::move(next));
+      if (!next.cells.Empty()) {
+        child.gap.push_back(std::move(next));
+      } else {
+        ReleaseRow(std::move(next.cells));
+      }
     }
     const int32_t fgoe_threshold = filters_.fgoe_threshold();
     for (const DiagFork& fork : top.diag) {
@@ -414,11 +441,11 @@ void Alae::Engine::FlushNode(Frame* frame, int64_t depth) {
 ForkState Alae::Engine::OpenGapRegion(int32_t anchor, int64_t row,
                                       int32_t fgoe_score) {
   ForkState next;
+  AcquireRow(&next.cells);
   next.anchor = anchor;
   next.phase = ForkState::kGap;
   next.fgoe_row = static_cast<int32_t>(row);
   next.fgoe_col = static_cast<int32_t>(anchor + row - 1);
-  next.lo = 0;
 
   RowReuseGroup::Assignment assignment;
   if (config_.reuse) {
@@ -429,7 +456,7 @@ ForkState Alae::Engine::OpenGapRegion(int32_t anchor, int64_t row,
 
   // Seed row: the FGOE cell plus its rightward Gb extension entries
   // (paper §3.1.3: from the FGOE we calculate the (l, pi_p + l) extension).
-  next.cells.push_back({fgoe_score, kNegInf, kNegInf});
+  next.cells.PushCell(fgoe_score, kNegInf, kNegInf);
   int32_t gb = kNegInf;
   const int32_t row_bound = filters_.RowBound(row);
   const int64_t col_cut = filters_.ColCut(row_bound);
@@ -437,12 +464,12 @@ ForkState Alae::Engine::OpenGapRegion(int32_t anchor, int64_t row,
     int64_t col = next.fgoe_col + d;
     if (col >= m_) break;
     gb = std::max(gb + scheme_.ss,
-                  next.cells[static_cast<size_t>(d - 1)].m + scheme_.sg +
+                  next.cells.m[static_cast<size_t>(d - 1)] + scheme_.sg +
                       scheme_.ss);
     ++counters_.cells_cost2;  // Boundary cell: two live inputs.
     int32_t bound = col <= col_cut ? row_bound : filters_.Bound(row, col);
     if (gb <= bound) break;
-    next.cells.push_back({gb, kNegInf, gb});
+    next.cells.PushCell(gb, kNegInf, gb);
     NoteCell(row, static_cast<int32_t>(col), gb);
   }
   return next;
@@ -451,122 +478,201 @@ ForkState Alae::Engine::OpenGapRegion(int32_t anchor, int64_t row,
 ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
                                    int64_t row, const ForkState* source) {
   ForkState next;
+  AcquireRow(&next.cells);
   next.anchor = fork.anchor;
   next.fgoe_col = fork.fgoe_col;
   next.fgoe_row = fork.fgoe_row;
   next.reuse_src_anchor = fork.reuse_src_anchor;
   next.reuse_len = fork.reuse_len;
-  next.lo = 0;
-  next.cells.reserve(fork.cells.size() + 4);
 
+  const int32_t ss = scheme_.ss;
   const int32_t open_ext = scheme_.sg + scheme_.ss;
-  const int64_t prev_lo = fork.lo;
-  const int64_t prev_hi = prev_lo + static_cast<int64_t>(fork.cells.size()) - 1;
+  const int64_t prev_lo = fork.cells.lo;
+  const int64_t prev_hi = fork.cells.hi();
   const int32_t row_bound = filters_.RowBound(row);
-  const int64_t col_cut = filters_.ColCut(row_bound);
+  const int64_t col_base = filters_.ColTermBase();
+  const int32_t col_step = filters_.ColTermStep();
+  bool any_alive = false;
 
   // Copyable prefix from the reuse source: offsets below the shared query
-  // length evolve identically (Lemma 3), so take them verbatim.
+  // length evolve identically (Lemma 3), so take them verbatim — three
+  // SoA block copies.
   bool copied = false;
-  bool any_alive = false;
   if (source != nullptr && config_.reuse) {
-    int64_t src_lo = source->lo;
-    int64_t src_hi = src_lo + static_cast<int64_t>(source->cells.size()) - 1;
-    int64_t limit = fork.reuse_len - 1;  // offsets 0..reuse_len-1 shareable
-    int64_t hi = std::min(src_hi, limit);
+    int64_t src_lo = source->cells.lo;
+    int64_t hi = std::min(source->cells.hi(), fork.reuse_len - 1);
     if (src_lo <= hi) {
-      next.lo = static_cast<int32_t>(src_lo);
+      const int64_t cnt = hi - src_lo + 1;
+      next.cells.lo = src_lo;
+      next.cells.m.assign(source->cells.m.begin(),
+                          source->cells.m.begin() + cnt);
+      next.cells.ga.assign(source->cells.ga.begin(),
+                           source->cells.ga.begin() + cnt);
+      next.cells.gb.assign(source->cells.gb.begin(),
+                           source->cells.gb.begin() + cnt);
+      counters_.reused += static_cast<uint64_t>(cnt);
       for (int64_t d = src_lo; d <= hi; ++d) {
-        const GapCell& cell = source->cells[static_cast<size_t>(d - src_lo)];
-        next.cells.push_back(cell);
-        ++counters_.reused;
+        int32_t mv = next.cells.m[static_cast<size_t>(d - src_lo)];
         int64_t col = next.fgoe_col + d;
-        if (cell.m > kNegInf / 2 && col < m_) {
+        if (mv != kNegInf && col < m_) {
           any_alive = true;
-          NoteCell(row, static_cast<int32_t>(col), cell.m);
+          NoteCell(row, static_cast<int32_t>(col), mv);
         }
       }
       copied = true;
     }
   }
 
-  // Compute the remaining offsets, sweeping right while cells can still be
-  // meaningful. Candidates with prev-row inputs run to prev_hi + 1; beyond
-  // that only the Gb spill chain extends the row.
+  // Candidate window: offsets with previous-row inputs run through
+  // prev_hi + 1. The kernel sweeps the fully-in-range part [start, prev_hi]
+  // with direct pointers into the previous row's lanes (only the diagonal
+  // view can need a one-cell shift copy); the prev_hi + 1 cell, whose only
+  // previous-row input is the diagonal, is folded into the scalar tail.
   int64_t start =
-      copied ? next.lo + static_cast<int64_t>(next.cells.size()) : prev_lo;
+      copied ? next.cells.lo + next.cells.Size() : prev_lo;
+  if (!copied) next.cells.lo = start;
   const int64_t hi_candidate = prev_hi + 1;
-  if (!copied) next.lo = static_cast<int32_t>(start);
+  const int64_t max_d = m_ - 1 - next.fgoe_col;  // last offset inside P
+  const int64_t kend = std::min(prev_hi, max_d);
 
-  int32_t gb = next.cells.empty() ? kNegInf : next.cells.back().gb;
-  for (int64_t d = start;; ++d) {
+  int32_t chain_gb = kNegInf;  // raw chain state of cell (start - 1)
+  int32_t chain_mu = kNegInf;
+  if (!next.cells.Empty()) {
+    chain_gb = next.cells.gb.back();
+    chain_mu = next.cells.m.back();
+  }
+
+  const int32_t* prof = profile_.data() +
+                        static_cast<size_t>(c) * static_cast<size_t>(m_) +
+                        static_cast<size_t>(next.fgoe_col);
+  // Bound(row, col) in the kernel's affine decomposition, for the scalar
+  // cells computed outside the kernel call.
+  const auto bound_at = [row_bound, col_base, col_step](int64_t col) {
+    return static_cast<int32_t>(std::max<int64_t>(
+        row_bound, std::max<int64_t>(col_base + col * col_step, kNegInf)));
+  };
+  const int64_t len = kend - start + 1;
+  if (len > 0) {
+    simd::RowSpec spec;
+    spec.prev_m = fork.cells.m.data() + (start - prev_lo);
+    spec.prev_ga = fork.cells.ga.data() + (start - prev_lo);
+    if (start - 1 >= prev_lo) {
+      spec.prev_diag_m = fork.cells.m.data() + (start - 1 - prev_lo);
+    } else {
+      // start == prev_lo: shift the M lane right by one, dead on the left.
+      scratch_diag_m_.resize(static_cast<size_t>(len));
+      scratch_diag_m_[0] = kNegInf;
+      std::copy(fork.cells.m.begin(), fork.cells.m.begin() + (len - 1),
+                scratch_diag_m_.begin() + 1);
+      spec.prev_diag_m = scratch_diag_m_.data();
+    }
+    spec.delta = prof + start;
+    const size_t base = next.cells.m.size();
+    next.cells.m.resize(base + static_cast<size_t>(len));
+    next.cells.ga.resize(base + static_cast<size_t>(len));
+    next.cells.gb.resize(base + static_cast<size_t>(len));
+    spec.out_m = next.cells.m.data() + base;
+    spec.out_ga = next.cells.ga.data() + base;
+    spec.out_gb = next.cells.gb.data() + base;
+    spec.len = len;
+    spec.gap_extend = ss;
+    spec.gap_open_extend = open_ext;
+    spec.gb_init = std::max(chain_gb + ss, chain_mu + open_ext);
+    spec.bound_base = row_bound;
+    spec.bound0 = static_cast<int32_t>(std::max<int64_t>(
+        col_base + (next.fgoe_col + start) * col_step, kNegInf));
+    spec.bound_step = col_step;
+    simd::RowStats stats;
+    simd::ComputeRowAuto(spec, &stats);
+    if (start == 0) {
+      ++counters_.cells_cost2;  // Left boundary: no Gb/diag inputs.
+      counters_.cells_cost3 += static_cast<uint64_t>(len - 1);
+    } else {
+      counters_.cells_cost3 += static_cast<uint64_t>(len);
+    }
+    if (stats.first_alive >= 0) {
+      any_alive = true;
+      for (int64_t k = stats.first_alive; k <= stats.last_alive; ++k) {
+        int32_t mv = spec.out_m[k];
+        if (mv != kNegInf) {
+          NoteCell(row, static_cast<int32_t>(next.fgoe_col + start + k), mv);
+        }
+      }
+    }
+    chain_gb = stats.gb_last;
+    chain_mu = stats.mu_last;
+  }
+
+  // The prev_hi + 1 candidate: its previous-row input is the diagonal only.
+  if (start <= hi_candidate && hi_candidate <= max_d) {
+    const int64_t d = hi_candidate;
+    const int64_t col = next.fgoe_col + d;
+    int32_t gb = std::max(chain_gb + ss, chain_mu + open_ext);
+    int32_t diag = (d - 1 >= prev_lo && d - 1 <= prev_hi)
+                       ? fork.cells.m[static_cast<size_t>(d - 1 - prev_lo)] +
+                             prof[col - next.fgoe_col]
+                       : kNegInf;
+    int32_t mu = std::max(diag, gb);
+    int32_t bound = bound_at(col);
+    ++counters_.cells_cost3;
+    if (mu > bound) {
+      NoteCell(row, static_cast<int32_t>(col), mu);
+      any_alive = true;
+      next.cells.PushCell(mu, kNegInf, std::max(gb, kNegInf));
+    } else {
+      next.cells.PushCell(kNegInf, kNegInf, std::max(gb, kNegInf));
+    }
+    chain_gb = gb;
+    chain_mu = mu;
+  }
+
+  // Gb spill beyond the candidate window: a pure horizontal chain with no
+  // previous-row inputs, stepped scalar. Bounds only grow along the row, so
+  // the chain is finished the moment it cannot beat the next cell's bound.
+  const int64_t tail_d = std::max(start, hi_candidate + 1);
+  for (int64_t d = tail_d;; ++d) {
     int64_t col = next.fgoe_col + d;
     if (col >= m_) break;
-    GapCell prev_cell;   // cell (i-1, d)
-    GapCell diag_cell;   // cell (i-1, d-1)
-    if (d >= prev_lo && d <= prev_hi) {
-      prev_cell = fork.cells[static_cast<size_t>(d - prev_lo)];
-    }
-    if (d - 1 >= prev_lo && d - 1 <= prev_hi) {
-      diag_cell = fork.cells[static_cast<size_t>(d - 1 - prev_lo)];
-    }
-
-    int32_t ga = std::max(prev_cell.ga + scheme_.ss, prev_cell.m + open_ext);
-    int32_t left_m = next.cells.empty() ? kNegInf : next.cells.back().m;
-    gb = std::max(gb + scheme_.ss, left_m + open_ext);
-    int32_t diag =
-        diag_cell.m + scheme_.Delta(c, query_[static_cast<size_t>(col)]);
-    int32_t mval = std::max({diag, ga, gb});
-
-    if (d == 0) {
-      ++counters_.cells_cost2;  // Left boundary: no Gb/diag inputs.
-    } else {
-      ++counters_.cells_cost3;
-    }
-
-    int32_t bound = col <= col_cut ? row_bound : filters_.Bound(row, col);
-    if (mval <= bound) {
-      mval = kNegInf;
-      ga = kNegInf;
-      gb = kNegInf;
-    } else {
-      NoteCell(row, static_cast<int32_t>(col), mval);
-      any_alive = true;
-    }
-    next.cells.push_back({mval, ga > kNegInf / 2 ? ga : kNegInf,
-                          gb > kNegInf / 2 ? gb : kNegInf});
-    // Past the candidate range, continue only while this cell can spawn a
-    // live Gb spill to its right.
-    if (d >= hi_candidate &&
-        std::max(gb + scheme_.ss, mval + open_ext) <= 0) {
-      break;
-    }
+    int32_t gb = std::max(chain_gb + ss, chain_mu + open_ext);
+    if (gb <= bound_at(col)) break;
+    ++counters_.cells_cost3;
+    NoteCell(row, static_cast<int32_t>(col), gb);
+    any_alive = true;
+    next.cells.PushCell(gb, kNegInf, gb);
+    chain_gb = gb;
+    chain_mu = gb;
   }
 
   if (!any_alive) {
-    next.cells.clear();
+    next.cells.Clear();
     return next;
   }
-  // Trim dead edges.
-  size_t front = 0;
-  while (front < next.cells.size() && next.cells[front].m <= kNegInf / 2 &&
-         next.cells[front].ga <= kNegInf / 2) {
+  // Trim dead edges in the M lane. A dead cell's soft Ga chain is bounded
+  // by that cell's prune bound, and bounds are non-decreasing across rows
+  // and columns, so an edge cell with a dead M can never influence a later
+  // surviving cell — dropping it is exact.
+  int64_t size = next.cells.Size();
+  int64_t front = 0;
+  while (front < size && next.cells.m[static_cast<size_t>(front)] == kNegInf) {
     ++front;
   }
-  size_t back = next.cells.size();
-  while (back > front && next.cells[back - 1].m <= kNegInf / 2 &&
-         next.cells[back - 1].ga <= kNegInf / 2) {
+  int64_t back = size;
+  while (back > front &&
+         next.cells.m[static_cast<size_t>(back - 1)] == kNegInf) {
     --back;
   }
   if (back <= front) {
-    next.cells.clear();
+    next.cells.Clear();
     return next;
   }
-  next.lo += static_cast<int32_t>(front);
-  next.cells.erase(next.cells.begin() + static_cast<ptrdiff_t>(back),
-                   next.cells.end());
-  next.cells.erase(next.cells.begin(),
-                   next.cells.begin() + static_cast<ptrdiff_t>(front));
+  auto trim = [front, back](std::vector<int32_t>* lane) {
+    lane->erase(lane->begin() + static_cast<ptrdiff_t>(back), lane->end());
+    lane->erase(lane->begin(), lane->begin() + static_cast<ptrdiff_t>(front));
+  };
+  trim(&next.cells.m);
+  trim(&next.cells.ga);
+  trim(&next.cells.gb);
+  next.cells.lo += front;
   return next;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "src/align/scoring.h"
+#include "src/align/simd_dp.h"
 #include "src/core/config.h"
 
 namespace alae {
@@ -53,6 +54,20 @@ class FilterContext {
     // col_term <= row_bound  <=>  j0 <= m-1 - (H - 1 - row_bound)/sa.
     return m_ - 1 - (threshold_ - 1 - row_bound + sa_ - 1) / sa_;
   }
+
+  // Affine per-column decomposition of the Theorem 2 bound, in the form the
+  // SIMD row kernel generates in-register:
+  //   Bound(i, j0) == max(RowBound(i), ColTermBase() + j0 * ColTermStep()),
+  // with ColTermStep() >= 0 so the bound is non-decreasing along the row
+  // (the soundness precondition of the kernel's soft clipping). With the
+  // score filter off the column term collapses to -inf and the bound is the
+  // positivity rule alone.
+  int32_t ColTermBase() const {
+    if (!score_filter_) return kNegInf;
+    int64_t base = static_cast<int64_t>(threshold_) - 1 - (m_ - 1) * sa_;
+    return static_cast<int32_t>(std::max<int64_t>(base, kNegInf));
+  }
+  int32_t ColTermStep() const { return score_filter_ ? sa_ : 0; }
 
  private:
   int32_t q_ = 1;

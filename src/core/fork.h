@@ -2,9 +2,8 @@
 #define ALAE_CORE_FORK_H_
 
 #include <cstdint>
-#include <vector>
 
-#include "src/align/dp.h"
+#include "src/align/simd_dp.h"
 
 namespace alae {
 
@@ -26,21 +25,15 @@ struct DiagFork {
   int32_t shared_len = 0;   // prefix length (from the anchor, >= q)
 };
 
-// One gap-region cell: the three affine scores of §2.2. Dead states hold
-// kNegInf.
-struct GapCell {
-  int32_t m = kNegInf;
-  int32_t ga = kNegInf;
-  int32_t gb = kNegInf;
-};
-
 // State of one fork after its FGOE (the GAP phase): a full affine row over
-// a column interval, rebuilt at every trie depth.
+// a column interval, rebuilt at every trie depth by the shared SIMD row
+// kernel (src/align/simd_dp.h).
 //
 // A fork starts as a DiagFork and permanently switches to this state at
 // its FGOE. Offsets are relative to fgoe_col: the row covers query columns
-// [fgoe_col + lo, fgoe_col + lo + cells.size()). Interior dead cells hold
-// kNegInf.
+// [fgoe_col + cells.lo, fgoe_col + cells.lo + cells.Size()) in the SoA
+// lanes of `cells`. Interior dead cells hold kNegInf in the M lane; the
+// Ga/Gb lanes carry the kernel's soft-clipped gap chains.
 struct ForkState {
   enum Phase : uint8_t { kDiag, kGap };
 
@@ -48,8 +41,7 @@ struct ForkState {
   Phase phase = kGap;
   int32_t fgoe_col = 0;     // 0-based query index of the FGOE cell
   int32_t fgoe_row = 0;     // 1-based trie depth of the FGOE
-  int32_t lo = 0;           // first offset of the stored interval
-  std::vector<GapCell> cells;
+  simd::DpRow cells;        // offsets relative to fgoe_col, lo >= 0
 
   // Reuse (§4): anchor of the group leader sharing this fork's FGOE row,
   // and the LCP of the two FGOE-column suffixes of P. -1 = no reuse.
