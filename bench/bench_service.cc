@@ -1,0 +1,172 @@
+// Service throughput bench: queries/sec of the sharded query service as
+// worker threads scale (1/2/4/8) and as the shard count sweeps (1/2/4/8
+// shards at a fixed thread count). The scaling curve is the whole point of
+// the service layer, so this harness is the CI trend gate for it.
+//
+//   ./bench_service [--n=...] [--queries=...] [--seed=...] [--json=out.json]
+//
+// Methodology: one corpus per shard count (same text), cache disabled so
+// the engines do real work every time, micro-batched SearchBatch admission,
+// min-of-rounds wall time, and a cross-configuration hit checksum so a
+// concurrency bug cannot masquerade as a speedup. Exit code 2 when the
+// 8-thread speedup misses the 3x target (CI smoke tolerates it on shared
+// or few-core runners — this box may have fewer cores; the enforced gate
+// is compare_bench.py's anchored-ratio drift check).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/service/service.h"
+#include "src/sim/generator.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+using namespace alae;
+using namespace alae::bench;
+
+namespace {
+
+constexpr int64_t kOverlap = 2048;
+constexpr int32_t kQueryLen = 64;
+constexpr int32_t kThreshold = 24;
+constexpr int kRounds = 3;
+
+std::unique_ptr<service::ShardedCorpus> BuildCorpus(const Sequence& text,
+                                                    int target_shards) {
+  service::ShardedCorpusOptions options;
+  const int64_t n = static_cast<int64_t>(text.size());
+  options.overlap = target_shards > 1 ? kOverlap : 0;
+  options.shard_size =
+      target_shards > 1 ? n / target_shards + 2 * options.overlap + 1 : n + 1;
+  auto corpus = service::ShardedCorpus::Build(text, options);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus build failed: %s\n",
+                 corpus.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(corpus).value();
+}
+
+struct RunResult {
+  double seconds = 0;       // best-of-rounds wall time for the whole batch
+  uint64_t hit_checksum = 0;
+};
+
+RunResult RunBatch(service::ShardedCorpus& corpus, int threads,
+                   const std::vector<api::SearchRequest>& requests) {
+  service::QueryScheduler scheduler(
+      corpus, {.threads = threads,
+               .queue_capacity = 1 << 16,
+               .cache_capacity = 0});
+  RunResult result;
+  for (int round = 0; round < kRounds; ++round) {
+    Timer timer;
+    std::vector<api::QueryOutcome> outcomes =
+        scheduler.SearchBatch("alae", requests);
+    const double seconds = timer.ElapsedSeconds();
+    uint64_t checksum = 0;
+    for (const api::QueryOutcome& o : outcomes) {
+      if (!o.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", o.status.ToString().c_str());
+        std::exit(1);
+      }
+      for (const AlignmentHit& hit : o.response.hits) {
+        checksum = checksum * 1315423911ULL +
+                   static_cast<uint64_t>(hit.text_end * 31 + hit.query_end) *
+                       static_cast<uint64_t>(hit.score);
+      }
+    }
+    if (round == 0) {
+      result.hit_checksum = checksum;
+    } else if (checksum != result.hit_checksum) {
+      std::fprintf(stderr, "hit checksum diverged across rounds\n");
+      std::exit(1);
+    }
+    if (round == 0 || seconds < result.seconds) result.seconds = seconds;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const int64_t n = flags.N(1 << 20);
+  const int32_t num_queries = flags.Q(64);
+
+  SequenceGenerator gen(flags.seed);
+  Sequence text = gen.Random(n, Alphabet::Dna());
+  std::vector<api::SearchRequest> requests;
+  requests.reserve(static_cast<size_t>(num_queries));
+  for (int32_t q = 0; q < num_queries; ++q) {
+    api::SearchRequest request;
+    request.query = gen.HomologousQuery(text, kQueryLen, 0.7, 0.3, 0.01);
+    request.threshold = kThreshold;
+    requests.push_back(std::move(request));
+  }
+
+  JsonReport report;
+  TablePrinter table({"config", "shards", "sec/batch", "qps", "ns/query"});
+
+  // --- Thread scaling on the multi-shard corpus. ---
+  std::unique_ptr<service::ShardedCorpus> corpus = BuildCorpus(text, 8);
+  double ns_t1 = 0, ns_t8 = 0;
+  uint64_t checksum = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    RunResult r = RunBatch(*corpus, threads, requests);
+    if (threads == 1) {
+      checksum = r.hit_checksum;
+    } else if (r.hit_checksum != checksum) {
+      std::fprintf(stderr, "hit checksum diverged across thread counts\n");
+      return 1;
+    }
+    const double ns =
+        r.seconds * 1e9 / static_cast<double>(num_queries);
+    if (threads == 1) ns_t1 = ns;
+    if (threads == 8) ns_t8 = ns;
+    report.Add("service/threads/" + std::to_string(threads), ns,
+               static_cast<double>(num_queries) / r.seconds);
+    table.AddRow({"threads=" + std::to_string(threads),
+                  std::to_string(corpus->num_shards()),
+                  TablePrinter::Fmt(r.seconds),
+                  TablePrinter::Fmt(num_queries / r.seconds, 1),
+                  TablePrinter::Fmt(static_cast<uint64_t>(ns))});
+  }
+
+  // --- Shard-count sweep at a fixed thread count. ---
+  for (int shards : {1, 2, 4, 8}) {
+    std::unique_ptr<service::ShardedCorpus> swept = BuildCorpus(text, shards);
+    RunResult r = RunBatch(*swept, 4, requests);
+    // The merged hit set is shard-count invariant by construction (the
+    // ownership filter + dedup is exactly the bit-exactness contract), so
+    // every sweep point must reproduce the scaling corpus's checksum — a
+    // boundary/merge regression cannot masquerade as a speedup.
+    if (r.hit_checksum != checksum) {
+      std::fprintf(stderr, "hit checksum diverged at %d shards\n", shards);
+      return 1;
+    }
+    const double ns = r.seconds * 1e9 / static_cast<double>(num_queries);
+    report.Add("service/shards/" + std::to_string(swept->num_shards()), ns,
+               static_cast<double>(num_queries) / r.seconds);
+    table.AddRow({"threads=4",
+                  std::to_string(swept->num_shards()),
+                  TablePrinter::Fmt(r.seconds),
+                  TablePrinter::Fmt(num_queries / r.seconds, 1),
+                  TablePrinter::Fmt(static_cast<uint64_t>(ns))});
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  const double speedup = ns_t8 > 0 ? ns_t1 / ns_t8 : 0;
+  std::printf("\n8-thread speedup over 1 thread: %.2fx (target >= 3x)\n",
+              speedup);
+
+  if (!report.WriteTo(flags.json)) {
+    std::fprintf(stderr, "failed writing %s\n", flags.json.c_str());
+    return 1;
+  }
+  return speedup >= 3.0 ? 0 : 2;
+}

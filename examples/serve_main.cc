@@ -1,0 +1,267 @@
+// Minimal serving driver for the sharded query service.
+//
+// Loads (or builds and persists) a sharded corpus, then serves queries read
+// from a file or stdin — one ASCII sequence per line, '>' lines skipped so
+// single-line-record FASTA works too — from N client threads through the
+// QueryScheduler, and prints a latency histogram with p50/p90/p99.
+//
+//   # build a random 2 Mb DNA corpus, save it, serve 200 sampled queries
+//   serve_main --corpus=/tmp/corpus --random-text=2000000 \
+//              --backend=alae --threads=4
+//
+//   # serve your own queries against a saved corpus
+//   serve_main --corpus=/tmp/corpus --queries=queries.txt --backend=bwt-sw
+//
+// Exits non-zero on any setup failure; per-query failures are reported and
+// counted but do not stop the run.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/service.h"
+#include "src/sim/generator.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace alae;  // NOLINT: example brevity
+
+struct Flags {
+  std::string corpus;        // corpus directory (required)
+  std::string queries;       // query file; "-" or empty = stdin or sampled
+  std::string backend = "alae";
+  int threads = 4;
+  int32_t threshold = 20;
+  int64_t random_text = 0;   // build a random corpus of this many chars
+  int64_t shard_size = 1 << 20;
+  int64_t overlap = 4096;
+  int32_t sample_queries = 200;  // sampled queries when none are supplied
+  int64_t query_len = 64;
+  uint64_t seed = 42;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto take = [&](const char* name, std::string* out) {
+        std::string prefix = std::string("--") + name + "=";
+        if (arg.rfind(prefix, 0) == 0) {
+          *out = arg.substr(prefix.size());
+          return true;
+        }
+        return false;
+      };
+      std::string value;
+      if (take("corpus", &f.corpus) || take("queries", &f.queries) ||
+          take("backend", &f.backend)) {
+        continue;
+      } else if (take("threads", &value)) {
+        f.threads = std::atoi(value.c_str());
+      } else if (take("threshold", &value)) {
+        f.threshold = std::atoi(value.c_str());
+      } else if (take("random-text", &value)) {
+        f.random_text = std::atoll(value.c_str());
+      } else if (take("shard-size", &value)) {
+        f.shard_size = std::atoll(value.c_str());
+      } else if (take("overlap", &value)) {
+        f.overlap = std::atoll(value.c_str());
+      } else if (take("sample-queries", &value)) {
+        f.sample_queries = std::atoi(value.c_str());
+      } else if (take("query-len", &value)) {
+        f.query_len = std::atoll(value.c_str());
+      } else if (take("seed", &value)) {
+        f.seed = std::strtoull(value.c_str(), nullptr, 10);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    if (f.corpus.empty()) {
+      std::fprintf(stderr,
+                   "usage: serve_main --corpus=DIR [--random-text=N] "
+                   "[--queries=FILE|-] [--backend=NAME] [--threads=N] "
+                   "[--threshold=H]\n");
+      std::exit(2);
+    }
+    return f;
+  }
+};
+
+// Log-ish latency histogram in microseconds.
+void PrintLatencies(std::vector<double>* micros) {
+  if (micros->empty()) return;
+  std::sort(micros->begin(), micros->end());
+  auto pct = [&](double p) {
+    size_t i = static_cast<size_t>(p * static_cast<double>(micros->size() - 1));
+    return (*micros)[i];
+  };
+  std::printf("\nlatency (us): p50 %.0f   p90 %.0f   p99 %.0f   max %.0f\n",
+              pct(0.50), pct(0.90), pct(0.99), micros->back());
+  const double buckets[] = {50,    100,   250,    500,    1000,  2500,
+                            5000,  10000, 25000,  50000,  100000};
+  size_t from = 0;
+  for (double edge : buckets) {
+    size_t to = from;
+    while (to < micros->size() && (*micros)[to] < edge) ++to;
+    if (to > from) {
+      std::printf("  <%7.0fus %6zu %s\n", edge, to - from,
+                  std::string(std::min<size_t>(60, (to - from) * 60 /
+                                                       micros->size() + 1),
+                              '#')
+                      .c_str());
+    }
+    from = to;
+  }
+  if (from < micros->size()) {
+    std::printf("  >=100000us %5zu\n", micros->size() - from);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+
+  // --- Corpus: load the directory if it holds a manifest, else build. ---
+  std::unique_ptr<service::ShardedCorpus> corpus;
+  const bool have_manifest =
+      std::filesystem::exists(flags.corpus + "/corpus.manifest");
+  if (have_manifest) {
+    auto loaded = service::ShardedCorpus::Load(flags.corpus);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", flags.corpus.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(loaded).value();
+    std::printf("loaded corpus %s: %lld chars, %zu shards\n",
+                flags.corpus.c_str(),
+                static_cast<long long>(corpus->text_size()),
+                corpus->num_shards());
+  } else {
+    if (flags.random_text <= 0) {
+      std::fprintf(stderr,
+                   "%s has no corpus.manifest; pass --random-text=N to build "
+                   "one\n",
+                   flags.corpus.c_str());
+      return 1;
+    }
+    SequenceGenerator gen(flags.seed);
+    Sequence text = gen.Random(flags.random_text, Alphabet::Dna());
+    service::ShardedCorpusOptions options;
+    options.shard_size = flags.shard_size;
+    options.overlap = flags.overlap;
+    Timer build_timer;
+    auto built = service::ShardedCorpus::Build(std::move(text), options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(built).value();
+    std::printf("built corpus: %lld chars, %zu shards in %.2fs\n",
+                static_cast<long long>(corpus->text_size()),
+                corpus->num_shards(), build_timer.ElapsedSeconds());
+    if (api::Status saved = corpus->Save(flags.corpus); !saved.ok()) {
+      std::fprintf(stderr, "save %s: %s\n", flags.corpus.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved to %s\n", flags.corpus.c_str());
+  }
+
+  // --- Queries: a file, stdin, or sampled from the corpus. ---
+  std::vector<Sequence> queries;
+  const Alphabet& alphabet = corpus->text().alphabet();
+  if (!flags.queries.empty()) {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (flags.queries != "-") {
+      file.open(flags.queries);
+      if (!file.is_open()) {
+        std::fprintf(stderr, "cannot read %s\n", flags.queries.c_str());
+        return 1;
+      }
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (line.empty() || line[0] == '>') continue;
+      queries.push_back(Sequence::FromString(line, alphabet));
+    }
+  } else {
+    SequenceGenerator gen(flags.seed + 1);
+    for (int32_t i = 0; i < flags.sample_queries; ++i) {
+      queries.push_back(gen.HomologousQuery(corpus->text(), flags.query_len,
+                                            0.7, 0.15, 0.02));
+    }
+    std::printf("no --queries given; sampled %zu homologous queries (m=%lld)\n",
+                queries.size(), static_cast<long long>(flags.query_len));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries\n");
+    return 1;
+  }
+
+  // --- Serve. ---
+  service::QueryScheduler scheduler(
+      *corpus, {.threads = flags.threads, .cache_capacity = 1024});
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::vector<double>> client_micros(
+      static_cast<size_t>(std::max(1, flags.threads)));
+  Timer wall;
+  auto client = [&](size_t id) {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= queries.size()) break;
+      api::SearchRequest request;
+      request.query = queries[i];
+      request.threshold = flags.threshold;
+      Timer timer;
+      api::StatusOr<api::SearchResponse> response =
+          scheduler.Search(flags.backend, request);
+      client_micros[id].push_back(timer.ElapsedSeconds() * 1e6);
+      if (!response.ok()) {
+        ++failures;
+        std::fprintf(stderr, "query %zu: %s\n", i,
+                     response.status().ToString().c_str());
+        continue;
+      }
+      hits += response->hits.size();
+    }
+  };
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < client_micros.size(); ++c) {
+    clients.emplace_back(client, c);
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  std::vector<double> micros;
+  for (std::vector<double>& m : client_micros) {
+    micros.insert(micros.end(), m.begin(), m.end());
+  }
+  std::printf(
+      "served %zu queries on backend '%s' with %d threads in %.2fs "
+      "(%.1f qps), %llu hits, %llu failures, cache %llu/%llu hit/miss\n",
+      queries.size(), flags.backend.c_str(), flags.threads, seconds,
+      static_cast<double>(queries.size()) / seconds,
+      static_cast<unsigned long long>(hits.load()),
+      static_cast<unsigned long long>(failures.load()),
+      static_cast<unsigned long long>(scheduler.cache().hits()),
+      static_cast<unsigned long long>(scheduler.cache().misses()));
+  PrintLatencies(&micros);
+  return failures.load() == 0 ? 0 : 1;
+}

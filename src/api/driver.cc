@@ -18,43 +18,39 @@ int MultiQueryDriver::ResolveThreads(int threads, size_t num_requests) {
   return std::max(1, std::min<int>(threads, static_cast<int>(num_requests)));
 }
 
-StatusOr<std::vector<SearchResponse>> MultiQueryDriver::Run(
+std::vector<QueryOutcome> MultiQueryDriver::RunEach(
     const std::vector<SearchRequest>& requests, int threads,
     MultiSearchStats* stats) const {
   Timer timer;
-  // Fail fast, before spawning anything: validate every request and warm
-  // the backend's shared per-(scheme, threshold) state.
+  std::vector<QueryOutcome> outcomes(requests.size());
+  // Validate every request and warm the backend's shared per-(scheme,
+  // threshold) state up front, single-threaded. A query that fails here is
+  // recorded in its own slot — it must not mask its neighbours' results —
+  // and is skipped by the workers below.
   for (size_t i = 0; i < requests.size(); ++i) {
-    if (Status status = aligner_.Prepare(requests[i]); !status.ok()) {
-      return Status(status.code(), "request " + std::to_string(i) + ": " +
-                                       status.message());
-    }
+    outcomes[i].status = aligner_.Prepare(requests[i]);
   }
 
-  std::vector<SearchResponse> responses(requests.size());
-  std::vector<Status> statuses(requests.size());
+  auto run_one = [&](size_t i) {
+    if (!outcomes[i].status.ok()) return;
+    StatusOr<SearchResponse> r = aligner_.Search(requests[i]);
+    if (r.ok()) {
+      outcomes[i].response = std::move(r).value();
+    } else {
+      outcomes[i].status = r.status();
+    }
+  };
+
   threads = ResolveThreads(threads, requests.size());
   if (threads <= 1) {
-    for (size_t i = 0; i < requests.size(); ++i) {
-      StatusOr<SearchResponse> r = aligner_.Search(requests[i]);
-      if (r.ok()) {
-        responses[i] = std::move(r).value();
-      } else {
-        statuses[i] = r.status();
-      }
-    }
+    for (size_t i = 0; i < requests.size(); ++i) run_one(i);
   } else {
     std::atomic<size_t> next{0};
     auto worker = [&]() {
       while (true) {
         size_t i = next.fetch_add(1);
         if (i >= requests.size()) break;
-        StatusOr<SearchResponse> r = aligner_.Search(requests[i]);
-        if (r.ok()) {
-          responses[i] = std::move(r).value();
-        } else {
-          statuses[i] = r.status();
-        }
+        run_one(i);
       }
     };
     std::vector<std::thread> pool;
@@ -63,19 +59,46 @@ StatusOr<std::vector<SearchResponse>> MultiQueryDriver::Run(
     for (std::thread& t : pool) t.join();
   }
 
-  for (size_t i = 0; i < statuses.size(); ++i) {
-    if (!statuses[i].ok()) {
-      return Status(statuses[i].code(), "request " + std::to_string(i) +
-                                            ": " + statuses[i].message());
-    }
-  }
   if (stats != nullptr) {
     stats->wall_seconds = timer.ElapsedSeconds();
-    for (const SearchResponse& r : responses) {
-      stats->total_hits += r.hits.size();
-      stats->stats.Merge(r.stats);
+    for (const QueryOutcome& o : outcomes) {
+      if (!o.ok()) {
+        ++stats->failed_queries;
+        continue;
+      }
+      stats->total_hits += o.response.hits.size();
+      stats->stats.Merge(o.response.stats);
     }
   }
+  return outcomes;
+}
+
+StatusOr<std::vector<SearchResponse>> MultiQueryDriver::Run(
+    const std::vector<SearchRequest>& requests, int threads,
+    MultiSearchStats* stats) const {
+  // Run discards partial results on any failure, so fail fast on
+  // validation — a batch with one malformed request must not pay for the
+  // other N-1 searches first. (Prepare is idempotent; RunEach's own
+  // Prepare pass below then hits warm state.)
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (Status status = aligner_.Prepare(requests[i]); !status.ok()) {
+      return Status(status.code(), "request " + std::to_string(i) + ": " +
+                                       status.message());
+    }
+  }
+  std::vector<QueryOutcome> outcomes = RunEach(requests, threads, stats);
+  // All-or-nothing view: the first per-query failure fails the batch (with
+  // that query's index), even when later queries succeeded.
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      return Status(outcomes[i].status.code(),
+                    "request " + std::to_string(i) + ": " +
+                        outcomes[i].status.message());
+    }
+  }
+  std::vector<SearchResponse> responses;
+  responses.reserve(outcomes.size());
+  for (QueryOutcome& o : outcomes) responses.push_back(std::move(o.response));
   return responses;
 }
 

@@ -9,11 +9,22 @@
 namespace alae {
 namespace api {
 
-// Aggregate outcome of a multi-query run.
+// Aggregate outcome of a multi-query run. Failed queries contribute to
+// `failed_queries` only; hits and stats are merged over the successes.
 struct MultiSearchStats {
   double wall_seconds = 0;
   uint64_t total_hits = 0;
-  EngineStats stats;  // merged across queries
+  uint64_t failed_queries = 0;
+  EngineStats stats;  // merged across successful queries
+};
+
+// Per-query outcome of RunEach: `response` is meaningful iff `status.ok()`.
+// Unlike StatusOr this is default-constructible, so a parallel run can fill
+// a preallocated slot per query without synchronising on construction.
+struct QueryOutcome {
+  Status status;
+  SearchResponse response;
+  bool ok() const { return status.ok(); }
 };
 
 // Backend-agnostic parallel multi-query driver: the generalisation of the
@@ -31,10 +42,24 @@ class MultiQueryDriver {
 
   // Runs every request using `threads` workers (<= 0 picks hardware
   // concurrency, which is itself clamped to >= 1: hardware_concurrency()
-  // may legitimately return 0).
+  // may legitimately return 0). Any per-query failure fails the whole
+  // batch with the *first* failing query's index in the message — the
+  // successful responses are discarded. Callers that need partial results
+  // (e.g. a serving front end where one bad query must not take down its
+  // neighbours) use RunEach instead.
   StatusOr<std::vector<SearchResponse>> Run(
       const std::vector<SearchRequest>& requests, int threads = 0,
       MultiSearchStats* stats = nullptr) const;
+
+  // Like Run, but every query reports its own Status: outcome[i] carries
+  // either requests[i]'s response or the exact error that query hit, in
+  // input order. Nothing is dropped and one failure never masks another
+  // query's result. Validation failures are reported per query too (no
+  // fail-fast), so a serving loop can map each outcome straight back to
+  // its caller.
+  std::vector<QueryOutcome> RunEach(const std::vector<SearchRequest>& requests,
+                                    int threads = 0,
+                                    MultiSearchStats* stats = nullptr) const;
 
   // Convenience: the common one-scheme many-queries shape. `base` supplies
   // everything but the query.

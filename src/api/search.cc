@@ -13,6 +13,8 @@ void EngineStats::Merge(const EngineStats& o) {
   seeds += o.seeds;
   ungapped_extensions += o.ungapped_extensions;
   gapped_extensions += o.gapped_extensions;
+  cache_hits += o.cache_hits;
+  cache_misses += o.cache_misses;
 }
 
 }  // namespace api

@@ -59,6 +59,12 @@ struct EngineStats {
   uint64_t ungapped_extensions = 0;
   uint64_t gapped_extensions = 0;
 
+  // Result-cache accounting (the sharded query service): how many of the
+  // lookups behind this response were answered from the LRU cache versus
+  // computed. Zero outside the service path.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
   // Accumulates `o` into this (used by the multi-query driver).
   void Merge(const EngineStats& o);
 };

@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotFound,            // unknown backend name
   kFailedPrecondition,  // request is well-formed but this backend can't run it
   kInternal,            // engine invariant violated (a bug)
+  kResourceExhausted,   // service overloaded: bounded queue is full, retry
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -43,6 +44,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

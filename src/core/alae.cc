@@ -1,6 +1,7 @@
 #include "src/core/alae.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,17 @@ namespace alae {
 
 AlaeIndex::AlaeIndex(Sequence text, FmIndexOptions options)
     : text_(std::move(text)), fm_(text_.Reversed(), options) {}
+
+AlaeIndex::AlaeIndex(Sequence text, FmIndex fm)
+    : text_(std::move(text)), fm_(std::move(fm)) {
+  // The caller owns the text<->index pairing (content can't be verified
+  // cheaply here), but shape mismatches are detectable and would otherwise
+  // surface as out-of-bounds text reads deep inside the engines.
+  assert(fm_.text_size() == text_.size() &&
+         "adopted FM-index was built over a text of a different length");
+  assert(fm_.sigma() == text_.sigma() &&
+         "adopted FM-index was built over a different alphabet");
+}
 
 const DominationIndex& AlaeIndex::Domination(int32_t q) const {
   std::lock_guard<std::mutex> lock(domination_mu_);

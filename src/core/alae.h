@@ -26,6 +26,12 @@ class AlaeIndex {
   // in; the index keeps its own copy either way.
   explicit AlaeIndex(Sequence text, FmIndexOptions options = {});
 
+  // Adopts an already-built FM-index (e.g. one loaded from disk by the
+  // sharded corpus). `fm` must be the index of text.Reversed(); the caller
+  // is responsible for that pairing — length/sigma mismatches are asserted
+  // in debug builds, content equivalence cannot be checked cheaply.
+  AlaeIndex(Sequence text, FmIndex fm);
+
   const Sequence& text() const { return text_; }
   int64_t text_size() const { return static_cast<int64_t>(text_.size()); }
   const FmIndex& fm() const { return fm_; }

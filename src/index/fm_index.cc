@@ -240,6 +240,11 @@ uint32_t OccExtract(const OccView& v, int64_t row) {
 
 constexpr uint64_t kFmMagicV2 = 0x414C414546324D00ULL;  // "ALAEF2M\0"
 
+// Header `packing` value marking a wavelet-mode payload. Flat-mode files
+// store their OccPacking (0/1/2) there, which is fully determined by sigma,
+// so this out-of-band value is unambiguous.
+constexpr uint64_t kWaveletModeMarker = 3;
+
 }  // namespace
 
 void FmIndex::InitOccGeometry() {
@@ -509,24 +514,95 @@ int64_t FmIndex::LocateRow(int64_t row) const {
 
 std::vector<int64_t> FmIndex::Locate(const SaRange& range,
                                      uint64_t* lf_steps) const {
-  std::vector<int64_t> out;
-  out.reserve(static_cast<size_t>(range.Count()));
-  for (int64_t r = range.lo; r < range.hi; ++r) {
-    out.push_back(LocateRowSteps(r, lf_steps));
+  if (range.Empty()) return {};
+  std::vector<int64_t> out(static_cast<size_t>(range.Count()));
+  if (use_wavelet_) {
+    // Wavelet ranks bounce through log(sigma) small bitvectors; there is no
+    // single block to prefetch, so the serial walk stays.
+    for (int64_t r = range.lo; r < range.hi; ++r) {
+      out[static_cast<size_t>(r - range.lo)] = LocateRowSteps(r, lf_steps);
+    }
+    return out;
   }
+
+  // Flat mode: interleave up to four independent LF walks. Each step of a
+  // walk is one dependent cache miss (the occ block of its current row), so
+  // a hit-dense locate is latency-bound; issuing the next rows' block
+  // prefetches before stepping lets the misses overlap instead of
+  // serialising. Outputs land in their range slot, so the result is
+  // identical to the row-by-row walk, as is the total step count.
+  constexpr int kWays = 4;
+  struct Walk {
+    int64_t row;
+    int64_t steps;
+    size_t slot;
+  };
+  Walk walks[kWays];
+  int active = 0;
+  int64_t next_row = range.lo;
+  uint64_t walked = 0;
+  const int64_t step_cap = static_cast<int64_t>(n_) + 1;
+  while (next_row < range.hi && active < kWays) {
+    walks[active++] = {next_row, 0,
+                       static_cast<size_t>(next_row - range.lo)};
+    ++next_row;
+  }
+  while (active > 0) {
+    for (int i = 0; i < active; ++i) {
+      __builtin_prefetch(occ_data_.data() +
+                         walks[i].row / syms_per_block_ * block_words_);
+    }
+    for (int i = 0; i < active;) {
+      Walk& w = walks[i];
+      if (sampled_rows_.Get(static_cast<size_t>(w.row))) {
+        out[w.slot] =
+            samples_[sampled_rows_.Rank1(static_cast<size_t>(w.row))] +
+            w.steps;
+        walked += static_cast<uint64_t>(w.steps);
+        if (next_row < range.hi) {  // refill the lane
+          w = {next_row, 0, static_cast<size_t>(next_row - range.lo)};
+          ++next_row;
+        } else {
+          w = walks[--active];
+        }
+        continue;  // the replacement walk gets processed this sweep
+      }
+      w.row = LfStep(w.row);
+      // A valid walk visits distinct rows until it hits a mark; corrupted
+      // marks must not hang us (mirrors LocateRowSteps).
+      if (++w.steps > step_cap) {
+        out[w.slot] = 0;
+        if (next_row < range.hi) {
+          w = {next_row, 0, static_cast<size_t>(next_row - range.lo)};
+          ++next_row;
+        } else {
+          w = walks[--active];
+        }
+        continue;
+      }
+      ++i;
+    }
+  }
+  if (lf_steps != nullptr) *lf_steps += walked;
   return out;
 }
 
 bool FmIndex::Save(std::ostream& out) const {
-  if (use_wavelet_) return false;  // wavelet serialisation unsupported
   if (!PutU64(out, kFmMagicV2)) return false;
   if (!PutU64(out, n_)) return false;
   if (!PutU64(out, static_cast<uint64_t>(sigma_))) return false;
   if (!PutU64(out, static_cast<uint64_t>(sample_rate_))) return false;
-  if (!PutU64(out, static_cast<uint64_t>(packing_))) return false;
+  if (!PutU64(out, use_wavelet_ ? kWaveletModeMarker
+                                : static_cast<uint64_t>(packing_))) {
+    return false;
+  }
   if (!PutU64(out, static_cast<uint64_t>(sentinel_row_))) return false;
   if (!PutVec(out, c_)) return false;
-  if (!PutVec(out, occ_data_)) return false;
+  if (use_wavelet_) {
+    if (!wavelet_.SaveTo(out)) return false;
+  } else {
+    if (!PutVec(out, occ_data_)) return false;
+  }
   // Sampled SA: raw mark words + sample values; rank structures rebuild.
   if (!PutU64(out, sampled_rows_.size())) return false;
   if (!PutVec(out, sampled_rows_.RawWords())) return false;
@@ -557,15 +633,19 @@ bool FmIndex::LoadImpl(std::istream& in) {
   n_ = n;
   sigma_ = static_cast<int>(sigma);
   sample_rate_ = static_cast<int>(rate);
-  use_wavelet_ = false;
+  use_wavelet_ = packing == kWaveletModeMarker;
   InitOccGeometry();
   const int64_t rows = static_cast<int64_t>(n_) + 1;
-  // The packing is a function of sigma; a mismatch means corruption.
-  if (packing != static_cast<uint64_t>(packing_)) return false;
+  // Flat payloads must store the packing sigma dictates; anything else
+  // (except the wavelet marker) means corruption.
+  if (!use_wavelet_ && packing != static_cast<uint64_t>(packing_)) {
+    return false;
+  }
   sentinel_row_ = static_cast<int64_t>(sentinel);
-  if (packing_ == OccPacking::kTwoBit) {
+  if (!use_wavelet_ && packing_ == OccPacking::kTwoBit) {
     if (sentinel_row_ < 0 || sentinel_row_ >= rows) return false;
   } else if (sentinel_row_ != -1) {
+    // Wavelet mode stores the sentinel in-band and never sets this.
     return false;
   }
   if (!GetVec(in, &c_)) return false;
@@ -573,6 +653,15 @@ bool FmIndex::LoadImpl(std::istream& in) {
   if (c_.front() != 0 || c_.back() != rows) return false;
   for (size_t s = 1; s < c_.size(); ++s) {
     if (c_[s] < c_[s - 1]) return false;
+  }
+  if (use_wavelet_) {
+    // The wavelet loader re-derives the tree shape from (rows, sigma+1)
+    // and rejects structural mismatches; the per-symbol total cross-check
+    // against the C table below covers the bit contents.
+    if (!wavelet_.LoadFrom(in, static_cast<size_t>(rows), sigma_ + 1)) {
+      return false;
+    }
+    return LoadSamplesAndCrossCheck(in);
   }
   if (!GetVec(in, &occ_data_)) return false;
   const int64_t blocks = rows / syms_per_block_ + 1;
@@ -623,6 +712,13 @@ bool FmIndex::LoadImpl(std::istream& in) {
       }
     }
   }
+  return LoadSamplesAndCrossCheck(in);
+}
+
+// Shared tail of both occ-mode load paths: the sampled SA and the final
+// content cross-check.
+bool FmIndex::LoadSamplesAndCrossCheck(std::istream& in) {
+  const int64_t rows = static_cast<int64_t>(n_) + 1;
   uint64_t mark_bits = 0;
   std::vector<uint64_t> mark_words;
   if (!GetU64(in, &mark_bits)) return false;
@@ -637,7 +733,8 @@ bool FmIndex::LoadImpl(std::istream& in) {
   for (int64_t sample : samples_) {
     if (sample < 0 || sample > static_cast<int64_t>(n_)) return false;
   }
-  // Cross-check: per-symbol occ totals must reproduce the C table.
+  // Cross-check: per-symbol occ totals must reproduce the C table (this
+  // runs through whichever occ structure was just loaded).
   for (int s = 0; s <= sigma_; ++s) {
     if (Occ(static_cast<Symbol>(s), rows) !=
         c_[static_cast<size_t>(s) + 1] - c_[static_cast<size_t>(s)]) {

@@ -87,15 +87,15 @@ class FmIndex {
   };
   Sizes SizeBytes() const;
 
-  // Serialisation of the packed flat-occ format (magic "ALAEF2M").
-  //
-  // Save returns false in wavelet mode: the wavelet tree has no on-disk
-  // format, so callers that need persistence must build with
-  // `use_wavelet = false` (see FmIndexSerialize.WaveletModeRefusesToSave).
-  // Load validates every derived size (c table, occ blocks, SA marks and
-  // samples, per-symbol totals) before accepting the payload and returns
-  // false — never a partially-initialised index — on any mismatch,
-  // including files written by the retired byte-BWT "ALAEF1M" format.
+  // Serialisation (magic "ALAEF2M"). Both occ modes have an on-disk form:
+  // flat files carry the packed occ blocks, wavelet files carry the wavelet
+  // tree's node records (an out-of-band `packing` marker distinguishes the
+  // two, so flat files are byte-identical to the pre-wavelet format). Load
+  // validates every derived size and structural invariant (c table, occ
+  // blocks or wavelet topology, SA marks and samples, per-symbol totals)
+  // before accepting the payload and returns false — never a
+  // partially-initialised index — on any mismatch, including files written
+  // by the retired byte-BWT "ALAEF1M" format.
   bool Save(std::ostream& out) const;
   bool Load(std::istream& in);
 
@@ -107,6 +107,7 @@ class FmIndex {
   void InitOccGeometry();
   void BuildFlatOcc(const std::vector<Symbol>& bwt);
   bool LoadImpl(std::istream& in);
+  bool LoadSamplesAndCrossCheck(std::istream& in);
 
   // Stored symbols are shifted by +1; 0 is the sentinel.
   int64_t Occ(Symbol shifted, int64_t row) const;

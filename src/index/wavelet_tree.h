@@ -2,6 +2,7 @@
 #define ALAE_INDEX_WAVELET_TREE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "src/index/bitvector.h"
@@ -30,6 +31,20 @@ class WaveletTree {
   size_t Rank(Symbol c, size_t i) const;
 
   size_t SizeBytes() const;
+
+  // On-disk form: header (size, sigma, root, node count) followed by one
+  // record per node (symbol range, child links, raw bit words). Rank
+  // structures are rebuilt on load, so the payload stays at ~1 bit per
+  // stored bit.
+  bool SaveTo(std::ostream& out) const;
+
+  // Loads and validates a tree saved by SaveTo. Beyond stream integrity the
+  // loader re-derives the whole shape — node count, per-node symbol ranges,
+  // child topology and every node's bit length (children must hold exactly
+  // the parent's Rank0/Rank1 totals) — and rejects any mismatch, so a
+  // corrupted payload cannot produce out-of-bounds Access/Rank walks later.
+  // On failure *this is left empty, never partially initialised.
+  bool LoadFrom(std::istream& in, size_t expected_size, int expected_sigma);
 
  private:
   struct Node {

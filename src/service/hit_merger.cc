@@ -1,0 +1,70 @@
+#include "src/service/hit_merger.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace alae {
+namespace service {
+
+api::HitSink HitMerger::ShardSink(size_t shard,
+                                  std::vector<AlignmentHit>* local) const {
+  const int64_t shard_start = corpus_.shard(shard).start;
+  const ShardedCorpus* corpus = &corpus_;
+  return [corpus, shard, shard_start, local](const AlignmentHit& hit) {
+    AlignmentHit global = hit;
+    global.text_end += shard_start;
+    if (corpus->OwnsGlobalEnd(shard, global.text_end)) {
+      if (global.text_start >= 0) global.text_start += shard_start;
+      local->push_back(global);
+    }
+    return true;
+  };
+}
+
+void HitMerger::MergeShard(std::vector<AlignmentHit> hits,
+                           const api::EngineStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.Merge(stats);
+  for (const AlignmentHit& hit : hits) {
+    assert(hit.text_end >= 0 && hit.text_end < (int64_t{1} << 32) &&
+           hit.query_end >= 0 && hit.query_end < (int64_t{1} << 32) &&
+           "hit coordinates outside the injective key range");
+    const uint64_t key = (static_cast<uint64_t>(hit.text_end) << 32) |
+                         static_cast<uint64_t>(hit.query_end);
+    auto [it, inserted] = hits_.try_emplace(key, hit);
+    if (!inserted && hit.score > it->second.score) {
+      // Ownership partitions end positions, so cross-shard duplicates
+      // should not occur; this max-merge keeps the merger correct for any
+      // producer that does overlap-emit (e.g. direct MergeShard users).
+      it->second = hit;
+    }
+  }
+}
+
+api::SearchResponse HitMerger::Take(uint64_t max_hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  api::SearchResponse response;
+  response.hits.reserve(hits_.size());
+  for (const auto& [key, hit] : hits_) {
+    (void)key;
+    response.hits.push_back(hit);
+  }
+  std::sort(response.hits.begin(), response.hits.end(),
+            [](const AlignmentHit& a, const AlignmentHit& b) {
+              return a.text_end != b.text_end ? a.text_end < b.text_end
+                                              : a.query_end < b.query_end;
+            });
+  if (max_hits > 0 && response.hits.size() > max_hits) {
+    response.hits.resize(max_hits);
+    response.stats.truncated = true;
+  }
+  response.stats.Merge(stats_);
+  response.stats.hits_emitted = response.hits.size();
+  hits_.clear();
+  stats_ = api::EngineStats();
+  return response;
+}
+
+}  // namespace service
+}  // namespace alae

@@ -1,0 +1,60 @@
+#ifndef ALAE_SERVICE_HIT_MERGER_H_
+#define ALAE_SERVICE_HIT_MERGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/search.h"
+#include "src/service/sharded_corpus.h"
+
+namespace alae {
+namespace service {
+
+// Collects one query's per-shard result streams into a single global
+// response: remaps shard-local coordinates to global ones, drops hits the
+// producing shard does not own (its neighbour scores them with full
+// context), deduplicates by global (text_end, query_end) keeping the best
+// score, and merges per-shard EngineStats.
+//
+// Shard tasks run concurrently; each streams its hits into a shard-local
+// buffer through ShardSink (the facade's HitSink composed with the
+// ownership filter) and publishes the buffer with one MergeShard call, so
+// the merger's lock is taken once per shard rather than once per hit.
+class HitMerger {
+ public:
+  explicit HitMerger(const ShardedCorpus& corpus) : corpus_(corpus) {}
+
+  // A sink for `shard`'s Aligner::Search call: filters ownership, remaps
+  // coordinates, buffers into `local`. The returned sink always asks for
+  // more hits (per-shard truncation is handled by request.max_hits).
+  api::HitSink ShardSink(size_t shard, std::vector<AlignmentHit>* local) const;
+
+  // Publishes one shard's buffered hits and stats. Thread-safe.
+  void MergeShard(std::vector<AlignmentHit> hits, const api::EngineStats& stats);
+
+  // Final response: hits sorted by (text_end, query_end), stats merged
+  // across shards. Call after every shard task completed.
+  api::SearchResponse Take(uint64_t max_hits);
+
+ private:
+  struct KeyHash {
+    size_t operator()(uint64_t k) const {
+      k ^= k >> 33;
+      k *= 0xFF51AFD7ED558CCDULL;
+      k ^= k >> 33;
+      return static_cast<size_t>(k);
+    }
+  };
+
+  const ShardedCorpus& corpus_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, AlignmentHit, KeyHash> hits_;
+  api::EngineStats stats_;
+};
+
+}  // namespace service
+}  // namespace alae
+
+#endif  // ALAE_SERVICE_HIT_MERGER_H_

@@ -1,0 +1,105 @@
+#include "src/service/result_cache.h"
+
+#include <cstring>
+#include <utility>
+
+namespace alae {
+namespace service {
+namespace {
+
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+}  // namespace
+
+std::string ResultCache::KeyFor(std::string_view backend,
+                                const api::SearchRequest& request,
+                                uint64_t epoch) {
+  std::string key;
+  key.reserve(64 + request.query.size());
+  key.append(backend);
+  key.push_back('\0');
+  AppendRaw(&key, epoch);
+  AppendRaw(&key, request.scheme.sa);
+  AppendRaw(&key, request.scheme.sb);
+  AppendRaw(&key, request.scheme.sg);
+  AppendRaw(&key, request.scheme.ss);
+  AppendRaw(&key, request.threshold);
+  AppendRaw(&key, request.max_hits);
+  // Per-backend knobs: engines that ignore them still get distinct keys,
+  // which only costs a rare duplicate entry, never a wrong answer.
+  AppendRaw(&key, static_cast<uint8_t>((request.alae.length_filter << 0) |
+                                       (request.alae.score_filter << 1) |
+                                       (request.alae.prefix_filter << 2) |
+                                       (request.alae.domination_filter << 3) |
+                                       (request.alae.bitset_global_filter << 4) |
+                                       (request.alae.reuse << 5)));
+  AppendRaw(&key, request.blast.word_size);
+  AppendRaw(&key, static_cast<uint8_t>(request.blast.two_hit));
+  AppendRaw(&key, request.blast.x_drop_ungapped);
+  AppendRaw(&key, request.blast.x_drop_gapped);
+  AppendRaw(&key, request.blast.gap_trigger);
+  AppendRaw(&key, static_cast<uint8_t>(request.query.alphabet().kind()));
+  key.append(reinterpret_cast<const char*>(request.query.symbols().data()),
+             request.query.size());
+  return key;
+}
+
+bool ResultCache::Lookup(const std::string& key,
+                         api::SearchResponse* response) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::shared_ptr<const api::SearchResponse> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(std::string_view(key));
+    if (it == index_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    found = it->second->response;
+  }
+  // Deep-copy the hit vector outside the lock; entries are immutable once
+  // published, so concurrent readers of a hot key no longer serialise on
+  // the copy.
+  *response = *found;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         const api::SearchResponse& response) {
+  if (capacity_ == 0) return;
+  auto payload = std::make_shared<const api::SearchResponse>(response);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string_view(key));
+  if (it != index_.end()) {
+    // A concurrent miss already computed and inserted this key; keep the
+    // fresher entry's recency and swap in the newer payload (both valid).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->response = std::move(payload);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(payload)});
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(std::string_view(lru_.back().key));
+    lru_.pop_back();
+  }
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace service
+}  // namespace alae

@@ -1,0 +1,70 @@
+#ifndef ALAE_SERVICE_RESULT_CACHE_H_
+#define ALAE_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/api/search.h"
+
+namespace alae {
+namespace service {
+
+// LRU cache of materialised SearchResponses.
+//
+// Keys cover everything that determines the answer: backend name, the
+// query symbols, every scoring/threshold/cap parameter, the per-backend
+// option blocks and the corpus epoch — so a response can never be served
+// across a corpus rebuild or a parameter change. Values are full
+// responses (hits + the stats of the run that computed them).
+//
+// Thread-safe; hit/miss counters are monotonic over the cache's lifetime
+// and also surfaced per-response through EngineStats by the scheduler.
+class ResultCache {
+ public:
+  // `capacity` = max cached responses; 0 disables the cache entirely
+  // (Lookup always misses, Insert is a no-op).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  // Builds the canonical cache key for a request against a corpus epoch.
+  static std::string KeyFor(std::string_view backend,
+                            const api::SearchRequest& request,
+                            uint64_t epoch);
+
+  // On hit, copies the cached response into *response and returns true.
+  bool Lookup(const std::string& key, api::SearchResponse* response);
+
+  void Insert(const std::string& key, const api::SearchResponse& response);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Responses are held behind shared_ptr so a Lookup only copies a pointer
+  // while the lock is held — the (potentially large) hit vector is copied
+  // into the caller's response outside the critical section.
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const api::SearchResponse> response;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  // Most-recently-used at the front; the map points into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace service
+}  // namespace alae
+
+#endif  // ALAE_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,230 @@
+#include "src/service/scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/service/hit_merger.h"
+#include "src/util/timer.h"
+
+namespace alae {
+namespace service {
+namespace {
+
+// Completion latch for one request's (or one batch's) fan-out. Callers
+// always Wait before returning, so tasks may safely reference caller-stack
+// state through this.
+class TaskGroup {
+ public:
+  explicit TaskGroup(size_t pending) : pending_(pending) {}
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_;
+};
+
+// First-error slot shared by a request's shard tasks.
+class ErrorSlot {
+ public:
+  void Record(api::Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status_.ok()) status_ = std::move(status);
+  }
+
+  api::Status Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+ private:
+  std::mutex mu_;
+  api::Status status_;
+};
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(const ShardedCorpus& corpus,
+                               SchedulerOptions options)
+    : corpus_(corpus),
+      batch_size_(std::max<size_t>(1, options.batch_size)),
+      cache_(options.cache_capacity),
+      pool_(options.threads, options.queue_capacity) {}
+
+api::Status QueryScheduler::ResolveAligners(
+    std::string_view backend, std::vector<const api::Aligner*>* aligners) {
+  aligners->clear();
+  aligners->reserve(corpus_.num_shards());
+  for (size_t s = 0; s < corpus_.num_shards(); ++s) {
+    api::StatusOr<const api::Aligner*> aligner = corpus_.AlignerFor(s, backend);
+    if (!aligner.ok()) return aligner.status();
+    aligners->push_back(*aligner);
+  }
+  return api::Status::Ok();
+}
+
+api::StatusOr<api::SearchResponse> QueryScheduler::Search(
+    std::string_view backend, const api::SearchRequest& request) {
+  std::vector<api::QueryOutcome> outcomes = SearchBatch(backend, {request});
+  if (!outcomes[0].ok()) return outcomes[0].status;
+  return std::move(outcomes[0].response);
+}
+
+std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
+    std::string_view backend,
+    const std::vector<api::SearchRequest>& requests) {
+  Timer timer;
+  std::vector<api::QueryOutcome> outcomes(requests.size());
+  if (requests.empty()) return outcomes;
+
+  std::vector<const api::Aligner*> aligners;
+  if (api::Status status = ResolveAligners(backend, &aligners);
+      !status.ok()) {
+    for (api::QueryOutcome& o : outcomes) o.status = status;
+    return outcomes;
+  }
+
+  // Per-query admission state: validation, span check, then the cache.
+  // `live` collects the indexes that actually need engine work.
+  std::vector<size_t> live;
+  std::vector<std::string> keys(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (api::Status status = aligners[0]->Validate(requests[i]);
+        !status.ok()) {
+      outcomes[i].status = status;
+      continue;
+    }
+    if (api::Status status = corpus_.ValidateSpan(backend, requests[i]);
+        !status.ok()) {
+      outcomes[i].status = status;
+      continue;
+    }
+    keys[i] = ResultCache::KeyFor(backend, requests[i], corpus_.epoch());
+    if (cache_.Lookup(keys[i], &outcomes[i].response)) {
+      outcomes[i].response.stats.cache_hits = 1;
+      outcomes[i].response.stats.cache_misses = 0;
+      outcomes[i].response.stats.seconds = timer.ElapsedSeconds();
+      continue;
+    }
+    live.push_back(i);
+  }
+  if (live.empty()) return outcomes;
+
+  // Fan out: every live query needs every shard; micro-batching packs up
+  // to batch_size same-backend queries into one shard task so the task
+  // dispatch (and the shard's index going cold) is paid per group.
+  const size_t group = batch_size_;
+  // deque: HitMerger carries a mutex and must be constructed in place.
+  std::deque<HitMerger> mergers;
+  for (size_t i = 0; i < live.size(); ++i) mergers.emplace_back(corpus_);
+  std::vector<ErrorSlot> errors(live.size());
+
+  // A batch's full fan-out may legitimately exceed the queue bound, and a
+  // single all-or-nothing submit would then reject it forever no matter
+  // how idle the pool is. Split the live queries into waves whose task
+  // count fits the queue, admit each wave all-or-nothing, and wait between
+  // waves; a wave shed by *competing* traffic marks only its own queries
+  // kResourceExhausted (retrying those can genuinely succeed later).
+  const size_t shards = corpus_.num_shards();
+  size_t wave_queries = live.size();
+  if (shards * ((live.size() + group - 1) / group) > pool_.queue_capacity()) {
+    wave_queries = pool_.queue_capacity() / shards * group;
+  }
+  if (wave_queries == 0) {
+    // The queue cannot hold even one query's fan-out: a configuration
+    // misfit, not transient load.
+    api::Status misfit = api::Status::ResourceExhausted(
+        "one query fans out into " + std::to_string(shards) +
+        " shard tasks but the service queue holds only " +
+        std::to_string(pool_.queue_capacity()) +
+        "; raise queue_capacity to at least the shard count");
+    for (size_t k = 0; k < live.size(); ++k) {
+      outcomes[live[k]].status = misfit;
+    }
+    return outcomes;
+  }
+  for (size_t wave = 0; wave < live.size(); wave += wave_queries) {
+    const size_t wave_end = std::min(live.size(), wave + wave_queries);
+    const size_t num_tasks =
+        shards * ((wave_end - wave + group - 1) / group);
+    TaskGroup done(num_tasks);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_tasks);
+    for (size_t s = 0; s < shards; ++s) {
+      for (size_t g = wave; g < wave_end; g += group) {
+        const size_t g_end = std::min(wave_end, g + group);
+        const api::Aligner* aligner = aligners[s];
+        tasks.push_back([s, g, g_end, aligner, &live, &requests, &mergers,
+                         &errors, &done] {
+          for (size_t k = g; k < g_end; ++k) {
+            // Shards must compute their full owned answer: the facade's
+            // max_hits wrapper counts raw emissions, including hits the
+            // ownership sink drops, so a per-shard cap could starve owned
+            // hits out and break bit-exactness. The global cap is applied
+            // by HitMerger::Take on the sorted merged set — which is
+            // exactly the unsharded prefix.
+            api::SearchRequest request = requests[live[k]];
+            request.max_hits = 0;
+            std::vector<AlignmentHit> local;
+            api::EngineStats stats;
+            api::Status status = aligner->Search(
+                request, mergers[k].ShardSink(s, &local), &stats);
+            if (status.ok()) {
+              mergers[k].MergeShard(std::move(local), stats);
+            } else {
+              errors[k].Record(api::Status(
+                  status.code(),
+                  "shard " + std::to_string(s) + ": " + status.message()));
+            }
+          }
+          done.Done();
+        });
+      }
+    }
+    if (!pool_.TrySubmitBatch(std::move(tasks))) {
+      api::Status overloaded = api::Status::ResourceExhausted(
+          "service queue is full (" + std::to_string(pool_.QueueDepth()) +
+          "/" + std::to_string(pool_.queue_capacity()) +
+          " tasks queued, this wave needs " + std::to_string(num_tasks) +
+          "); retry with backoff");
+      for (size_t k = wave; k < wave_end; ++k) {
+        errors[k].Record(overloaded);
+      }
+      continue;
+    }
+    done.Wait();
+  }
+
+  for (size_t k = 0; k < live.size(); ++k) {
+    const size_t i = live[k];
+    if (api::Status status = errors[k].Take(); !status.ok()) {
+      outcomes[i].status = status;
+      continue;
+    }
+    api::SearchResponse response = mergers[k].Take(requests[i].max_hits);
+    // Cache the computed payload without this call's cache accounting —
+    // a later hit reports its own counters.
+    cache_.Insert(keys[i], response);
+    response.stats.cache_misses = 1;
+    response.stats.seconds = timer.ElapsedSeconds();
+    outcomes[i].response = std::move(response);
+  }
+  return outcomes;
+}
+
+}  // namespace service
+}  // namespace alae

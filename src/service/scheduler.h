@@ -1,0 +1,84 @@
+#ifndef ALAE_SERVICE_SCHEDULER_H_
+#define ALAE_SERVICE_SCHEDULER_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "src/api/api.h"
+#include "src/service/result_cache.h"
+#include "src/service/sharded_corpus.h"
+#include "src/service/thread_pool.h"
+
+namespace alae {
+namespace service {
+
+struct SchedulerOptions {
+  // Worker threads; <= 0 picks hardware concurrency.
+  int threads = 0;
+
+  // Bounded shard-task queue. When a request's fan-out does not fit the
+  // queue's remaining capacity the request is rejected whole with
+  // kResourceExhausted — admission is all-or-nothing, so an overloaded
+  // service sheds entire requests instead of half-running them.
+  size_t queue_capacity = 1024;
+
+  // LRU result-cache entries; 0 disables caching.
+  size_t cache_capacity = 256;
+
+  // SearchBatch micro-batching: up to this many same-backend queries ride
+  // one shard task, so a task switch (and the shard index going cold) is
+  // paid once per group rather than once per query.
+  size_t batch_size = 8;
+};
+
+// The multi-tenant front door of the sharded query service: fans each
+// request across every shard of a ShardedCorpus as independent pool tasks,
+// merges the per-shard streams through a HitMerger, and answers repeated
+// requests from an LRU result cache.
+//
+// Thread-safe: any number of client threads may call Search/SearchBatch
+// concurrently; they share the worker pool and the cache. Destroying the
+// scheduler while calls are in flight is undefined — join your clients
+// first (the pool itself drains its queue on destruction).
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(const ShardedCorpus& corpus,
+                          SchedulerOptions options = {});
+
+  // One query against every shard. Failure modes beyond the facade's
+  // request validation: kInvalidArgument when the query's worst-case
+  // alignment span does not fit the corpus overlap (the sharded answer
+  // would not be bit-exact), kNotFound for unknown backends, and
+  // kResourceExhausted when the task queue cannot take the fan-out —
+  // callers should back off and retry.
+  api::StatusOr<api::SearchResponse> Search(std::string_view backend,
+                                            const api::SearchRequest& request);
+
+  // Micro-batched form: same-backend requests are grouped `batch_size` to
+  // a shard task. Outcomes come back in input order, each with its own
+  // Status — one bad query never takes down its neighbours (same contract
+  // as MultiQueryDriver::RunEach).
+  std::vector<api::QueryOutcome> SearchBatch(
+      std::string_view backend,
+      const std::vector<api::SearchRequest>& requests);
+
+  const ShardedCorpus& corpus() const { return corpus_; }
+  ThreadPool& pool() { return pool_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  // Resolves the per-shard aligners for `backend` (kNotFound if unknown).
+  api::Status ResolveAligners(std::string_view backend,
+                              std::vector<const api::Aligner*>* aligners);
+
+  const ShardedCorpus& corpus_;
+  const size_t batch_size_;
+  ResultCache cache_;
+  ThreadPool pool_;  // declared last: workers must die before the cache
+};
+
+}  // namespace service
+}  // namespace alae
+
+#endif  // ALAE_SERVICE_SCHEDULER_H_

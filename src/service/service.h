@@ -1,0 +1,23 @@
+#ifndef ALAE_SERVICE_SERVICE_H_
+#define ALAE_SERVICE_SERVICE_H_
+
+// Umbrella header for the sharded concurrent query service:
+//
+//   auto corpus = service::ShardedCorpus::Build(text, {.shard_size = 1 << 20,
+//                                                      .overlap = 4096});
+//   service::QueryScheduler scheduler(**corpus, {.threads = 8});
+//   auto response = scheduler.Search("alae", request);
+//
+// ShardedCorpus partitions the text into overlapping shards, each with its
+// own FM-index and per-backend Aligners; QueryScheduler fans requests
+// across the shards on a bounded ThreadPool, merges the per-shard streams
+// through HitMerger, and serves repeats from an LRU ResultCache. See
+// README "Serving" for the architecture and the shard-sizing rule.
+
+#include "src/service/hit_merger.h"      // IWYU pragma: export
+#include "src/service/result_cache.h"    // IWYU pragma: export
+#include "src/service/scheduler.h"       // IWYU pragma: export
+#include "src/service/sharded_corpus.h"  // IWYU pragma: export
+#include "src/service/thread_pool.h"     // IWYU pragma: export
+
+#endif  // ALAE_SERVICE_SERVICE_H_

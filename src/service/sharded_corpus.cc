@@ -1,0 +1,281 @@
+#include "src/service/sharded_corpus.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/align/scoring.h"
+#include "src/util/serialize.h"
+
+namespace alae {
+namespace service {
+namespace {
+
+constexpr uint64_t kManifestMagic = 0x414C414553525631ULL;  // "ALAESRV1"
+
+uint64_t NextEpoch() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+std::string ShardFileName(const std::string& dir, size_t shard) {
+  std::ostringstream name;
+  name << dir << "/shard-" << shard << ".fm";
+  return name.str();
+}
+
+std::string ManifestFileName(const std::string& dir) {
+  return dir + "/corpus.manifest";
+}
+
+// Worst-case text span of a positive-scoring alignment a shard must be able
+// to hold for `backend` to answer `request` bit-exactly (see the geometry
+// contract in the header).
+int64_t RequiredOverlap(std::string_view backend,
+                        const api::SearchRequest& request) {
+  const int64_t m = static_cast<int64_t>(request.query.size());
+  if (backend == "blast") {
+    // BLAST anchors extensions at a seed that can sit a full alignment
+    // span away from the reported end pair, and its X-drop passes explore
+    // up to x_drop/|ss| rows beyond the best cell before giving up — the
+    // window must fit even where the exploration finds nothing, or a
+    // truncated exploration could surface a different local optimum than
+    // the unsharded run.
+    const int32_t x_drop = std::max(request.blast.x_drop_ungapped,
+                                    request.blast.x_drop_gapped);
+    const int64_t reach = LengthUpperBound(request.scheme, m, 1) +
+                          x_drop / -request.scheme.ss + 1;
+    return 2 * reach;
+  }
+  // Exact engines enumerate alignments *ending* at each position; only
+  // left context matters and Theorem 1 bounds it.
+  return LengthUpperBound(request.scheme, m, std::max(request.threshold, 1));
+}
+
+}  // namespace
+
+api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Assemble(
+    Sequence text, ShardedCorpusOptions options,
+    std::vector<FmIndex> prebuilt) {
+  if (text.empty()) {
+    return api::Status::InvalidArgument("corpus text is empty");
+  }
+  // Global coordinates must fit the merger's packed (text_end, query_end)
+  // dedup key (and ResultCollector's, repo-wide): cap the corpus where the
+  // injective key range ends instead of silently colliding beyond it.
+  if (text.size() >= (size_t{1} << 32)) {
+    return api::Status::InvalidArgument(
+        "corpus of " + std::to_string(text.size()) +
+        " chars exceeds the 2^32-1 coordinate limit");
+  }
+  if (options.overlap < 0) {
+    return api::Status::InvalidArgument("overlap must be >= 0");
+  }
+  if (options.shard_size <= 2 * options.overlap) {
+    return api::Status::InvalidArgument(
+        "shard_size (" + std::to_string(options.shard_size) +
+        ") must exceed twice the overlap (" + std::to_string(options.overlap) +
+        "): each owned position needs overlap-sized context on both sides");
+  }
+
+  auto corpus = std::unique_ptr<ShardedCorpus>(new ShardedCorpus());
+  corpus->text_ = std::move(text);
+  corpus->options_ = options;
+  corpus->epoch_ = NextEpoch();
+
+  const int64_t n = corpus->text_size();
+  const int64_t step = options.shard_size - 2 * options.overlap;
+  int64_t start = 0;
+  for (size_t k = 0;; ++k) {
+    Shard shard;
+    shard.start = start;
+    shard.owned_begin = k == 0 ? 0 : start + options.overlap;
+    const bool last = start + options.shard_size >= n;
+    shard.length = last ? n - start : options.shard_size;
+    shard.owned_end = last ? n : start + options.shard_size - options.overlap;
+
+    Sequence shard_text = corpus->text_.Substr(
+        static_cast<size_t>(shard.start), static_cast<size_t>(shard.length));
+    if (prebuilt.empty()) {
+      shard.registry = std::make_unique<api::AlignerRegistry>(
+          std::move(shard_text), options.index);
+    } else {
+      if (k >= prebuilt.size()) {
+        return api::Status::InvalidArgument(
+            "corpus payload has too few shard indexes");
+      }
+      FmIndex& fm = prebuilt[k];
+      if (fm.text_size() != static_cast<size_t>(shard.length) ||
+          fm.sigma() != shard_text.sigma()) {
+        return api::Status::InvalidArgument(
+            "shard " + std::to_string(k) +
+            " index does not match the manifest text (size/sigma mismatch)");
+      }
+      // Content probe: the *entire* reversed shard text must be findable
+      // in its index (the FM-index is built over reverse(T)). A short
+      // prefix probe would be vacuous — interior shards share length and
+      // sigma, so a swapped or stale same-geometry shard file would load
+      // and silently serve wrong hits. Full-length Find is O(shard_len)
+      // extend steps, negligible against the cost of loading the index.
+      Sequence rev = shard_text.Reversed();
+      if (fm.Find(rev.symbols().data(), rev.size()).Empty()) {
+        return api::Status::InvalidArgument(
+            "shard " + std::to_string(k) +
+            " index does not correspond to the manifest text");
+      }
+      shard.registry = std::make_unique<api::AlignerRegistry>(
+          std::make_shared<const AlaeIndex>(std::move(shard_text),
+                                            std::move(fm)));
+    }
+    corpus->shards_.push_back(std::move(shard));
+    if (last) break;
+    start += step;
+  }
+  if (!prebuilt.empty() && prebuilt.size() != corpus->shards_.size()) {
+    return api::Status::InvalidArgument(
+        "corpus payload has extra shard indexes");
+  }
+  return corpus;
+}
+
+api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Build(
+    Sequence text, ShardedCorpusOptions options) {
+  return Assemble(std::move(text), options, {});
+}
+
+api::Status ShardedCorpus::Save(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return api::Status::InvalidArgument("cannot create corpus directory " +
+                                        dir + ": " + ec.message());
+  }
+  std::ofstream manifest(ManifestFileName(dir), std::ios::binary);
+  bool ok = manifest.is_open();
+  ok = ok && PutU64(manifest, kManifestMagic);
+  ok = ok && PutU64(manifest, static_cast<uint64_t>(options_.shard_size));
+  ok = ok && PutU64(manifest, static_cast<uint64_t>(options_.overlap));
+  ok = ok && PutU64(manifest, options_.index.use_wavelet ? 1 : 0);
+  ok = ok &&
+       PutU64(manifest, static_cast<uint64_t>(options_.index.sa_sample_rate));
+  ok = ok && PutU64(manifest,
+                    static_cast<uint64_t>(text_.alphabet().kind()));
+  ok = ok && PutU64(manifest, shards_.size());
+  ok = ok && PutVec(manifest, text_.symbols());
+  // Flush before reporting success: a buffered tail lost at destructor
+  // time (disk full, quota) must not be reported as a successful save.
+  manifest.flush();
+  if (!ok || !manifest.good()) {
+    return api::Status::InvalidArgument("failed writing " +
+                                        ManifestFileName(dir));
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    std::ofstream out(ShardFileName(dir, k), std::ios::binary);
+    bool shard_ok =
+        out.is_open() && shards_[k].registry->index().fm().Save(out);
+    out.flush();
+    if (!shard_ok || !out.good()) {
+      return api::Status::InvalidArgument("failed writing " +
+                                          ShardFileName(dir, k));
+    }
+  }
+  return api::Status::Ok();
+}
+
+api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Load(
+    const std::string& dir) {
+  std::ifstream manifest(ManifestFileName(dir), std::ios::binary);
+  uint64_t magic = 0, shard_size = 0, overlap = 0, wavelet = 0, rate = 0,
+           kind = 0, num_shards = 0;
+  std::vector<Symbol> symbols;
+  if (!manifest.is_open() || !GetU64(manifest, &magic) ||
+      magic != kManifestMagic || !GetU64(manifest, &shard_size) ||
+      !GetU64(manifest, &overlap) || !GetU64(manifest, &wavelet) ||
+      !GetU64(manifest, &rate) || !GetU64(manifest, &kind) ||
+      !GetU64(manifest, &num_shards) || !GetVec(manifest, &symbols)) {
+    return api::Status::InvalidArgument("unreadable corpus manifest in " +
+                                        dir);
+  }
+  // Bound every manifest integer before it feeds an allocation or signed
+  // arithmetic: a corrupt field must reject cleanly, not OOM or overflow.
+  if (kind > 1 || rate < 1 || rate > (1ULL << 30)) {
+    return api::Status::InvalidArgument("corrupt corpus manifest in " + dir);
+  }
+  if (shard_size < 1 || shard_size > (1ULL << 40) ||
+      overlap > shard_size || num_shards < 1 ||
+      num_shards > symbols.size()) {
+    return api::Status::InvalidArgument("corrupt corpus manifest in " + dir);
+  }
+  ShardedCorpusOptions options;
+  options.shard_size = static_cast<int64_t>(shard_size);
+  options.overlap = static_cast<int64_t>(overlap);
+  options.index.use_wavelet = wavelet != 0;
+  options.index.sa_sample_rate = static_cast<int>(rate);
+  Sequence text(std::move(symbols),
+                Alphabet::Get(static_cast<AlphabetKind>(kind)));
+
+  std::vector<FmIndex> prebuilt(num_shards);
+  for (uint64_t k = 0; k < num_shards; ++k) {
+    std::ifstream in(ShardFileName(dir, static_cast<size_t>(k)),
+                     std::ios::binary);
+    if (!in.is_open() || !prebuilt[static_cast<size_t>(k)].Load(in)) {
+      return api::Status::InvalidArgument(
+          "unreadable or corrupt shard index " +
+          ShardFileName(dir, static_cast<size_t>(k)));
+    }
+  }
+  auto corpus = Assemble(std::move(text), options, std::move(prebuilt));
+  if (corpus.ok() && (*corpus)->num_shards() != num_shards) {
+    return api::Status::InvalidArgument(
+        "corpus manifest shard count does not match its geometry");
+  }
+  return corpus;
+}
+
+api::StatusOr<const api::Aligner*> ShardedCorpus::AlignerFor(
+    size_t shard, std::string_view backend) const {
+  std::lock_guard<std::mutex> lock(aligners_mu_);
+  auto key = std::make_pair(shard, std::string(backend));
+  auto it = aligners_.find(key);
+  if (it == aligners_.end()) {
+    api::StatusOr<std::unique_ptr<api::Aligner>> created =
+        shards_[shard].registry->Create(backend);
+    if (!created.ok()) return created.status();
+    it = aligners_.emplace(std::move(key), std::move(created).value()).first;
+  }
+  return it->second.get();
+}
+
+api::Status ShardedCorpus::ValidateSpan(
+    std::string_view backend, const api::SearchRequest& request) const {
+  if (shards_.size() <= 1) return api::Status::Ok();
+  // RequiredOverlap divides by scheme.ss; guard malformed schemes here so
+  // direct callers (not just the scheduler, which validates first) get a
+  // Status instead of a division fault.
+  if (!request.scheme.Valid()) {
+    return api::Status::InvalidArgument(
+        "scoring scheme " + request.scheme.ToString() + " is malformed");
+  }
+  const int64_t required = RequiredOverlap(backend, request);
+  if (required <= options_.overlap) return api::Status::Ok();
+  return api::Status::InvalidArgument(
+      "query of length " + std::to_string(request.query.size()) +
+      " needs " + std::to_string(required) +
+      " characters of shard context under this scheme/threshold, but the "
+      "corpus overlap is only " +
+      std::to_string(options_.overlap) +
+      "; rebuild the corpus with a larger overlap or shorten the query");
+}
+
+size_t ShardedCorpus::IndexBytes() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    AlaeIndex::Sizes sz = s.registry->index().SizeBytes();
+    total += sz.bwt_bytes + sz.sample_bytes + sz.domination_bytes;
+  }
+  return total;
+}
+
+}  // namespace service
+}  // namespace alae

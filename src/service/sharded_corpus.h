@@ -1,0 +1,137 @@
+#ifndef ALAE_SERVICE_SHARDED_CORPUS_H_
+#define ALAE_SERVICE_SHARDED_CORPUS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/api/api.h"
+#include "src/index/fm_index.h"
+#include "src/io/sequence.h"
+
+namespace alae {
+namespace service {
+
+struct ShardedCorpusOptions {
+  // Shard geometry. Each shard covers `shard_size` text characters and
+  // consecutive shards share `overlap` characters on each side of the
+  // ownership boundary, so every position has at least `overlap` context
+  // in the shard that owns it. Requests whose worst-case alignment span
+  // (query length plus the gap characters the scheme affords — the
+  // paper's Theorem 1 bound, i.e. max_query_len + max_errors) exceeds the
+  // overlap are refused per request rather than answered incompletely.
+  int64_t shard_size = 1 << 20;
+  int64_t overlap = 4096;
+
+  // Per-shard FM-index construction options (packed flat or wavelet).
+  FmIndexOptions index;
+};
+
+// A long text split into fixed-size shards, each carrying its own
+// FM-index (built, or loaded from disk via the ALAEF2M format) and its own
+// per-backend Aligner instances from the AlignerRegistry. This is the
+// LogBase shape: partition the store, keep per-partition indexes, serve
+// every partition through one front door.
+//
+// Geometry. Shard k covers text [k*step, k*step + shard_size) with
+// step = shard_size - 2*overlap, and *owns* the end positions
+// [k*step + overlap, (k+1)*step + overlap) (clamped to the text at both
+// edges). The owned intervals partition [0, n), and an owner shard always
+// has >= overlap characters of context on both sides of every owned
+// position, so:
+//  - exact engines: any alignment ending at an owned position whose text
+//    span fits in `overlap` lies entirely inside the shard, and the shard
+//    scores it exactly like the unsharded engine;
+//  - heuristic BLAST: the whole seed-and-extend window around an owned
+//    end position fits, so extensions are not truncated differently than
+//    in the unsharded run.
+// The scheduler drops hits a shard finds outside its owned region (a
+// neighbour owns them and scores them with full context), then merges the
+// per-shard streams by global coordinate.
+//
+// Immutable after construction; every accessor is const and thread-safe.
+class ShardedCorpus {
+ public:
+  struct Shard {
+    int64_t start = 0;       // first covered text position
+    int64_t length = 0;      // covered characters
+    int64_t owned_begin = 0; // global ends [owned_begin, owned_end) are ours
+    int64_t owned_end = 0;
+    std::unique_ptr<api::AlignerRegistry> registry;
+  };
+
+  // Splits `text` and builds one FM-index per shard.
+  static api::StatusOr<std::unique_ptr<ShardedCorpus>> Build(
+      Sequence text, ShardedCorpusOptions options = {});
+
+  // Persists the corpus as a directory: `corpus.manifest` (geometry + the
+  // full text, stored once) plus one `shard-NNNN.fm` ALAEF2M file per
+  // shard. Any index mode round-trips, including wavelet.
+  api::Status Save(const std::string& dir) const;
+
+  // Loads a corpus saved by Save, reusing the persisted per-shard
+  // FM-indexes instead of rebuilding them.
+  static api::StatusOr<std::unique_ptr<ShardedCorpus>> Load(
+      const std::string& dir);
+
+  const Sequence& text() const { return text_; }
+  int64_t text_size() const { return static_cast<int64_t>(text_.size()); }
+  size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(size_t i) const { return shards_[i]; }
+  const ShardedCorpusOptions& options() const { return options_; }
+
+  // Process-unique corpus generation, part of every result-cache key: two
+  // corpora never share an epoch, so cached responses cannot leak across a
+  // rebuild or reload.
+  uint64_t epoch() const { return epoch_; }
+
+  // The shard-k aligner for a backend, built on first use and cached
+  // (thread-safe). kNotFound for unknown backend names.
+  api::StatusOr<const api::Aligner*> AlignerFor(size_t shard,
+                                               std::string_view backend) const;
+
+  // Whether `backend`'s answer for `request` is guaranteed bit-exact under
+  // this geometry: the request's worst-case alignment span (plus BLAST's
+  // X-drop exploration margin for the heuristic backend) must fit in the
+  // overlap. kInvalidArgument with the limiting numbers otherwise.
+  api::Status ValidateSpan(std::string_view backend,
+                           const api::SearchRequest& request) const;
+
+  // True when `global_end` (a text end coordinate) is owned by `shard`.
+  bool OwnsGlobalEnd(size_t shard, int64_t global_end) const {
+    return global_end >= shards_[shard].owned_begin &&
+           global_end < shards_[shard].owned_end;
+  }
+
+  // Total index footprint across shards.
+  size_t IndexBytes() const;
+
+ private:
+  ShardedCorpus() = default;
+
+  // Computes shard boundaries and constructs registries from the given
+  // per-shard indexes (build path passes empty prebuilt list and builds).
+  static api::StatusOr<std::unique_ptr<ShardedCorpus>> Assemble(
+      Sequence text, ShardedCorpusOptions options,
+      std::vector<FmIndex> prebuilt);
+
+  Sequence text_;
+  ShardedCorpusOptions options_;
+  std::vector<Shard> shards_;
+  uint64_t epoch_ = 0;
+
+  mutable std::mutex aligners_mu_;
+  mutable std::map<std::pair<size_t, std::string>,
+                   std::unique_ptr<api::Aligner>, std::less<>>
+      aligners_;
+};
+
+}  // namespace service
+}  // namespace alae
+
+#endif  // ALAE_SERVICE_SHARDED_CORPUS_H_

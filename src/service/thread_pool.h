@@ -1,0 +1,65 @@
+#ifndef ALAE_SERVICE_THREAD_POOL_H_
+#define ALAE_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alae {
+namespace service {
+
+// Fixed-size worker pool with a bounded task queue.
+//
+// The bound is the service's backpressure mechanism: admission is
+// try-only, so when the queue is full the caller gets an immediate `false`
+// (which the scheduler surfaces as kResourceExhausted) instead of an
+// unbounded pile-up of queued work. Tasks never block on the pool
+// themselves — the scheduler's shard tasks only compute and signal a
+// completion latch — so worker starvation cannot deadlock admission.
+class ThreadPool {
+ public:
+  // `threads` <= 0 picks hardware concurrency (clamped to >= 1).
+  // `queue_capacity` bounds the number of *queued* (not yet running)
+  // tasks.
+  explicit ThreadPool(int threads, size_t queue_capacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues one task; false when the queue is full or the pool is
+  // shutting down.
+  bool TrySubmit(std::function<void()> task);
+
+  // All-or-nothing admission of a task group. A request that fans out into
+  // per-shard tasks must not be half-admitted: the admitted half would run
+  // while the caller has already given up on the request, wasting workers
+  // on an answer nobody collects. Either every task fits in the queue's
+  // remaining capacity or none is enqueued.
+  bool TrySubmitBatch(std::vector<std::function<void()>> tasks);
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+  size_t queue_capacity() const { return capacity_; }
+
+  // Currently queued (not yet dequeued) tasks; for stats and tests.
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace service
+}  // namespace alae
+
+#endif  // ALAE_SERVICE_THREAD_POOL_H_

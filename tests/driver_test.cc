@@ -123,6 +123,101 @@ TEST(MultiQueryDriver, EmptyBatch) {
   EXPECT_TRUE(got->empty());
 }
 
+// A backend whose Search fails for one marked query length but passes
+// validation: simulates a mid-run engine failure, the case the driver must
+// report per query instead of collapsing (or worse, silently dropping).
+class FlakyAligner : public Aligner {
+ public:
+  FlakyAligner(std::shared_ptr<const AlaeIndex> index, size_t poison_len)
+      : index_(std::move(index)), poison_len_(poison_len) {}
+
+  std::string_view name() const override { return "flaky"; }
+  bool exact() const override { return false; }
+  const Sequence& text() const override { return index_->text(); }
+
+ protected:
+  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+                    EngineStats* stats) const override {
+    (void)stats;
+    if (request.query.size() == poison_len_) {
+      return Status::Internal("engine blew up on the poisoned query");
+    }
+    sink(AlignmentHit{0, 0, request.threshold, -1});
+    return Status::Ok();
+  }
+
+ private:
+  std::shared_ptr<const AlaeIndex> index_;
+  size_t poison_len_;
+};
+
+// Regression: a query that fails *during* the run (after validation) must
+// surface through RunEach as that query's own Status, with every other
+// query's response intact — never dropped, never masking its neighbours.
+TEST(MultiQueryDriver, RunEachPropagatesPerQueryEngineFailures) {
+  Workload w = SmallWorkload(1);
+  AlignerRegistry registry(w.text);
+  constexpr size_t kPoisonLen = 33;
+  registry.Register("flaky", [](std::shared_ptr<const AlaeIndex> index) {
+    return std::unique_ptr<Aligner>(
+        new FlakyAligner(std::move(index), kPoisonLen));
+  });
+  std::unique_ptr<Aligner> flaky = *registry.Create("flaky");
+  MultiQueryDriver driver(*flaky);
+
+  std::vector<SearchRequest> requests(5, BaseRequest(10));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].query = w.queries[0].Substr(0, i == 2 ? kPoisonLen : 20);
+  }
+
+  for (int threads : {1, 4}) {
+    MultiSearchStats stats;
+    std::vector<QueryOutcome> outcomes =
+        driver.RunEach(requests, threads, &stats);
+    ASSERT_EQ(outcomes.size(), requests.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (i == 2) {
+        EXPECT_FALSE(outcomes[i].ok());
+        EXPECT_EQ(outcomes[i].status.code(), StatusCode::kInternal);
+      } else {
+        ASSERT_TRUE(outcomes[i].ok()) << "query " << i;
+        EXPECT_EQ(outcomes[i].response.hits.size(), 1u) << "query " << i;
+      }
+    }
+    EXPECT_EQ(stats.failed_queries, 1u);
+    EXPECT_EQ(stats.total_hits, 4u);
+
+    // The all-or-nothing Run form reports the failing query's index.
+    StatusOr<std::vector<SearchResponse>> got = driver.Run(requests, threads);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+    EXPECT_NE(got.status().message().find("request 2"), std::string::npos)
+        << got.status().ToString();
+  }
+}
+
+// Validation failures are per-query in RunEach too: the invalid query gets
+// its own kInvalidArgument while its neighbours still run and answer.
+TEST(MultiQueryDriver, RunEachReportsValidationPerQuery) {
+  Workload w = SmallWorkload(3);
+  AlignerRegistry registry(w.text);
+  std::unique_ptr<Aligner> sw = *registry.Create("sw");
+  MultiQueryDriver driver(*sw);
+  std::vector<SearchRequest> requests;
+  for (const Sequence& q : w.queries) {
+    SearchRequest r = BaseRequest(15);
+    r.query = q;
+    requests.push_back(std::move(r));
+  }
+  requests[1].threshold = -1;
+  std::vector<QueryOutcome> outcomes = driver.RunEach(requests);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_EQ(outcomes[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(outcomes[2].ok());
+}
+
 // The hardware-concurrency guard: threads <= 0 resolves to >= 1 workers
 // even where std::thread::hardware_concurrency() returns 0.
 TEST(MultiQueryDriver, ResolveThreadsNeverZero) {

@@ -1,0 +1,553 @@
+#include "src/service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/sim/generator.h"
+#include "src/sim/workload.h"
+
+namespace alae {
+namespace service {
+namespace {
+
+using api::SearchRequest;
+using api::SearchResponse;
+using api::StatusCode;
+
+SearchRequest MakeRequest(const Sequence& query, int32_t threshold) {
+  SearchRequest request;
+  request.query = query;
+  request.threshold = threshold;
+  return request;
+}
+
+std::unique_ptr<ShardedCorpus> MustBuild(Sequence text,
+                                         ShardedCorpusOptions options) {
+  auto corpus = ShardedCorpus::Build(std::move(text), options);
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  return std::move(corpus).value();
+}
+
+// Unsharded reference answer through the plain facade.
+std::vector<AlignmentHit> Unsharded(const api::AlignerRegistry& registry,
+                                    const std::string& backend,
+                                    const SearchRequest& request) {
+  std::unique_ptr<api::Aligner> aligner = *registry.Create(backend);
+  api::StatusOr<SearchResponse> response = aligner->Search(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return response->hits;
+}
+
+// The headline differential: on randomized corpora, a sharded search must
+// return exactly the unsharded hit set — same end pairs, same scores — for
+// every registered backend (the heuristic BLAST included: it is compared
+// against unsharded BLAST, exact engines against their own unsharded run).
+TEST(ShardedCorpus, ShardedEqualsUnshardedAllBackends) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    WorkloadSpec spec;
+    spec.text_length = 1'600;  // small enough that even BASIC runs unsharded
+    spec.query_length = 48;
+    spec.num_queries = 3;
+    spec.divergence = 0.15;
+    spec.seed = seed;
+    Workload w = BuildWorkload(spec);
+
+    ShardedCorpusOptions options;
+    options.shard_size = 500;
+    options.overlap = 190;  // > the BLAST window bound for m=48
+    std::unique_ptr<ShardedCorpus> corpus = MustBuild(w.text, options);
+    ASSERT_GE(corpus->num_shards(), 3u) << "geometry degenerated";
+
+    api::AlignerRegistry registry(w.text);
+    QueryScheduler scheduler(*corpus, {.threads = 4});
+    for (const std::string& backend : api::AlignerRegistry::BuiltinNames()) {
+      for (const Sequence& query : w.queries) {
+        SearchRequest request = MakeRequest(query, 18);
+        api::StatusOr<SearchResponse> sharded =
+            scheduler.Search(backend, request);
+        ASSERT_TRUE(sharded.ok())
+            << backend << " seed " << seed << ": "
+            << sharded.status().ToString();
+        EXPECT_EQ(sharded->hits, Unsharded(registry, backend, request))
+            << backend << " seed " << seed;
+      }
+    }
+  }
+}
+
+// Long-text variant: BASIC refuses unsharded texts > 2000 characters but
+// runs happily when every shard is below the cap — sharding opens the
+// workload. Exact backends are checked against unsharded Smith-Waterman.
+TEST(ShardedCorpus, LongTextShardsOpenBasicAndStayExact) {
+  WorkloadSpec spec;
+  spec.text_length = 6'000;
+  spec.query_length = 60;
+  spec.num_queries = 2;
+  spec.divergence = 0.20;
+  spec.seed = 77;
+  Workload w = BuildWorkload(spec);
+
+  ShardedCorpusOptions options;
+  options.shard_size = 1'200;
+  options.overlap = 260;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(w.text, options);
+
+  api::AlignerRegistry registry(w.text);
+  QueryScheduler scheduler(*corpus, {.threads = 2});
+  for (const Sequence& query : w.queries) {
+    SearchRequest request = MakeRequest(query, 20);
+    std::vector<AlignmentHit> expected =
+        Unsharded(registry, "sw", request);
+    for (const std::string& backend : {"alae", "bwt-sw", "sw", "basic"}) {
+      api::StatusOr<SearchResponse> sharded =
+          scheduler.Search(backend, request);
+      ASSERT_TRUE(sharded.ok())
+          << backend << ": " << sharded.status().ToString();
+      EXPECT_EQ(sharded->hits, expected) << backend;
+    }
+  }
+}
+
+// A planted exact match straddling a shard boundary must come back exactly
+// once with its full score, and no end pair may appear twice anywhere.
+TEST(ShardedCorpus, BoundaryStraddlingHitEmittedOnce) {
+  SequenceGenerator gen(404);
+  Sequence text = gen.Random(1'200, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 120;
+  // step = 160: shard 1 starts at 160, owns ends from 280. Plant a 60-char
+  // query copy at [250, 310): it straddles the ownership boundary and lies
+  // inside both shard 0 and shard 1's coverage.
+  std::vector<Symbol> symbols = text.symbols();
+  Sequence query = gen.Random(60, Alphabet::Dna());
+  for (size_t i = 0; i < query.size(); ++i) symbols[250 + i] = query[i];
+  text = Sequence(std::move(symbols), Alphabet::Dna());
+
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  QueryScheduler scheduler(*corpus, {});
+  const int32_t threshold = 40;
+  api::StatusOr<SearchResponse> response =
+      scheduler.Search("sw", MakeRequest(query, threshold));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  const int64_t full_end = 250 + 60 - 1;
+  int found = 0;
+  for (size_t i = 0; i < response->hits.size(); ++i) {
+    const AlignmentHit& hit = response->hits[i];
+    if (hit.text_end == full_end && hit.query_end == 59) {
+      ++found;
+      EXPECT_EQ(hit.score, 60);  // full-length exact match, sa = 1
+    }
+    if (i > 0) {
+      const AlignmentHit& prev = response->hits[i - 1];
+      EXPECT_FALSE(prev.text_end == hit.text_end &&
+                   prev.query_end == hit.query_end)
+          << "duplicate end pair in merged output";
+    }
+  }
+  EXPECT_EQ(found, 1);
+}
+
+// Merger unit semantics: cross-shard duplicates collapse to the best score
+// and the sink drops hits outside the producing shard's owned region.
+TEST(HitMergerTest, DeduplicatesAndFiltersOwnership) {
+  SequenceGenerator gen(405);
+  Sequence text = gen.Random(900, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 100;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  ASSERT_GE(corpus->num_shards(), 2u);
+
+  HitMerger merger(*corpus);
+  // Shard 1 starts at 200 and owns [300, 500). A shard-local hit at 50
+  // (global 250) is in its coverage but NOT owned -> dropped; one at 150
+  // (global 350) is owned -> kept and remapped.
+  std::vector<AlignmentHit> local;
+  api::HitSink sink = merger.ShardSink(1, &local);
+  EXPECT_TRUE(sink(AlignmentHit{50, 3, 21, 40}));
+  EXPECT_TRUE(sink(AlignmentHit{150, 4, 25, 140}));
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].text_end, 350);
+  EXPECT_EQ(local[0].text_start, 340);
+
+  api::EngineStats stats;
+  stats.counters.cells_cost3 = 7;
+  merger.MergeShard(local, stats);
+  // A duplicate of the same global end pair with a lower score (as an
+  // overlap-emitting producer would generate) must lose to the kept one.
+  merger.MergeShard({AlignmentHit{350, 4, 11, -1}}, api::EngineStats{});
+  merger.MergeShard({AlignmentHit{350, 4, 30, -1}}, api::EngineStats{});
+  SearchResponse merged = merger.Take(0);
+  ASSERT_EQ(merged.hits.size(), 1u);
+  EXPECT_EQ(merged.hits[0].score, 30);
+  EXPECT_EQ(merged.stats.counters.cells_cost3, 7u);
+  EXPECT_EQ(merged.stats.hits_emitted, 1u);
+}
+
+// Admission is all-or-nothing against the bounded queue: a fan-out that
+// cannot fit is rejected whole with kResourceExhausted.
+TEST(QuerySchedulerTest, BackpressureRejectsWhenQueueFull) {
+  SequenceGenerator gen(406);
+  Sequence text = gen.Random(1'500, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 120;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  ASSERT_GE(corpus->num_shards(), 3u);
+
+  // One worker, and a queue that cannot hold one request's full fan-out.
+  QueryScheduler scheduler(*corpus, {.threads = 1, .queue_capacity = 1});
+  Sequence query = gen.Random(30, Alphabet::Dna());
+  api::StatusOr<SearchResponse> response =
+      scheduler.Search("sw", MakeRequest(query, 25));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted);
+}
+
+// A batch whose full fan-out exceeds the queue bound must still be served
+// on an idle pool: admission is chunked into queue-sized waves, not
+// rejected outright (which no retry could ever fix).
+TEST(QuerySchedulerTest, BatchLargerThanQueueIsServedInWaves) {
+  SequenceGenerator gen(415);
+  Sequence text = gen.Random(1'200, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 500;
+  options.overlap = 150;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  ASSERT_GE(corpus->num_shards(), 3u);
+  // Queue holds exactly one query's fan-out; the batch needs several.
+  QueryScheduler scheduler(*corpus,
+                           {.threads = 2,
+                            .queue_capacity = corpus->num_shards(),
+                            .batch_size = 1});
+  std::vector<SearchRequest> requests;
+  for (int i = 0; i < 7; ++i) {
+    requests.push_back(
+        MakeRequest(gen.HomologousQuery(text, 36, 0.8, 0.1, 0.01), 16));
+  }
+  api::AlignerRegistry registry(text);
+  std::vector<api::QueryOutcome> outcomes =
+      scheduler.SearchBatch("sw", requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok())
+        << i << ": " << outcomes[i].status.ToString();
+    EXPECT_EQ(outcomes[i].response.hits,
+              Unsharded(registry, "sw", requests[i]))
+        << "query " << i;
+  }
+}
+
+TEST(QuerySchedulerTest, CacheServesRepeatsAndKeysOnParams) {
+  SequenceGenerator gen(407);
+  Sequence text = gen.Random(1'000, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 120;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  QueryScheduler scheduler(*corpus, {.cache_capacity = 8});
+
+  Sequence query = gen.HomologousQuery(text, 40, 0.8, 0.1, 0.01);
+  SearchRequest request = MakeRequest(query, 18);
+  api::StatusOr<SearchResponse> first = scheduler.Search("alae", request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->stats.cache_misses, 1u);
+  EXPECT_EQ(first->stats.cache_hits, 0u);
+
+  api::StatusOr<SearchResponse> second = scheduler.Search("alae", request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.cache_hits, 1u);
+  EXPECT_EQ(second->stats.cache_misses, 0u);
+  EXPECT_EQ(second->hits, first->hits);
+  EXPECT_EQ(scheduler.cache().hits(), 1u);
+
+  // Any parameter change is a different key.
+  SearchRequest other = request;
+  other.threshold = 19;
+  api::StatusOr<SearchResponse> third = scheduler.Search("alae", other);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->stats.cache_misses, 1u);
+  // Different backend, same request: also a different key.
+  api::StatusOr<SearchResponse> fourth = scheduler.Search("sw", request);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(fourth->stats.cache_misses, 1u);
+  EXPECT_EQ(fourth->hits, first->hits);  // both exact
+}
+
+TEST(QuerySchedulerTest, CacheCapacityZeroDisables) {
+  SequenceGenerator gen(408);
+  Sequence text = gen.Random(800, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 100;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  QueryScheduler scheduler(*corpus, {.cache_capacity = 0});
+  SearchRequest request = MakeRequest(gen.Random(30, Alphabet::Dna()), 24);
+  for (int i = 0; i < 2; ++i) {
+    api::StatusOr<SearchResponse> response = scheduler.Search("sw", request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->stats.cache_hits, 0u);
+    EXPECT_EQ(response->stats.cache_misses, 1u);
+  }
+  EXPECT_EQ(scheduler.cache().hits(), 0u);
+}
+
+TEST(QuerySchedulerTest, SearchBatchKeepsPerQueryStatuses) {
+  SequenceGenerator gen(409);
+  Sequence text = gen.Random(1'200, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 500;
+  options.overlap = 150;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  QueryScheduler scheduler(*corpus, {.threads = 2, .batch_size = 2});
+  api::AlignerRegistry registry(text);
+
+  std::vector<SearchRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back(
+        MakeRequest(gen.HomologousQuery(text, 36, 0.8, 0.1, 0.01), 16));
+  }
+  requests[2].threshold = -4;  // invalid, must not poison the batch
+  std::vector<api::QueryOutcome> outcomes =
+      scheduler.SearchBatch("bwt-sw", requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(outcomes[i].ok());
+      EXPECT_EQ(outcomes[i].status.code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    ASSERT_TRUE(outcomes[i].ok()) << i << ": "
+                                  << outcomes[i].status.ToString();
+    EXPECT_EQ(outcomes[i].response.hits,
+              Unsharded(registry, "bwt-sw", requests[i]))
+        << "query " << i;
+  }
+}
+
+TEST(QuerySchedulerTest, MaxHitsTruncatesMergedAnswer) {
+  SequenceGenerator gen(410);
+  Sequence text = gen.Random(1'000, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 120;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  QueryScheduler scheduler(*corpus, {});
+  // An exact substring copy guarantees a dense family of prefix end pairs
+  // above a low threshold, so the cap is sure to fire. The capped sharded
+  // answer must be the *same prefix* the unsharded capped run returns
+  // (hits stream in (text_end, query_end) order), not just any subset —
+  // per-shard caps must never starve owned hits out of the merge.
+  SearchRequest request = MakeRequest(text.Substr(100, 24), 8);
+  request.max_hits = 3;
+  api::StatusOr<SearchResponse> response = scheduler.Search("sw", request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->hits.size(), 3u);
+  EXPECT_TRUE(response->stats.truncated);
+  api::AlignerRegistry registry(text);
+  EXPECT_EQ(response->hits, Unsharded(registry, "sw", request));
+}
+
+TEST(QuerySchedulerTest, RejectsQueriesTooLongForOverlapAndUnknownBackend) {
+  SequenceGenerator gen(411);
+  Sequence text = gen.Random(2'000, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 500;
+  options.overlap = 60;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  QueryScheduler scheduler(*corpus, {});
+
+  // m=200 needs far more than 60 characters of context.
+  api::StatusOr<SearchResponse> too_long =
+      scheduler.Search("sw", MakeRequest(gen.Random(200, Alphabet::Dna()), 30));
+  ASSERT_FALSE(too_long.ok());
+  EXPECT_EQ(too_long.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(too_long.status().message().find("overlap"), std::string::npos);
+
+  api::StatusOr<SearchResponse> unknown =
+      scheduler.Search("nope", MakeRequest(gen.Random(20, Alphabet::Dna()), 10));
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardedCorpus, SaveLoadRoundTripsBothIndexModes) {
+  SequenceGenerator gen(412);
+  Sequence text = gen.Random(1'400, Alphabet::Dna());
+  Sequence query = gen.HomologousQuery(text, 40, 0.8, 0.1, 0.01);
+  for (bool wavelet : {false, true}) {
+    ShardedCorpusOptions options;
+    options.shard_size = 500;
+    options.overlap = 150;
+    options.index.use_wavelet = wavelet;
+    std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+
+    std::string dir = ::testing::TempDir() + "/alae_corpus_" +
+                      (wavelet ? "wavelet" : "flat");
+    std::filesystem::remove_all(dir);
+    api::Status saved = corpus->Save(dir);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+    auto loaded = ShardedCorpus::Load(dir);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ((*loaded)->num_shards(), corpus->num_shards());
+    EXPECT_NE((*loaded)->epoch(), corpus->epoch())
+        << "reloaded corpora must never share a cache epoch";
+
+    QueryScheduler before(*corpus, {});
+    QueryScheduler after(**loaded, {});
+    SearchRequest request = MakeRequest(query, 18);
+    api::StatusOr<SearchResponse> a = before.Search("alae", request);
+    api::StatusOr<SearchResponse> b = after.Search("alae", request);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->hits, b->hits) << (wavelet ? "wavelet" : "flat");
+  }
+}
+
+TEST(ShardedCorpus, LoadRejectsTamperedShardFile) {
+  SequenceGenerator gen(413);
+  Sequence text = gen.Random(900, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 100;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  std::string dir = ::testing::TempDir() + "/alae_corpus_tamper";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(corpus->Save(dir).ok());
+
+  // Flip one byte in the middle of a shard index payload.
+  std::string shard_file = dir + "/shard-1.fm";
+  std::ifstream in(shard_file, std::ios::binary);
+  std::string payload((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  payload[payload.size() / 2] ^= 0x40;
+  std::ofstream out(shard_file, std::ios::binary | std::ios::trunc);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.close();
+
+  auto loaded = ShardedCorpus::Load(dir);
+  EXPECT_FALSE(loaded.ok());
+}
+
+// Interior shards share length and sigma, so only a full-content probe
+// can tell swapped (or stale same-geometry) shard files from the right
+// ones; Load must refuse rather than silently serve wrong hits.
+TEST(ShardedCorpus, LoadRejectsSwappedShardFiles) {
+  SequenceGenerator gen(417);
+  Sequence text = gen.Random(1'500, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 100;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  ASSERT_GE(corpus->num_shards(), 3u);
+  std::string dir = ::testing::TempDir() + "/alae_corpus_swap";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(corpus->Save(dir).ok());
+
+  // Shards 1 and 2 have identical geometry; swap their index files.
+  std::filesystem::rename(dir + "/shard-1.fm", dir + "/shard-tmp.fm");
+  std::filesystem::rename(dir + "/shard-2.fm", dir + "/shard-1.fm");
+  std::filesystem::rename(dir + "/shard-tmp.fm", dir + "/shard-2.fm");
+
+  auto loaded = ShardedCorpus::Load(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Corrupt manifest integers must reject cleanly — a huge num_shards must
+// not trigger a giant allocation, a huge overlap no signed overflow.
+TEST(ShardedCorpus, LoadRejectsCorruptManifestIntegers) {
+  SequenceGenerator gen(416);
+  Sequence text = gen.Random(900, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 100;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+  std::string dir = ::testing::TempDir() + "/alae_corpus_manifest";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(corpus->Save(dir).ok());
+
+  std::string manifest_file = dir + "/corpus.manifest";
+  std::ifstream in(manifest_file, std::ios::binary);
+  std::string payload((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  // Field layout: magic, shard_size, overlap, wavelet, rate, kind,
+  // num_shards — each a little-endian u64.
+  struct Corruption {
+    size_t offset;
+    uint64_t value;
+  };
+  const Corruption corruptions[] = {
+      {8, 1ULL << 62},            // shard_size: overflow bait
+      {16, (1ULL << 62) + 3},     // overlap: 2*overlap would wrap
+      {48, 1ULL << 60},           // num_shards: allocation bomb bait
+      {48, 0},                    // num_shards: zero
+  };
+  for (const Corruption& c : corruptions) {
+    std::string bad = payload;
+    std::memcpy(&bad[c.offset], &c.value, sizeof(c.value));
+    std::ofstream out(manifest_file, std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    out.close();
+    auto loaded = ShardedCorpus::Load(dir);
+    ASSERT_FALSE(loaded.ok()) << "offset " << c.offset;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ShardedCorpus, BuildRejectsDegenerateGeometry) {
+  SequenceGenerator gen(414);
+  Sequence text = gen.Random(500, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 200;
+  options.overlap = 100;  // shard_size must exceed 2*overlap
+  auto corpus = ShardedCorpus::Build(text, options);
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
+
+  auto empty = ShardedCorpus::Build(Sequence(), {});
+  ASSERT_FALSE(empty.ok());
+}
+
+TEST(ThreadPoolTest, BoundedQueueAndBatchAdmission) {
+  ThreadPool pool(1, 2);
+  EXPECT_EQ(pool.threads(), 1);
+  EXPECT_EQ(pool.queue_capacity(), 2u);
+
+  // Block the single worker so submissions stay queued.
+  std::mutex gate;
+  gate.lock();
+  ASSERT_TRUE(pool.TrySubmit([&gate] {
+    gate.lock();
+    gate.unlock();
+  }));
+  // Give the worker a moment to dequeue the blocker.
+  while (pool.QueueDepth() > 0) {
+  }
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {})) << "queue over capacity";
+
+  // Batch admission is all-or-nothing: with zero slots left even a
+  // one-task batch is rejected rather than partially admitted.
+  std::vector<std::function<void()>> batch;
+  batch.emplace_back([] {});
+  EXPECT_FALSE(pool.TrySubmitBatch(std::move(batch)));
+  gate.unlock();
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace alae

@@ -29,6 +29,8 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(Status, Equality) {
@@ -45,6 +47,8 @@ TEST(StatusCodeName, CoversAllCodes) {
   EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
             "FAILED_PRECONDITION");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
 }
 
 TEST(StatusOr, HoldsValue) {
