@@ -1,7 +1,11 @@
 // Service throughput bench: queries/sec of the sharded query service as
 // worker threads scale (1/2/4/8) and as the shard count sweeps (1/2/4/8
-// shards at a fixed thread count). The scaling curve is the whole point of
-// the service layer, so this harness is the CI trend gate for it.
+// shards at a fixed thread count), plus the query-compilation prep-cost
+// series (plan compile ns and the 8-shard/1-shard per-query cost ratio —
+// the shared QueryPlan + fused ALAE walk should hold it near 1x plus
+// overlap duplication and per-shard anchoring, where per-shard replanning
+// measured ~2.9x). The scaling and flatness curves are the whole point of
+// the service layer, so this harness is the CI trend gate for them.
 //
 //   ./bench_service [--n=...] [--queries=...] [--seed=...] [--json=out.json]
 //
@@ -9,14 +13,16 @@
 // the engines do real work every time, micro-batched SearchBatch admission,
 // min-of-rounds wall time, and a cross-configuration hit checksum so a
 // concurrency bug cannot masquerade as a speedup. Exit code 2 when the
-// 8-thread speedup misses the 3x target (CI smoke tolerates it on shared
-// or few-core runners — this box may have fewer cores; the enforced gate
-// is compare_bench.py's anchored-ratio drift check).
+// 8-thread speedup misses the 3x target — downgraded to a warning (exit 0)
+// when the runner has fewer than 4 hardware threads, where the target is
+// unmeetable by construction; the enforced gate either way is
+// compare_bench.py's anchored-ratio drift check.
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -56,6 +62,40 @@ struct RunResult {
   uint64_t hit_checksum = 0;
 };
 
+// One timed pass of the batch through `scheduler`; folds the wall time and
+// hit checksum into `result` (min-of-rounds seconds, checksum must agree
+// across every call that shares a result).
+void RunOnce(service::QueryScheduler& scheduler,
+             const std::vector<api::SearchRequest>& requests, bool first,
+             RunResult* result) {
+  Timer timer;
+  std::vector<api::QueryOutcome> outcomes =
+      scheduler.SearchBatch("alae", requests);
+  const double seconds = timer.ElapsedSeconds();
+  uint64_t checksum = 0;
+  for (const api::QueryOutcome& o : outcomes) {
+    if (!o.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", o.status.ToString().c_str());
+      std::exit(1);
+    }
+    for (const AlignmentHit& hit : o.response.hits) {
+      checksum = checksum * 1315423911ULL +
+                 static_cast<uint64_t>(hit.text_end * 31 + hit.query_end) *
+                     static_cast<uint64_t>(hit.score);
+    }
+  }
+  if (first) {
+    result->hit_checksum = checksum;
+    result->seconds = seconds;
+  } else {
+    if (checksum != result->hit_checksum) {
+      std::fprintf(stderr, "hit checksum diverged across rounds\n");
+      std::exit(1);
+    }
+    result->seconds = std::min(result->seconds, seconds);
+  }
+}
+
 RunResult RunBatch(service::ShardedCorpus& corpus, int threads,
                    const std::vector<api::SearchRequest>& requests) {
   service::QueryScheduler scheduler(
@@ -64,29 +104,7 @@ RunResult RunBatch(service::ShardedCorpus& corpus, int threads,
                .cache_capacity = 0});
   RunResult result;
   for (int round = 0; round < kRounds; ++round) {
-    Timer timer;
-    std::vector<api::QueryOutcome> outcomes =
-        scheduler.SearchBatch("alae", requests);
-    const double seconds = timer.ElapsedSeconds();
-    uint64_t checksum = 0;
-    for (const api::QueryOutcome& o : outcomes) {
-      if (!o.ok()) {
-        std::fprintf(stderr, "query failed: %s\n", o.status.ToString().c_str());
-        std::exit(1);
-      }
-      for (const AlignmentHit& hit : o.response.hits) {
-        checksum = checksum * 1315423911ULL +
-                   static_cast<uint64_t>(hit.text_end * 31 + hit.query_end) *
-                       static_cast<uint64_t>(hit.score);
-      }
-    }
-    if (round == 0) {
-      result.hit_checksum = checksum;
-    } else if (checksum != result.hit_checksum) {
-      std::fprintf(stderr, "hit checksum diverged across rounds\n");
-      std::exit(1);
-    }
-    if (round == 0 || seconds < result.seconds) result.seconds = seconds;
+    RunOnce(scheduler, requests, round == 0, &result);
   }
   return result;
 }
@@ -137,36 +155,109 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(static_cast<uint64_t>(ns))});
   }
 
-  // --- Shard-count sweep at a fixed thread count. ---
-  for (int shards : {1, 2, 4, 8}) {
-    std::unique_ptr<service::ShardedCorpus> swept = BuildCorpus(text, shards);
-    RunResult r = RunBatch(*swept, 4, requests);
+  // --- Shard-count sweep at a fixed thread count: the prep-cost curve.
+  // With per-shard replanning this grew ~2.9x from 1 to 8 shards; the
+  // shared QueryPlan + fused ALAE walk should keep 8 shards within 1.8x.
+  // Rounds are interleaved across the shard counts (every round touches
+  // every configuration back to back) so slow machine-speed drift — the
+  // dominant noise on shared runners — cancels out of the curve instead
+  // of biasing whichever configuration ran last.
+  const int sweep_shards[] = {1, 2, 4, 8};
+  std::vector<std::unique_ptr<service::ShardedCorpus>> swept;
+  std::vector<std::unique_ptr<service::QueryScheduler>> sweep_scheds;
+  for (int shards : sweep_shards) {
+    swept.push_back(BuildCorpus(text, shards));
+    sweep_scheds.push_back(std::make_unique<service::QueryScheduler>(
+        *swept.back(), service::SchedulerOptions{.threads = 4,
+                                                 .queue_capacity = 1 << 16,
+                                                 .cache_capacity = 0}));
+  }
+  RunResult sweep_results[4];
+  for (int round = 0; round < kRounds; ++round) {
+    for (size_t s = 0; s < swept.size(); ++s) {
+      RunOnce(*sweep_scheds[s], requests, round == 0, &sweep_results[s]);
+    }
+  }
+  double ns_s1 = 0, ns_s8 = 0;
+  for (size_t s = 0; s < swept.size(); ++s) {
+    const RunResult& r = sweep_results[s];
     // The merged hit set is shard-count invariant by construction (the
     // ownership filter + dedup is exactly the bit-exactness contract), so
     // every sweep point must reproduce the scaling corpus's checksum — a
     // boundary/merge regression cannot masquerade as a speedup.
     if (r.hit_checksum != checksum) {
-      std::fprintf(stderr, "hit checksum diverged at %d shards\n", shards);
+      std::fprintf(stderr, "hit checksum diverged at %d shards\n",
+                   sweep_shards[s]);
       return 1;
     }
     const double ns = r.seconds * 1e9 / static_cast<double>(num_queries);
-    report.Add("service/shards/" + std::to_string(swept->num_shards()), ns,
+    if (sweep_shards[s] == 1) ns_s1 = ns;
+    if (sweep_shards[s] == 8) ns_s8 = ns;
+    report.Add("service/shards/" + std::to_string(swept[s]->num_shards()), ns,
                static_cast<double>(num_queries) / r.seconds);
     table.AddRow({"threads=4",
-                  std::to_string(swept->num_shards()),
+                  std::to_string(swept[s]->num_shards()),
                   TablePrinter::Fmt(r.seconds),
                   TablePrinter::Fmt(num_queries / r.seconds, 1),
                   TablePrinter::Fmt(static_cast<uint64_t>(ns))});
   }
 
+  // --- Plan-compilation prep cost: what the service pays once per request
+  // (and what every shard used to pay before plans were shared).
+  {
+    auto aligner = corpus->AlignerFor(0, "alae");
+    if (!aligner.ok()) {
+      std::fprintf(stderr, "aligner: %s\n",
+                   aligner.status().ToString().c_str());
+      return 1;
+    }
+    Timer timer;
+    int compiles = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (const api::SearchRequest& request : requests) {
+        auto plan = (*aligner)->Compile(request);
+        if (!plan.ok()) {
+          std::fprintf(stderr, "compile: %s\n",
+                       plan.status().ToString().c_str());
+          return 1;
+        }
+        ++compiles;
+      }
+    }
+    const double compile_ns = timer.ElapsedSeconds() * 1e9 / compiles;
+    report.Add("service/plan_compile", compile_ns,
+               1e9 / compile_ns);
+    std::printf("\nALAE plan compile: %.0f ns/query (amortised across %zu "
+                "shards when served)\n",
+                compile_ns, corpus->num_shards());
+  }
+
   std::printf("%s", table.ToString().c_str());
+  const unsigned cores = std::thread::hardware_concurrency();
   const double speedup = ns_t8 > 0 ? ns_t1 / ns_t8 : 0;
-  std::printf("\n8-thread speedup over 1 thread: %.2fx (target >= 3x)\n",
+  const double shard_ratio = ns_s1 > 0 ? ns_s8 / ns_s1 : 0;
+  std::printf("\nhardware_concurrency: %u\n", cores);
+  std::printf("8-thread speedup over 1 thread: %.2fx (target >= 3x)\n",
               speedup);
+  std::printf(
+      "per-query cost, 8 shards vs 1 shard: %.2fx (shared-plan target "
+      "<= 1.8x; per-shard replanning measured ~2.9x)\n",
+      shard_ratio);
 
   if (!report.WriteTo(flags.json)) {
     std::fprintf(stderr, "failed writing %s\n", flags.json.c_str());
     return 1;
   }
-  return speedup >= 3.0 ? 0 : 2;
+  if (speedup < 3.0) {
+    if (cores < 4) {
+      std::printf(
+          "WARNING: 8-thread speedup %.2fx misses the 3x target, but this "
+          "runner has only %u hardware thread(s) — gate downgraded to a "
+          "warning (the anchored-ratio compare gate still applies)\n",
+          speedup, cores);
+      return 0;
+    }
+    return 2;
+  }
+  return 0;
 }

@@ -1,6 +1,8 @@
 #include "src/api/aligner.h"
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "src/util/timer.h"
 
@@ -38,26 +40,85 @@ Status Aligner::Validate(const SearchRequest& request) const {
   return Status::Ok();
 }
 
-Status Aligner::Search(const SearchRequest& request, const HitSink& sink,
-                       EngineStats* stats) const {
+StatusOr<std::unique_ptr<QueryPlan>> Aligner::Compile(
+    SearchRequest request) const {
   if (Status status = Validate(request); !status.ok()) return status;
+  Timer timer;
+  StatusOr<std::unique_ptr<QueryPlan>> plan = CompileImpl(std::move(request));
+  if (!plan.ok()) return plan;
+  (*plan)->compile_ns_ =
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  return plan;
+}
+
+StatusOr<std::unique_ptr<QueryPlan>> Aligner::CompileImpl(
+    SearchRequest request) const {
+  return std::make_unique<QueryPlan>(name(), std::move(request));
+}
+
+Status Aligner::SearchImpl(const SearchRequest&, const HitSink&,
+                           EngineStats*) const {
+  return Status::Internal(std::string(name()) +
+                          " implements neither SearchImpl overload");
+}
+
+Status Aligner::Search(const QueryPlan& plan, const HitSink& sink,
+                       EngineStats* stats) const {
+  if (plan.backend() != name()) {
+    return Status::InvalidArgument(
+        "plan was compiled by backend '" + std::string(plan.backend()) +
+        "' but is executing on '" + std::string(name()) + "'");
+  }
+  // A plan may have been compiled by a sibling aligner (another shard);
+  // re-check the one per-text constraint compilation could not see.
+  if (plan.request().query.alphabet().kind() != text().alphabet().kind()) {
+    return Status::InvalidArgument(
+        "plan's query alphabet does not match this aligner's text");
+  }
 
   Timer timer;
   EngineStats local;
+  local.plan_reuses = 1;
+  const uint64_t max_hits = plan.request().max_hits;
   bool stopped = false;
   HitSink wrapped = [&](const AlignmentHit& hit) {
     ++local.hits_emitted;
     bool more = sink(hit);
-    if (request.max_hits > 0 && local.hits_emitted >= request.max_hits) {
+    if (max_hits > 0 && local.hits_emitted >= max_hits) {
       more = false;
     }
     if (!more) stopped = true;
     return more;
   };
-  Status status = SearchImpl(request, wrapped, &local);
+  Status status = SearchImpl(plan, wrapped, &local);
   local.truncated = stopped;
   local.seconds = timer.ElapsedSeconds();
   if (stats != nullptr) *stats = local;
+  return status;
+}
+
+StatusOr<SearchResponse> Aligner::Search(const QueryPlan& plan) const {
+  SearchResponse response;
+  Status status = Search(
+      plan,
+      [&](const AlignmentHit& hit) {
+        response.hits.push_back(hit);
+        return true;
+      },
+      &response.stats);
+  if (!status.ok()) return status;
+  return response;
+}
+
+Status Aligner::Search(const SearchRequest& request, const HitSink& sink,
+                       EngineStats* stats) const {
+  StatusOr<std::unique_ptr<QueryPlan>> plan = Compile(request);
+  if (!plan.ok()) return plan.status();
+  Status status = Search(**plan, sink, stats);
+  if (stats != nullptr) {
+    stats->plan_compile_ns = (*plan)->compile_ns();
+    stats->plan_reuses = 0;  // the plan lived for exactly this call
+  }
   return status;
 }
 

@@ -1,8 +1,10 @@
 #ifndef ALAE_API_ALIGNER_H_
 #define ALAE_API_ALIGNER_H_
 
+#include <memory>
 #include <string_view>
 
+#include "src/api/plan.h"
 #include "src/api/search.h"
 #include "src/api/status.h"
 
@@ -14,8 +16,16 @@ namespace api {
 // this facade; callers pick a backend through AlignerRegistry and never see
 // the five divergent engine call shapes underneath.
 //
+// Every search is compile-then-execute: Compile turns a validated request
+// into an immutable QueryPlan (the query-side precomputation — q-gram
+// enumeration, filter bounds, DP profiles, seeding word index), and
+// Search(plan, ...) executes it. The request-shaped Search overloads keep
+// the old one-shot ergonomics by compiling ad hoc. Callers that run one
+// request many times — or once against many same-backend aligners, like
+// the sharded service — compile once and reuse the plan.
+//
 // Contract:
-//  - Search validates the request (empty query, alphabet mismatch,
+//  - Compile validates the request (empty query, alphabet mismatch,
 //    non-positive threshold, malformed scheme) and returns a Status
 //    instead of silently misbehaving.
 //  - Hits reach the sink in (text_end, query_end) order, each end pair at
@@ -24,7 +34,8 @@ namespace api {
 //    backends (exact() == false) may emit a subset with under-estimated
 //    scores, never spurious pairs above their true score.
 //  - Search is const and thread-safe: one Aligner may serve concurrent
-//    requests (the multi-query driver relies on this).
+//    requests, and one plan may serve concurrent Search calls (the
+//    multi-query driver and the sharded service rely on both).
 class Aligner {
  public:
   virtual ~Aligner() = default;
@@ -41,28 +52,63 @@ class Aligner {
   // Validates a request against this backend without running it.
   Status Validate(const SearchRequest& request) const;
 
-  // Warms shared per-(scheme, threshold) state so concurrent Search calls
-  // only read (e.g. ALAE's lazily-built domination index). Optional; Search
-  // works without it.
+  // Compiles a request into an immutable, thread-safe plan: validation,
+  // the backend's query-side precomputation, and warming of shared
+  // text-side state (e.g. ALAE's domination index for the plan's q), so
+  // concurrent Search(plan) calls only read. The plan is reusable across
+  // Search calls and across aligners of the same backend whose text shares
+  // the request's alphabet.
+  StatusOr<std::unique_ptr<QueryPlan>> Compile(SearchRequest request) const;
+
+  // Warms shared state and reports whether the request would compile; the
+  // result plan is discarded. The default routes through Compile — the
+  // one code path for "validate + warm + precompute" — and backends
+  // should rarely need to override it (only for warm-up work that
+  // Compile, which may run per query, must not repeat).
   virtual Status Prepare(const SearchRequest& request) const {
-    return Validate(request);
+    return Compile(request).status();
   }
 
-  // Streaming search: validates, runs the engine, feeds `sink`. The sink's
-  // false return and request.max_hits both stop the stream early; `stats`
-  // (optional) receives timing, counters and truncation info.
-  Status Search(const SearchRequest& request, const HitSink& sink,
+  // Executes a compiled plan: runs the engine and feeds `sink`. The sink's
+  // false return and the plan request's max_hits both stop the stream
+  // early; `stats` (optional) receives timing, counters and truncation
+  // info, with plan_reuses = 1 (this execution reused a prebuilt plan).
+  // The plan must carry this backend's name and match the text's alphabet;
+  // kInvalidArgument otherwise.
+  Status Search(const QueryPlan& plan, const HitSink& sink,
                 EngineStats* stats = nullptr) const;
 
   // Materialising convenience built on the streaming form.
+  StatusOr<SearchResponse> Search(const QueryPlan& plan) const;
+
+  // One-shot forms: Compile, then execute the plan. Stats report the
+  // compile time in plan_compile_ns (and plan_reuses = 0).
+  Status Search(const SearchRequest& request, const HitSink& sink,
+                EngineStats* stats = nullptr) const;
   StatusOr<SearchResponse> Search(const SearchRequest& request) const;
 
  protected:
-  // Engine-specific body. `sink` already enforces max_hits and counts
-  // emissions; implementations just stream ordered hits into it and stop
-  // when it returns false.
+  // Backend-specific compilation. The base implementation returns a plain
+  // QueryPlan (validated request + fingerprint), which is all a backend
+  // without query-side precomputation needs. Overrides may also reject
+  // requests this aligner can never run (e.g. BASIC's text-size cap).
+  virtual StatusOr<std::unique_ptr<QueryPlan>> CompileImpl(
+      SearchRequest request) const;
+
+  // Engine-specific body for compiled plans. `sink` already enforces
+  // max_hits and counts emissions; implementations just stream ordered
+  // hits into it and stop when it returns false. The base implementation
+  // delegates to the legacy request-shaped overload below, so externally
+  // registered backends keep working unchanged.
+  virtual Status SearchImpl(const QueryPlan& plan, const HitSink& sink,
+                            EngineStats* stats) const {
+    return SearchImpl(plan.request(), sink, stats);
+  }
+
+  // Legacy request-shaped engine body. Built-in backends implement the
+  // plan overload instead; custom backends may keep overriding this one.
   virtual Status SearchImpl(const SearchRequest& request, const HitSink& sink,
-                            EngineStats* stats) const = 0;
+                            EngineStats* stats) const;
 
   // Streams a collector's sorted hits into a sink (the adapter for engines
   // that materialise internally).

@@ -1,7 +1,9 @@
 #include "src/api/backends.h"
 
 #include <string>
+#include <utility>
 
+#include "src/align/dp.h"
 #include "src/baseline/basic.h"
 #include "src/baseline/blast/blast.h"
 #include "src/baseline/bwt_sw.h"
@@ -10,28 +12,47 @@
 namespace alae {
 namespace api {
 
+namespace {
+
+// Plans cross aligner instances of one backend (the sharded service
+// compiles on shard 0 and executes everywhere), so execution re-derives
+// the typed plan by downcast. A base-class plan with the right backend
+// name can only come from an externally registered aligner that shares a
+// builtin's name; compiling locally keeps that configuration correct.
+template <typename Plan>
+const Plan* Typed(const QueryPlan& plan) {
+  return dynamic_cast<const Plan*>(&plan);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ALAE
 // ---------------------------------------------------------------------------
 
-Status AlaeBackend::Prepare(const SearchRequest& request) const {
-  if (Status status = Validate(request); !status.ok()) return status;
-  // Force the lazily-built domination index for this (scheme, threshold)
-  // so concurrent Search calls only read shared state.
-  if (request.alae.domination_filter) {
-    index_->Domination(request.alae.prefix_filter
-                           ? request.scheme.EffectiveQ(request.threshold)
-                           : 1);
+StatusOr<std::unique_ptr<QueryPlan>> AlaeBackend::CompileImpl(
+    SearchRequest request) const {
+  auto plan = std::make_unique<AlaePlan>(name(), std::move(request));
+  // Warm the lazily-built domination index for the plan's q — derived by
+  // the same FilterContext the engine will use, so "warm shared state" and
+  // "build a plan" can never disagree about which index a search needs.
+  if (plan->request().alae.domination_filter) {
+    index_->Domination(plan->core().filters().q());
   }
-  return Status::Ok();
+  return StatusOr<std::unique_ptr<QueryPlan>>(std::move(plan));
 }
 
-Status AlaeBackend::SearchImpl(const SearchRequest& request,
-                               const HitSink& sink, EngineStats* stats) const {
-  Alae engine(*index_, request.alae);
+Status AlaeBackend::SearchImpl(const QueryPlan& plan, const HitSink& sink,
+                               EngineStats* stats) const {
+  const AlaePlan* compiled = Typed<AlaePlan>(plan);
+  std::unique_ptr<AlaePlan> local;
+  if (compiled == nullptr) {
+    local = std::make_unique<AlaePlan>(name(), plan.request());
+    compiled = local.get();
+  }
+  Alae engine(*index_, plan.request().alae);
   AlaeRunStats run;
-  ResultCollector hits =
-      engine.Run(request.query, request.scheme, request.threshold, &run);
+  ResultCollector hits = engine.Run(compiled->core(), &run);
   stats->counters = run.counters;
   stats->anchors_considered = run.anchors_considered;
   stats->grams_searched = run.grams_searched;
@@ -43,11 +64,23 @@ Status AlaeBackend::SearchImpl(const SearchRequest& request,
 // BWT-SW
 // ---------------------------------------------------------------------------
 
-Status BwtSwBackend::SearchImpl(const SearchRequest& request,
-                                const HitSink& sink,
+BwtSwPlan::BwtSwPlan(std::string_view backend, SearchRequest request)
+    : QueryPlan(backend, std::move(request)),
+      profile_(BuildDeltaProfile(this->request().scheme,
+                                 this->request().query)) {}
+
+StatusOr<std::unique_ptr<QueryPlan>> BwtSwBackend::CompileImpl(
+    SearchRequest request) const {
+  return StatusOr<std::unique_ptr<QueryPlan>>(
+      std::make_unique<BwtSwPlan>(name(), std::move(request)));
+}
+
+Status BwtSwBackend::SearchImpl(const QueryPlan& plan, const HitSink& sink,
                                 EngineStats* stats) const {
-  ResultCollector hits = engine_.Run(request.query, request.scheme,
-                                     request.threshold, &stats->counters);
+  const BwtSwPlan* compiled = Typed<BwtSwPlan>(plan);
+  ResultCollector hits = engine_.Run(
+      plan.request().query, plan.request().scheme, plan.request().threshold,
+      &stats->counters, compiled != nullptr ? &compiled->profile() : nullptr);
   Drain(hits, sink);
   return Status::Ok();
 }
@@ -56,13 +89,32 @@ Status BwtSwBackend::SearchImpl(const SearchRequest& request,
 // BLAST
 // ---------------------------------------------------------------------------
 
-Status BlastBackend::SearchImpl(const SearchRequest& request,
-                                const HitSink& sink,
+BlastPlan::BlastPlan(std::string_view backend, SearchRequest request)
+    : QueryPlan(backend, std::move(request)) {
+  const int word = Blast::ResolveWordSize(this->request().blast,
+                                          this->request().query);
+  if (word > 0) {
+    // The seeder holds a reference to the query; this->request() owns it
+    // for the plan's lifetime (plans are neither copied nor moved).
+    seeder_ = std::make_unique<WordSeeder>(this->request().query, word,
+                                           this->request().blast.two_hit);
+  }
+}
+
+StatusOr<std::unique_ptr<QueryPlan>> BlastBackend::CompileImpl(
+    SearchRequest request) const {
+  return StatusOr<std::unique_ptr<QueryPlan>>(
+      std::make_unique<BlastPlan>(name(), std::move(request)));
+}
+
+Status BlastBackend::SearchImpl(const QueryPlan& plan, const HitSink& sink,
                                 EngineStats* stats) const {
+  const BlastPlan* compiled = Typed<BlastPlan>(plan);
   BlastRunStats run;
-  ResultCollector hits = Blast::Run(index_->text(), request.query,
-                                    request.scheme, request.threshold,
-                                    request.blast, &run);
+  ResultCollector hits = Blast::Run(
+      index_->text(), plan.request().query, plan.request().scheme,
+      plan.request().threshold, plan.request().blast, &run,
+      compiled != nullptr ? compiled->seeder() : nullptr);
   stats->seeds = run.seeds;
   stats->ungapped_extensions = run.ungapped_extensions;
   stats->gapped_extensions = run.gapped_extensions;
@@ -77,18 +129,32 @@ Status BlastBackend::SearchImpl(const SearchRequest& request,
 // Smith-Waterman
 // ---------------------------------------------------------------------------
 
-Status SmithWatermanBackend::SearchImpl(const SearchRequest& request,
+SwPlan::SwPlan(std::string_view backend, SearchRequest request)
+    : QueryPlan(backend, std::move(request)),
+      profile_(BuildDeltaProfile(this->request().scheme,
+                                 this->request().query)) {}
+
+StatusOr<std::unique_ptr<QueryPlan>> SmithWatermanBackend::CompileImpl(
+    SearchRequest request) const {
+  return StatusOr<std::unique_ptr<QueryPlan>>(
+      std::make_unique<SwPlan>(name(), std::move(request)));
+}
+
+Status SmithWatermanBackend::SearchImpl(const QueryPlan& plan,
                                         const HitSink& sink,
                                         EngineStats* stats) const {
+  const SwPlan* compiled = Typed<SwPlan>(plan);
   // SW computes each (i, j) cell exactly once and row order matches the
   // sink's ordering contract, so this backend streams with no collector;
   // Stream returns the cells actually computed (less than n*m when the
   // sink cancelled early).
   stats->counters.cells_cost3 = SmithWaterman::Stream(
-      index_->text(), request.query, request.scheme, request.threshold,
+      index_->text(), plan.request().query, plan.request().scheme,
+      plan.request().threshold,
       [&](int64_t text_end, int64_t query_end, int32_t score) {
         return sink({text_end, query_end, score, -1});
-      });
+      },
+      compiled != nullptr ? &compiled->profile() : nullptr);
   return Status::Ok();
 }
 
@@ -96,8 +162,7 @@ Status SmithWatermanBackend::SearchImpl(const SearchRequest& request,
 // BASIC
 // ---------------------------------------------------------------------------
 
-Status BasicBackend::Prepare(const SearchRequest& request) const {
-  if (Status status = Validate(request); !status.ok()) return status;
+Status BasicBackend::CheckTextCap() const {
   if (index_->text_size() > kMaxTextLen) {
     return Status::FailedPrecondition(
         "basic backend builds an O(n^2) suffix trie; text of " +
@@ -107,11 +172,19 @@ Status BasicBackend::Prepare(const SearchRequest& request) const {
   return Status::Ok();
 }
 
-Status BasicBackend::SearchImpl(const SearchRequest& request,
-                                const HitSink& sink, EngineStats*) const {
-  if (Status status = Prepare(request); !status.ok()) return status;
-  ResultCollector hits = BasicAligner::Run(index_->text(), request.query,
-                                           request.scheme, request.threshold);
+StatusOr<std::unique_ptr<QueryPlan>> BasicBackend::CompileImpl(
+    SearchRequest request) const {
+  if (Status status = CheckTextCap(); !status.ok()) return status;
+  return StatusOr<std::unique_ptr<QueryPlan>>(
+      std::make_unique<QueryPlan>(name(), std::move(request)));
+}
+
+Status BasicBackend::SearchImpl(const QueryPlan& plan, const HitSink& sink,
+                                EngineStats*) const {
+  if (Status status = CheckTextCap(); !status.ok()) return status;
+  ResultCollector hits =
+      BasicAligner::Run(index_->text(), plan.request().query,
+                        plan.request().scheme, plan.request().threshold);
   Drain(hits, sink);
   return Status::Ok();
 }

@@ -2,8 +2,10 @@
 #define ALAE_API_BACKENDS_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/api/aligner.h"
+#include "src/baseline/blast/seed.h"
 #include "src/baseline/bwt_sw.h"
 #include "src/core/alae.h"
 
@@ -18,6 +20,61 @@ namespace api {
 //
 // Constructed by AlignerRegistry; the shared_ptr keeps the index alive for
 // as long as any backend does.
+//
+// Each backend's Compile returns its plan subclass below, carrying the
+// engine's query-side precomputation. Plans are index-independent: a plan
+// compiled by one shard's backend executes on every shard's.
+
+// ALAE's compiled query: the core AlaeQueryPlan (q-gram inverted lists,
+// Theorem 1/2 filter bounds, DP delta profile, reuse LCP index).
+class AlaePlan : public QueryPlan {
+ public:
+  AlaePlan(std::string_view backend, SearchRequest request)
+      : QueryPlan(backend, std::move(request)),
+        core_(this->request().query, this->request().scheme,
+              this->request().threshold, this->request().alae) {}
+
+  const AlaeQueryPlan& core() const { return core_; }
+
+ private:
+  AlaeQueryPlan core_;
+};
+
+// BWT-SW's compiled query: the sigma x m substitution profile.
+class BwtSwPlan : public QueryPlan {
+ public:
+  BwtSwPlan(std::string_view backend, SearchRequest request);
+
+  const std::vector<int32_t>& profile() const { return profile_; }
+
+ private:
+  std::vector<int32_t> profile_;
+};
+
+// BLAST's compiled query: the seeding word index over the query (its
+// neighborhood under exact-match DNA/protein seeding), word size resolved.
+class BlastPlan : public QueryPlan {
+ public:
+  BlastPlan(std::string_view backend, SearchRequest request);
+
+  // Null only for degenerate queries the engine answers empty.
+  const WordSeeder* seeder() const { return seeder_.get(); }
+
+ private:
+  std::unique_ptr<WordSeeder> seeder_;  // references this->request().query
+};
+
+// Smith-Waterman's compiled query: the substitution profile for the
+// streaming row scan.
+class SwPlan : public QueryPlan {
+ public:
+  SwPlan(std::string_view backend, SearchRequest request);
+
+  const std::vector<int32_t>& profile() const { return profile_; }
+
+ private:
+  std::vector<int32_t> profile_;
+};
 
 class AlaeBackend : public Aligner {
  public:
@@ -27,10 +84,12 @@ class AlaeBackend : public Aligner {
   std::string_view name() const override { return "alae"; }
   bool exact() const override { return true; }
   const Sequence& text() const override { return index_->text(); }
-  Status Prepare(const SearchRequest& request) const override;
+  const AlaeIndex& index() const { return *index_; }
 
  protected:
-  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+  StatusOr<std::unique_ptr<QueryPlan>> CompileImpl(
+      SearchRequest request) const override;
+  Status SearchImpl(const QueryPlan& plan, const HitSink& sink,
                     EngineStats* stats) const override;
 
  private:
@@ -48,7 +107,9 @@ class BwtSwBackend : public Aligner {
   const Sequence& text() const override { return index_->text(); }
 
  protected:
-  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+  StatusOr<std::unique_ptr<QueryPlan>> CompileImpl(
+      SearchRequest request) const override;
+  Status SearchImpl(const QueryPlan& plan, const HitSink& sink,
                     EngineStats* stats) const override;
 
  private:
@@ -66,7 +127,9 @@ class BlastBackend : public Aligner {
   const Sequence& text() const override { return index_->text(); }
 
  protected:
-  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+  StatusOr<std::unique_ptr<QueryPlan>> CompileImpl(
+      SearchRequest request) const override;
+  Status SearchImpl(const QueryPlan& plan, const HitSink& sink,
                     EngineStats* stats) const override;
 
  private:
@@ -83,7 +146,9 @@ class SmithWatermanBackend : public Aligner {
   const Sequence& text() const override { return index_->text(); }
 
  protected:
-  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+  StatusOr<std::unique_ptr<QueryPlan>> CompileImpl(
+      SearchRequest request) const override;
+  Status SearchImpl(const QueryPlan& plan, const HitSink& sink,
                     EngineStats* stats) const override;
 
  private:
@@ -104,13 +169,19 @@ class BasicBackend : public Aligner {
   std::string_view name() const override { return "basic"; }
   bool exact() const override { return true; }
   const Sequence& text() const override { return index_->text(); }
-  Status Prepare(const SearchRequest& request) const override;
 
  protected:
-  Status SearchImpl(const SearchRequest& request, const HitSink& sink,
+  // Compilation enforces the text cap (so Prepare reports it), and so
+  // does execution — a plan compiled by a small-text sibling must not
+  // unlock a big-text search here.
+  StatusOr<std::unique_ptr<QueryPlan>> CompileImpl(
+      SearchRequest request) const override;
+  Status SearchImpl(const QueryPlan& plan, const HitSink& sink,
                     EngineStats* stats) const override;
 
  private:
+  Status CheckTextCap() const;
+
   std::shared_ptr<const AlaeIndex> index_;
 };
 

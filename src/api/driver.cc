@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "src/util/timer.h"
 
@@ -18,75 +21,107 @@ int MultiQueryDriver::ResolveThreads(int threads, size_t num_requests) {
   return std::max(1, std::min<int>(threads, static_cast<int>(num_requests)));
 }
 
+namespace {
+
+// Runs fn(0) .. fn(n-1) across `threads` workers (already resolved).
+void ParallelFor(size_t n, int threads, const std::function<void(size_t)>& fn) {
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+void AggregateStats(const std::vector<QueryOutcome>& outcomes,
+                    double wall_seconds, MultiSearchStats* stats) {
+  if (stats == nullptr) return;
+  stats->wall_seconds = wall_seconds;
+  for (const QueryOutcome& o : outcomes) {
+    if (!o.ok()) {
+      ++stats->failed_queries;
+      continue;
+    }
+    stats->total_hits += o.response.hits.size();
+    stats->stats.Merge(o.response.stats);
+  }
+}
+
+}  // namespace
+
 std::vector<QueryOutcome> MultiQueryDriver::RunEach(
     const std::vector<SearchRequest>& requests, int threads,
     MultiSearchStats* stats) const {
   Timer timer;
   std::vector<QueryOutcome> outcomes(requests.size());
-  // Validate every request and warm the backend's shared per-(scheme,
-  // threshold) state up front, single-threaded. A query that fails here is
-  // recorded in its own slot — it must not mask its neighbours' results —
-  // and is skipped by the workers below.
+  // Validate every request up front, single-threaded (cheap): a query
+  // that fails here is recorded in its own slot — it must not mask its
+  // neighbours' results — and is skipped by the workers below. The
+  // per-query compilation (the backend's query-side precomputation, one
+  // Compile inside the ad-hoc Search) is NOT hoisted: each request runs
+  // exactly once, so there is nothing to reuse, and compiling inside the
+  // workers keeps it parallel. Compile-level refusals a Validate cannot
+  // see (e.g. BASIC's text cap) surface per query from the workers.
   for (size_t i = 0; i < requests.size(); ++i) {
-    outcomes[i].status = aligner_.Prepare(requests[i]);
+    outcomes[i].status = aligner_.Validate(requests[i]);
   }
 
-  auto run_one = [&](size_t i) {
-    if (!outcomes[i].status.ok()) return;
-    StatusOr<SearchResponse> r = aligner_.Search(requests[i]);
-    if (r.ok()) {
-      outcomes[i].response = std::move(r).value();
-    } else {
-      outcomes[i].status = r.status();
-    }
-  };
-
-  threads = ResolveThreads(threads, requests.size());
-  if (threads <= 1) {
-    for (size_t i = 0; i < requests.size(); ++i) run_one(i);
-  } else {
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-      while (true) {
-        size_t i = next.fetch_add(1);
-        if (i >= requests.size()) break;
-        run_one(i);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-
-  if (stats != nullptr) {
-    stats->wall_seconds = timer.ElapsedSeconds();
-    for (const QueryOutcome& o : outcomes) {
-      if (!o.ok()) {
-        ++stats->failed_queries;
-        continue;
-      }
-      stats->total_hits += o.response.hits.size();
-      stats->stats.Merge(o.response.stats);
-    }
-  }
+  ParallelFor(requests.size(), ResolveThreads(threads, requests.size()),
+              [&](size_t i) {
+                if (!outcomes[i].status.ok()) return;
+                StatusOr<SearchResponse> r = aligner_.Search(requests[i]);
+                if (r.ok()) {
+                  outcomes[i].response = std::move(r).value();
+                } else {
+                  outcomes[i].status = r.status();
+                }
+              });
+  AggregateStats(outcomes, timer.ElapsedSeconds(), stats);
   return outcomes;
 }
 
 StatusOr<std::vector<SearchResponse>> MultiQueryDriver::Run(
     const std::vector<SearchRequest>& requests, int threads,
     MultiSearchStats* stats) const {
+  Timer timer;
   // Run discards partial results on any failure, so fail fast on
-  // validation — a batch with one malformed request must not pay for the
-  // other N-1 searches first. (Prepare is idempotent; RunEach's own
-  // Prepare pass below then hits warm state.)
+  // anything compilation can reject — a batch with one malformed request
+  // must not pay for the other N-1 searches first. The compiled plans are
+  // kept and executed by the workers (compiling twice would double the
+  // serial prefix for nothing).
+  std::vector<std::unique_ptr<QueryPlan>> plans(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    if (Status status = aligner_.Prepare(requests[i]); !status.ok()) {
-      return Status(status.code(), "request " + std::to_string(i) + ": " +
-                                       status.message());
+    StatusOr<std::unique_ptr<QueryPlan>> plan = aligner_.Compile(requests[i]);
+    if (!plan.ok()) {
+      return Status(plan.status().code(), "request " + std::to_string(i) +
+                                              ": " + plan.status().message());
     }
+    plans[i] = std::move(*plan);
   }
-  std::vector<QueryOutcome> outcomes = RunEach(requests, threads, stats);
+
+  std::vector<QueryOutcome> outcomes(requests.size());
+  ParallelFor(requests.size(), ResolveThreads(threads, requests.size()),
+              [&](size_t i) {
+                StatusOr<SearchResponse> r = aligner_.Search(*plans[i]);
+                if (r.ok()) {
+                  outcomes[i].response = std::move(r).value();
+                  outcomes[i].response.stats.plan_compile_ns =
+                      plans[i]->compile_ns();
+                } else {
+                  outcomes[i].status = r.status();
+                }
+              });
+  AggregateStats(outcomes, timer.ElapsedSeconds(), stats);
   // All-or-nothing view: the first per-query failure fails the batch (with
   // that query's index), even when later queries succeeded.
   for (size_t i = 0; i < outcomes.size(); ++i) {

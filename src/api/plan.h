@@ -1,0 +1,78 @@
+#ifndef ALAE_API_PLAN_H_
+#define ALAE_API_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/api/search.h"
+
+namespace alae {
+namespace api {
+
+// A compiled query: the validated request plus every piece of query-side
+// precomputation a backend derives from (query, scheme, threshold, opts)
+// alone — never from the indexed text. This is the prepare/execute split
+// of database engines: Aligner::Compile builds the plan once and
+// Aligner::Search(plan, ...) executes it, against this aligner or any
+// other aligner of the same backend (the sharded service compiles once per
+// request and shares the plan across every shard's aligner).
+//
+// Contract:
+//  - Immutable after Compile returns, and therefore safe to share between
+//    concurrent Search calls without synchronisation.
+//  - `request()` is the compiled request verbatim; `max_hits` is the one
+//    field a plan does not bake into derived state (it is a stream cap
+//    applied at execution time, not part of the compiled question).
+//  - `fingerprint()` canonically serialises everything that determines
+//    the full (uncapped) answer: backend name, scoring scheme, threshold,
+//    the per-backend option blocks, alphabet kind and query symbols.
+//    Equal requests always produce equal fingerprints; requests differing
+//    in any of those fields never collide (the encoding is injective, not
+//    a hash). Cache layers key on it (plus max_hits and their own epoch).
+//
+// Backends subclass this with their compiled artifacts (ALAE's q-gram
+// index and filter bounds, BLAST's seeding word index, DP delta profiles);
+// backends with nothing to precompute use the base class as-is.
+class QueryPlan {
+ public:
+  QueryPlan(std::string_view backend, SearchRequest request)
+      : backend_(backend),
+        request_(std::move(request)),
+        fingerprint_(Fingerprint(backend_, request_)) {}
+  virtual ~QueryPlan() = default;
+
+  QueryPlan(const QueryPlan&) = delete;
+  QueryPlan& operator=(const QueryPlan&) = delete;
+
+  // Name of the backend that compiled this plan; a plan only executes on
+  // aligners whose name() matches.
+  std::string_view backend() const { return backend_; }
+
+  const SearchRequest& request() const { return request_; }
+
+  // Canonical answer-determining bytes (see the class comment).
+  const std::string& fingerprint() const { return fingerprint_; }
+
+  // Wall time Compile spent building this plan.
+  uint64_t compile_ns() const { return compile_ns_; }
+
+  // The canonical serialisation fingerprint() is built from; exposed so
+  // cache keys can be derived for a request without compiling it.
+  static std::string Fingerprint(std::string_view backend,
+                                 const SearchRequest& request);
+
+ private:
+  friend class Aligner;  // stamps compile_ns_
+
+  std::string backend_;
+  SearchRequest request_;
+  std::string fingerprint_;
+  uint64_t compile_ns_ = 0;
+};
+
+}  // namespace api
+}  // namespace alae
+
+#endif  // ALAE_API_PLAN_H_

@@ -15,6 +15,8 @@ void EngineStats::Merge(const EngineStats& o) {
   gapped_extensions += o.gapped_extensions;
   cache_hits += o.cache_hits;
   cache_misses += o.cache_misses;
+  plan_compile_ns += o.plan_compile_ns;
+  plan_reuses += o.plan_reuses;
 }
 
 }  // namespace api

@@ -65,6 +65,14 @@ struct EngineStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
 
+  // Query-compilation accounting: nanoseconds Aligner::Compile spent
+  // building the plan(s) behind this response, and how many engine
+  // executions ran off a prebuilt plan (the sharded service compiles once
+  // and reuses across shards; an ad-hoc Search compiles per call and
+  // reports plan_reuses = 0).
+  uint64_t plan_compile_ns = 0;
+  uint64_t plan_reuses = 0;
+
   // Accumulates `o` into this (used by the multi-query driver).
   void Merge(const EngineStats& o);
 };

@@ -1,6 +1,7 @@
 #include "src/baseline/blast/blast.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "src/baseline/blast/extend.h"
@@ -8,19 +9,30 @@
 
 namespace alae {
 
-ResultCollector Blast::Run(const Sequence& text, const Sequence& query,
-                           const ScoringScheme& scheme, int32_t threshold,
-                           const BlastOptions& options, BlastRunStats* stats) {
-  ResultCollector results;
+int Blast::ResolveWordSize(const BlastOptions& options,
+                           const Sequence& query) {
   int word = options.word_size;
   if (word <= 0) {
-    word = text.alphabet().kind() == AlphabetKind::kDna ? 11 : 3;
+    word = query.alphabet().kind() == AlphabetKind::kDna ? 11 : 3;
   }
-  word = std::min<int>(word, static_cast<int>(query.size()));
+  return std::min<int>(word, static_cast<int>(query.size()));
+}
+
+ResultCollector Blast::Run(const Sequence& text, const Sequence& query,
+                           const ScoringScheme& scheme, int32_t threshold,
+                           const BlastOptions& options, BlastRunStats* stats,
+                           const WordSeeder* seeder) {
+  ResultCollector results;
+  const int word = seeder != nullptr ? seeder->word_size()
+                                     : ResolveWordSize(options, query);
   if (word <= 0) return results;
 
-  WordSeeder seeder(query, word, options.two_hit);
-  std::vector<SeedHit> seeds = seeder.Scan(text);
+  std::optional<WordSeeder> local;
+  if (seeder == nullptr) {
+    local.emplace(query, word, options.two_hit);
+    seeder = &*local;
+  }
+  std::vector<SeedHit> seeds = seeder->Scan(text);
   if (stats) stats->seeds += seeds.size();
 
   const int32_t trigger = std::min(options.gap_trigger, threshold);

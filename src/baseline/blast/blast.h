@@ -9,6 +9,8 @@
 
 namespace alae {
 
+class WordSeeder;
+
 struct BlastOptions {
   // Word size; <= 0 picks the classical default (11 for DNA, 3 for
   // protein), capped by the query length.
@@ -37,10 +39,20 @@ struct BlastRunStats {
 // barely depends on the scoring scheme (Fig 9's flat BLAST curve).
 class Blast {
  public:
+  // `seeder` may supply a prebuilt query word index (the query plan's
+  // copy, shared across runs; it must have been built from `query` with
+  // ResolveWordSize(options, query)); when null one is built on the fly.
   static ResultCollector Run(const Sequence& text, const Sequence& query,
                              const ScoringScheme& scheme, int32_t threshold,
                              const BlastOptions& options = {},
-                             BlastRunStats* stats = nullptr);
+                             BlastRunStats* stats = nullptr,
+                             const WordSeeder* seeder = nullptr);
+
+  // The effective seeding word size for a query: the classical default
+  // (11 for DNA, 3 for protein) unless overridden, capped by the query
+  // length. The one rule shared by Run and query-plan compilation.
+  static int ResolveWordSize(const BlastOptions& options,
+                             const Sequence& query);
 };
 
 }  // namespace alae

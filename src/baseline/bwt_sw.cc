@@ -226,7 +226,7 @@ void BwtSw::ComputeChildRow(RowCtx* ctx,
     spec.prev_m = prev_m;
     spec.prev_ga = prev_ga;
     spec.prev_diag_m = diag_m;
-    spec.delta = ctx->profile.data() +
+    spec.delta = ctx->profile->data() +
                  static_cast<size_t>(c) * static_cast<size_t>(m) +
                  static_cast<size_t>(win_a - 1);
     spec.out_m = out_m;
@@ -262,7 +262,8 @@ void BwtSw::ComputeChildRow(RowCtx* ctx,
 }
 
 ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
-                           int32_t threshold, DpCounters* counters) const {
+                           int32_t threshold, DpCounters* counters,
+                           const std::vector<int32_t>* profile) const {
   ResultCollector results;
   const int64_t m = static_cast<int64_t>(query.size());
   if (m == 0 || n_ == 0) return results;
@@ -275,7 +276,12 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
   ctx.scheme = scheme;
   ctx.threshold = threshold;
   ctx.m = m;
-  ctx.profile = BuildDeltaProfile(scheme, query);
+  if (profile != nullptr) {
+    ctx.profile = profile;
+  } else {
+    ctx.profile_storage = BuildDeltaProfile(scheme, query);
+    ctx.profile = &ctx.profile_storage;
+  }
 
   struct Frame {
     SaRange range;
@@ -323,10 +329,21 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
       }
       // ExtendAll fills one entry per *index* symbol; size for whichever
       // alphabet is wider so a query/index mismatch cannot overflow.
-      top.children.resize(
-          static_cast<size_t>(std::max(sigma, index_.sigma())));
-      index_.ExtendAll(top.range, top.children.data());
-      if (counters) ++counters->fm_extend_alls;
+      top.children.assign(
+          static_cast<size_t>(std::max(sigma, index_.sigma())), SaRange{});
+      if (top.range.Count() == 1) {
+        // Singleton fast path: one access + one rank instead of two
+        // all-symbol boundary ranks (deep nodes are singleton chains).
+        Symbol only = 0;
+        SaRange child;
+        if (index_.ExtendSingleton(top.range.lo, &only, &child)) {
+          top.children[only] = child;
+        }
+        if (counters) ++counters->fm_extends;
+      } else {
+        index_.ExtendAll(top.range, top.children.data());
+        if (counters) ++counters->fm_extend_alls;
+      }
     }
     Symbol c = top.next_child++;
     SaRange child_range = top.children[c];

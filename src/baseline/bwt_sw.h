@@ -38,8 +38,12 @@ class BwtSw {
   BwtSw(const FmIndex& rev_index, int64_t text_len);
 
   // Reports every end pair with best score >= threshold (threshold >= 1).
+  // `profile` may supply a precompiled BuildDeltaProfile(scheme, query)
+  // (the query plan's copy, shared across runs); when null it is built on
+  // the fly.
   ResultCollector Run(const Sequence& query, const ScoringScheme& scheme,
-                      int32_t threshold, DpCounters* counters = nullptr) const;
+                      int32_t threshold, DpCounters* counters = nullptr,
+                      const std::vector<int32_t>* profile = nullptr) const;
 
  private:
   // A dead run longer than this closes the current row segment; shorter
@@ -55,7 +59,10 @@ class BwtSw {
     ScoringScheme scheme;
     int32_t threshold = 1;
     int64_t m = 0;
-    std::vector<int32_t> profile;  // sigma x m, Delta(c, P[j-1])
+    // sigma x m, Delta(c, P[j-1]); borrowed from the caller's query plan
+    // when one exists, else points at `profile_storage`.
+    const std::vector<int32_t>* profile = nullptr;
+    std::vector<int32_t> profile_storage;
     std::vector<int32_t> prev_m, prev_ga, diag_m, out_m, out_ga;  // scratch
     std::vector<std::pair<int64_t, int64_t>> wins;  // coalesced windows
     std::vector<simd::DpRow> pool;  // retired segments for reuse

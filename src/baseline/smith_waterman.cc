@@ -22,9 +22,16 @@ ResultCollector SmithWaterman::Run(const Sequence& text, const Sequence& query,
 uint64_t SmithWaterman::Stream(
     const Sequence& text, const Sequence& query, const ScoringScheme& scheme,
     int32_t threshold,
-    const std::function<bool(int64_t, int64_t, int32_t)>& emit) {
+    const std::function<bool(int64_t, int64_t, int32_t)>& emit,
+    const std::vector<int32_t>* profile) {
   int64_t n = static_cast<int64_t>(text.size());
   int64_t m = static_cast<int64_t>(query.size());
+  if (m == 0) return 0;
+  std::vector<int32_t> profile_storage;
+  if (profile == nullptr) {
+    profile_storage = BuildDeltaProfile(scheme, query);
+    profile = &profile_storage;
+  }
   std::vector<int32_t> h_prev(static_cast<size_t>(m + 1), 0);
   std::vector<int32_t> h_cur(static_cast<size_t>(m + 1), 0);
   std::vector<int32_t> e(static_cast<size_t>(m + 1), kNegInf);
@@ -32,12 +39,15 @@ uint64_t SmithWaterman::Stream(
   for (int64_t i = 1; i <= n; ++i) {
     int32_t f = kNegInf;
     h_cur[0] = 0;
+    const int32_t* delta_row =
+        profile->data() +
+        static_cast<size_t>(text[static_cast<size_t>(i - 1)]) *
+            static_cast<size_t>(m);
     for (int64_t j = 1; j <= m; ++j) {
       size_t sj = static_cast<size_t>(j);
       e[sj] = std::max(e[sj] + scheme.ss, h_prev[sj] + scheme.sg + scheme.ss);
       f = std::max(f + scheme.ss, h_cur[sj - 1] + scheme.sg + scheme.ss);
-      int32_t diag = h_prev[sj - 1] + scheme.Delta(text[static_cast<size_t>(i - 1)],
-                                                   query[static_cast<size_t>(j - 1)]);
+      int32_t diag = h_prev[sj - 1] + delta_row[sj - 1];
       int32_t h = std::max({0, diag, e[sj], f});
       h_cur[sj] = h;
       ++cells;

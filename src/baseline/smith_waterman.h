@@ -2,6 +2,7 @@
 #define ALAE_BASELINE_SMITH_WATERMAN_H_
 
 #include <functional>
+#include <vector>
 
 #include "src/align/result.h"
 #include "src/align/scoring.h"
@@ -25,11 +26,15 @@ class SmithWaterman {
   // pairs can be emitted in (text_end, query_end) order with no collector.
   // `emit(text_end, query_end, score)` returns false to stop the scan.
   // Returns the number of DP cells actually computed (n*m on a full scan,
-  // less when emit cancelled early).
+  // less when emit cancelled early). `profile` may supply a precompiled
+  // BuildDeltaProfile(scheme, query) (the query plan's copy); when null
+  // one is built on the fly — the inner loop always reads the profile
+  // instead of branching on Delta.
   static uint64_t Stream(
       const Sequence& text, const Sequence& query, const ScoringScheme& scheme,
       int32_t threshold,
-      const std::function<bool(int64_t, int64_t, int32_t)>& emit);
+      const std::function<bool(int64_t, int64_t, int32_t)>& emit,
+      const std::vector<int32_t>* profile = nullptr);
 
   // Number of DP cells a full SW run computes (used in reports).
   static uint64_t CellCount(const Sequence& text, const Sequence& query) {

@@ -7,12 +7,9 @@
 
 #include "src/align/dp.h"
 #include "src/align/simd_dp.h"
-#include "src/core/filters.h"
 #include "src/core/fork.h"
 #include "src/core/global_filter.h"
 #include "src/core/reuse.h"
-#include "src/index/lcp.h"
-#include "src/index/qgram_index.h"
 
 namespace alae {
 
@@ -57,45 +54,125 @@ Alae::Alae(const AlaeIndex& index, AlaeConfig config)
     : index_(index), config_(config) {}
 
 // ---------------------------------------------------------------------------
+// AlaeQueryPlan
+// ---------------------------------------------------------------------------
+
+AlaeQueryPlan::AlaeQueryPlan(Sequence query, const ScoringScheme& scheme,
+                             int32_t threshold, const AlaeConfig& config)
+    : query_(std::move(query)),
+      scheme_(scheme),
+      threshold_(threshold),
+      config_(config),
+      filters_(scheme, static_cast<int64_t>(query_.size()), threshold, config),
+      qgrams_(query_, filters_.q()) {
+  // Enumerate the distinct q-grams of P in first-occurrence order: the
+  // engine's anchoring work list, identical for every index it runs
+  // against.
+  const int32_t q = filters_.q();
+  const int64_t m = static_cast<int64_t>(query_.size());
+  if (m >= q) {
+    std::unordered_map<uint64_t, int32_t> seen;
+    for (int64_t j = 0; j + q <= m; ++j) {
+      uint64_t key = qgrams_.KeyOf(query_.symbols().data() + j);
+      seen.try_emplace(key, static_cast<int32_t>(j));
+    }
+    grams_.reserve(seen.size());
+    for (const auto& [key, first] : seen) grams_.push_back({first, key});
+    std::sort(grams_.begin(), grams_.end());
+
+    // Key-sorted descent order with shared-prefix lengths, so each index
+    // extends a shared gram prefix once (the gram set as a prefix tree).
+    descent_order_.reserve(grams_.size());
+    for (size_t g = 0; g < grams_.size(); ++g) {
+      descent_order_.push_back({static_cast<int32_t>(g), 0});
+    }
+    std::sort(descent_order_.begin(), descent_order_.end(),
+              [this](const GramStep& a, const GramStep& b) {
+                return grams_[static_cast<size_t>(a.gram)].second <
+                       grams_[static_cast<size_t>(b.gram)].second;
+              });
+    const Symbol* symbols = query_.symbols().data();
+    for (size_t g = 1; g < descent_order_.size(); ++g) {
+      const Symbol* prev =
+          symbols + grams_[static_cast<size_t>(descent_order_[g - 1].gram)]
+                        .first;
+      const Symbol* cur =
+          symbols +
+          grams_[static_cast<size_t>(descent_order_[g].gram)].first;
+      int32_t lcp = 0;
+      while (lcp < q && prev[lcp] == cur[lcp]) ++lcp;
+      descent_order_[g].lcp = lcp;
+    }
+  }
+  profile_ = BuildDeltaProfile(scheme_, query_);
+  if (config_.reuse) query_lcp_ = std::make_unique<LcpIndex>(query_);
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
+// The engine is written over `L` index lanes: the fused sharded execution
+// (Alae::RunSharded) walks the union of the lanes' suffix tries, paying the
+// fork DP once per distinct path while each lane pays only range extension
+// and hit location. The single-index Run is the L == 1 special case of the
+// same code.
 class Alae::Engine {
  public:
-  Engine(const AlaeIndex& index, const AlaeConfig& config,
-         const Sequence& query, const ScoringScheme& scheme,
-         int32_t threshold)
-      : index_(index),
-        fm_(index.fm()),
-        config_(config),
-        query_(query),
-        scheme_(scheme),
-        n_(index.text_size()),
-        m_(static_cast<int64_t>(query.size())),
-        threshold_(threshold),
-        filters_(scheme, static_cast<int64_t>(query.size()), threshold,
-                 config),
-        qgrams_(query, filters_.q()),
-        reuse_group_(nullptr) {
-    if (config_.reuse) {
-      query_lcp_ = std::make_unique<LcpIndex>(query);
-      reuse_group_ = RowReuseGroup(query_lcp_.get());
+  Engine(const std::vector<const AlaeIndex*>& indexes,
+         const AlaeQueryPlan& plan)
+      : indexes_(indexes),
+        config_(plan.config()),
+        query_(plan.query()),
+        scheme_(plan.scheme()),
+        m_(static_cast<int64_t>(plan.query().size())),
+        threshold_(plan.threshold()),
+        filters_(plan.filters()),
+        qgrams_(plan.qgrams()),
+        grams_(plan.grams()),
+        descent_(plan.descent_order()),
+        profile_(plan.profile()),
+        query_lcp_(plan.query_lcp()),
+        reuse_group_(config_.reuse ? query_lcp_ : nullptr) {
+    const size_t lanes = indexes_.size();
+    n_.reserve(lanes);
+    fms_.reserve(lanes);
+    for (const AlaeIndex* index : indexes_) {
+      n_.push_back(index->text_size());
+      fms_.push_back(&index->fm());
     }
     if (config_.domination_filter) {
-      domination_ = &index.Domination(filters_.q());
+      domination_.reserve(lanes);
+      for (const AlaeIndex* index : indexes_) {
+        domination_.push_back(&index->Domination(filters_.q()));
+      }
     }
-    profile_ = BuildDeltaProfile(scheme, query);
+    results_.resize(lanes);
   }
 
-  ResultCollector Run(AlaeRunStats* stats);
+  void Run(std::vector<ResultCollector>* results, AlaeRunStats* stats);
 
  private:
   struct Frame {
-    SaRange range;
-    std::vector<SaRange> children;  // all sigma child ranges, one ExtendAll
+    // Live lanes only, as parallel arrays: lane ids (ascending) and their
+    // nonempty SA ranges. A lane whose range empties simply drops out of
+    // the child frame, so deep in the union trie — where a path typically
+    // survives in one shard — per-node work degrades to the single-index
+    // engine's.
+    std::vector<uint32_t> lanes;
+    std::vector<SaRange> ranges;
+    // Expansion result, bucketed by symbol: child_lanes[c]/child_ranges[c]
+    // are exactly child c's live-lane arrays, built in ONE pass over this
+    // node's lanes (a singleton lane contributes one bucket push, not a
+    // sigma-wide block) and swapped into the child frame when its symbol
+    // comes up. Buckets are (re)initialised at expansion time, so
+    // ResetFrame leaves them alone.
+    std::vector<std::vector<uint32_t>> child_lanes;
+    std::vector<std::vector<SaRange>> child_ranges;
     std::vector<DiagFork> diag;  // forks in the cheap EMR/NGR phase
     std::vector<ForkState> gap;  // forks with open gap regions
-    std::vector<int64_t> ends;   // lazily located text end positions
+    // Lazily located text end positions, parallel to `lanes`.
+    std::vector<std::vector<int64_t>> ends;
     bool located = false;
     Symbol next_child = 0;
   };
@@ -106,7 +183,14 @@ class Alae::Engine {
     int32_t score;
   };
 
-  void ProcessGram(uint64_t key, const std::vector<int32_t>& anchors);
+  // Upper bound on per-node child fan-out (alphabet codes); DNA uses 4-5,
+  // protein ~21 — 64 leaves generous headroom for custom alphabets.
+  static constexpr size_t kMaxStride = 64;
+
+  size_t lanes() const { return indexes_.size(); }
+  const FmIndex& fm(size_t lane) const { return *fms_[lane]; }
+
+  void ProcessGram(size_t gram_index, const std::vector<int32_t>& anchors);
   bool AnchorSurvivesGlobalFilters(const Symbol* gram,
                                    const std::vector<int64_t>& starts,
                                    int32_t anchor);
@@ -137,23 +221,28 @@ class Alae::Engine {
   // paths end at depth `depth`.
   void FlushNode(Frame* frame, int64_t depth);
 
-  const AlaeIndex& index_;
-  const FmIndex& fm_;
+  const std::vector<const AlaeIndex*>& indexes_;
+  std::vector<const FmIndex*> fms_;  // per-lane, hoisted out of hot loops
   const AlaeConfig& config_;
   const Sequence& query_;
   const ScoringScheme& scheme_;
-  int64_t n_;
+  std::vector<int64_t> n_;  // per-lane text length
   int64_t m_;
   int32_t threshold_;
-  FilterContext filters_;
-  QGramIndex qgrams_;
-  std::unique_ptr<LcpIndex> query_lcp_;
+  // Query-side compiled state, all borrowed from the (immutable) plan.
+  const FilterContext& filters_;
+  const QGramIndex& qgrams_;
+  const std::vector<std::pair<int32_t, uint64_t>>& grams_;
+  const std::vector<AlaeQueryPlan::GramStep>& descent_;
+  const std::vector<int32_t>& profile_;
+  std::vector<SaRange> gram_roots_;  // grams x lanes, gram-major
+  const LcpIndex* query_lcp_;
   RowReuseGroup reuse_group_;
-  const DominationIndex* domination_ = nullptr;
+  std::vector<const DominationIndex*> domination_;  // per lane, maybe empty
   std::unique_ptr<BitsetGlobalFilter> bitset_owned_;
   BitsetGlobalFilter* bitset_ = nullptr;
 
-  ResultCollector results_;
+  std::vector<ResultCollector> results_;  // one per lane
   DpCounters counters_;
   uint64_t anchors_considered_ = 0;
   uint64_t grams_searched_ = 0;
@@ -161,9 +250,7 @@ class Alae::Engine {
   std::vector<PendingHit> pending_hits_;
   std::vector<PendingHit> bitset_pending_;
 
-  // Row-kernel inputs: the per-symbol substitution profile and the buffer
-  // for the one-cell-shifted diagonal view of the previous row.
-  std::vector<int32_t> profile_;
+  // Buffer for the one-cell-shifted diagonal view of the previous row.
   std::vector<int32_t> scratch_diag_m_;
 
   // Retired gap-row buffers, recycled so the DFS does not pay three heap
@@ -179,30 +266,72 @@ class Alae::Engine {
     }
   }
   void ReleaseRow(simd::DpRow&& row) { row_pool_.push_back(std::move(row)); }
+
+  // The DFS stack as persistent slots: depth is bounded by Lmax, frames
+  // are never moved or destroyed mid-run, and a slot's vectors keep their
+  // capacity across pushes at the same depth — steady-state descent does
+  // no frame allocation at all. dfs_stack_[0] is the current gram's root.
+  std::vector<Frame> dfs_stack_;
+
+  static void ResetFrame(Frame* frame) {
+    frame->lanes.clear();
+    frame->ranges.clear();
+    // child_lanes/child_ranges are cleared by the expansion pass itself.
+    frame->diag.clear();
+    frame->gap.clear();
+    frame->ends.clear();
+    frame->located = false;
+    frame->next_child = 0;
+  }
 };
 
-ResultCollector Alae::Engine::Run(AlaeRunStats* stats) {
-  if (config_.bitset_global_filter) {
+void Alae::Engine::Run(std::vector<ResultCollector>* results,
+                       AlaeRunStats* stats) {
+  // The quadratic bitset filter records lane-local coordinates, so it only
+  // applies to single-index runs (it is a test/ablation feature; skipping
+  // it never changes results, only the amount of pruned work).
+  if (config_.bitset_global_filter && lanes() == 1) {
     bitset_owned_ = std::make_unique<BitsetGlobalFilter>();
     bitset_ = bitset_owned_.get();
   }
   const int32_t q = filters_.q();
-  if (m_ >= q && n_ >= q) {
-    // Enumerate the distinct q-grams of P in first-occurrence order.
-    std::vector<std::pair<int32_t, uint64_t>> grams;  // (first occ, key)
-    {
-      std::unordered_map<uint64_t, int32_t> seen;
-      for (int64_t j = 0; j + q <= m_; ++j) {
-        uint64_t key = qgrams_.KeyOf(query_.symbols().data() + j);
-        seen.try_emplace(key, static_cast<int32_t>(j));
+  bool any_lane = false;
+  for (int64_t n : n_) any_lane = any_lane || n >= q;
+  if (m_ >= q && any_lane) {
+    // Size the persistent DFS slots once: children sit at stack level
+    // depth - q, and depth never exceeds lmax.
+    const size_t max_levels = static_cast<size_t>(
+        std::max<int64_t>(1, filters_.lmax() - q + 2));
+    if (dfs_stack_.size() < max_levels) dfs_stack_.resize(max_levels);
+
+    // Root anchoring: locate every distinct gram's subtree in every lane,
+    // descending the gram set in key order as a prefix tree — a prefix
+    // shared by consecutive grams is extended once per lane, not once per
+    // gram (the stack holds the current prefix path's ranges).
+    const size_t num_lanes = lanes();
+    gram_roots_.assign(grams_.size() * num_lanes, SaRange{});
+    std::vector<SaRange> prefix(static_cast<size_t>(q));
+    for (size_t l = 0; l < num_lanes; ++l) {
+      if (n_[l] < q) continue;
+      for (const AlaeQueryPlan::GramStep& step : descent_) {
+        const Symbol* gram =
+            query_.symbols().data() +
+            grams_[static_cast<size_t>(step.gram)].first;
+        SaRange range = step.lcp == 0
+                            ? fm(l).FullRange()
+                            : prefix[static_cast<size_t>(step.lcp) - 1];
+        for (int32_t k = step.lcp; k < q; ++k) {
+          if (!range.Empty()) {
+            range = fm(l).Extend(range, gram[k]);
+            ++counters_.fm_extends;
+          }
+          prefix[static_cast<size_t>(k)] = range;
+        }
+        gram_roots_[static_cast<size_t>(step.gram) * num_lanes + l] = range;
       }
-      grams.reserve(seen.size());
-      for (const auto& [key, first] : seen) grams.push_back({first, key});
-      std::sort(grams.begin(), grams.end());
     }
-    for (const auto& [first, key] : grams) {
-      (void)first;
-      ProcessGram(key, qgrams_.Occurrences(key));
+    for (size_t g = 0; g < grams_.size(); ++g) {
+      ProcessGram(g, qgrams_.Occurrences(grams_[g].second));
     }
   }
   if (stats != nullptr) {
@@ -210,15 +339,26 @@ ResultCollector Alae::Engine::Run(AlaeRunStats* stats) {
     stats->anchors_considered = anchors_considered_;
     stats->grams_searched = grams_searched_;
   }
-  return std::move(results_);
+  *results = std::move(results_);
 }
 
 bool Alae::Engine::AnchorSurvivesGlobalFilters(
     const Symbol* gram, const std::vector<int64_t>& starts, int32_t anchor) {
-  if (domination_ != nullptr && anchor >= 1) {
-    Symbol predecessor = 0;
-    if (domination_->IsDominated(gram, &predecessor) &&
-        query_[static_cast<size_t>(anchor - 1)] == predecessor) {
+  if (!domination_.empty() && anchor >= 1) {
+    // A fork may be skipped only when every lane's text dominates it —
+    // a lane where the gram is not dominated still needs the fork's rows.
+    // Skipping is a work-pruning choice, never a correctness one: the
+    // dominating fork reproduces the skipped fork's hits.
+    bool all_dominated = true;
+    for (const DominationIndex* dom : domination_) {
+      Symbol predecessor = 0;
+      if (!(dom->IsDominated(gram, &predecessor) &&
+            query_[static_cast<size_t>(anchor - 1)] == predecessor)) {
+        all_dominated = false;
+        break;
+      }
+    }
+    if (all_dominated) {
       ++counters_.forks_skipped_domination;
       return false;
     }
@@ -239,30 +379,35 @@ bool Alae::Engine::AnchorSurvivesGlobalFilters(
   return true;
 }
 
-void Alae::Engine::ProcessGram(uint64_t key,
+void Alae::Engine::ProcessGram(size_t gram_index,
                                const std::vector<int32_t>& anchors) {
   if (anchors.empty()) return;
   const int32_t q = filters_.q();
+  const size_t num_lanes = lanes();
   const Symbol* gram = query_.symbols().data() + anchors[0];
   ++grams_searched_;
 
-  // Locate the q-gram's subtree: extend forward through the reverse-text
-  // FM-index (one backward step per appended character, §5).
-  SaRange range = fm_.FullRange();
-  for (int32_t i = 0; i < q && !range.Empty(); ++i) {
-    range = fm_.Extend(range, gram[i]);
-    ++counters_.fm_extends;
+  // The gram's subtree root in every lane was anchored up front (Run's
+  // prefix-tree descent); lanes where the gram does not occur drop out
+  // here and are never touched again for this gram.
+  Frame& root = dfs_stack_[0];
+  ResetFrame(&root);
+  for (size_t l = 0; l < num_lanes; ++l) {
+    const SaRange& range = gram_roots_[gram_index * num_lanes + l];
+    if (range.Empty()) continue;
+    root.lanes.push_back(static_cast<uint32_t>(l));
+    root.ranges.push_back(range);
   }
-  if (range.Empty()) return;
-  (void)key;
+  if (root.lanes.empty()) return;
 
-  // Text start positions are needed by the bitset filter only.
+  // Text start positions are needed by the bitset filter only (single
+  // lane by construction; see Run).
   std::vector<int64_t> starts;
   if (bitset_ != nullptr) {
-    starts = fm_.Locate(range, &counters_.fm_lf_steps);
+    starts = fm(0).Locate(root.ranges[0], &counters_.fm_lf_steps);
     // p is a start in reverse(T) of (gram)^-1; the gram starts in T at
     // n - p - q.
-    for (int64_t& p : starts) p = n_ - p - q;
+    for (int64_t& p : starts) p = n_[0] - p - q;
   }
 
   std::vector<DiagFork> root_forks;
@@ -297,8 +442,6 @@ void Alae::Engine::ProcessGram(uint64_t key,
 
   // Root-level bookkeeping: EMR scores can already be results when
   // q == ceil(H/sa), and in bitset mode all EMR cells carry score >= sa.
-  Frame root;
-  root.range = range;
   root.diag = std::move(root_forks);
   pending_hits_.clear();
   bitset_pending_.clear();
@@ -310,62 +453,109 @@ void Alae::Engine::ProcessGram(uint64_t key,
   // EMR hits end at depth-relative rows; FlushNode records end positions
   // for the node's full depth q, so translate per-row hits here instead.
   if (!pending_hits_.empty() || !bitset_pending_.empty()) {
-    std::vector<int64_t> ends = fm_.Locate(range, &counters_.fm_lf_steps);
-    for (int64_t& p : ends) p = n_ - 1 - p;  // end of the q-char path
-    for (const PendingHit& hit : pending_hits_) {
-      // hit.col - fork-relative row encodes the cell's own depth: the cell
-      // at EMR row i ends q - i characters before the path end.
-      // (col = anchor + i - 1  =>  i = col - anchor + 1; we stored col
-      // absolute, so recover i from the score: score = sa * i.)
-      int32_t i = hit.score / scheme_.sa;
-      for (int64_t end : ends) {
-        results_.Add(end - (q - i), hit.col, hit.score,
-                     end - (q - i) - i + 1);
-      }
-    }
-    if (bitset_ != nullptr) {
-      for (const PendingHit& hit : bitset_pending_) {
+    for (size_t i_lane = 0; i_lane < root.lanes.size(); ++i_lane) {
+      const size_t l = root.lanes[i_lane];
+      std::vector<int64_t> ends =
+          fm(l).Locate(root.ranges[i_lane], &counters_.fm_lf_steps);
+      for (int64_t& p : ends) p = n_[l] - 1 - p;  // end of the q-char path
+      for (const PendingHit& hit : pending_hits_) {
+        // hit.col - fork-relative row encodes the cell's own depth: the
+        // cell at EMR row i ends q - i characters before the path end.
+        // (col = anchor + i - 1  =>  i = col - anchor + 1; we stored col
+        // absolute, so recover i from the score: score = sa * i.)
         int32_t i = hit.score / scheme_.sa;
-        for (int64_t end : ends) bitset_->Set(end - (q - i), hit.col);
+        for (int64_t end : ends) {
+          results_[l].Add(end - (q - i), hit.col, hit.score,
+                          end - (q - i) - i + 1);
+        }
+      }
+      if (bitset_ != nullptr) {
+        for (const PendingHit& hit : bitset_pending_) {
+          int32_t i = hit.score / scheme_.sa;
+          for (int64_t end : ends) bitset_->Set(end - (q - i), hit.col);
+        }
       }
     }
     pending_hits_.clear();
     bitset_pending_.clear();
   }
 
-  // Iterative DFS over the subtree.
-  std::vector<Frame> stack;
-  stack.push_back(std::move(root));
+  // Iterative DFS over the subtree (the union of the lanes' subtrees: a
+  // node is expanded while any lane's range is nonempty, and the fork DP —
+  // a function of the path characters and the query only — is shared).
+  // Frames live in persistent stack slots (dfs_stack_[level]); "pop" just
+  // lowers the level, leaving the slot's buffers for the next push there.
+  size_t level = 1;
   const int sigma = query_.sigma();
+  // ExtendAll fills one entry per *index* symbol; stride for whichever
+  // alphabet is widest so a query/index mismatch cannot overflow.
+  size_t stride = static_cast<size_t>(sigma);
+  for (size_t l = 0; l < num_lanes; ++l) {
+    stride = std::max(stride, static_cast<size_t>(fm(l).sigma()));
+  }
+  assert(stride <= kMaxStride && "alphabet wider than the fan-out bound");
 
-  while (!stack.empty()) {
-    Frame& top = stack.back();
+  while (level > 0) {
+    Frame& top = dfs_stack_[level - 1];
     if (top.next_child >= sigma) {
       for (ForkState& fork : top.gap) ReleaseRow(std::move(fork.cells));
-      stack.pop_back();
+      top.gap.clear();
+      --level;
       continue;
     }
-    int64_t depth = static_cast<int64_t>(q) + static_cast<int64_t>(stack.size());
+    int64_t depth = static_cast<int64_t>(q) + static_cast<int64_t>(level);
     if (top.next_child == 0) {
       // First visit: the children's depth is fixed for the whole frame, so
       // the length filter prunes all of them at once, and one batched
-      // ExtendAll over the two boundary blocks replaces sigma single-symbol
-      // Extend calls.
+      // ExtendAll per live lane over the two boundary blocks replaces
+      // sigma single-symbol Extend calls.
       if (depth > filters_.lmax()) {
         for (ForkState& fork : top.gap) ReleaseRow(std::move(fork.cells));
-        stack.pop_back();
+        top.gap.clear();
+        --level;
         continue;
       }
-      // ExtendAll fills one entry per *index* symbol; size for whichever
-      // alphabet is wider so a query/index mismatch cannot overflow.
-      top.children.resize(
-          static_cast<size_t>(std::max(sigma, fm_.sigma())));
-      fm_.ExtendAll(top.range, top.children.data());
-      ++counters_.fm_extend_alls;
+      if (top.child_lanes.size() < stride) {
+        top.child_lanes.resize(stride);
+        top.child_ranges.resize(stride);
+      }
+      for (size_t c = 0; c < stride; ++c) {
+        top.child_lanes[c].clear();
+        top.child_ranges[c].clear();
+      }
+      SaRange block[kMaxStride];
+      for (size_t i = 0; i < top.lanes.size(); ++i) {
+        const SaRange& r = top.ranges[i];
+        const uint32_t lane = top.lanes[i];
+        const FmIndex& index = fm(lane);
+        if (r.Count() == 1) {
+          // Deep nodes are mostly singleton chains; one access + one rank
+          // (and one bucket push) replaces the two all-symbol boundary
+          // ranks and the sigma-wide child scan.
+          Symbol only = 0;
+          SaRange child;
+          if (index.ExtendSingleton(r.lo, &only, &child)) {
+            top.child_lanes[only].push_back(lane);
+            top.child_ranges[only].push_back(child);
+          }
+          ++counters_.fm_extends;
+        } else {
+          index.ExtendAll(r, block);
+          const size_t index_sigma = static_cast<size_t>(index.sigma());
+          for (size_t c = 0; c < index_sigma; ++c) {
+            if (block[c].Empty()) continue;
+            top.child_lanes[c].push_back(lane);
+            top.child_ranges[c].push_back(block[c]);
+          }
+          ++counters_.fm_extend_alls;
+        }
+      }
     }
     Symbol c = top.next_child++;
-    SaRange child_range = top.children[c];
-    if (child_range.Empty()) continue;
+    // The expansion pass bucketed child c's live lanes already; an empty
+    // bucket means the symbol extends nowhere and the candidate dies
+    // unpriced.
+    if (top.child_lanes[c].empty()) continue;
 
     // Evolve every fork by one row. Gap forks go first (their reuse
     // sources are earlier gap forks), then the cheap diagonal forks, whose
@@ -374,8 +564,10 @@ void Alae::Engine::ProcessGram(uint64_t key,
     pending_hits_.clear();
     bitset_pending_.clear();
     reuse_group_.NewRow();
-    Frame child;
-    child.range = child_range;
+    Frame& child = dfs_stack_[level];
+    ResetFrame(&child);
+    child.lanes.swap(top.child_lanes[c]);
+    child.ranges.swap(top.child_ranges[c]);
     child.diag.reserve(top.diag.size());
     child.gap.reserve(top.gap.size());
     for (const ForkState& fork : top.gap) {
@@ -422,28 +614,37 @@ void Alae::Engine::ProcessGram(uint64_t key,
       }
     }
     ++counters_.trie_nodes_visited;
+    // A child with no live forks never becomes the top; its slot (and any
+    // buffers it grew) is simply reused by the next push at this level.
     if (child.diag.empty() && child.gap.empty()) continue;
 
     FlushNode(&child, depth);
-    stack.push_back(std::move(child));
+    ++level;
   }
 }
 
 void Alae::Engine::FlushNode(Frame* frame, int64_t depth) {
   if (pending_hits_.empty() && bitset_pending_.empty()) return;
   if (!frame->located) {
-    frame->ends = fm_.Locate(frame->range, &counters_.fm_lf_steps);
-    for (int64_t& p : frame->ends) p = n_ - 1 - p;
+    frame->ends.resize(frame->lanes.size());
+    for (size_t i = 0; i < frame->lanes.size(); ++i) {
+      frame->ends[i] =
+          fm(frame->lanes[i]).Locate(frame->ranges[i], &counters_.fm_lf_steps);
+      for (int64_t& p : frame->ends[i]) p = n_[frame->lanes[i]] - 1 - p;
+    }
     frame->located = true;
   }
-  for (const PendingHit& hit : pending_hits_) {
-    for (int64_t end : frame->ends) {
-      results_.Add(end, hit.col, hit.score, end - depth + 1);
+  for (size_t i = 0; i < frame->lanes.size(); ++i) {
+    ResultCollector& out = results_[frame->lanes[i]];
+    for (const PendingHit& hit : pending_hits_) {
+      for (int64_t end : frame->ends[i]) {
+        out.Add(end, hit.col, hit.score, end - depth + 1);
+      }
     }
   }
   if (bitset_ != nullptr) {
     for (const PendingHit& hit : bitset_pending_) {
-      for (int64_t end : frame->ends) bitset_->Set(end, hit.col);
+      for (int64_t end : frame->ends[0]) bitset_->Set(end, hit.col);
     }
   }
   pending_hits_.clear();
@@ -690,8 +891,27 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
 
 ResultCollector Alae::Run(const Sequence& query, const ScoringScheme& scheme,
                           int32_t threshold, AlaeRunStats* stats) const {
-  Engine engine(index_, config_, query, scheme, threshold);
-  return engine.Run(stats);
+  AlaeQueryPlan plan(query, scheme, threshold, config_);
+  return Run(plan, stats);
+}
+
+ResultCollector Alae::Run(const AlaeQueryPlan& plan,
+                          AlaeRunStats* stats) const {
+  std::vector<const AlaeIndex*> indexes{&index_};
+  std::vector<ResultCollector> results;
+  Engine engine(indexes, plan);
+  engine.Run(&results, stats);
+  return std::move(results[0]);
+}
+
+void Alae::RunSharded(const AlaeQueryPlan& plan,
+                      const std::vector<const AlaeIndex*>& indexes,
+                      std::vector<ResultCollector>* results,
+                      AlaeRunStats* stats) {
+  results->clear();
+  if (indexes.empty()) return;
+  Engine engine(indexes, plan);
+  engine.Run(results, stats);
 }
 
 }  // namespace alae

@@ -5,13 +5,18 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "src/align/counters.h"
 #include "src/align/result.h"
 #include "src/align/scoring.h"
 #include "src/core/config.h"
+#include "src/core/filters.h"
 #include "src/index/domination_index.h"
 #include "src/index/fm_index.h"
+#include "src/index/lcp.h"
+#include "src/index/qgram_index.h"
 #include "src/io/sequence.h"
 
 namespace alae {
@@ -63,6 +68,67 @@ struct AlaeRunStats {
   uint64_t grams_searched = 0;
 };
 
+// The compiled query side of one (query, scheme, threshold, config) run:
+// everything the engine derives from the request that does not depend on
+// the text index. Compiling once and executing against many indexes (the
+// sharded corpus pays per-shard work once per shard otherwise) is the
+// prepare/execute split of database engines.
+//
+// Immutable after construction and safe to share between concurrent engine
+// runs — every accessor returns const state.
+class AlaeQueryPlan {
+ public:
+  AlaeQueryPlan(Sequence query, const ScoringScheme& scheme, int32_t threshold,
+                const AlaeConfig& config);
+
+  const Sequence& query() const { return query_; }
+  const ScoringScheme& scheme() const { return scheme_; }
+  int32_t threshold() const { return threshold_; }
+  const AlaeConfig& config() const { return config_; }
+
+  // Theorem 1/2 bounds, the q-prefix length and the FGOE threshold.
+  const FilterContext& filters() const { return filters_; }
+
+  // Inverted q-gram lists of the query (prefix filtering, §3.1.3).
+  const QGramIndex& qgrams() const { return qgrams_; }
+
+  // Distinct q-grams of the query as (first occurrence, key), sorted by
+  // first occurrence — the engine's anchoring work list.
+  const std::vector<std::pair<int32_t, uint64_t>>& grams() const {
+    return grams_;
+  }
+
+  // The same grams in key (lexicographic) order, each with the length of
+  // its shared prefix with the previous entry: the engine descends the
+  // gram set through an index as a prefix tree, extending each shared
+  // prefix once instead of once per gram.
+  struct GramStep {
+    int32_t gram = 0;  // index into grams()
+    int32_t lcp = 0;   // symbols shared with the previous step's gram
+  };
+  const std::vector<GramStep>& descent_order() const {
+    return descent_order_;
+  }
+
+  // sigma x m substitution profile (the row kernel's delta lane).
+  const std::vector<int32_t>& profile() const { return profile_; }
+
+  // Query LCP index for §4 score reuse; null when config.reuse is off.
+  const LcpIndex* query_lcp() const { return query_lcp_.get(); }
+
+ private:
+  Sequence query_;
+  ScoringScheme scheme_;
+  int32_t threshold_ = 1;
+  AlaeConfig config_;
+  FilterContext filters_;
+  QGramIndex qgrams_;
+  std::vector<std::pair<int32_t, uint64_t>> grams_;
+  std::vector<GramStep> descent_order_;
+  std::vector<int32_t> profile_;
+  std::unique_ptr<LcpIndex> query_lcp_;
+};
+
 // ALAE: exact local alignment with affine gaps (the paper's contribution).
 //
 // The engine enumerates the distinct q-grams of the query P, anchors forks
@@ -82,8 +148,32 @@ class Alae {
  public:
   Alae(const AlaeIndex& index, AlaeConfig config = {});
 
+  // Compiles the query side ad hoc (with this aligner's config) and runs.
   ResultCollector Run(const Sequence& query, const ScoringScheme& scheme,
                       int32_t threshold, AlaeRunStats* stats = nullptr) const;
+
+  // Executes a compiled plan. The plan's config governs the run (it shaped
+  // the compiled filters), not this aligner's; compile once, run many.
+  ResultCollector Run(const AlaeQueryPlan& plan,
+                      AlaeRunStats* stats = nullptr) const;
+
+  // Fused multi-index execution: walks the union of the indexes' suffix
+  // tries once, so the fork DP of a path — identical across indexes,
+  // because fork evolution depends only on the path's characters and the
+  // query — is computed once, while each index pays only its own range
+  // extension and hit location ("occurrence anchoring + descent"). This is
+  // what flattens the sharded service's per-shard fixed query cost.
+  //
+  // (*results)[i] receives index i's hit set, exactly what Run against
+  // that index alone reports (the domination filter degrades to skipping
+  // only anchors dominated in every index, and the quadratic bitset
+  // global filter — a test/ablation feature — is ignored; both are
+  // work-pruning heuristics whose results the dedup-by-max collector
+  // makes identical either way). `stats` are totals over the fused walk.
+  static void RunSharded(const AlaeQueryPlan& plan,
+                         const std::vector<const AlaeIndex*>& indexes,
+                         std::vector<ResultCollector>* results,
+                         AlaeRunStats* stats = nullptr);
 
   const AlaeConfig& config() const { return config_; }
 

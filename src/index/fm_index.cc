@@ -238,6 +238,35 @@ uint32_t OccExtract(const OccView& v, int64_t row) {
          ((1U << kBits) - 1);
 }
 
+// OccExtract + OccCount of the extracted code in one block visit: the
+// singleton-descent primitive (symbol at `row` and its rank there share
+// the block base, checkpoint word and data words).
+template <int kBits, int kSpw, int kSpb>
+std::pair<uint32_t, int64_t> OccExtractCount(const OccView& v, int64_t row) {
+  const int64_t block = row / kSpb;
+  const int k = static_cast<int>(row - block * kSpb);
+  const uint64_t* data = v.BlockData(block);
+  const uint32_t code =
+      static_cast<uint32_t>(data[k / kSpw] >> ((k % kSpw) * kBits)) &
+      ((1U << kBits) - 1);
+  if constexpr (kBits == 2) {
+    const uint64_t pat = code * 0x5555555555555555ULL;
+    int64_t r = v.Checkpoint(block, code);
+    for (int w = 0; w < kSpb / kSpw; ++w) {
+      const int rem = k - w * kSpw;
+      const uint64_t mask =
+          rem >= kSpw ? 0x5555555555555555ULL
+          : rem <= 0  ? 0
+                      : (1ULL << (2 * rem)) - 1;
+      const uint64_t x = data[w] ^ pat;
+      r += std::popcount(~(x | (x >> 1)) & 0x5555555555555555ULL & mask);
+    }
+    return {code, r};
+  }
+  return {code, v.Checkpoint(block, code) +
+                    CountBlockRange<kBits, kSpw>(data, code, 0, k)};
+}
+
 constexpr uint64_t kFmMagicV2 = 0x414C414546324D00ULL;  // "ALAEF2M\0"
 
 // Header `packing` value marking a wavelet-mode payload. Flat-mode files
@@ -494,6 +523,50 @@ SaRange FmIndex::Find(const std::vector<Symbol>& pattern) const {
 int64_t FmIndex::LfStep(int64_t row) const {
   Symbol s = AccessBwt(row);
   return c_[s] + Occ(s, row);
+}
+
+bool FmIndex::ExtendSingleton(int64_t row, Symbol* c, SaRange* child) const {
+  // Extend([row, row+1), BWT[row]-1): the lower boundary rank; the upper
+  // is lower + 1 because BWT[row] is itself an occurrence of the symbol.
+  // Flat modes fuse the symbol extraction with its rank (one block visit).
+  if (!use_wavelet_) {
+    OccView view{occ_data_.data(), cp_words_, block_words_,
+                 static_cast<int64_t>(n_) + 1};
+    switch (packing_) {
+      case OccPacking::kTwoBit: {
+        if (row == sentinel_row_) return false;
+        auto [code, r] = OccExtractCount<2, 32, 192>(view, row);
+        // Code-0 ranks include the sentinel's placeholder slot.
+        if (code == 0 && sentinel_row_ < row) --r;
+        const int64_t lf = c_[code + 1] + r;
+        *c = static_cast<Symbol>(code);
+        *child = {lf, lf + 1};
+        return true;
+      }
+      case OccPacking::kFourBit: {
+        auto [code, r] = OccExtractCount<4, 16, 128>(view, row);
+        if (code == 0) return false;  // sentinel
+        const int64_t lf = c_[code] + r;
+        *c = static_cast<Symbol>(code - 1);
+        *child = {lf, lf + 1};
+        return true;
+      }
+      case OccPacking::kByte: {
+        auto [code, r] = OccExtractCount<8, 8, 128>(view, row);
+        if (code == 0) return false;  // sentinel
+        const int64_t lf = c_[code] + r;
+        *c = static_cast<Symbol>(code - 1);
+        *child = {lf, lf + 1};
+        return true;
+      }
+    }
+  }
+  const Symbol shifted = AccessBwt(row);
+  if (shifted == 0) return false;  // sentinel: nothing precedes this suffix
+  const int64_t lf = c_[shifted] + Occ(shifted, row);
+  *c = static_cast<Symbol>(shifted - 1);
+  *child = {lf, lf + 1};
+  return true;
 }
 
 int64_t FmIndex::LocateRowSteps(int64_t row, uint64_t* steps) const {

@@ -67,6 +67,16 @@ class FmIndex {
   // several live children pays the block scan once, not sigma times.
   void ExtendAll(const SaRange& range, SaRange* out) const;
 
+  // Singleton fast path of ExtendAll: a one-row range [row, row+1) has at
+  // most one nonempty backward extension, by exactly the symbol BWT[row]
+  // (any other symbol's occ counts are equal at both boundaries). Returns
+  // false when the row carries the sentinel — the path reaches the text
+  // edge and extends by nothing; otherwise sets *c to that symbol and
+  // *child to its (again one-row) extension, for one occ access + one rank
+  // instead of two all-symbol boundary ranks. Trie descents spend most of
+  // their deep nodes on singleton chains, which this roughly halves.
+  bool ExtendSingleton(int64_t row, Symbol* c, SaRange* child) const;
+
   // Backward search of an entire pattern (processed right to left, §2.3).
   SaRange Find(const std::vector<Symbol>& pattern) const;
   SaRange Find(const Symbol* pattern, size_t len) const;

@@ -1,52 +1,26 @@
 #include "src/service/result_cache.h"
 
-#include <cstring>
 #include <utility>
+
+#include "src/util/serialize.h"
 
 namespace alae {
 namespace service {
-namespace {
 
-template <typename T>
-void AppendRaw(std::string* out, T value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  char buf[sizeof(T)];
-  std::memcpy(buf, &value, sizeof(T));
-  out->append(buf, sizeof(T));
+std::string ResultCache::KeyFor(const api::QueryPlan& plan, uint64_t max_hits,
+                                uint64_t epoch) {
+  std::string key = plan.fingerprint();
+  AppendRaw(&key, max_hits);
+  AppendRaw(&key, epoch);
+  return key;
 }
-
-}  // namespace
 
 std::string ResultCache::KeyFor(std::string_view backend,
                                 const api::SearchRequest& request,
                                 uint64_t epoch) {
-  std::string key;
-  key.reserve(64 + request.query.size());
-  key.append(backend);
-  key.push_back('\0');
-  AppendRaw(&key, epoch);
-  AppendRaw(&key, request.scheme.sa);
-  AppendRaw(&key, request.scheme.sb);
-  AppendRaw(&key, request.scheme.sg);
-  AppendRaw(&key, request.scheme.ss);
-  AppendRaw(&key, request.threshold);
+  std::string key = api::QueryPlan::Fingerprint(backend, request);
   AppendRaw(&key, request.max_hits);
-  // Per-backend knobs: engines that ignore them still get distinct keys,
-  // which only costs a rare duplicate entry, never a wrong answer.
-  AppendRaw(&key, static_cast<uint8_t>((request.alae.length_filter << 0) |
-                                       (request.alae.score_filter << 1) |
-                                       (request.alae.prefix_filter << 2) |
-                                       (request.alae.domination_filter << 3) |
-                                       (request.alae.bitset_global_filter << 4) |
-                                       (request.alae.reuse << 5)));
-  AppendRaw(&key, request.blast.word_size);
-  AppendRaw(&key, static_cast<uint8_t>(request.blast.two_hit));
-  AppendRaw(&key, request.blast.x_drop_ungapped);
-  AppendRaw(&key, request.blast.x_drop_gapped);
-  AppendRaw(&key, request.blast.gap_trigger);
-  AppendRaw(&key, static_cast<uint8_t>(request.query.alphabet().kind()));
-  key.append(reinterpret_cast<const char*>(request.query.symbols().data()),
-             request.query.size());
+  AppendRaw(&key, epoch);
   return key;
 }
 

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "src/api/plan.h"
 #include "src/api/search.h"
 
 namespace alae {
@@ -17,11 +18,12 @@ namespace service {
 
 // LRU cache of materialised SearchResponses.
 //
-// Keys cover everything that determines the answer: backend name, the
-// query symbols, every scoring/threshold/cap parameter, the per-backend
-// option blocks and the corpus epoch — so a response can never be served
-// across a corpus rebuild or a parameter change. Values are full
-// responses (hits + the stats of the run that computed them).
+// Keys are the compiled query's canonical fingerprint (QueryPlan — backend
+// name, query symbols, every scoring/threshold parameter and the
+// per-backend option blocks) plus the request's max_hits cap and the
+// corpus epoch — so a response can never be served across a corpus
+// rebuild or a parameter change. Values are full responses (hits + the
+// stats of the run that computed them).
 //
 // Thread-safe; hit/miss counters are monotonic over the cache's lifetime
 // and also surfaced per-response through EngineStats by the scheduler.
@@ -31,7 +33,14 @@ class ResultCache {
   // (Lookup always misses, Insert is a no-op).
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
-  // Builds the canonical cache key for a request against a corpus epoch.
+  // Builds the canonical cache key for a compiled plan against a corpus
+  // epoch. `max_hits` is the original request's cap (the plan fingerprint
+  // deliberately excludes it: truncated responses must not be served to
+  // uncapped requests or vice versa).
+  static std::string KeyFor(const api::QueryPlan& plan, uint64_t max_hits,
+                            uint64_t epoch);
+
+  // Key for an uncompiled request (same bytes as the plan form).
   static std::string KeyFor(std::string_view backend,
                             const api::SearchRequest& request,
                             uint64_t epoch);

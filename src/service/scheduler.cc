@@ -4,10 +4,13 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
 
+#include "src/api/backends.h"
+#include "src/core/alae.h"
 #include "src/service/hit_merger.h"
 #include "src/util/timer.h"
 
@@ -62,6 +65,7 @@ QueryScheduler::QueryScheduler(const ShardedCorpus& corpus,
                                SchedulerOptions options)
     : corpus_(corpus),
       batch_size_(std::max<size_t>(1, options.batch_size)),
+      fuse_alae_shards_(options.fuse_alae_shards),
       cache_(options.cache_capacity),
       pool_(options.threads, options.queue_capacity) {}
 
@@ -84,6 +88,58 @@ api::StatusOr<api::SearchResponse> QueryScheduler::Search(
   return std::move(outcomes[0].response);
 }
 
+void QueryScheduler::RunFusedQuery(
+    const api::QueryPlan& plan,
+    const std::vector<const api::Aligner*>& aligners, HitMerger* merger,
+    api::Status* error) const {
+  const size_t shards = corpus_.num_shards();
+  // The fused walk needs the typed ALAE plan and cannot host the
+  // (single-index, test-only) bitset filter; everything else — including
+  // plans from a custom backend registered under the "alae" name — runs
+  // the per-shard loop below, serially inside this one task.
+  const auto* compiled = dynamic_cast<const api::AlaePlan*>(&plan);
+  if (compiled != nullptr && !plan.request().alae.bitset_global_filter) {
+    std::vector<const AlaeIndex*> indexes;
+    indexes.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      indexes.push_back(&corpus_.shard(s).registry->index());
+    }
+    Timer timer;
+    AlaeRunStats run;
+    std::vector<ResultCollector> per_shard;
+    Alae::RunSharded(compiled->core(), indexes, &per_shard, &run);
+    api::EngineStats stats;
+    stats.seconds = timer.ElapsedSeconds();
+    stats.counters = run.counters;
+    stats.anchors_considered = run.anchors_considered;
+    stats.grams_searched = run.grams_searched;
+    stats.plan_reuses = 1;
+    for (size_t s = 0; s < shards; ++s) {
+      std::vector<AlignmentHit> local;
+      // ShardSink ownership-filters and remaps; order is irrelevant here
+      // (MergeShard re-keys and Take sorts), so drain unsorted.
+      api::HitSink sink = merger->ShardSink(s, &local);
+      per_shard[s].ForEach([&sink](const AlignmentHit& hit) { sink(hit); });
+      // The fused walk's counters cover all shards; attribute them once.
+      merger->MergeShard(std::move(local),
+                         s == 0 ? stats : api::EngineStats{});
+    }
+    return;
+  }
+  for (size_t s = 0; s < shards; ++s) {
+    std::vector<AlignmentHit> local;
+    api::EngineStats stats;
+    api::Status status =
+        aligners[s]->Search(plan, merger->ShardSink(s, &local), &stats);
+    if (status.ok()) {
+      merger->MergeShard(std::move(local), stats);
+    } else if (error->ok()) {
+      *error = api::Status(status.code(), "shard " + std::to_string(s) +
+                                              ": " + status.message());
+    }
+  }
+}
+
 std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
     std::string_view backend,
     const std::vector<api::SearchRequest>& requests) {
@@ -98,10 +154,18 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
     return outcomes;
   }
 
-  // Per-query admission state: validation, span check, then the cache.
+  // Per-query admission: validation, span check, then the cache — all
+  // before compilation, so a cache hit never pays the query-side
+  // precompute it exists to avoid (the request-shaped cache key is byte
+  // identical to the plan-based one). Only cache misses compile, ONCE
+  // per query (shard 0's aligner; plans are index-independent), with
+  // max_hits zeroed — shards must compute their full owned answer (a
+  // per-shard cap could starve owned hits out of the merge); the global
+  // cap is applied by HitMerger::Take and preserved in the cache key.
   // `live` collects the indexes that actually need engine work.
   std::vector<size_t> live;
   std::vector<std::string> keys(requests.size());
+  std::vector<std::unique_ptr<const api::QueryPlan>> plans(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     if (api::Status status = aligners[0]->Validate(requests[i]);
         !status.ok()) {
@@ -120,14 +184,29 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
       outcomes[i].response.stats.seconds = timer.ElapsedSeconds();
       continue;
     }
+    api::SearchRequest uncapped = requests[i];
+    uncapped.max_hits = 0;
+    api::StatusOr<std::unique_ptr<api::QueryPlan>> plan =
+        aligners[0]->Compile(std::move(uncapped));
+    if (!plan.ok()) {
+      outcomes[i].status = plan.status();
+      continue;
+    }
+    plans[i] = std::move(*plan);
     live.push_back(i);
   }
   if (live.empty()) return outcomes;
 
-  // Fan out: every live query needs every shard; micro-batching packs up
-  // to batch_size same-backend queries into one shard task so the task
-  // dispatch (and the shard's index going cold) is paid per group.
+  // Fan out. Every live query needs every shard; micro-batching packs up
+  // to batch_size same-backend queries into one pool task so the task
+  // dispatch (and the shard's index going cold) is paid per group. For
+  // the built-in ALAE backend a group is ONE task running the fused
+  // union-trie walk (all shards share the query's fork DP); for the other
+  // backends a group spawns one task per shard.
   const size_t group = batch_size_;
+  const bool fused = fuse_alae_shards_ && aligners[0]->name() == "alae";
+  const size_t shards = corpus_.num_shards();
+  const size_t tasks_per_group = fused ? 1 : shards;
   // deque: HitMerger carries a mutex and must be constructed in place.
   std::deque<HitMerger> mergers;
   for (size_t i = 0; i < live.size(); ++i) mergers.emplace_back(corpus_);
@@ -139,16 +218,16 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   // count fits the queue, admit each wave all-or-nothing, and wait between
   // waves; a wave shed by *competing* traffic marks only its own queries
   // kResourceExhausted (retrying those can genuinely succeed later).
-  const size_t shards = corpus_.num_shards();
   size_t wave_queries = live.size();
-  if (shards * ((live.size() + group - 1) / group) > pool_.queue_capacity()) {
-    wave_queries = pool_.queue_capacity() / shards * group;
+  if (tasks_per_group * ((live.size() + group - 1) / group) >
+      pool_.queue_capacity()) {
+    wave_queries = pool_.queue_capacity() / tasks_per_group * group;
   }
   if (wave_queries == 0) {
     // The queue cannot hold even one query's fan-out: a configuration
     // misfit, not transient load.
     api::Status misfit = api::Status::ResourceExhausted(
-        "one query fans out into " + std::to_string(shards) +
+        "one query fans out into " + std::to_string(tasks_per_group) +
         " shard tasks but the service queue holds only " +
         std::to_string(pool_.queue_capacity()) +
         "; raise queue_capacity to at least the shard count");
@@ -159,40 +238,51 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   }
   for (size_t wave = 0; wave < live.size(); wave += wave_queries) {
     const size_t wave_end = std::min(live.size(), wave + wave_queries);
-    const size_t num_tasks =
-        shards * ((wave_end - wave + group - 1) / group);
+    const size_t num_groups = (wave_end - wave + group - 1) / group;
+    const size_t num_tasks = tasks_per_group * num_groups;
     TaskGroup done(num_tasks);
     std::vector<std::function<void()>> tasks;
     tasks.reserve(num_tasks);
-    for (size_t s = 0; s < shards; ++s) {
+    if (fused) {
       for (size_t g = wave; g < wave_end; g += group) {
         const size_t g_end = std::min(wave_end, g + group);
-        const api::Aligner* aligner = aligners[s];
-        tasks.push_back([s, g, g_end, aligner, &live, &requests, &mergers,
+        tasks.push_back([this, g, g_end, &live, &plans, &aligners, &mergers,
                          &errors, &done] {
           for (size_t k = g; k < g_end; ++k) {
-            // Shards must compute their full owned answer: the facade's
-            // max_hits wrapper counts raw emissions, including hits the
-            // ownership sink drops, so a per-shard cap could starve owned
-            // hits out and break bit-exactness. The global cap is applied
-            // by HitMerger::Take on the sorted merged set — which is
-            // exactly the unsharded prefix.
-            api::SearchRequest request = requests[live[k]];
-            request.max_hits = 0;
-            std::vector<AlignmentHit> local;
-            api::EngineStats stats;
-            api::Status status = aligner->Search(
-                request, mergers[k].ShardSink(s, &local), &stats);
-            if (status.ok()) {
-              mergers[k].MergeShard(std::move(local), stats);
-            } else {
-              errors[k].Record(api::Status(
-                  status.code(),
-                  "shard " + std::to_string(s) + ": " + status.message()));
-            }
+            api::Status error = api::Status::Ok();
+            RunFusedQuery(*plans[live[k]], aligners, &mergers[k], &error);
+            if (!error.ok()) errors[k].Record(std::move(error));
           }
           done.Done();
         });
+      }
+    } else {
+      for (size_t s = 0; s < shards; ++s) {
+        for (size_t g = wave; g < wave_end; g += group) {
+          const size_t g_end = std::min(wave_end, g + group);
+          const api::Aligner* aligner = aligners[s];
+          tasks.push_back([s, g, g_end, aligner, &live, &plans, &mergers,
+                           &errors, &done] {
+            for (size_t k = g; k < g_end; ++k) {
+              // The shared plan carries max_hits = 0 (see admission), so
+              // every shard streams its full owned answer; the global cap
+              // is applied by HitMerger::Take on the sorted merged set —
+              // which is exactly the unsharded prefix.
+              std::vector<AlignmentHit> local;
+              api::EngineStats stats;
+              api::Status status = aligner->Search(
+                  *plans[live[k]], mergers[k].ShardSink(s, &local), &stats);
+              if (status.ok()) {
+                mergers[k].MergeShard(std::move(local), stats);
+              } else {
+                errors[k].Record(api::Status(
+                    status.code(),
+                    "shard " + std::to_string(s) + ": " + status.message()));
+              }
+            }
+            done.Done();
+          });
+        }
       }
     }
     if (!pool_.TrySubmitBatch(std::move(tasks))) {
@@ -216,9 +306,11 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
       continue;
     }
     api::SearchResponse response = mergers[k].Take(requests[i].max_hits);
-    // Cache the computed payload without this call's cache accounting —
-    // a later hit reports its own counters.
+    // Cache the computed payload without this call's cache or compile
+    // accounting — a later hit reports its own counters and compiled
+    // nothing.
     cache_.Insert(keys[i], response);
+    response.stats.plan_compile_ns = plans[i]->compile_ns();
     response.stats.cache_misses = 1;
     response.stats.seconds = timer.ElapsedSeconds();
     outcomes[i].response = std::move(response);

@@ -13,6 +13,8 @@
 namespace alae {
 namespace service {
 
+class HitMerger;
+
 struct SchedulerOptions {
   // Worker threads; <= 0 picks hardware concurrency.
   int threads = 0;
@@ -30,12 +32,25 @@ struct SchedulerOptions {
   // one shard task, so a task switch (and the shard index going cold) is
   // paid once per group rather than once per query.
   size_t batch_size = 8;
+
+  // Fused execution for the built-in ALAE backend: one engine walk over
+  // the union of the shards' suffix tries per query, sharing the fork DP
+  // across shards (per-shard work reduces to occurrence anchoring +
+  // descent — see Alae::RunSharded). This flattens the per-shard fixed
+  // query cost; results are bit-exact either way. A fused query is one
+  // pool task instead of one per shard, so it trades intra-query
+  // parallelism for strictly less total work — batch throughput wins,
+  // single-query latency on an idle many-core box may prefer `false`.
+  bool fuse_alae_shards = true;
 };
 
-// The multi-tenant front door of the sharded query service: fans each
-// request across every shard of a ShardedCorpus as independent pool tasks,
-// merges the per-shard streams through a HitMerger, and answers repeated
-// requests from an LRU result cache.
+// The multi-tenant front door of the sharded query service: compiles each
+// request into a QueryPlan once (shard 0's aligner; plans are
+// index-independent), fans the work across the shards of a ShardedCorpus
+// as pool tasks that share the plan — fused into one union-trie walk for
+// ALAE, one task per shard otherwise — merges the per-shard streams
+// through a HitMerger, and answers repeated requests from an LRU result
+// cache keyed on the plan fingerprint.
 //
 // Thread-safe: any number of client threads may call Search/SearchBatch
 // concurrently; they share the worker pool and the cache. Destroying the
@@ -72,8 +87,17 @@ class QueryScheduler {
   api::Status ResolveAligners(std::string_view backend,
                               std::vector<const api::Aligner*>* aligners);
 
+  // Executes one compiled query against every shard inside one pool task:
+  // the fused ALAE walk when the plan supports it, else a serial per-shard
+  // loop. Streams each shard's hits through `merger`; reports the first
+  // shard failure into `error`.
+  void RunFusedQuery(const api::QueryPlan& plan,
+                     const std::vector<const api::Aligner*>& aligners,
+                     HitMerger* merger, api::Status* error) const;
+
   const ShardedCorpus& corpus_;
   const size_t batch_size_;
+  const bool fuse_alae_shards_;
   ResultCache cache_;
   ThreadPool pool_;  // declared last: workers must die before the cache
 };

@@ -2,11 +2,26 @@
 #define ALAE_UTIL_SERIALIZE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 namespace alae {
+
+// Appends `value`'s raw bytes to a string. The in-memory fixed-width
+// encoder behind both halves of the service cache key (the plan
+// fingerprint and the max_hits/epoch suffix) — one definition so the two
+// can never desynchronise byte-wise.
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
 
 // Tiny little-endian binary (de)serialisation helpers for the index
 // save/load paths. All methods return false on stream failure so callers
