@@ -1,16 +1,28 @@
-// Minimal serving driver for the sharded query service.
+// Minimal serving driver for the live (mutable) query service.
 //
-// Loads (or builds and persists) a sharded corpus, then serves queries read
-// from a file or stdin — one ASCII sequence per line, '>' lines skipped so
-// single-line-record FASTA works too — from N client threads through the
-// QueryScheduler, and prints a latency histogram with p50/p90/p99.
+// Loads (or builds and persists) a live corpus, then serves input read
+// from a file or stdin from N client threads through the QueryScheduler,
+// and prints a latency histogram with p50/p90/p99. Input lines are ASCII
+// query sequences ('>' lines skipped so single-line-record FASTA works
+// too), plus mutation commands:
+//
+//   #append ACGTACGT...   append a document (its id is printed)
+//   #delete 7             tombstone document 7
+//   #compact              fold deltas + tombstones into a fresh base
+//   #stats                print corpus + cache counters
+//
+// When the input contains commands the script runs sequentially in order
+// (mutations interleaved with queries, per-epoch stats printed as the
+// corpus evolves); plain query-only input is served concurrently as
+// before.
 //
 //   # build a random 2 Mb DNA corpus, save it, serve 200 sampled queries
 //   serve_main --corpus=/tmp/corpus --random-text=2000000 \
 //              --backend=alae --threads=4
 //
-//   # serve your own queries against a saved corpus
-//   serve_main --corpus=/tmp/corpus --queries=queries.txt --backend=bwt-sw
+//   # mutate while serving, then persist the mutated corpus
+//   printf 'ACGT...\n#append ACGT...\nACGT...\n#compact\n' | \
+//     serve_main --corpus=/tmp/corpus --queries=- --resave=1
 //
 // Exits non-zero on any setup failure; per-query failures are reported and
 // counted but do not stop the run.
@@ -49,6 +61,9 @@ struct Flags {
   int32_t sample_queries = 200;  // sampled queries when none are supplied
   int64_t query_len = 64;
   uint64_t seed = 42;
+  int64_t compact_after = 8;   // background-compact after N delta shards
+  int64_t shard_cache = 256;   // fragment-cache entries (0 = off)
+  bool resave = false;         // persist the corpus again on exit
 
   static Flags Parse(int argc, char** argv) {
     Flags f;
@@ -82,6 +97,12 @@ struct Flags {
         f.query_len = std::atoll(value.c_str());
       } else if (take("seed", &value)) {
         f.seed = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (take("compact-after", &value)) {
+        f.compact_after = std::atoll(value.c_str());
+      } else if (take("shard-cache", &value)) {
+        f.shard_cache = std::atoll(value.c_str());
+      } else if (take("resave", &value)) {
+        f.resave = std::atoi(value.c_str()) != 0;
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         std::exit(2);
@@ -91,7 +112,8 @@ struct Flags {
       std::fprintf(stderr,
                    "usage: serve_main --corpus=DIR [--random-text=N] "
                    "[--queries=FILE|-] [--backend=NAME] [--threads=N] "
-                   "[--threshold=H]\n");
+                   "[--threshold=H] [--compact-after=N] [--shard-cache=N] "
+                   "[--resave=1]\n");
       std::exit(2);
     }
     return f;
@@ -128,27 +150,191 @@ void PrintLatencies(std::vector<double>* micros) {
   }
 }
 
+// One parsed input line of the (possibly mutating) serving script.
+struct ScriptItem {
+  enum Kind { kQuery, kAppend, kDelete, kCompact, kStats } kind = kQuery;
+  std::string payload;  // residues for kQuery/kAppend
+  uint64_t doc_id = 0;  // for kDelete
+};
+
+// Cache counters at an epoch boundary, for printing per-epoch deltas.
+struct CacheSnap {
+  uint64_t response_hits = 0, response_misses = 0;
+  uint64_t fragment_hits = 0, fragment_misses = 0;
+
+  static CacheSnap Of(const service::QueryScheduler& s) {
+    return CacheSnap{s.cache().hits(), s.cache().misses(),
+                     s.shard_cache().hits(), s.shard_cache().misses()};
+  }
+};
+
+double Rate(uint64_t hits, uint64_t misses) {
+  const uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+void PrintEpochLine(const service::LiveCorpus& live,
+                    const service::QueryScheduler& scheduler,
+                    const CacheSnap& since, const char* why) {
+  const CacheSnap now = CacheSnap::Of(scheduler);
+  std::printf(
+      "epoch %llu (%s): deltas=%zu tombstones=%zu compactions=%llu | "
+      "since last epoch: response cache %llu/%llu (%.0f%%), fragment cache "
+      "%llu/%llu (%.0f%%)\n",
+      static_cast<unsigned long long>(live.epoch()), why, live.num_deltas(),
+      live.num_tombstones(),
+      static_cast<unsigned long long>(live.compactions()),
+      static_cast<unsigned long long>(now.response_hits -
+                                      since.response_hits),
+      static_cast<unsigned long long>(now.response_misses -
+                                      since.response_misses),
+      Rate(now.response_hits - since.response_hits,
+           now.response_misses - since.response_misses),
+      static_cast<unsigned long long>(now.fragment_hits -
+                                      since.fragment_hits),
+      static_cast<unsigned long long>(now.fragment_misses -
+                                      since.fragment_misses),
+      Rate(now.fragment_hits - since.fragment_hits,
+           now.fragment_misses - since.fragment_misses));
+}
+
+// Sequential script mode: execute queries and mutations in input order,
+// printing a stats line at every epoch boundary (append/delete/compact)
+// so cache hit-rate shifts across mutations and compactions are visible.
+int RunScript(const std::vector<ScriptItem>& script, service::LiveCorpus& live,
+              service::QueryScheduler& scheduler, const Flags& flags,
+              const Alphabet& alphabet) {
+  uint64_t failures = 0;
+  uint64_t last_epoch = live.epoch();
+  uint64_t last_compactions = live.compactions();
+  CacheSnap epoch_snap = CacheSnap::Of(scheduler);
+  std::vector<double> micros;
+  for (const ScriptItem& item : script) {
+    switch (item.kind) {
+      case ScriptItem::kQuery: {
+        api::SearchRequest request;
+        request.query = Sequence::FromString(item.payload, alphabet);
+        request.threshold = flags.threshold;
+        Timer timer;
+        api::StatusOr<api::SearchResponse> response =
+            scheduler.Search(flags.backend, request);
+        micros.push_back(timer.ElapsedSeconds() * 1e6);
+        if (!response.ok()) {
+          ++failures;
+          std::fprintf(stderr, "query: %s\n",
+                       response.status().ToString().c_str());
+          break;
+        }
+        std::printf("query m=%zu: %zu hits (tombstone-filtered %llu)\n",
+                    request.query.size(), response->hits.size(),
+                    static_cast<unsigned long long>(
+                        response->stats.tombstone_filtered));
+        break;
+      }
+      case ScriptItem::kAppend: {
+        api::StatusOr<uint64_t> id =
+            live.AppendDocument(Sequence::FromString(item.payload, alphabet));
+        if (!id.ok()) {
+          ++failures;
+          std::fprintf(stderr, "#append: %s\n",
+                       id.status().ToString().c_str());
+          break;
+        }
+        std::printf("#append -> doc %llu (%zu chars)\n",
+                    static_cast<unsigned long long>(*id),
+                    item.payload.size());
+        break;
+      }
+      case ScriptItem::kDelete: {
+        api::Status status = live.DeleteDocument(item.doc_id);
+        if (!status.ok()) {
+          ++failures;
+          std::fprintf(stderr, "#delete %llu: %s\n",
+                       static_cast<unsigned long long>(item.doc_id),
+                       status.ToString().c_str());
+          break;
+        }
+        std::printf("#delete -> doc %llu tombstoned\n",
+                    static_cast<unsigned long long>(item.doc_id));
+        break;
+      }
+      case ScriptItem::kCompact: {
+        Timer timer;
+        api::Status status = live.Compact();
+        if (!status.ok()) {
+          ++failures;
+          std::fprintf(stderr, "#compact: %s\n", status.ToString().c_str());
+          break;
+        }
+        std::printf("#compact -> %.2fs, corpus now %lld chars\n",
+                    timer.ElapsedSeconds(),
+                    static_cast<long long>(live.text_size()));
+        break;
+      }
+      case ScriptItem::kStats: {
+        std::printf(
+            "#stats: %lld chars, %zu docs, deltas=%zu tombstones=%zu "
+            "compactions=%llu (background %llu), index %.1f MiB, response "
+            "cache %llu/%llu, fragment cache %llu/%llu\n",
+            static_cast<long long>(live.text_size()),
+            live.Documents().size(), live.num_deltas(),
+            live.num_tombstones(),
+            static_cast<unsigned long long>(live.compactions()),
+            static_cast<unsigned long long>(live.background_compactions()),
+            static_cast<double>(live.IndexBytes()) / (1024.0 * 1024.0),
+            static_cast<unsigned long long>(scheduler.cache().hits()),
+            static_cast<unsigned long long>(scheduler.cache().misses()),
+            static_cast<unsigned long long>(scheduler.shard_cache().hits()),
+            static_cast<unsigned long long>(
+                scheduler.shard_cache().misses()));
+        break;
+      }
+    }
+    const uint64_t epoch = live.epoch();
+    if (epoch != last_epoch) {
+      const uint64_t compactions = live.compactions();
+      PrintEpochLine(live, scheduler, epoch_snap,
+                     compactions != last_compactions ? "compaction"
+                                                     : "mutation");
+      last_epoch = epoch;
+      last_compactions = compactions;
+      epoch_snap = CacheSnap::Of(scheduler);
+    }
+  }
+  PrintLatencies(&micros);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
 
+  service::LiveCorpusOptions live_options;
+  live_options.base.shard_size = flags.shard_size;
+  live_options.base.overlap = flags.overlap;
+  live_options.compact_after_deltas =
+      flags.compact_after < 0 ? 0 : static_cast<size_t>(flags.compact_after);
+
   // --- Corpus: load the directory if it holds a manifest, else build. ---
-  std::unique_ptr<service::ShardedCorpus> corpus;
+  std::unique_ptr<service::LiveCorpus> corpus;
   const bool have_manifest =
       std::filesystem::exists(flags.corpus + "/corpus.manifest");
   if (have_manifest) {
-    auto loaded = service::ShardedCorpus::Load(flags.corpus);
+    auto loaded = service::LiveCorpus::Load(flags.corpus, live_options);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load %s: %s\n", flags.corpus.c_str(),
                    loaded.status().ToString().c_str());
       return 1;
     }
     corpus = std::move(loaded).value();
-    std::printf("loaded corpus %s: %lld chars, %zu shards\n",
-                flags.corpus.c_str(),
-                static_cast<long long>(corpus->text_size()),
-                corpus->num_shards());
+    std::printf(
+        "loaded corpus %s: %lld chars, %zu docs, %zu base shards, "
+        "%zu deltas, %zu tombstones\n",
+        flags.corpus.c_str(), static_cast<long long>(corpus->text_size()),
+        corpus->Documents().size(), corpus->base()->num_shards(),
+        corpus->num_deltas(), corpus->num_tombstones());
   } else {
     if (flags.random_text <= 0) {
       std::fprintf(stderr,
@@ -159,19 +345,16 @@ int main(int argc, char** argv) {
     }
     SequenceGenerator gen(flags.seed);
     Sequence text = gen.Random(flags.random_text, Alphabet::Dna());
-    service::ShardedCorpusOptions options;
-    options.shard_size = flags.shard_size;
-    options.overlap = flags.overlap;
     Timer build_timer;
-    auto built = service::ShardedCorpus::Build(std::move(text), options);
+    auto built = service::LiveCorpus::Build(std::move(text), live_options);
     if (!built.ok()) {
       std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
       return 1;
     }
     corpus = std::move(built).value();
-    std::printf("built corpus: %lld chars, %zu shards in %.2fs\n",
+    std::printf("built corpus: %lld chars, %zu base shards in %.2fs\n",
                 static_cast<long long>(corpus->text_size()),
-                corpus->num_shards(), build_timer.ElapsedSeconds());
+                corpus->base()->num_shards(), build_timer.ElapsedSeconds());
     if (api::Status saved = corpus->Save(flags.corpus); !saved.ok()) {
       std::fprintf(stderr, "save %s: %s\n", flags.corpus.c_str(),
                    saved.ToString().c_str());
@@ -180,9 +363,10 @@ int main(int argc, char** argv) {
     std::printf("saved to %s\n", flags.corpus.c_str());
   }
 
-  // --- Queries: a file, stdin, or sampled from the corpus. ---
-  std::vector<Sequence> queries;
-  const Alphabet& alphabet = corpus->text().alphabet();
+  // --- Input: a file, stdin, or sampled from the corpus. ---
+  const Alphabet& alphabet = corpus->alphabet();
+  std::vector<ScriptItem> script;
+  bool has_commands = false;
   if (!flags.queries.empty()) {
     std::ifstream file;
     std::istream* in = &std::cin;
@@ -197,80 +381,128 @@ int main(int argc, char** argv) {
     std::string line;
     while (std::getline(*in, line)) {
       if (line.empty() || line[0] == '>') continue;
-      queries.push_back(Sequence::FromString(line, alphabet));
+      if (line[0] == '#') {
+        has_commands = true;
+        ScriptItem item;
+        if (line.rfind("#append ", 0) == 0) {
+          item.kind = ScriptItem::kAppend;
+          item.payload = line.substr(8);
+        } else if (line.rfind("#delete ", 0) == 0) {
+          item.kind = ScriptItem::kDelete;
+          item.doc_id = std::strtoull(line.c_str() + 8, nullptr, 10);
+        } else if (line == "#compact") {
+          item.kind = ScriptItem::kCompact;
+        } else if (line == "#stats") {
+          item.kind = ScriptItem::kStats;
+        } else {
+          std::fprintf(stderr, "unknown command: %s\n", line.c_str());
+          return 2;
+        }
+        script.push_back(std::move(item));
+        continue;
+      }
+      script.push_back(ScriptItem{ScriptItem::kQuery, line, 0});
     }
   } else {
     SequenceGenerator gen(flags.seed + 1);
+    const Sequence& base_text = corpus->base()->text();
     for (int32_t i = 0; i < flags.sample_queries; ++i) {
-      queries.push_back(gen.HomologousQuery(corpus->text(), flags.query_len,
-                                            0.7, 0.15, 0.02));
+      script.push_back(ScriptItem{
+          ScriptItem::kQuery,
+          gen.HomologousQuery(base_text, flags.query_len, 0.7, 0.15, 0.02)
+              .ToString(),
+          0});
     }
     std::printf("no --queries given; sampled %zu homologous queries (m=%lld)\n",
-                queries.size(), static_cast<long long>(flags.query_len));
+                script.size(), static_cast<long long>(flags.query_len));
   }
-  if (queries.empty()) {
+  if (script.empty()) {
     std::fprintf(stderr, "no queries\n");
     return 1;
   }
 
-  // --- Serve. ---
   service::QueryScheduler scheduler(
-      *corpus, {.threads = flags.threads, .cache_capacity = 1024});
-  std::atomic<size_t> next{0};
-  std::atomic<uint64_t> hits{0};
-  std::atomic<uint64_t> failures{0};
-  std::atomic<uint64_t> plan_compile_ns{0};
-  std::atomic<uint64_t> plan_reuses{0};
-  std::vector<std::vector<double>> client_micros(
-      static_cast<size_t>(std::max(1, flags.threads)));
-  Timer wall;
-  auto client = [&](size_t id) {
-    while (true) {
-      size_t i = next.fetch_add(1);
-      if (i >= queries.size()) break;
-      api::SearchRequest request;
-      request.query = queries[i];
-      request.threshold = flags.threshold;
-      Timer timer;
-      api::StatusOr<api::SearchResponse> response =
-          scheduler.Search(flags.backend, request);
-      client_micros[id].push_back(timer.ElapsedSeconds() * 1e6);
-      if (!response.ok()) {
-        ++failures;
-        std::fprintf(stderr, "query %zu: %s\n", i,
-                     response.status().ToString().c_str());
-        continue;
-      }
-      hits += response->hits.size();
-      plan_compile_ns += response->stats.plan_compile_ns;
-      plan_reuses += response->stats.plan_reuses;
-    }
-  };
-  std::vector<std::thread> clients;
-  for (size_t c = 0; c < client_micros.size(); ++c) {
-    clients.emplace_back(client, c);
-  }
-  for (std::thread& t : clients) t.join();
-  const double seconds = wall.ElapsedSeconds();
+      *corpus,
+      {.threads = flags.threads,
+       .cache_capacity = 1024,
+       .shard_cache_capacity =
+           flags.shard_cache < 0 ? 0 : static_cast<size_t>(flags.shard_cache)});
 
-  std::vector<double> micros;
-  for (std::vector<double>& m : client_micros) {
-    micros.insert(micros.end(), m.begin(), m.end());
+  int exit_code = 0;
+  if (has_commands) {
+    // --- Sequential script mode: mutations interleaved with queries. ---
+    exit_code = RunScript(script, *corpus, scheduler, flags, alphabet);
+  } else {
+    // --- Classic concurrent mode: query-only traffic. ---
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> plan_compile_ns{0};
+    std::atomic<uint64_t> plan_reuses{0};
+    std::vector<std::vector<double>> client_micros(
+        static_cast<size_t>(std::max(1, flags.threads)));
+    Timer wall;
+    auto client = [&](size_t id) {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= script.size()) break;
+        api::SearchRequest request;
+        request.query = Sequence::FromString(script[i].payload, alphabet);
+        request.threshold = flags.threshold;
+        Timer timer;
+        api::StatusOr<api::SearchResponse> response =
+            scheduler.Search(flags.backend, request);
+        client_micros[id].push_back(timer.ElapsedSeconds() * 1e6);
+        if (!response.ok()) {
+          ++failures;
+          std::fprintf(stderr, "query %zu: %s\n", i,
+                       response.status().ToString().c_str());
+          continue;
+        }
+        hits += response->hits.size();
+        plan_compile_ns += response->stats.plan_compile_ns;
+        plan_reuses += response->stats.plan_reuses;
+      }
+    };
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < client_micros.size(); ++c) {
+      clients.emplace_back(client, c);
+    }
+    for (std::thread& t : clients) t.join();
+    const double seconds = wall.ElapsedSeconds();
+
+    std::vector<double> micros;
+    for (std::vector<double>& m : client_micros) {
+      micros.insert(micros.end(), m.begin(), m.end());
+    }
+    std::printf(
+        "served %zu queries on backend '%s' with %d threads in %.2fs "
+        "(%.1f qps), %llu hits, %llu failures, response cache %llu/%llu, "
+        "fragment cache %llu/%llu\n",
+        script.size(), flags.backend.c_str(), flags.threads, seconds,
+        static_cast<double>(script.size()) / seconds,
+        static_cast<unsigned long long>(hits.load()),
+        static_cast<unsigned long long>(failures.load()),
+        static_cast<unsigned long long>(scheduler.cache().hits()),
+        static_cast<unsigned long long>(scheduler.cache().misses()),
+        static_cast<unsigned long long>(scheduler.shard_cache().hits()),
+        static_cast<unsigned long long>(scheduler.shard_cache().misses()));
+    std::printf(
+        "query compilation: %.2f ms total (once per computed request), "
+        "%llu plan-reusing engine runs\n",
+        static_cast<double>(plan_compile_ns.load()) / 1e6,
+        static_cast<unsigned long long>(plan_reuses.load()));
+    PrintLatencies(&micros);
+    exit_code = failures.load() == 0 ? 0 : 1;
   }
-  std::printf(
-      "served %zu queries on backend '%s' with %d threads in %.2fs "
-      "(%.1f qps), %llu hits, %llu failures, cache %llu/%llu hit/miss\n",
-      queries.size(), flags.backend.c_str(), flags.threads, seconds,
-      static_cast<double>(queries.size()) / seconds,
-      static_cast<unsigned long long>(hits.load()),
-      static_cast<unsigned long long>(failures.load()),
-      static_cast<unsigned long long>(scheduler.cache().hits()),
-      static_cast<unsigned long long>(scheduler.cache().misses()));
-  std::printf(
-      "query compilation: %.2f ms total (once per computed request), "
-      "%llu plan-reusing engine runs\n",
-      static_cast<double>(plan_compile_ns.load()) / 1e6,
-      static_cast<unsigned long long>(plan_reuses.load()));
-  PrintLatencies(&micros);
-  return failures.load() == 0 ? 0 : 1;
+
+  if (flags.resave) {
+    if (api::Status saved = corpus->Save(flags.corpus); !saved.ok()) {
+      std::fprintf(stderr, "resave %s: %s\n", flags.corpus.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("resaved mutated corpus to %s\n", flags.corpus.c_str());
+  }
+  return exit_code;
 }

@@ -1,5 +1,7 @@
 #include "src/api/search.h"
 
+#include <algorithm>
+
 namespace alae {
 namespace api {
 
@@ -15,6 +17,11 @@ void EngineStats::Merge(const EngineStats& o) {
   gapped_extensions += o.gapped_extensions;
   cache_hits += o.cache_hits;
   cache_misses += o.cache_misses;
+  shard_cache_hits += o.shard_cache_hits;
+  shard_cache_misses += o.shard_cache_misses;
+  delta_shards = std::max(delta_shards, o.delta_shards);
+  tombstone_filtered += o.tombstone_filtered;
+  compactions = std::max(compactions, o.compactions);
   plan_compile_ns += o.plan_compile_ns;
   plan_reuses += o.plan_reuses;
 }

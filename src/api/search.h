@@ -65,6 +65,22 @@ struct EngineStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
 
+  // Shard-local fragment-cache accounting (the service's second cache
+  // tier, keyed by slice content rather than corpus epoch): per-slice runs
+  // answered from cached fragments versus executed. Zero when the fragment
+  // cache is disabled.
+  uint64_t shard_cache_hits = 0;
+  uint64_t shard_cache_misses = 0;
+
+  // Live-corpus serving (zero when the source is a plain ShardedCorpus):
+  // how many delta shards the answering snapshot carried, how many hits
+  // the tombstone filter suppressed for this response, and the snapshot's
+  // lifetime compaction count. delta_shards and compactions describe the
+  // snapshot rather than work done, so Merge takes their max, not sum.
+  uint64_t delta_shards = 0;
+  uint64_t tombstone_filtered = 0;
+  uint64_t compactions = 0;
+
   // Query-compilation accounting: nanoseconds Aligner::Compile spent
   // building the plan(s) behind this response, and how many engine
   // executions ran off a prebuilt plan (the sharded service compiles once

@@ -86,6 +86,22 @@ Sequence FastaReader::ToText(const std::vector<FastaRecord>& records,
   return text;
 }
 
+Sequence FastaReader::ToDocuments(const std::vector<FastaRecord>& records,
+                                  const Alphabet& alphabet,
+                                  std::vector<DocumentSpan>* spans) {
+  Sequence text({}, alphabet);
+  if (spans) spans->clear();
+  for (size_t r = 0; r < records.size(); ++r) {
+    const int64_t begin = static_cast<int64_t>(text.size());
+    text.Append(Sequence::FromString(records[r].residues, alphabet));
+    if (spans) {
+      spans->push_back(DocumentSpan{r, begin,
+                                    static_cast<int64_t>(text.size())});
+    }
+  }
+  return text;
+}
+
 std::string FastaWriter::ToString(const std::vector<FastaRecord>& records,
                                   size_t line_width) {
   std::ostringstream out;

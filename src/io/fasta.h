@@ -38,6 +38,13 @@ class FastaReader {
   static Sequence ToText(const std::vector<FastaRecord>& records,
                          const Alphabet& alphabet,
                          std::vector<size_t>* boundaries = nullptr);
+
+  // Same concatenation, but reporting each record as a DocumentSpan (ids
+  // are record ordinals) — the shape LiveCorpus mutates by: every span is
+  // individually deletable once the text is served live.
+  static Sequence ToDocuments(const std::vector<FastaRecord>& records,
+                              const Alphabet& alphabet,
+                              std::vector<DocumentSpan>* spans);
 };
 
 class FastaWriter {

@@ -51,6 +51,23 @@ class Sequence {
   const Alphabet* alphabet_;
 };
 
+// One document's placement inside a concatenated corpus text: the unit of
+// mutation for live corpora (appends create one, deletes tombstone one)
+// and of provenance when a FASTA collection is flattened into a single
+// text (paper §2.2's collection-to-text reduction).
+struct DocumentSpan {
+  uint64_t id = 0;
+  int64_t begin = 0;  // global text span [begin, end)
+  int64_t end = 0;
+
+  int64_t length() const { return end - begin; }
+  bool Contains(int64_t pos) const { return pos >= begin && pos < end; }
+
+  bool operator==(const DocumentSpan& o) const {
+    return id == o.id && begin == o.begin && end == o.end;
+  }
+};
+
 // 2-bit packed storage for DNA texts. The FM-index stores its BWT this way
 // when sigma <= 4, which is what makes the "BWT index" curve of Fig 11(a)
 // small (2 bits/char plus rank samples).

@@ -1,0 +1,42 @@
+#include "src/service/delta_shard.h"
+
+#include <utility>
+
+#include "src/service/corpus_view.h"
+
+namespace alae {
+namespace service {
+
+DeltaShard::DeltaShard(Sequence slice_text, DeltaShardMeta meta,
+                       FmIndexOptions options)
+    : meta_(meta),
+      content_id_(NextServiceEpoch()),
+      registry_(std::move(slice_text), options) {}
+
+DeltaShard::DeltaShard(Sequence slice_text, DeltaShardMeta meta, FmIndex fm)
+    : meta_(meta),
+      content_id_(NextServiceEpoch()),
+      registry_(std::make_shared<const AlaeIndex>(std::move(slice_text),
+                                                  std::move(fm))) {}
+
+api::StatusOr<const api::Aligner*> DeltaShard::AlignerFor(
+    std::string_view backend) const {
+  std::lock_guard<std::mutex> lock(aligners_mu_);
+  auto it = aligners_.find(backend);
+  if (it == aligners_.end()) {
+    api::StatusOr<std::unique_ptr<api::Aligner>> created =
+        registry_.Create(backend);
+    if (!created.ok()) return created.status();
+    it = aligners_.emplace(std::string(backend), std::move(created).value())
+             .first;
+  }
+  return it->second.get();
+}
+
+size_t DeltaShard::IndexBytes() const {
+  AlaeIndex::Sizes sz = registry_.index().SizeBytes();
+  return sz.bwt_bytes + sz.sample_bytes + sz.domination_bytes;
+}
+
+}  // namespace service
+}  // namespace alae

@@ -2,42 +2,36 @@
 
 #include <algorithm>
 #include <cassert>
-#include <utility>
 
 namespace alae {
 namespace service {
 
-api::HitSink HitMerger::ShardSink(size_t shard,
-                                  std::vector<AlignmentHit>* local) const {
-  const int64_t shard_start = corpus_.shard(shard).start;
-  const ShardedCorpus* corpus = &corpus_;
-  return [corpus, shard, shard_start, local](const AlignmentHit& hit) {
-    AlignmentHit global = hit;
-    global.text_end += shard_start;
-    if (corpus->OwnsGlobalEnd(shard, global.text_end)) {
-      if (global.text_start >= 0) global.text_start += shard_start;
-      local->push_back(global);
-    }
-    return true;
-  };
-}
-
-void HitMerger::MergeShard(std::vector<AlignmentHit> hits,
+void HitMerger::MergeSlice(size_t slice, const std::vector<AlignmentHit>& raw,
                            const api::EngineStats& stats) {
+  const ShardSlice& s = view_.slices[slice];
   std::lock_guard<std::mutex> lock(mu_);
   stats_.Merge(stats);
-  for (const AlignmentHit& hit : hits) {
-    assert(hit.text_end >= 0 && hit.text_end < (int64_t{1} << 32) &&
-           hit.query_end >= 0 && hit.query_end < (int64_t{1} << 32) &&
+  for (const AlignmentHit& hit : raw) {
+    AlignmentHit global = hit;
+    global.text_end += s.text_start;
+    if (!s.OwnsGlobalEnd(global.text_end)) continue;
+    if (TombstoneSuppressed(view_.tombstones, global.text_end,
+                            tombstone_guard_)) {
+      ++tombstone_filtered_;
+      continue;
+    }
+    if (global.text_start >= 0) global.text_start += s.text_start;
+    assert(global.text_end >= 0 && global.text_end < (int64_t{1} << 32) &&
+           global.query_end >= 0 && global.query_end < (int64_t{1} << 32) &&
            "hit coordinates outside the injective key range");
-    const uint64_t key = (static_cast<uint64_t>(hit.text_end) << 32) |
-                         static_cast<uint64_t>(hit.query_end);
-    auto [it, inserted] = hits_.try_emplace(key, hit);
-    if (!inserted && hit.score > it->second.score) {
-      // Ownership partitions end positions, so cross-shard duplicates
+    const uint64_t key = (static_cast<uint64_t>(global.text_end) << 32) |
+                         static_cast<uint64_t>(global.query_end);
+    auto [it, inserted] = hits_.try_emplace(key, global);
+    if (!inserted && global.score > it->second.score) {
+      // Ownership partitions end positions, so cross-slice duplicates
       // should not occur; this max-merge keeps the merger correct for any
-      // producer that does overlap-emit (e.g. direct MergeShard users).
-      it->second = hit;
+      // producer that does overlap-emit (e.g. direct MergeSlice users).
+      it->second = global;
     }
   }
 }
@@ -61,8 +55,10 @@ api::SearchResponse HitMerger::Take(uint64_t max_hits) {
   }
   response.stats.Merge(stats_);
   response.stats.hits_emitted = response.hits.size();
+  response.stats.tombstone_filtered = tombstone_filtered_;
   hits_.clear();
   stats_ = api::EngineStats();
+  tombstone_filtered_ = 0;
   return response;
 }
 

@@ -7,35 +7,39 @@
 #include <vector>
 
 #include "src/api/search.h"
-#include "src/service/sharded_corpus.h"
+#include "src/service/corpus_view.h"
 
 namespace alae {
 namespace service {
 
-// Collects one query's per-shard result streams into a single global
-// response: remaps shard-local coordinates to global ones, drops hits the
-// producing shard does not own (its neighbour scores them with full
-// context), deduplicates by global (text_end, query_end) keeping the best
-// score, and merges per-shard EngineStats.
+// Collects one query's per-slice result streams into a single global
+// response: remaps slice-local coordinates to global ones, drops hits the
+// producing slice does not own (a neighbour scores them with full
+// context), suppresses hits whose alignment window touches a tombstoned
+// span, deduplicates by global (text_end, query_end) keeping the best
+// score, and merges per-slice EngineStats.
 //
-// Shard tasks run concurrently; each streams its hits into a shard-local
-// buffer through ShardSink (the facade's HitSink composed with the
-// ownership filter) and publishes the buffer with one MergeShard call, so
-// the merger's lock is taken once per shard rather than once per hit.
+// Slice tasks run concurrently; each buffers its *raw* slice-local hits
+// (which is also what the shard-local fragment cache stores — raw hits
+// stay valid however the ownership frontier or tombstone set moves) and
+// publishes the buffer with one MergeSlice call, so the merger's lock is
+// taken once per slice rather than once per hit.
 class HitMerger {
  public:
-  explicit HitMerger(const ShardedCorpus& corpus) : corpus_(corpus) {}
+  // `view` must outlive the merger (the scheduler holds both on the
+  // batch's stack). `tombstone_guard` is the query's RequiredSpan — the
+  // conservative alignment-window length behind TombstoneSuppressed.
+  HitMerger(const CorpusView& view, int64_t tombstone_guard)
+      : view_(view), tombstone_guard_(tombstone_guard) {}
 
-  // A sink for `shard`'s Aligner::Search call: filters ownership, remaps
-  // coordinates, buffers into `local`. The returned sink always asks for
-  // more hits (per-shard truncation is handled by request.max_hits).
-  api::HitSink ShardSink(size_t shard, std::vector<AlignmentHit>* local) const;
-
-  // Publishes one shard's buffered hits and stats. Thread-safe.
-  void MergeShard(std::vector<AlignmentHit> hits, const api::EngineStats& stats);
+  // Publishes one slice's raw (slice-local, unfiltered) hits and the stats
+  // of the run that produced them. Thread-safe.
+  void MergeSlice(size_t slice, const std::vector<AlignmentHit>& raw,
+                  const api::EngineStats& stats);
 
   // Final response: hits sorted by (text_end, query_end), stats merged
-  // across shards. Call after every shard task completed.
+  // across slices (including the tombstone_filtered count). Call after
+  // every slice task completed.
   api::SearchResponse Take(uint64_t max_hits);
 
  private:
@@ -48,10 +52,12 @@ class HitMerger {
     }
   };
 
-  const ShardedCorpus& corpus_;
+  const CorpusView& view_;
+  const int64_t tombstone_guard_;
   std::mutex mu_;
   std::unordered_map<uint64_t, AlignmentHit, KeyHash> hits_;
   api::EngineStats stats_;
+  uint64_t tombstone_filtered_ = 0;
 };
 
 }  // namespace service

@@ -24,6 +24,11 @@ std::string ResultCache::KeyFor(std::string_view backend,
   return key;
 }
 
+std::string ResultCache::FragmentKeyFor(const std::string& content_key,
+                                        const api::QueryPlan& plan) {
+  return content_key + plan.fingerprint();
+}
+
 bool ResultCache::Lookup(const std::string& key,
                          api::SearchResponse* response) {
   if (capacity_ == 0) {

@@ -45,6 +45,15 @@ class ResultCache {
                             const api::SearchRequest& request,
                             uint64_t epoch);
 
+  // Key for a shard-local result fragment: the slice's content key (which
+  // encodes what text the slice indexes, not which snapshot it appeared
+  // in) plus the plan fingerprint. Deliberately epoch-free — a fragment
+  // stays valid across live-corpus epoch bumps until the slice's content
+  // itself is replaced. max_hits is irrelevant here: slice runs are always
+  // uncapped (the global cap applies after the merge).
+  static std::string FragmentKeyFor(const std::string& content_key,
+                                    const api::QueryPlan& plan);
+
   // On hit, copies the cached response into *response and returns true.
   bool Lookup(const std::string& key, api::SearchResponse* response);
 

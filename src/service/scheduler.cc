@@ -41,7 +41,7 @@ class TaskGroup {
   size_t pending_;
 };
 
-// First-error slot shared by a request's shard tasks.
+// First-error slot shared by a request's slice tasks.
 class ErrorSlot {
  public:
   void Record(api::Status status) {
@@ -59,27 +59,22 @@ class ErrorSlot {
   api::Status status_;
 };
 
+api::Status SliceError(size_t slice, const api::Status& status) {
+  return api::Status(status.code(),
+                     "slice " + std::to_string(slice) + ": " +
+                         status.message());
+}
+
 }  // namespace
 
-QueryScheduler::QueryScheduler(const ShardedCorpus& corpus,
+QueryScheduler::QueryScheduler(const CorpusSource& source,
                                SchedulerOptions options)
-    : corpus_(corpus),
+    : source_(source),
       batch_size_(std::max<size_t>(1, options.batch_size)),
       fuse_alae_shards_(options.fuse_alae_shards),
       cache_(options.cache_capacity),
+      shard_cache_(options.shard_cache_capacity),
       pool_(options.threads, options.queue_capacity) {}
-
-api::Status QueryScheduler::ResolveAligners(
-    std::string_view backend, std::vector<const api::Aligner*>* aligners) {
-  aligners->clear();
-  aligners->reserve(corpus_.num_shards());
-  for (size_t s = 0; s < corpus_.num_shards(); ++s) {
-    api::StatusOr<const api::Aligner*> aligner = corpus_.AlignerFor(s, backend);
-    if (!aligner.ok()) return aligner.status();
-    aligners->push_back(*aligner);
-  }
-  return api::Status::Ok();
-}
 
 api::StatusOr<api::SearchResponse> QueryScheduler::Search(
     std::string_view backend, const api::SearchRequest& request) {
@@ -88,56 +83,122 @@ api::StatusOr<api::SearchResponse> QueryScheduler::Search(
   return std::move(outcomes[0].response);
 }
 
-void QueryScheduler::RunFusedQuery(
-    const api::QueryPlan& plan,
-    const std::vector<const api::Aligner*>& aligners, HitMerger* merger,
-    api::Status* error) const {
-  const size_t shards = corpus_.num_shards();
+api::Status QueryScheduler::RunSliceQuery(const CorpusView& view, size_t slice,
+                                          const api::Aligner* aligner,
+                                          const api::QueryPlan& plan,
+                                          HitMerger* merger) {
+  const bool frag = shard_cache_.capacity() > 0;
+  std::string fkey;
+  if (frag) {
+    fkey = ResultCache::FragmentKeyFor(view.slices[slice].content_key, plan);
+    api::SearchResponse fragment;
+    if (shard_cache_.Lookup(fkey, &fragment)) {
+      api::EngineStats stats;
+      stats.shard_cache_hits = 1;
+      merger->MergeSlice(slice, fragment.hits, stats);
+      return api::Status::Ok();
+    }
+  }
+  std::vector<AlignmentHit> raw;
+  api::EngineStats stats;
+  api::Status status = aligner->Search(
+      plan,
+      [&raw](const AlignmentHit& hit) {
+        raw.push_back(hit);
+        return true;
+      },
+      &stats);
+  if (!status.ok()) return SliceError(slice, status);
+  if (frag) {
+    // Fragments are the raw slice-local stream — ownership cuts and
+    // tombstones are applied at reuse time, so a fragment stays valid for
+    // as long as the slice *content* does, however the frontier moves.
+    api::SearchResponse fragment;
+    fragment.hits = raw;
+    shard_cache_.Insert(fkey, fragment);
+    stats.shard_cache_misses = 1;
+  }
+  merger->MergeSlice(slice, raw, stats);
+  return api::Status::Ok();
+}
+
+api::Status QueryScheduler::RunFusedQuery(
+    const CorpusView& view, const api::QueryPlan& plan,
+    const std::vector<const api::Aligner*>& aligners, HitMerger* merger) {
+  const size_t slices = view.slices.size();
   // The fused walk needs the typed ALAE plan and cannot host the
   // (single-index, test-only) bitset filter; everything else — including
   // plans from a custom backend registered under the "alae" name — runs
-  // the per-shard loop below, serially inside this one task.
+  // the per-slice loop below, serially inside this one task.
   const auto* compiled = dynamic_cast<const api::AlaePlan*>(&plan);
-  if (compiled != nullptr && !plan.request().alae.bitset_global_filter) {
-    std::vector<const AlaeIndex*> indexes;
-    indexes.reserve(shards);
-    for (size_t s = 0; s < shards; ++s) {
-      indexes.push_back(&corpus_.shard(s).registry->index());
+  if (compiled == nullptr || plan.request().alae.bitset_global_filter) {
+    for (size_t s = 0; s < slices; ++s) {
+      if (api::Status status =
+              RunSliceQuery(view, s, aligners[s], plan, merger);
+          !status.ok()) {
+        return status;
+      }
     }
-    Timer timer;
-    AlaeRunStats run;
-    std::vector<ResultCollector> per_shard;
-    Alae::RunSharded(compiled->core(), indexes, &per_shard, &run);
-    api::EngineStats stats;
-    stats.seconds = timer.ElapsedSeconds();
-    stats.counters = run.counters;
-    stats.anchors_considered = run.anchors_considered;
-    stats.grams_searched = run.grams_searched;
-    stats.plan_reuses = 1;
-    for (size_t s = 0; s < shards; ++s) {
-      std::vector<AlignmentHit> local;
-      // ShardSink ownership-filters and remaps; order is irrelevant here
-      // (MergeShard re-keys and Take sorts), so drain unsorted.
-      api::HitSink sink = merger->ShardSink(s, &local);
-      per_shard[s].ForEach([&sink](const AlignmentHit& hit) { sink(hit); });
-      // The fused walk's counters cover all shards; attribute them once.
-      merger->MergeShard(std::move(local),
-                         s == 0 ? stats : api::EngineStats{});
-    }
-    return;
+    return api::Status::Ok();
   }
-  for (size_t s = 0; s < shards; ++s) {
-    std::vector<AlignmentHit> local;
-    api::EngineStats stats;
-    api::Status status =
-        aligners[s]->Search(plan, merger->ShardSink(s, &local), &stats);
-    if (status.ok()) {
-      merger->MergeShard(std::move(local), stats);
-    } else if (error->ok()) {
-      *error = api::Status(status.code(), "shard " + std::to_string(s) +
-                                              ": " + status.message());
+
+  const bool frag = shard_cache_.capacity() > 0;
+  std::vector<std::string> fkeys;
+  if (frag) {
+    // All-or-nothing against the fragment cache: the fused walk computes
+    // every slice in one pass, so one missing fragment means running the
+    // walk anyway — partial reuse would save nothing.
+    fkeys.reserve(slices);
+    std::vector<api::SearchResponse> fragments(slices);
+    bool all_cached = true;
+    for (size_t s = 0; s < slices; ++s) {
+      fkeys.push_back(
+          ResultCache::FragmentKeyFor(view.slices[s].content_key, plan));
+      if (all_cached && !shard_cache_.Lookup(fkeys[s], &fragments[s])) {
+        all_cached = false;
+      }
+    }
+    if (all_cached) {
+      for (size_t s = 0; s < slices; ++s) {
+        api::EngineStats stats;
+        stats.shard_cache_hits = 1;
+        merger->MergeSlice(s, fragments[s].hits, stats);
+      }
+      return api::Status::Ok();
     }
   }
+
+  std::vector<const AlaeIndex*> indexes;
+  indexes.reserve(slices);
+  for (size_t s = 0; s < slices; ++s) {
+    indexes.push_back(&view.slices[s].registry->index());
+  }
+  Timer timer;
+  AlaeRunStats run;
+  std::vector<ResultCollector> per_slice;
+  Alae::RunSharded(compiled->core(), indexes, &per_slice, &run);
+  api::EngineStats walk_stats;
+  walk_stats.seconds = timer.ElapsedSeconds();
+  walk_stats.counters = run.counters;
+  walk_stats.anchors_considered = run.anchors_considered;
+  walk_stats.grams_searched = run.grams_searched;
+  walk_stats.plan_reuses = 1;
+  for (size_t s = 0; s < slices; ++s) {
+    std::vector<AlignmentHit> raw;
+    // Drain unsorted: MergeSlice re-keys and Take sorts.
+    per_slice[s].ForEach(
+        [&raw](const AlignmentHit& hit) { raw.push_back(hit); });
+    // The fused walk's counters cover all slices; attribute them once.
+    api::EngineStats stats = s == 0 ? walk_stats : api::EngineStats{};
+    if (frag) {
+      api::SearchResponse fragment;
+      fragment.hits = raw;
+      shard_cache_.Insert(fkeys[s], fragment);
+      stats.shard_cache_misses = 1;
+    }
+    merger->MergeSlice(s, raw, stats);
+  }
+  return api::Status::Ok();
 }
 
 std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
@@ -147,24 +208,37 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   std::vector<api::QueryOutcome> outcomes(requests.size());
   if (requests.empty()) return outcomes;
 
+  // One snapshot serves the whole batch: a concurrent live-corpus
+  // mutation or compaction swaps state for *later* batches, while this
+  // one keeps reading the slices (and indexes) the snapshot pinned.
+  const CorpusView view = source_.Snapshot();
+  const size_t slices = view.slices.size();
+  const size_t num_deltas = view.NumDeltaSlices();
+
   std::vector<const api::Aligner*> aligners;
-  if (api::Status status = ResolveAligners(backend, &aligners);
-      !status.ok()) {
-    for (api::QueryOutcome& o : outcomes) o.status = status;
-    return outcomes;
+  aligners.reserve(slices);
+  for (size_t s = 0; s < slices; ++s) {
+    api::StatusOr<const api::Aligner*> aligner =
+        view.slices[s].aligner_for(backend);
+    if (!aligner.ok()) {
+      for (api::QueryOutcome& o : outcomes) o.status = aligner.status();
+      return outcomes;
+    }
+    aligners.push_back(*aligner);
   }
 
   // Per-query admission: validation, span check, then the cache — all
   // before compilation, so a cache hit never pays the query-side
   // precompute it exists to avoid (the request-shaped cache key is byte
   // identical to the plan-based one). Only cache misses compile, ONCE
-  // per query (shard 0's aligner; plans are index-independent), with
-  // max_hits zeroed — shards must compute their full owned answer (a
-  // per-shard cap could starve owned hits out of the merge); the global
+  // per query (slice 0's aligner; plans are index-independent), with
+  // max_hits zeroed — slices must compute their full owned answer (a
+  // per-slice cap could starve owned hits out of the merge); the global
   // cap is applied by HitMerger::Take and preserved in the cache key.
   // `live` collects the indexes that actually need engine work.
   std::vector<size_t> live;
   std::vector<std::string> keys(requests.size());
+  std::vector<int64_t> guards(requests.size(), 0);
   std::vector<std::unique_ptr<const api::QueryPlan>> plans(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     if (api::Status status = aligners[0]->Validate(requests[i]);
@@ -172,12 +246,15 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
       outcomes[i].status = status;
       continue;
     }
-    if (api::Status status = corpus_.ValidateSpan(backend, requests[i]);
+    if (api::Status status = view.ValidateSpan(backend, requests[i]);
         !status.ok()) {
       outcomes[i].status = status;
       continue;
     }
-    keys[i] = ResultCache::KeyFor(backend, requests[i], corpus_.epoch());
+    // The tombstone guard (and BLAST window) for this query; also the
+    // value ValidateSpan just checked against the overlap.
+    guards[i] = RequiredSpan(backend, requests[i]);
+    keys[i] = ResultCache::KeyFor(backend, requests[i], view.epoch);
     if (cache_.Lookup(keys[i], &outcomes[i].response)) {
       outcomes[i].response.stats.cache_hits = 1;
       outcomes[i].response.stats.cache_misses = 0;
@@ -197,19 +274,20 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   }
   if (live.empty()) return outcomes;
 
-  // Fan out. Every live query needs every shard; micro-batching packs up
+  // Fan out. Every live query needs every slice; micro-batching packs up
   // to batch_size same-backend queries into one pool task so the task
-  // dispatch (and the shard's index going cold) is paid per group. For
+  // dispatch (and the slice's index going cold) is paid per group. For
   // the built-in ALAE backend a group is ONE task running the fused
-  // union-trie walk (all shards share the query's fork DP); for the other
-  // backends a group spawns one task per shard.
+  // union-trie walk (all slices share the query's fork DP); for the other
+  // backends a group spawns one task per slice.
   const size_t group = batch_size_;
   const bool fused = fuse_alae_shards_ && aligners[0]->name() == "alae";
-  const size_t shards = corpus_.num_shards();
-  const size_t tasks_per_group = fused ? 1 : shards;
+  const size_t tasks_per_group = fused ? 1 : slices;
   // deque: HitMerger carries a mutex and must be constructed in place.
   std::deque<HitMerger> mergers;
-  for (size_t i = 0; i < live.size(); ++i) mergers.emplace_back(corpus_);
+  for (size_t k = 0; k < live.size(); ++k) {
+    mergers.emplace_back(view, guards[live[k]]);
+  }
   std::vector<ErrorSlot> errors(live.size());
 
   // A batch's full fan-out may legitimately exceed the queue bound, and a
@@ -228,9 +306,9 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
     // misfit, not transient load.
     api::Status misfit = api::Status::ResourceExhausted(
         "one query fans out into " + std::to_string(tasks_per_group) +
-        " shard tasks but the service queue holds only " +
+        " slice tasks but the service queue holds only " +
         std::to_string(pool_.queue_capacity()) +
-        "; raise queue_capacity to at least the shard count");
+        "; raise queue_capacity to at least the slice count");
     for (size_t k = 0; k < live.size(); ++k) {
       outcomes[live[k]].status = misfit;
     }
@@ -246,39 +324,31 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
     if (fused) {
       for (size_t g = wave; g < wave_end; g += group) {
         const size_t g_end = std::min(wave_end, g + group);
-        tasks.push_back([this, g, g_end, &live, &plans, &aligners, &mergers,
-                         &errors, &done] {
+        tasks.push_back([this, g, g_end, &view, &live, &plans, &aligners,
+                         &mergers, &errors, &done] {
           for (size_t k = g; k < g_end; ++k) {
-            api::Status error = api::Status::Ok();
-            RunFusedQuery(*plans[live[k]], aligners, &mergers[k], &error);
-            if (!error.ok()) errors[k].Record(std::move(error));
+            api::Status status =
+                RunFusedQuery(view, *plans[live[k]], aligners, &mergers[k]);
+            if (!status.ok()) errors[k].Record(std::move(status));
           }
           done.Done();
         });
       }
     } else {
-      for (size_t s = 0; s < shards; ++s) {
+      for (size_t s = 0; s < slices; ++s) {
         for (size_t g = wave; g < wave_end; g += group) {
           const size_t g_end = std::min(wave_end, g + group);
           const api::Aligner* aligner = aligners[s];
-          tasks.push_back([s, g, g_end, aligner, &live, &plans, &mergers,
-                           &errors, &done] {
+          tasks.push_back([this, s, g, g_end, aligner, &view, &live, &plans,
+                           &mergers, &errors, &done] {
             for (size_t k = g; k < g_end; ++k) {
               // The shared plan carries max_hits = 0 (see admission), so
-              // every shard streams its full owned answer; the global cap
+              // every slice streams its full owned answer; the global cap
               // is applied by HitMerger::Take on the sorted merged set —
               // which is exactly the unsharded prefix.
-              std::vector<AlignmentHit> local;
-              api::EngineStats stats;
-              api::Status status = aligner->Search(
-                  *plans[live[k]], mergers[k].ShardSink(s, &local), &stats);
-              if (status.ok()) {
-                mergers[k].MergeShard(std::move(local), stats);
-              } else {
-                errors[k].Record(api::Status(
-                    status.code(),
-                    "shard " + std::to_string(s) + ": " + status.message()));
-              }
+              api::Status status =
+                  RunSliceQuery(view, s, aligner, *plans[live[k]], &mergers[k]);
+              if (!status.ok()) errors[k].Record(std::move(status));
             }
             done.Done();
           });
@@ -306,6 +376,8 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
       continue;
     }
     api::SearchResponse response = mergers[k].Take(requests[i].max_hits);
+    response.stats.delta_shards = num_deltas;
+    response.stats.compactions = view.compactions;
     // Cache the computed payload without this call's cache or compile
     // accounting — a later hit reports its own counters and compiled
     // nothing.

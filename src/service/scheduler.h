@@ -2,12 +2,13 @@
 #define ALAE_SERVICE_SCHEDULER_H_
 
 #include <cstddef>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/api/api.h"
+#include "src/service/corpus_view.h"
 #include "src/service/result_cache.h"
-#include "src/service/sharded_corpus.h"
 #include "src/service/thread_pool.h"
 
 namespace alae {
@@ -28,78 +29,93 @@ struct SchedulerOptions {
   // LRU result-cache entries; 0 disables caching.
   size_t cache_capacity = 256;
 
+  // Shard-local fragment cache: raw per-slice hit lists keyed by (slice
+  // content, plan fingerprint) — deliberately NOT by epoch, so base-shard
+  // fragments survive the epoch bumps of live-corpus mutations and only
+  // die when the slice content itself is replaced (compaction swaps in a
+  // new base). Load-bearing for live corpora, where every append/delete
+  // invalidates the whole-response cache above; 0 disables the tier.
+  size_t shard_cache_capacity = 0;
+
   // SearchBatch micro-batching: up to this many same-backend queries ride
   // one shard task, so a task switch (and the shard index going cold) is
   // paid once per group rather than once per query.
   size_t batch_size = 8;
 
   // Fused execution for the built-in ALAE backend: one engine walk over
-  // the union of the shards' suffix tries per query, sharing the fork DP
-  // across shards (per-shard work reduces to occurrence anchoring +
-  // descent — see Alae::RunSharded). This flattens the per-shard fixed
+  // the union of the slices' suffix tries per query, sharing the fork DP
+  // across slices (per-slice work reduces to occurrence anchoring +
+  // descent — see Alae::RunSharded). This flattens the per-slice fixed
   // query cost; results are bit-exact either way. A fused query is one
-  // pool task instead of one per shard, so it trades intra-query
+  // pool task instead of one per slice, so it trades intra-query
   // parallelism for strictly less total work — batch throughput wins,
   // single-query latency on an idle many-core box may prefer `false`.
   bool fuse_alae_shards = true;
 };
 
-// The multi-tenant front door of the sharded query service: compiles each
-// request into a QueryPlan once (shard 0's aligner; plans are
-// index-independent), fans the work across the shards of a ShardedCorpus
-// as pool tasks that share the plan — fused into one union-trie walk for
-// ALAE, one task per shard otherwise — merges the per-shard streams
-// through a HitMerger, and answers repeated requests from an LRU result
-// cache keyed on the plan fingerprint.
+// The multi-tenant front door of the sharded query service: snapshots the
+// corpus source once per batch, compiles each request into a QueryPlan
+// once (slice 0's aligner; plans are index-independent), fans the work
+// across the snapshot's slices — base shards plus any live-corpus delta
+// shards — as pool tasks that share the plan (fused into one union-trie
+// walk for ALAE, one task per slice otherwise), merges the per-slice
+// streams through a HitMerger with ownership and tombstone filtering, and
+// answers repeats from two cache tiers: the epoch-keyed whole-response
+// LRU and the content-keyed shard-fragment LRU.
 //
 // Thread-safe: any number of client threads may call Search/SearchBatch
-// concurrently; they share the worker pool and the cache. Destroying the
-// scheduler while calls are in flight is undefined — join your clients
-// first (the pool itself drains its queue on destruction).
+// concurrently; they share the worker pool and the caches. Mutating a
+// LiveCorpus source concurrently is safe (each batch works off its own
+// snapshot). Destroying the scheduler while calls are in flight is
+// undefined — join your clients first (the pool drains on destruction).
 class QueryScheduler {
  public:
-  explicit QueryScheduler(const ShardedCorpus& corpus,
+  explicit QueryScheduler(const CorpusSource& source,
                           SchedulerOptions options = {});
 
-  // One query against every shard. Failure modes beyond the facade's
-  // request validation: kInvalidArgument when the query's worst-case
-  // alignment span does not fit the corpus overlap (the sharded answer
-  // would not be bit-exact), kNotFound for unknown backends, and
-  // kResourceExhausted when the task queue cannot take the fan-out —
-  // callers should back off and retry.
+  // One query against every slice of the current snapshot. Failure modes
+  // beyond the facade's request validation: kInvalidArgument when the
+  // query's worst-case alignment span does not fit the corpus overlap
+  // (the sharded answer would not be bit-exact), kNotFound for unknown
+  // backends, and kResourceExhausted when the task queue cannot take the
+  // fan-out — callers should back off and retry.
   api::StatusOr<api::SearchResponse> Search(std::string_view backend,
                                             const api::SearchRequest& request);
 
   // Micro-batched form: same-backend requests are grouped `batch_size` to
-  // a shard task. Outcomes come back in input order, each with its own
+  // a slice task. Outcomes come back in input order, each with its own
   // Status — one bad query never takes down its neighbours (same contract
   // as MultiQueryDriver::RunEach).
   std::vector<api::QueryOutcome> SearchBatch(
       std::string_view backend,
       const std::vector<api::SearchRequest>& requests);
 
-  const ShardedCorpus& corpus() const { return corpus_; }
+  const CorpusSource& source() const { return source_; }
   ThreadPool& pool() { return pool_; }
   const ResultCache& cache() const { return cache_; }
+  const ResultCache& shard_cache() const { return shard_cache_; }
 
  private:
-  // Resolves the per-shard aligners for `backend` (kNotFound if unknown).
-  api::Status ResolveAligners(std::string_view backend,
-                              std::vector<const api::Aligner*>* aligners);
+  // Executes one compiled query against one slice: fragment-cache lookup,
+  // engine run on miss (raw slice-local hits; the fragment inserted before
+  // merging), MergeSlice either way.
+  api::Status RunSliceQuery(const CorpusView& view, size_t slice,
+                            const api::Aligner* aligner,
+                            const api::QueryPlan& plan, HitMerger* merger);
 
-  // Executes one compiled query against every shard inside one pool task:
-  // the fused ALAE walk when the plan supports it, else a serial per-shard
-  // loop. Streams each shard's hits through `merger`; reports the first
-  // shard failure into `error`.
-  void RunFusedQuery(const api::QueryPlan& plan,
-                     const std::vector<const api::Aligner*>& aligners,
-                     HitMerger* merger, api::Status* error) const;
+  // Executes one compiled query against every slice inside one pool task:
+  // the fused ALAE walk when the plan supports it (all-or-nothing against
+  // the fragment cache), else a serial per-slice loop.
+  api::Status RunFusedQuery(const CorpusView& view, const api::QueryPlan& plan,
+                            const std::vector<const api::Aligner*>& aligners,
+                            HitMerger* merger);
 
-  const ShardedCorpus& corpus_;
+  const CorpusSource& source_;
   const size_t batch_size_;
   const bool fuse_alae_shards_;
   ResultCache cache_;
-  ThreadPool pool_;  // declared last: workers must die before the cache
+  ResultCache shard_cache_;
+  ThreadPool pool_;  // declared last: workers must die before the caches
 };
 
 }  // namespace service

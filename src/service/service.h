@@ -10,11 +10,23 @@
 //
 // ShardedCorpus partitions the text into overlapping shards, each with its
 // own FM-index and per-backend Aligners; QueryScheduler fans requests
-// across the shards on a bounded ThreadPool, merges the per-shard streams
-// through HitMerger, and serves repeats from an LRU ResultCache. See
-// README "Serving" for the architecture and the shard-sizing rule.
+// across the slices of a CorpusSource snapshot on a bounded ThreadPool,
+// merges the per-slice streams through HitMerger, and serves repeats from
+// an LRU ResultCache (plus an optional content-keyed fragment cache). For
+// a corpus that changes while being served, LiveCorpus layers delta shards
+// and tombstones over an immutable base with background compaction:
+//
+//   auto live = service::LiveCorpus::Build(text, {.base = {...}});
+//   (*live)->AppendDocument(doc);
+//   service::QueryScheduler scheduler(**live, {.threads = 8});
+//
+// See README "Serving" and "Live corpora" for the architecture, the
+// shard-sizing rule and the mutation semantics.
 
+#include "src/service/corpus_view.h"     // IWYU pragma: export
+#include "src/service/delta_shard.h"     // IWYU pragma: export
 #include "src/service/hit_merger.h"      // IWYU pragma: export
+#include "src/service/live_corpus.h"     // IWYU pragma: export
 #include "src/service/result_cache.h"    // IWYU pragma: export
 #include "src/service/scheduler.h"       // IWYU pragma: export
 #include "src/service/sharded_corpus.h"  // IWYU pragma: export

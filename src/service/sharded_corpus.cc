@@ -1,11 +1,9 @@
 #include "src/service/sharded_corpus.h"
 
-#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
-#include "src/align/scoring.h"
 #include "src/util/serialize.h"
 
 namespace alae {
@@ -13,11 +11,6 @@ namespace service {
 namespace {
 
 constexpr uint64_t kManifestMagic = 0x414C414553525631ULL;  // "ALAESRV1"
-
-uint64_t NextEpoch() {
-  static std::atomic<uint64_t> counter{1};
-  return counter.fetch_add(1);
-}
 
 std::string ShardFileName(const std::string& dir, size_t shard) {
   std::ostringstream name;
@@ -27,30 +20,6 @@ std::string ShardFileName(const std::string& dir, size_t shard) {
 
 std::string ManifestFileName(const std::string& dir) {
   return dir + "/corpus.manifest";
-}
-
-// Worst-case text span of a positive-scoring alignment a shard must be able
-// to hold for `backend` to answer `request` bit-exactly (see the geometry
-// contract in the header).
-int64_t RequiredOverlap(std::string_view backend,
-                        const api::SearchRequest& request) {
-  const int64_t m = static_cast<int64_t>(request.query.size());
-  if (backend == "blast") {
-    // BLAST anchors extensions at a seed that can sit a full alignment
-    // span away from the reported end pair, and its X-drop passes explore
-    // up to x_drop/|ss| rows beyond the best cell before giving up — the
-    // window must fit even where the exploration finds nothing, or a
-    // truncated exploration could surface a different local optimum than
-    // the unsharded run.
-    const int32_t x_drop = std::max(request.blast.x_drop_ungapped,
-                                    request.blast.x_drop_gapped);
-    const int64_t reach = LengthUpperBound(request.scheme, m, 1) +
-                          x_drop / -request.scheme.ss + 1;
-    return 2 * reach;
-  }
-  // Exact engines enumerate alignments *ending* at each position; only
-  // left context matters and Theorem 1 bounds it.
-  return LengthUpperBound(request.scheme, m, std::max(request.threshold, 1));
 }
 
 }  // namespace
@@ -82,7 +51,7 @@ api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Assemble(
   auto corpus = std::unique_ptr<ShardedCorpus>(new ShardedCorpus());
   corpus->text_ = std::move(text);
   corpus->options_ = options;
-  corpus->epoch_ = NextEpoch();
+  corpus->epoch_ = NextServiceEpoch();
 
   const int64_t n = corpus->text_size();
   const int64_t step = options.shard_size - 2 * options.overlap;
@@ -170,6 +139,10 @@ api::Status ShardedCorpus::Save(const std::string& dir) const {
     return api::Status::InvalidArgument("failed writing " +
                                         ManifestFileName(dir));
   }
+  return SaveShardFiles(dir);
+}
+
+api::Status ShardedCorpus::SaveShardFiles(const std::string& dir) const {
   for (size_t k = 0; k < shards_.size(); ++k) {
     std::ofstream out(ShardFileName(dir, k), std::ios::binary);
     bool shard_ok =
@@ -250,14 +223,14 @@ api::StatusOr<const api::Aligner*> ShardedCorpus::AlignerFor(
 api::Status ShardedCorpus::ValidateSpan(
     std::string_view backend, const api::SearchRequest& request) const {
   if (shards_.size() <= 1) return api::Status::Ok();
-  // RequiredOverlap divides by scheme.ss; guard malformed schemes here so
+  // RequiredSpan divides by scheme.ss; guard malformed schemes here so
   // direct callers (not just the scheduler, which validates first) get a
   // Status instead of a division fault.
   if (!request.scheme.Valid()) {
     return api::Status::InvalidArgument(
         "scoring scheme " + request.scheme.ToString() + " is malformed");
   }
-  const int64_t required = RequiredOverlap(backend, request);
+  const int64_t required = RequiredSpan(backend, request);
   if (required <= options_.overlap) return api::Status::Ok();
   return api::Status::InvalidArgument(
       "query of length " + std::to_string(request.query.size()) +
@@ -266,6 +239,30 @@ api::Status ShardedCorpus::ValidateSpan(
       "corpus overlap is only " +
       std::to_string(options_.overlap) +
       "; rebuild the corpus with a larger overlap or shorten the query");
+}
+
+CorpusView ShardedCorpus::Snapshot() const {
+  CorpusView view;
+  view.epoch = epoch_;
+  view.text_size = text_size();
+  view.overlap = options_.overlap;
+  view.slices.reserve(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& shard = shards_[k];
+    ShardSlice slice;
+    slice.text_start = shard.start;
+    slice.owned_begin = shard.owned_begin;
+    slice.owned_end = shard.owned_end;
+    slice.registry = shard.registry.get();
+    slice.content_key.push_back('B');
+    AppendRaw(&slice.content_key, epoch_);
+    AppendRaw(&slice.content_key, static_cast<uint64_t>(k));
+    slice.aligner_for = [this, k](std::string_view backend) {
+      return AlignerFor(k, backend);
+    };
+    view.slices.push_back(std::move(slice));
+  }
+  return view;
 }
 
 size_t ShardedCorpus::IndexBytes() const {

@@ -13,6 +13,7 @@
 #include "src/api/api.h"
 #include "src/index/fm_index.h"
 #include "src/io/sequence.h"
+#include "src/service/corpus_view.h"
 
 namespace alae {
 namespace service {
@@ -55,7 +56,7 @@ struct ShardedCorpusOptions {
 // per-shard streams by global coordinate.
 //
 // Immutable after construction; every accessor is const and thread-safe.
-class ShardedCorpus {
+class ShardedCorpus : public CorpusSource {
  public:
   struct Shard {
     int64_t start = 0;       // first covered text position
@@ -74,10 +75,24 @@ class ShardedCorpus {
   // shard. Any index mode round-trips, including wavelet.
   api::Status Save(const std::string& dir) const;
 
+  // Writes just the per-shard `shard-NNNN.fm` files into `dir` (which must
+  // exist). Save composes this with the v1 manifest; LiveCorpus::Save
+  // composes it with the v2 live manifest.
+  api::Status SaveShardFiles(const std::string& dir) const;
+
   // Loads a corpus saved by Save, reusing the persisted per-shard
   // FM-indexes instead of rebuilding them.
   static api::StatusOr<std::unique_ptr<ShardedCorpus>> Load(
       const std::string& dir);
+
+  // Computes shard boundaries and constructs registries from the given
+  // per-shard indexes; with an empty `prebuilt` list the indexes are built
+  // from the text (== Build). Exposed for the live-corpus loader, which
+  // reassembles a base from manifest-v2 payloads; `prebuilt` indexes are
+  // content-probed against the text.
+  static api::StatusOr<std::unique_ptr<ShardedCorpus>> Assemble(
+      Sequence text, ShardedCorpusOptions options,
+      std::vector<FmIndex> prebuilt);
 
   const Sequence& text() const { return text_; }
   int64_t text_size() const { return static_cast<int64_t>(text_.size()); }
@@ -111,14 +126,13 @@ class ShardedCorpus {
   // Total index footprint across shards.
   size_t IndexBytes() const;
 
+  // The corpus as an immutable snapshot: one slice per shard, no deltas,
+  // no tombstones. The corpus must outlive the view (slices reference its
+  // registries; a plain corpus carries no keepalive owner).
+  CorpusView Snapshot() const override;
+
  private:
   ShardedCorpus() = default;
-
-  // Computes shard boundaries and constructs registries from the given
-  // per-shard indexes (build path passes empty prebuilt list and builds).
-  static api::StatusOr<std::unique_ptr<ShardedCorpus>> Assemble(
-      Sequence text, ShardedCorpusOptions options,
-      std::vector<FmIndex> prebuilt);
 
   Sequence text_;
   ShardedCorpusOptions options_;

@@ -69,5 +69,56 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+BackgroundWorker::BackgroundWorker(std::function<void()> job)
+    : job_(std::move(job)), thread_([this] { Loop(); }) {}
+
+BackgroundWorker::~BackgroundWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    pending_ = false;  // drop, don't start, queued work at shutdown
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void BackgroundWorker::Trigger() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+uint64_t BackgroundWorker::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
+}
+
+void BackgroundWorker::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return (!pending_ && !running_) || shutdown_; });
+}
+
+void BackgroundWorker::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || pending_; });
+      if (shutdown_) return;
+      pending_ = false;
+      running_ = true;
+    }
+    job_();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_ = false;
+      ++runs_;
+    }
+    cv_.notify_all();
+  }
+}
+
 }  // namespace service
 }  // namespace alae

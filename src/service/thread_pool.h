@@ -59,6 +59,45 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+// One named background job on its own thread, run once per Trigger with
+// coalescing: triggers that arrive while the job is running fold into a
+// single follow-up run instead of queueing unboundedly (the shed-aware
+// idiom of the pool above, specialised to a singleton job). The live
+// corpus drives its compactions through this. Destruction is a clean
+// join: a pending trigger is dropped, a *running* job is waited out — the
+// job must therefore never block on the worker's owner.
+class BackgroundWorker {
+ public:
+  explicit BackgroundWorker(std::function<void()> job);
+  ~BackgroundWorker();
+
+  BackgroundWorker(const BackgroundWorker&) = delete;
+  BackgroundWorker& operator=(const BackgroundWorker&) = delete;
+
+  // Requests a run. Never blocks; coalesces with an already-pending
+  // trigger. No-op after shutdown began.
+  void Trigger();
+
+  // Completed job runs (for stats and tests).
+  uint64_t runs() const;
+
+  // Blocks until no run is pending or in flight (for tests and orderly
+  // shutdown sequencing).
+  void Drain();
+
+ private:
+  void Loop();
+
+  std::function<void()> job_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool pending_ = false;
+  bool running_ = false;
+  bool shutdown_ = false;
+  uint64_t runs_ = 0;
+  std::thread thread_;
+};
+
 }  // namespace service
 }  // namespace alae
 

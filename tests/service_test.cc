@@ -158,7 +158,8 @@ TEST(ShardedCorpus, BoundaryStraddlingHitEmittedOnce) {
 }
 
 // Merger unit semantics: cross-shard duplicates collapse to the best score
-// and the sink drops hits outside the producing shard's owned region.
+// and raw slice-local hits outside the producing slice's owned region are
+// dropped at merge time.
 TEST(HitMergerTest, DeduplicatesAndFiltersOwnership) {
   SequenceGenerator gen(405);
   Sequence text = gen.Random(900, Alphabet::Dna());
@@ -168,30 +169,54 @@ TEST(HitMergerTest, DeduplicatesAndFiltersOwnership) {
   std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
   ASSERT_GE(corpus->num_shards(), 2u);
 
-  HitMerger merger(*corpus);
-  // Shard 1 starts at 200 and owns [300, 500). A shard-local hit at 50
-  // (global 250) is in its coverage but NOT owned -> dropped; one at 150
-  // (global 350) is owned -> kept and remapped.
-  std::vector<AlignmentHit> local;
-  api::HitSink sink = merger.ShardSink(1, &local);
-  EXPECT_TRUE(sink(AlignmentHit{50, 3, 21, 40}));
-  EXPECT_TRUE(sink(AlignmentHit{150, 4, 25, 140}));
-  ASSERT_EQ(local.size(), 1u);
-  EXPECT_EQ(local[0].text_end, 350);
-  EXPECT_EQ(local[0].text_start, 340);
-
+  const CorpusView view = corpus->Snapshot();
+  HitMerger merger(view, /*tombstone_guard=*/0);
+  // Shard 1 starts at 200 and owns [300, 500). A shard-local hit ending at
+  // 50 (global 250) is in its coverage but NOT owned -> dropped; one at
+  // 150 (global 350) is owned -> kept and remapped to global coordinates.
   api::EngineStats stats;
   stats.counters.cells_cost3 = 7;
-  merger.MergeShard(local, stats);
-  // A duplicate of the same global end pair with a lower score (as an
-  // overlap-emitting producer would generate) must lose to the kept one.
-  merger.MergeShard({AlignmentHit{350, 4, 11, -1}}, api::EngineStats{});
-  merger.MergeShard({AlignmentHit{350, 4, 30, -1}}, api::EngineStats{});
+  merger.MergeSlice(1,
+                    {AlignmentHit{50, 3, 21, 40}, AlignmentHit{150, 4, 25, 140}},
+                    stats);
+  // Duplicates of the same global end pair (as an overlap-emitting
+  // producer would generate) collapse to the best score.
+  merger.MergeSlice(1, {AlignmentHit{150, 4, 11, -1}}, api::EngineStats{});
+  merger.MergeSlice(1, {AlignmentHit{150, 4, 160, -1}}, api::EngineStats{});
   SearchResponse merged = merger.Take(0);
   ASSERT_EQ(merged.hits.size(), 1u);
-  EXPECT_EQ(merged.hits[0].score, 30);
+  EXPECT_EQ(merged.hits[0].text_end, 350);
+  EXPECT_EQ(merged.hits[0].score, 160);
   EXPECT_EQ(merged.stats.counters.cells_cost3, 7u);
   EXPECT_EQ(merged.stats.hits_emitted, 1u);
+}
+
+// Tombstone suppression at merge time: any hit whose guard window touches
+// a dead span is withheld and counted; hits clear of it pass through.
+TEST(HitMergerTest, SuppressesTombstonedWindows) {
+  SequenceGenerator gen(407);
+  Sequence text = gen.Random(900, Alphabet::Dna());
+  ShardedCorpusOptions options;
+  options.shard_size = 400;
+  options.overlap = 100;
+  std::unique_ptr<ShardedCorpus> corpus = MustBuild(text, options);
+
+  CorpusView view = corpus->Snapshot();
+  view.tombstones.push_back(TombstoneSpan{7, 320, 360});
+  // Guard 20: windows [text_end-19, text_end]. Shard 1 (starts at 200)
+  // owns [300, 500).
+  HitMerger merger(view, /*tombstone_guard=*/20);
+  merger.MergeSlice(1, {AlignmentHit{130, 2, 21, -1},   // global 330: window
+                                                        // [311,330] hits span
+                        AlignmentHit{179, 3, 22, -1},   // global 379: window
+                                                        // [360,379] clear
+                        AlignmentHit{175, 4, 23, -1}},  // global 375: window
+                                                        // [356,375] hits span
+                    api::EngineStats{});
+  SearchResponse merged = merger.Take(0);
+  ASSERT_EQ(merged.hits.size(), 1u);
+  EXPECT_EQ(merged.hits[0].text_end, 379);
+  EXPECT_EQ(merged.stats.tombstone_filtered, 2u);
 }
 
 // Admission is all-or-nothing against the bounded queue: a fan-out that
