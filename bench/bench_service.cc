@@ -18,6 +18,7 @@
 // unmeetable by construction; the enforced gate either way is
 // compare_bench.py's anchored-ratio drift check.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -28,6 +29,7 @@
 #include "bench/bench_util.h"
 #include "src/service/service.h"
 #include "src/sim/generator.h"
+#include "src/util/cancel.h"
 #include "src/util/table_printer.h"
 #include "src/util/timer.h"
 
@@ -202,6 +204,51 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(static_cast<uint64_t>(ns))});
   }
 
+  // --- Cancellation-check overhead: the same batch on the same 8-shard
+  // corpus with and without a (far-future) deadline token on every
+  // request. The token turns on the amortised CancelScan polls in every
+  // hot loop, so on/off isolates exactly what deadline support costs a
+  // request that never expires — the design target is "invisible", and
+  // compare_bench gates the anchored ratio at 5%. Rounds interleave the
+  // two configurations so machine-speed drift cancels out of the ratio.
+  double cancel_overhead = 0;
+  {
+    std::vector<CancelToken> tokens(requests.size());
+    std::vector<api::SearchRequest> capped = requests;
+    for (size_t q = 0; q < capped.size(); ++q) {
+      tokens[q].SetDeadlineAfter(std::chrono::hours(24));
+      capped[q].cancel = &tokens[q];
+    }
+    service::QueryScheduler scheduler(
+        *corpus, {.threads = 4,
+                  .queue_capacity = 1 << 16,
+                  .cache_capacity = 0});
+    RunResult off, on;
+    for (int round = 0; round < kRounds; ++round) {
+      RunOnce(scheduler, requests, round == 0, &off);
+      RunOnce(scheduler, capped, round == 0, &on);
+    }
+    if (off.hit_checksum != checksum || on.hit_checksum != checksum) {
+      std::fprintf(stderr, "hit checksum diverged under deadline tokens\n");
+      return 1;
+    }
+    const double ns_off = off.seconds * 1e9 / num_queries;
+    const double ns_on = on.seconds * 1e9 / num_queries;
+    cancel_overhead = ns_off > 0 ? ns_on / ns_off - 1.0 : 0;
+    report.Add("service/cancel/off", ns_off,
+               static_cast<double>(num_queries) / off.seconds);
+    report.Add("service/cancel/on", ns_on,
+               static_cast<double>(num_queries) / on.seconds);
+    table.AddRow({"cancel=off", std::to_string(corpus->num_shards()),
+                  TablePrinter::Fmt(off.seconds),
+                  TablePrinter::Fmt(num_queries / off.seconds, 1),
+                  TablePrinter::Fmt(static_cast<uint64_t>(ns_off))});
+    table.AddRow({"cancel=on", std::to_string(corpus->num_shards()),
+                  TablePrinter::Fmt(on.seconds),
+                  TablePrinter::Fmt(num_queries / on.seconds, 1),
+                  TablePrinter::Fmt(static_cast<uint64_t>(ns_on))});
+  }
+
   // --- Plan-compilation prep cost: what the service pays once per request
   // (and what every shard used to pay before plans were shared).
   {
@@ -243,6 +290,10 @@ int main(int argc, char** argv) {
       "per-query cost, 8 shards vs 1 shard: %.2fx (shared-plan target "
       "<= 1.8x; per-shard replanning measured ~2.9x)\n",
       shard_ratio);
+  std::printf(
+      "cancellation-check overhead (deadline token, never expires): "
+      "%+.1f%% (gated at 5%% by the anchored compare)\n",
+      cancel_overhead * 100.0);
 
   if (!report.WriteTo(flags.json)) {
     std::fprintf(stderr, "failed writing %s\n", flags.json.c_str());

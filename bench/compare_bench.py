@@ -35,13 +35,22 @@ def load(path):
     return out
 
 
-def compare(base, fresh, anchor, tolerance, absolute, optional=(), log=print):
+def compare(base, fresh, anchor, tolerance, absolute, optional=(), only=None,
+            log=print):
     """Returns a list of failure strings (empty = pass).
 
     Baseline entries whose name contains one of the `optional` substrings
     may be absent from the fresh run (e.g. an ISA tier the runner's CPU
     lacks) — they are skipped with a note instead of failing the gate.
+
+    With `only`, the gate is scoped to baseline entries whose name contains
+    that substring (the anchor is always kept): one bench JSON can then
+    carry several families gated at different tolerances — e.g. the broad
+    scaling curves at 40% and the cancellation-overhead pair at 5%.
     """
+    if only is not None:
+        base = {n: v for n, v in base.items() if only in n or n == anchor}
+        fresh = {n: v for n, v in fresh.items() if only in n or n == anchor}
     failures = []
     if not absolute:
         if anchor not in base:
@@ -107,6 +116,22 @@ def self_test():
     assert not compare(base_t, fresh_t, "anchor", 0.20, False,
                        optional=("/avx2",), log=lambda *_: 0)
 
+    # --only scopes the gate to one entry family (anchor always kept):
+    # a regression outside the family is invisible, inside it still fails.
+    base_o = {"anchor": 10.0, "svc/cancel/on": 10.2, "svc/threads/8": 3.0}
+    fresh_o = {"anchor": 10.0, "svc/cancel/on": 10.3, "svc/threads/8": 9.0}
+    assert not compare(base_o, fresh_o, "anchor", 0.05, False,
+                       only="svc/cancel/", log=lambda *_: 0)
+    fresh_o = {"anchor": 10.0, "svc/cancel/on": 11.5, "svc/threads/8": 3.0}
+    fails = compare(base_o, fresh_o, "anchor", 0.05, False,
+                    only="svc/cancel/", log=lambda *_: 0)
+    assert fails and "svc/cancel/on regressed" in fails[0], fails
+    # A scoped gate must not demand family entries the fresh run lacks
+    # outside the family, nor trip on entries it filtered out entirely.
+    fresh_o = {"anchor": 10.0, "svc/cancel/on": 10.2}
+    assert not compare(base_o, fresh_o, "anchor", 0.05, False,
+                       only="svc/cancel/", log=lambda *_: 0)
+
     # Absolute mode: raw 25% slowdown fails, 10% passes.
     assert compare({"a": 4.0}, {"a": 5.0}, None, 0.20, True, log=lambda *_: 0)
     assert not compare({"a": 4.0}, {"a": 4.4}, None, 0.20, True,
@@ -129,6 +154,9 @@ def main(argv):
                    help="substring of baseline entries allowed to be absent "
                         "from the fresh run (repeatable, e.g. an ISA tier "
                         "the runner's CPU lacks)")
+    p.add_argument("--only",
+                   help="scope the gate to entries whose name contains this "
+                        "substring (the anchor is always kept)")
     p.add_argument("--self-test", action="store_true",
                    help="run the built-in regression-gate demonstration")
     args = p.parse_args(argv)
@@ -143,13 +171,16 @@ def main(argv):
     base = load(args.baseline)
     fresh = load(args.fresh)
     failures = compare(base, fresh, args.anchor, args.tolerance,
-                       args.absolute, optional=tuple(args.optional))
+                       args.absolute, optional=tuple(args.optional),
+                       only=args.only)
     if failures:
         print("\nbench regression gate FAILED:")
         for f in failures:
             print("  - " + f)
         return 1
-    print("\nbench regression gate passed (%d entries)" % len(base))
+    gated = (len(base) if args.only is None else
+             len([n for n in base if args.only in n or n == args.anchor]))
+    print("\nbench regression gate passed (%d entries)" % gated)
     return 0
 
 

@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +64,7 @@ struct Flags {
   uint64_t seed = 42;
   int64_t compact_after = 8;   // background-compact after N delta shards
   int64_t shard_cache = 256;   // fragment-cache entries (0 = off)
+  int32_t max_retries = 3;     // retries per query on overload (0 = none)
   bool resave = false;         // persist the corpus again on exit
 
   static Flags Parse(int argc, char** argv) {
@@ -101,6 +103,8 @@ struct Flags {
         f.compact_after = std::atoll(value.c_str());
       } else if (take("shard-cache", &value)) {
         f.shard_cache = std::atoll(value.c_str());
+      } else if (take("max-retries", &value)) {
+        f.max_retries = std::atoi(value.c_str());
       } else if (take("resave", &value)) {
         f.resave = std::atoi(value.c_str()) != 0;
       } else {
@@ -113,7 +117,7 @@ struct Flags {
                    "usage: serve_main --corpus=DIR [--random-text=N] "
                    "[--queries=FILE|-] [--backend=NAME] [--threads=N] "
                    "[--threshold=H] [--compact-after=N] [--shard-cache=N] "
-                   "[--resave=1]\n");
+                   "[--max-retries=N] [--resave=1]\n");
       std::exit(2);
     }
     return f;
@@ -437,12 +441,22 @@ int main(int argc, char** argv) {
     std::atomic<size_t> next{0};
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> retries{0};
     std::atomic<uint64_t> plan_compile_ns{0};
     std::atomic<uint64_t> plan_reuses{0};
     std::vector<std::vector<double>> client_micros(
         static_cast<size_t>(std::max(1, flags.threads)));
     Timer wall;
     auto client = [&](size_t id) {
+      // Per-client jitter source (splitmix64) so backed-off clients spread
+      // out instead of re-colliding on the full queue in lockstep.
+      uint64_t rng = (flags.seed + id + 1) * 0x9E3779B97F4A7C15ull;
+      auto jitter = [&rng] {
+        uint64_t z = (rng += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+      };
       while (true) {
         size_t i = next.fetch_add(1);
         if (i >= script.size()) break;
@@ -452,6 +466,24 @@ int main(int argc, char** argv) {
         Timer timer;
         api::StatusOr<api::SearchResponse> response =
             scheduler.Search(flags.backend, request);
+        // kResourceExhausted is the scheduler's backpressure signal, not a
+        // verdict on the query: retry it up to --max-retries times under
+        // bounded exponential backoff (1, 2, 4, ... ms, capped at 64 ms),
+        // each sleep jittered across [half, full] of its bound.
+        for (int attempt = 0;
+             !response.ok() &&
+             response.status().code() == api::StatusCode::kResourceExhausted &&
+             attempt < flags.max_retries;
+             ++attempt) {
+          const int64_t bound_us = int64_t{1000} << std::min(attempt, 6);
+          const int64_t sleep_us =
+              bound_us / 2 +
+              static_cast<int64_t>(jitter() % static_cast<uint64_t>(
+                                                  bound_us / 2 + 1));
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+          ++retries;
+          response = scheduler.Search(flags.backend, request);
+        }
         client_micros[id].push_back(timer.ElapsedSeconds() * 1e6);
         if (!response.ok()) {
           ++failures;
@@ -477,12 +509,13 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "served %zu queries on backend '%s' with %d threads in %.2fs "
-        "(%.1f qps), %llu hits, %llu failures, response cache %llu/%llu, "
-        "fragment cache %llu/%llu\n",
+        "(%.1f qps), %llu hits, %llu failures, %llu overload retries, "
+        "response cache %llu/%llu, fragment cache %llu/%llu\n",
         script.size(), flags.backend.c_str(), flags.threads, seconds,
         static_cast<double>(script.size()) / seconds,
         static_cast<unsigned long long>(hits.load()),
         static_cast<unsigned long long>(failures.load()),
+        static_cast<unsigned long long>(retries.load()),
         static_cast<unsigned long long>(scheduler.cache().hits()),
         static_cast<unsigned long long>(scheduler.cache().misses()),
         static_cast<unsigned long long>(scheduler.shard_cache().hits()),

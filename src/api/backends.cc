@@ -52,7 +52,8 @@ Status AlaeBackend::SearchImpl(const QueryPlan& plan, const HitSink& sink,
   }
   Alae engine(*index_, plan.request().alae);
   AlaeRunStats run;
-  ResultCollector hits = engine.Run(compiled->core(), &run);
+  ResultCollector hits =
+      engine.Run(compiled->core(), &run, plan.request().cancel);
   stats->counters = run.counters;
   stats->anchors_considered = run.anchors_considered;
   stats->grams_searched = run.grams_searched;
@@ -80,7 +81,8 @@ Status BwtSwBackend::SearchImpl(const QueryPlan& plan, const HitSink& sink,
   const BwtSwPlan* compiled = Typed<BwtSwPlan>(plan);
   ResultCollector hits = engine_.Run(
       plan.request().query, plan.request().scheme, plan.request().threshold,
-      &stats->counters, compiled != nullptr ? &compiled->profile() : nullptr);
+      &stats->counters, compiled != nullptr ? &compiled->profile() : nullptr,
+      plan.request().cancel);
   Drain(hits, sink);
   return Status::Ok();
 }
@@ -154,7 +156,8 @@ Status SmithWatermanBackend::SearchImpl(const QueryPlan& plan,
       [&](int64_t text_end, int64_t query_end, int32_t score) {
         return sink({text_end, query_end, score, -1});
       },
-      compiled != nullptr ? &compiled->profile() : nullptr);
+      compiled != nullptr ? &compiled->profile() : nullptr,
+      plan.request().cancel);
   return Status::Ok();
 }
 

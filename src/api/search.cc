@@ -9,6 +9,7 @@ void EngineStats::Merge(const EngineStats& o) {
   seconds += o.seconds;
   hits_emitted += o.hits_emitted;
   truncated = truncated || o.truncated;
+  truncated_by_deadline = truncated_by_deadline || o.truncated_by_deadline;
   counters.Merge(o.counters);
   anchors_considered += o.anchors_considered;
   grams_searched += o.grams_searched;

@@ -11,6 +11,7 @@
 #include "src/baseline/blast/blast.h"
 #include "src/core/config.h"
 #include "src/io/sequence.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 namespace api {
@@ -31,6 +32,17 @@ struct SearchRequest {
   // Per-backend knobs. Ignored by backends they do not apply to.
   AlaeConfig alae;
   BlastOptions blast;
+
+  // Cooperative cancellation (not owned; must outlive the call). Engines
+  // poll it every ~4k work units: a fired token aborts the run with
+  // kCancelled or kDeadlineExceeded per CancelToken::ExpiredWhy. Neither
+  // field participates in plan fingerprints or cache keys.
+  const CancelToken* cancel = nullptr;
+
+  // With a deadline: return the hits gathered so far as an Ok response
+  // (flagged truncated_by_deadline in EngineStats) instead of
+  // kDeadlineExceeded. Explicit cancellation still fails with kCancelled.
+  bool allow_partial = false;
 };
 
 // Instrumentation merged across all backends: wall time and emission info
@@ -42,6 +54,13 @@ struct EngineStats {
   // True when the hit stream was cut short (sink returned false or
   // max_hits was reached): `hits` is then a prefix of the full answer.
   bool truncated = false;
+
+  // True when a deadline expired mid-run and the request opted into
+  // partial results (SearchRequest::allow_partial): `hits` is whatever
+  // was gathered before the engines stopped — a correct subset, not a
+  // prefix in any particular order. Never set on a cached response
+  // (partial responses are not cached).
+  bool truncated_by_deadline = false;
 
   // Exact engines (ALAE, BWT-SW, SW; BLAST reports its gapped DP cells as
   // cost-3 cells so cross-backend cost comparisons stay meaningful). Also

@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,  // request is well-formed but this backend can't run it
   kInternal,            // engine invariant violated (a bug)
   kResourceExhausted,   // service overloaded: bounded queue is full, retry
+  kDeadlineExceeded,    // the request's deadline expired before completion
+  kCancelled,           // the caller (or a shutdown) cancelled the request
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -47,6 +49,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

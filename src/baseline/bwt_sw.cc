@@ -263,8 +263,10 @@ void BwtSw::ComputeChildRow(RowCtx* ctx,
 
 ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
                            int32_t threshold, DpCounters* counters,
-                           const std::vector<int32_t>* profile) const {
+                           const std::vector<int32_t>* profile,
+                           const CancelToken* cancel) const {
   ResultCollector results;
+  CancelScan scan(cancel);
   const int64_t m = static_cast<int64_t>(query.size());
   if (m == 0 || n_ == 0) return results;
   // Positivity alone bounds useful depth by Lmax at H=1 (any deeper prefix
@@ -356,6 +358,9 @@ ResultCollector BwtSw::Run(const Sequence& query, const ScoringScheme& scheme,
       counters->cells_cost3 += cells;
       ++counters->trie_nodes_visited;
     }
+    // Cooperative abort, weighted by the cells just computed: the results
+    // gathered so far stay a valid subset of the full answer.
+    if (scan.Tick(1 + static_cast<int64_t>(cells))) break;
     if (child_row.empty()) continue;
 
     Frame child{child_range, {}, std::move(child_row), {}, false, 0};

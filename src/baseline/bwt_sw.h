@@ -11,6 +11,7 @@
 #include "src/align/simd_dp.h"
 #include "src/index/fm_index.h"
 #include "src/io/sequence.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 
@@ -40,10 +41,13 @@ class BwtSw {
   // Reports every end pair with best score >= threshold (threshold >= 1).
   // `profile` may supply a precompiled BuildDeltaProfile(scheme, query)
   // (the query plan's copy, shared across runs); when null it is built on
-  // the fly.
+  // the fly. A fired `cancel` token (polled every ~4k DP cells) abandons
+  // the DFS; the collector then holds a correct subset of the answer —
+  // callers must check the token to distinguish partial from complete.
   ResultCollector Run(const Sequence& query, const ScoringScheme& scheme,
                       int32_t threshold, DpCounters* counters = nullptr,
-                      const std::vector<int32_t>* profile = nullptr) const;
+                      const std::vector<int32_t>* profile = nullptr,
+                      const CancelToken* cancel = nullptr) const;
 
  private:
   // A dead run longer than this closes the current row segment; shorter

@@ -23,10 +23,11 @@ uint64_t SmithWaterman::Stream(
     const Sequence& text, const Sequence& query, const ScoringScheme& scheme,
     int32_t threshold,
     const std::function<bool(int64_t, int64_t, int32_t)>& emit,
-    const std::vector<int32_t>* profile) {
+    const std::vector<int32_t>* profile, const CancelToken* cancel) {
   int64_t n = static_cast<int64_t>(text.size());
   int64_t m = static_cast<int64_t>(query.size());
   if (m == 0) return 0;
+  CancelScan scan(cancel);
   std::vector<int32_t> profile_storage;
   if (profile == nullptr) {
     profile_storage = BuildDeltaProfile(scheme, query);
@@ -37,6 +38,7 @@ uint64_t SmithWaterman::Stream(
   std::vector<int32_t> e(static_cast<size_t>(m + 1), kNegInf);
   uint64_t cells = 0;
   for (int64_t i = 1; i <= n; ++i) {
+    if (scan.Tick(m)) return cells;  // per-row poll, weighted by row width
     int32_t f = kNegInf;
     h_cur[0] = 0;
     const int32_t* delta_row =

@@ -7,6 +7,7 @@
 #include "src/align/result.h"
 #include "src/align/scoring.h"
 #include "src/io/sequence.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 
@@ -30,11 +31,14 @@ class SmithWaterman {
   // BuildDeltaProfile(scheme, query) (the query plan's copy); when null
   // one is built on the fly — the inner loop always reads the profile
   // instead of branching on Delta.
+  // A fired `cancel` token (polled once per text row) stops the scan
+  // early, like an emit-false but initiated by the caller.
   static uint64_t Stream(
       const Sequence& text, const Sequence& query, const ScoringScheme& scheme,
       int32_t threshold,
       const std::function<bool(int64_t, int64_t, int32_t)>& emit,
-      const std::vector<int32_t>* profile = nullptr);
+      const std::vector<int32_t>* profile = nullptr,
+      const CancelToken* cancel = nullptr);
 
   // Number of DP cells a full SW run computes (used in reports).
   static uint64_t CellCount(const Sequence& text, const Sequence& query) {

@@ -120,8 +120,9 @@ AlaeQueryPlan::AlaeQueryPlan(Sequence query, const ScoringScheme& scheme,
 class Alae::Engine {
  public:
   Engine(const std::vector<const AlaeIndex*>& indexes,
-         const AlaeQueryPlan& plan)
-      : indexes_(indexes),
+         const AlaeQueryPlan& plan, const CancelToken* cancel)
+      : scan_(cancel),
+        indexes_(indexes),
         config_(plan.config()),
         query_(plan.query()),
         scheme_(plan.scheme()),
@@ -221,6 +222,10 @@ class Alae::Engine {
   // paths end at depth `depth`.
   void FlushNode(Frame* frame, int64_t depth);
 
+  // Cooperative cancellation: ticked per trie node and per DP-row cell
+  // block, so a fired token stops the walk within ~one stride of work.
+  CancelScan scan_;
+
   const std::vector<const AlaeIndex*>& indexes_;
   std::vector<const FmIndex*> fms_;  // per-lane, hoisted out of hot loops
   const AlaeConfig& config_;
@@ -311,9 +316,10 @@ void Alae::Engine::Run(std::vector<ResultCollector>* results,
     const size_t num_lanes = lanes();
     gram_roots_.assign(grams_.size() * num_lanes, SaRange{});
     std::vector<SaRange> prefix(static_cast<size_t>(q));
-    for (size_t l = 0; l < num_lanes; ++l) {
+    for (size_t l = 0; l < num_lanes && !scan_.fired(); ++l) {
       if (n_[l] < q) continue;
       for (const AlaeQueryPlan::GramStep& step : descent_) {
+        if (scan_.Tick(q - step.lcp)) break;
         const Symbol* gram =
             query_.symbols().data() +
             grams_[static_cast<size_t>(step.gram)].first;
@@ -330,7 +336,7 @@ void Alae::Engine::Run(std::vector<ResultCollector>* results,
         gram_roots_[static_cast<size_t>(step.gram) * num_lanes + l] = range;
       }
     }
-    for (size_t g = 0; g < grams_.size(); ++g) {
+    for (size_t g = 0; g < grams_.size() && !scan_.fired(); ++g) {
       ProcessGram(g, qgrams_.Occurrences(grams_[g].second));
     }
   }
@@ -404,7 +410,8 @@ void Alae::Engine::ProcessGram(size_t gram_index,
   // lane by construction; see Run).
   std::vector<int64_t> starts;
   if (bitset_ != nullptr) {
-    starts = fm(0).Locate(root.ranges[0], &counters_.fm_lf_steps);
+    starts = fm(0).Locate(root.ranges[0], &counters_.fm_lf_steps,
+                          scan_.token());
     // p is a start in reverse(T) of (gram)^-1; the gram starts in T at
     // n - p - q.
     for (int64_t& p : starts) p = n_[0] - p - q;
@@ -455,8 +462,8 @@ void Alae::Engine::ProcessGram(size_t gram_index,
   if (!pending_hits_.empty() || !bitset_pending_.empty()) {
     for (size_t i_lane = 0; i_lane < root.lanes.size(); ++i_lane) {
       const size_t l = root.lanes[i_lane];
-      std::vector<int64_t> ends =
-          fm(l).Locate(root.ranges[i_lane], &counters_.fm_lf_steps);
+      std::vector<int64_t> ends = fm(l).Locate(
+          root.ranges[i_lane], &counters_.fm_lf_steps, scan_.token());
       for (int64_t& p : ends) p = n_[l] - 1 - p;  // end of the q-char path
       for (const PendingHit& hit : pending_hits_) {
         // hit.col - fork-relative row encodes the cell's own depth: the
@@ -496,6 +503,10 @@ void Alae::Engine::ProcessGram(size_t gram_index,
   assert(stride <= kMaxStride && "alphabet wider than the fan-out bound");
 
   while (level > 0) {
+    // Cooperative abort: one tick per node visit (DP cells are accounted
+    // inside StepGapRow); a fired token abandons the walk mid-subtree —
+    // results gathered so far stay valid, the rest never materialise.
+    if (scan_.Tick()) break;
     Frame& top = dfs_stack_[level - 1];
     if (top.next_child >= sigma) {
       for (ForkState& fork : top.gap) ReleaseRow(std::move(fork.cells));
@@ -628,8 +639,9 @@ void Alae::Engine::FlushNode(Frame* frame, int64_t depth) {
   if (!frame->located) {
     frame->ends.resize(frame->lanes.size());
     for (size_t i = 0; i < frame->lanes.size(); ++i) {
-      frame->ends[i] =
-          fm(frame->lanes[i]).Locate(frame->ranges[i], &counters_.fm_lf_steps);
+      frame->ends[i] = fm(frame->lanes[i])
+                           .Locate(frame->ranges[i], &counters_.fm_lf_steps,
+                                   scan_.token());
       for (int64_t& p : frame->ends[i]) p = n_[frame->lanes[i]] - 1 - p;
     }
     frame->located = true;
@@ -797,6 +809,7 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
     spec.bound_step = col_step;
     simd::RowStats stats;
     simd::ComputeRowAuto(spec, &stats);
+    scan_.Tick(len);  // account the kernel's cells toward the cancel stride
     if (start == 0) {
       ++counters_.cells_cost2;  // Left boundary: no Gb/diag inputs.
       counters_.cells_cost3 += static_cast<uint64_t>(len - 1);
@@ -890,16 +903,17 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
 }
 
 ResultCollector Alae::Run(const Sequence& query, const ScoringScheme& scheme,
-                          int32_t threshold, AlaeRunStats* stats) const {
+                          int32_t threshold, AlaeRunStats* stats,
+                          const CancelToken* cancel) const {
   AlaeQueryPlan plan(query, scheme, threshold, config_);
-  return Run(plan, stats);
+  return Run(plan, stats, cancel);
 }
 
-ResultCollector Alae::Run(const AlaeQueryPlan& plan,
-                          AlaeRunStats* stats) const {
+ResultCollector Alae::Run(const AlaeQueryPlan& plan, AlaeRunStats* stats,
+                          const CancelToken* cancel) const {
   std::vector<const AlaeIndex*> indexes{&index_};
   std::vector<ResultCollector> results;
-  Engine engine(indexes, plan);
+  Engine engine(indexes, plan, cancel);
   engine.Run(&results, stats);
   return std::move(results[0]);
 }
@@ -907,10 +921,10 @@ ResultCollector Alae::Run(const AlaeQueryPlan& plan,
 void Alae::RunSharded(const AlaeQueryPlan& plan,
                       const std::vector<const AlaeIndex*>& indexes,
                       std::vector<ResultCollector>* results,
-                      AlaeRunStats* stats) {
+                      AlaeRunStats* stats, const CancelToken* cancel) {
   results->clear();
   if (indexes.empty()) return;
-  Engine engine(indexes, plan);
+  Engine engine(indexes, plan, cancel);
   engine.Run(results, stats);
 }
 

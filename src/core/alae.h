@@ -18,6 +18,7 @@
 #include "src/index/lcp.h"
 #include "src/index/qgram_index.h"
 #include "src/io/sequence.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 
@@ -150,12 +151,19 @@ class Alae {
 
   // Compiles the query side ad hoc (with this aligner's config) and runs.
   ResultCollector Run(const Sequence& query, const ScoringScheme& scheme,
-                      int32_t threshold, AlaeRunStats* stats = nullptr) const;
+                      int32_t threshold, AlaeRunStats* stats = nullptr,
+                      const CancelToken* cancel = nullptr) const;
 
   // Executes a compiled plan. The plan's config governs the run (it shaped
   // the compiled filters), not this aligner's; compile once, run many.
+  //
+  // `cancel` (optional, observed every ~4k trie nodes / DP cells) aborts
+  // the walk cooperatively: the returned collector then holds whatever
+  // hits were discovered before the token fired — a correct subset, which
+  // callers must treat as partial (check the token, not the result).
   ResultCollector Run(const AlaeQueryPlan& plan,
-                      AlaeRunStats* stats = nullptr) const;
+                      AlaeRunStats* stats = nullptr,
+                      const CancelToken* cancel = nullptr) const;
 
   // Fused multi-index execution: walks the union of the indexes' suffix
   // tries once, so the fork DP of a path — identical across indexes,
@@ -173,7 +181,8 @@ class Alae {
   static void RunSharded(const AlaeQueryPlan& plan,
                          const std::vector<const AlaeIndex*>& indexes,
                          std::vector<ResultCollector>* results,
-                         AlaeRunStats* stats = nullptr);
+                         AlaeRunStats* stats = nullptr,
+                         const CancelToken* cancel = nullptr);
 
   const AlaeConfig& config() const { return config_; }
 

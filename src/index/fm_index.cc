@@ -586,14 +586,17 @@ int64_t FmIndex::LocateRow(int64_t row) const {
 }
 
 std::vector<int64_t> FmIndex::Locate(const SaRange& range,
-                                     uint64_t* lf_steps) const {
+                                     uint64_t* lf_steps,
+                                     const CancelToken* cancel) const {
   if (range.Empty()) return {};
+  CancelScan scan(cancel);
   std::vector<int64_t> out(static_cast<size_t>(range.Count()));
   if (use_wavelet_) {
     // Wavelet ranks bounce through log(sigma) small bitvectors; there is no
     // single block to prefetch, so the serial walk stays.
     for (int64_t r = range.lo; r < range.hi; ++r) {
       out[static_cast<size_t>(r - range.lo)] = LocateRowSteps(r, lf_steps);
+      if (scan.Tick(sample_rate_)) return {};
     }
     return out;
   }
@@ -621,6 +624,7 @@ std::vector<int64_t> FmIndex::Locate(const SaRange& range,
     ++next_row;
   }
   while (active > 0) {
+    if (scan.Tick(active)) return {};  // abort: no partial position list
     for (int i = 0; i < active; ++i) {
       __builtin_prefetch(occ_data_.data() +
                          walks[i].row / syms_per_block_ * block_words_);

@@ -8,6 +8,7 @@
 #include "src/index/bitvector.h"
 #include "src/index/wavelet_tree.h"
 #include "src/io/sequence.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 
@@ -85,9 +86,13 @@ class FmIndex {
   int64_t LocateRow(int64_t row) const;
 
   // Text positions for every row of `range`, unsorted. When `lf_steps` is
-  // non-null it is incremented by the number of LF walk steps taken.
+  // non-null it is incremented by the number of LF walk steps taken. A
+  // fired `cancel` token (polled every ~4k LF steps) aborts the batch and
+  // returns an EMPTY vector — never a partially-filled one that could be
+  // misread as real positions; callers observing the token discard the run.
   std::vector<int64_t> Locate(const SaRange& range,
-                              uint64_t* lf_steps = nullptr) const;
+                              uint64_t* lf_steps = nullptr,
+                              const CancelToken* cancel = nullptr) const;
 
   // Component sizes for the Fig 11 index-size study.
   struct Sizes {

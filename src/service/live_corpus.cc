@@ -8,16 +8,22 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/util/fault_injector.h"
 #include "src/util/serialize.h"
 
 namespace alae {
 namespace service {
 namespace {
 
-// Manifest v2 ("ALAESRV2"): the live-corpus directory format. v1
-// ("ALAESRV1", written by ShardedCorpus::Save) stays loadable — it is the
-// degenerate live corpus with one document and nothing pending.
-constexpr uint64_t kLiveManifestMagic = 0x414C414553525632ULL;
+// Manifest v3 ("ALAESRV3"): v2 plus a leading generation number, with the
+// data files carrying that generation in their names — a save writes a
+// fresh generation without touching the files the current manifest points
+// at, so the manifest rename is the sole cutover. v2 ("ALAESRV2", plain
+// file names = generation 0) and v1 ("ALAESRV1", written by
+// ShardedCorpus::Save; the degenerate live corpus with one document and
+// nothing pending) stay loadable.
+constexpr uint64_t kLiveManifestMagicV3 = 0x414C414553525633ULL;
+constexpr uint64_t kLiveManifestMagicV2 = 0x414C414553525632ULL;
 constexpr uint64_t kBaseManifestMagic = 0x414C414553525631ULL;
 // Tombstone journal ("ALAETOMB"): doc_id/begin/end triples to EOF.
 constexpr uint64_t kJournalMagic = 0x414C4145544F4D42ULL;
@@ -26,14 +32,77 @@ std::string ManifestFileName(const std::string& dir) {
   return dir + "/corpus.manifest";
 }
 
-std::string DeltaFileName(const std::string& dir, size_t k) {
+std::string GenInfix(uint64_t gen) {
+  return gen == 0 ? std::string() : ".g" + std::to_string(gen);
+}
+
+std::string ShardFileName(const std::string& dir, size_t k, uint64_t gen) {
   std::ostringstream name;
-  name << dir << "/delta-" << k << ".fm";
+  name << dir << "/shard-" << k << GenInfix(gen) << ".fm";
   return name.str();
 }
 
-std::string JournalFileName(const std::string& dir) {
-  return dir + "/tombstones.journal";
+std::string DeltaFileName(const std::string& dir, size_t k, uint64_t gen) {
+  std::ostringstream name;
+  name << dir << "/delta-" << k << GenInfix(gen) << ".fm";
+  return name.str();
+}
+
+std::string JournalFileName(const std::string& dir, uint64_t gen) {
+  return dir + "/tombstones" + GenInfix(gen) + ".journal";
+}
+
+// The generation a corpus data file's name carries: <stem>.g<gen>.<ext>
+// maps to <gen>, anything else (the plain v2 names) to 0.
+uint64_t FileNameGeneration(const std::string& name) {
+  const size_t ext = name.rfind('.');
+  if (ext == std::string::npos || ext == 0) return 0;
+  const size_t gdot = name.rfind(".g", ext - 1);
+  if (gdot == std::string::npos || gdot + 2 >= ext) return 0;
+  uint64_t gen = 0;
+  for (size_t i = gdot + 2; i < ext; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    gen = gen * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return gen;
+}
+
+// Sweeps every corpus data file whose generation is not `keep_gen` —
+// the previous save's files after a successful cutover, and the litter of
+// any interrupted or fault-injected saves in between. Best-effort: a
+// leftover is inert (the manifest never names it), removal just keeps the
+// directory from accumulating dead index files.
+void RemoveOtherGenerations(const std::string& dir, uint64_t keep_gen) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec), end;
+  if (ec) return;
+  for (; it != end; it.increment(ec)) {
+    if (ec) return;
+    if (!it->is_regular_file(ec)) continue;
+    const std::string name = it->path().filename().string();
+    const bool data_file =
+        ((name.rfind("shard-", 0) == 0 || name.rfind("delta-", 0) == 0) &&
+         name.size() > 3 && name.compare(name.size() - 3, 3, ".fm") == 0) ||
+        (name.rfind("tombstones", 0) == 0 && name.size() > 8 &&
+         name.compare(name.size() - 8, 8, ".journal") == 0);
+    if (!data_file) continue;
+    if (FileNameGeneration(name) == keep_gen) continue;
+    std::filesystem::remove(it->path(), ec);
+  }
+}
+
+// The generation the next save must write: one past the generation the
+// directory's current manifest names (a v2 manifest or no manifest at all
+// names generation 0, so the first v3 save writes generation 1 and the
+// plain-named files survive until its cutover completes).
+uint64_t NextGeneration(const std::string& dir) {
+  std::ifstream manifest(ManifestFileName(dir), std::ios::binary);
+  uint64_t magic = 0, gen = 0;
+  if (manifest.is_open() && GetU64(manifest, &magic) &&
+      magic == kLiveManifestMagicV3 && GetU64(manifest, &gen)) {
+    return gen + 1;
+  }
+  return 1;
 }
 
 // The delta's indexed slice starts one overlap before its ownership cut,
@@ -76,7 +145,13 @@ api::Status ValidateDocumentPartition(
 
 }  // namespace
 
-LiveCorpus::~LiveCorpus() = default;
+LiveCorpus::~LiveCorpus() {
+  // Fire the token first, then join: a mid-rebuild background compaction
+  // observes the token at its next shard boundary and returns without
+  // swapping, so teardown is prompt instead of waiting out a full build.
+  compact_cancel_.Cancel();
+  if (compactor_ != nullptr) compactor_->Shutdown();
+}
 
 api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Build(
     Sequence text, LiveCorpusOptions options) {
@@ -114,10 +189,12 @@ api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Build(
 void LiveCorpus::StartCompactorIfConfigured() {
   if (options_.background_compaction && options_.compact_after_deltas > 0) {
     compactor_ = std::make_unique<BackgroundWorker>([this] {
-      // A failed background compaction (nothing alive) leaves the corpus
-      // serving from its deltas — correct, just unfolded; the next
-      // trigger retries.
-      (void)Compact();
+      std::lock_guard<std::mutex> mlock(mutate_mu_);
+      if (compact_cancel_.Expired()) return;  // tearing down: don't start
+      // A failed background compaction (nothing alive, or cancelled by
+      // destruction) leaves the corpus serving from its deltas — correct,
+      // just unfolded; the next trigger retries.
+      (void)CompactLocked(&compact_cancel_);
     });
   }
 }
@@ -196,7 +273,7 @@ api::Status LiveCorpus::DeleteDocument(uint64_t doc_id) {
 
 api::Status LiveCorpus::Compact() {
   std::lock_guard<std::mutex> mlock(mutate_mu_);
-  return CompactLocked();
+  return CompactLocked(nullptr);
 }
 
 void LiveCorpus::MaybeCompactLocked() {
@@ -207,11 +284,11 @@ void LiveCorpus::MaybeCompactLocked() {
   } else {
     // Synchronous trigger mode: the document just appended is alive, so
     // this cannot hit the nothing-left precondition.
-    (void)CompactLocked();
+    (void)CompactLocked(nullptr);
   }
 }
 
-api::Status LiveCorpus::CompactLocked() {
+api::Status LiveCorpus::CompactLocked(const CancelToken* cancel) {
   if (deltas_.empty() && tombstones_.empty()) return api::Status::Ok();
 
   // Rewrite the physical text without the dead spans, preserving ids and
@@ -233,7 +310,7 @@ api::Status LiveCorpus::CompactLocked() {
         "deleted); append before compacting");
   }
   api::StatusOr<std::unique_ptr<ShardedCorpus>> rebuilt =
-      ShardedCorpus::Build(fresh, options_.base);
+      ShardedCorpus::Build(fresh, options_.base, cancel);
   if (!rebuilt.ok()) return rebuilt.status();
   {
     std::lock_guard<std::mutex> slock(state_mu_);
@@ -320,20 +397,29 @@ api::Status LiveCorpus::Save(const std::string& dir) const {
     return api::Status::InvalidArgument("cannot create corpus directory " +
                                         dir + ": " + ec.message());
   }
-  api::Status shards = base_->SaveShardFiles(dir);
+  // Everything below writes files of a generation the current manifest
+  // does not name: a failure (or crash, or injected fault) at any point
+  // leaves the previous save untouched and authoritative. The manifest
+  // rename is the only mutation of existing state.
+  const uint64_t gen = NextGeneration(dir);
+  api::Status shards = base_->SaveShardFiles(dir, gen);
   if (!shards.ok()) return shards;
   for (size_t k = 0; k < deltas_.size(); ++k) {
-    std::ofstream out(DeltaFileName(dir, k), std::ios::binary);
-    bool ok = out.is_open() && deltas_[k]->registry().index().fm().Save(out);
+    std::ofstream out(DeltaFileName(dir, k, gen), std::ios::binary);
+    // Fault hooks sit past the open so an injected failure leaves the
+    // truncated new-generation file the sweep test expects to be inert.
+    bool ok = out.is_open() && !FaultInjector::Hit("live/save/delta") &&
+              deltas_[k]->registry().index().fm().Save(out);
     out.flush();
     if (!ok || !out.good()) {
       return api::Status::InvalidArgument("failed writing " +
-                                          DeltaFileName(dir, k));
+                                          DeltaFileName(dir, k, gen));
     }
   }
   {
-    std::ofstream journal(JournalFileName(dir), std::ios::binary);
-    bool ok = journal.is_open() && PutU64(journal, kJournalMagic);
+    std::ofstream journal(JournalFileName(dir, gen), std::ios::binary);
+    bool ok = journal.is_open() && !FaultInjector::Hit("live/save/journal") &&
+              PutU64(journal, kJournalMagic);
     for (const TombstoneSpan& t : tombstones_) {
       ok = ok && PutU64(journal, t.doc_id);
       ok = ok && PutU64(journal, static_cast<uint64_t>(t.begin));
@@ -342,7 +428,7 @@ api::Status LiveCorpus::Save(const std::string& dir) const {
     journal.flush();
     if (!ok || !journal.good()) {
       return api::Status::InvalidArgument("failed writing " +
-                                          JournalFileName(dir));
+                                          JournalFileName(dir, gen));
     }
   }
 
@@ -351,8 +437,10 @@ api::Status LiveCorpus::Save(const std::string& dir) const {
   const std::string tmp = ManifestFileName(dir) + ".tmp";
   {
     std::ofstream manifest(tmp, std::ios::binary);
-    bool ok = manifest.is_open();
-    ok = ok && PutU64(manifest, kLiveManifestMagic);
+    bool ok = manifest.is_open() &&
+              !FaultInjector::Hit("live/save/manifest-write");
+    ok = ok && PutU64(manifest, kLiveManifestMagicV3);
+    ok = ok && PutU64(manifest, gen);
     ok = ok &&
          PutU64(manifest, static_cast<uint64_t>(options_.base.shard_size));
     ok = ok && PutU64(manifest, static_cast<uint64_t>(options_.base.overlap));
@@ -386,6 +474,11 @@ api::Status LiveCorpus::Save(const std::string& dir) const {
       return api::Status::InvalidArgument("failed writing " + tmp);
     }
   }
+  if (FaultInjector::Hit("live/save/manifest-rename")) {
+    return api::Status::InvalidArgument("cannot activate " +
+                                        ManifestFileName(dir) +
+                                        ": injected rename failure");
+  }
   std::filesystem::rename(tmp, ManifestFileName(dir), ec);
   if (ec) {
     return api::Status::InvalidArgument("cannot activate " +
@@ -393,16 +486,10 @@ api::Status LiveCorpus::Save(const std::string& dir) const {
                                         ec.message());
   }
 
-  // Drop files a previous, larger incarnation of this directory may have
-  // left behind, so a future load cannot pick up a stale shard.
-  for (size_t k = deltas_.size();
-       std::filesystem::remove(DeltaFileName(dir, k), ec); ++k) {
-  }
-  for (size_t k = base_->num_shards();
-       std::filesystem::remove(dir + "/shard-" + std::to_string(k) + ".fm",
-                               ec);
-       ++k) {
-  }
+  // The cutover is done; every data file of another generation — the
+  // previous save's, and any litter from interrupted saves — is now
+  // unreferenced. Sweep it.
+  RemoveOtherGenerations(dir, gen);
   return api::Status::Ok();
 }
 
@@ -435,7 +522,13 @@ api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Load(
     live->StartCompactorIfConfigured();
     return live;
   }
-  if (magic != kLiveManifestMagic) {
+  uint64_t gen = 0;
+  if (magic == kLiveManifestMagicV3) {
+    if (!GetU64(manifest, &gen)) {
+      return api::Status::InvalidArgument("unreadable corpus manifest in " +
+                                          dir);
+    }
+  } else if (magic != kLiveManifestMagicV2) {
     return api::Status::InvalidArgument("unreadable corpus manifest in " +
                                         dir);
   }
@@ -547,7 +640,7 @@ api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Load(
   // means a torn write — reject rather than load half a deletion.
   std::vector<TombstoneSpan> tombstones;
   {
-    std::ifstream journal(JournalFileName(dir), std::ios::binary);
+    std::ifstream journal(JournalFileName(dir, gen), std::ios::binary);
     uint64_t jmagic = 0;
     if (!journal.is_open() || !GetU64(journal, &jmagic) ||
         jmagic != kJournalMagic) {
@@ -588,7 +681,7 @@ api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Load(
     const TombstoneSpan& t = tombstones[i];
     if (i > 0 && t.begin < tombstones[i - 1].end) {
       return api::Status::InvalidArgument(
-          "overlapping tombstone spans in " + JournalFileName(dir));
+          "overlapping tombstone spans in " + JournalFileName(dir, gen));
     }
     auto it = by_id.find(t.doc_id);
     if (it == by_id.end() || it->second->alive ||
@@ -613,7 +706,7 @@ api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Load(
   std::vector<FmIndex> prebuilt(static_cast<size_t>(num_base_shards));
   for (uint64_t k = 0; k < num_base_shards; ++k) {
     const std::string name =
-        dir + "/shard-" + std::to_string(k) + ".fm";
+        ShardFileName(dir, static_cast<size_t>(k), gen);
     std::ifstream in(name, std::ios::binary);
     if (!in.is_open() || !prebuilt[static_cast<size_t>(k)].Load(in)) {
       return api::Status::InvalidArgument(
@@ -634,23 +727,23 @@ api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Load(
   std::vector<std::shared_ptr<const DeltaShard>> deltas;
   for (size_t k = 0; k < delta_metas.size(); ++k) {
     const DeltaShardMeta& m = delta_metas[k];
-    std::ifstream in(DeltaFileName(dir, k), std::ios::binary);
+    std::ifstream in(DeltaFileName(dir, k, gen), std::ios::binary);
     FmIndex fm;
     if (!in.is_open() || !fm.Load(in)) {
       return api::Status::InvalidArgument(
-          "unreadable or corrupt delta index " + DeltaFileName(dir, k));
+          "unreadable or corrupt delta index " + DeltaFileName(dir, k, gen));
     }
     Sequence slice = text.Substr(static_cast<size_t>(m.text_start),
                                  static_cast<size_t>(m.doc_end - m.text_start));
     if (fm.text_size() != slice.size() || fm.sigma() != slice.sigma()) {
       return api::Status::InvalidArgument(
-          "delta index " + DeltaFileName(dir, k) +
+          "delta index " + DeltaFileName(dir, k, gen) +
           " does not match the manifest text (size/sigma mismatch)");
     }
     Sequence rev = slice.Reversed();
     if (fm.Find(rev.symbols().data(), rev.size()).Empty()) {
       return api::Status::InvalidArgument(
-          "delta index " + DeltaFileName(dir, k) +
+          "delta index " + DeltaFileName(dir, k, gen) +
           " does not correspond to the manifest text");
     }
     deltas.push_back(
@@ -663,6 +756,7 @@ api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Load(
   std::error_code ec;
   std::filesystem::remove(ManifestFileName(dir) + ".tmp", ec);
   std::filesystem::remove_all(dir + "/compact.tmp", ec);
+  RemoveOtherGenerations(dir, gen);
 
   auto live = std::unique_ptr<LiveCorpus>(new LiveCorpus());
   live->options_ = options;

@@ -13,6 +13,7 @@
 #include "src/service/delta_shard.h"
 #include "src/service/sharded_corpus.h"
 #include "src/service/thread_pool.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 namespace service {
@@ -91,16 +92,20 @@ class LiveCorpus : public CorpusSource {
       Sequence text, std::vector<DocumentSpan> docs,
       LiveCorpusOptions options = {});
 
-  // Loads a directory written by Save (live manifest v2, including
+  // Loads a directory written by Save (live manifest v3 with
+  // generation-stamped data files, or the older ungenerated v2, including
   // pending deltas and the tombstone journal) or by ShardedCorpus::Save
   // (v1; wrapped as a single-document live corpus). Stale staging files
   // from an interrupted save/compaction (corpus.manifest.tmp,
-  // compact.tmp) are ignored and cleaned up. Geometry and index options
-  // come from the manifest; `options` supplies the runtime knobs
-  // (compaction trigger, background thread).
+  // compact.tmp, data files of other generations) are ignored and cleaned
+  // up. Geometry and index options come from the manifest; `options`
+  // supplies the runtime knobs (compaction trigger, background thread).
   static api::StatusOr<std::unique_ptr<LiveCorpus>> Load(
       const std::string& dir, LiveCorpusOptions options = {});
 
+  // Cancels any in-flight background compaction (its base rebuild aborts
+  // at the next shard boundary, nothing is swapped in) and joins the
+  // compactor thread before the state it reads is torn down.
   ~LiveCorpus() override;
 
   // Appends one document: builds its delta shard synchronously and
@@ -120,9 +125,15 @@ class LiveCorpus : public CorpusSource {
   // corpus cannot be indexed — append first).
   api::Status Compact();
 
-  // Directory persistence (manifest v2). Crash-safe cutover: everything
-  // is staged first and `corpus.manifest` is renamed into place last, so
-  // an interrupted save leaves the previous on-disk corpus loadable.
+  // Directory persistence (manifest v3). Crash-safe cutover at every
+  // point: each save writes its data files under a fresh generation
+  // number (`shard-K.g<gen>.fm`, `delta-K.g<gen>.fm`,
+  // `tombstones.g<gen>.journal`) without touching the files the current
+  // manifest names, then stages the manifest and renames it into place as
+  // the sole mutation of existing state — a save interrupted (or
+  // fault-injected) at ANY write leaves the previous on-disk corpus
+  // authoritative and bit-exact. Files of other generations are swept
+  // after the rename.
   api::Status Save(const std::string& dir) const;
 
   // The immutable snapshot queries run against: base slices (ownership
@@ -148,8 +159,10 @@ class LiveCorpus : public CorpusSource {
 
   void StartCompactorIfConfigured();
 
-  // Compaction body; mutate_mu_ must be held.
-  api::Status CompactLocked();
+  // Compaction body; mutate_mu_ must be held. `cancel` (may be null) is
+  // observed between shard builds of the base rebuild: a fired token
+  // aborts the compaction without swapping anything in.
+  api::Status CompactLocked(const CancelToken* cancel);
 
   // Trigger policy after a mutation; mutate_mu_ must be held.
   void MaybeCompactLocked();
@@ -175,6 +188,10 @@ class LiveCorpus : public CorpusSource {
   int64_t text_size_ = 0;
   uint64_t epoch_ = 0;
   uint64_t compactions_ = 0;
+
+  // Fired once at destruction so a running background compaction aborts
+  // promptly instead of being waited out to completion.
+  CancelToken compact_cancel_;
 
   // Declared last: joins before the state it compacts is torn down.
   std::unique_ptr<BackgroundWorker> compactor_;

@@ -72,9 +72,26 @@ QueryScheduler::QueryScheduler(const CorpusSource& source,
     : source_(source),
       batch_size_(std::max<size_t>(1, options.batch_size)),
       fuse_alae_shards_(options.fuse_alae_shards),
+      default_deadline_ms_(options.default_deadline_ms),
       cache_(options.cache_capacity),
       shard_cache_(options.shard_cache_capacity),
       pool_(options.threads, options.queue_capacity) {}
+
+QueryScheduler::~QueryScheduler() { Shutdown(); }
+
+void QueryScheduler::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    shutdown_ = true;
+    // Fire every in-flight query's effective token: running engine loops
+    // bail at their next poll, queued-but-unstarted tasks fast-fail, and
+    // each batch returns kCancelled to its caller.
+    for (CancelToken* token : inflight_) token->Cancel();
+    lifecycle_cv_.wait(lock, [this] { return active_batches_ == 0; });
+  }
+  // With every batch gone nothing submits anymore; close and join.
+  pool_.Shutdown();
+}
 
 api::StatusOr<api::SearchResponse> QueryScheduler::Search(
     std::string_view backend, const api::SearchRequest& request) {
@@ -109,7 +126,9 @@ api::Status QueryScheduler::RunSliceQuery(const CorpusView& view, size_t slice,
       },
       &stats);
   if (!status.ok()) return SliceError(slice, status);
-  if (frag) {
+  // A deadline-truncated run (allow_partial) is an incomplete fragment:
+  // caching it would serve missing hits forever. Merge it, don't store it.
+  if (frag && !stats.truncated_by_deadline) {
     // Fragments are the raw slice-local stream — ownership cuts and
     // tombstones are applied at reuse time, so a fragment stays valid for
     // as long as the slice *content* does, however the frontier moves.
@@ -168,6 +187,27 @@ api::Status QueryScheduler::RunFusedQuery(
     }
   }
 
+  // The fused walk bypasses Aligner::Search, so the cancellation status
+  // conversion that layer normally performs happens here instead.
+  const CancelToken* cancel = plan.request().cancel;
+  const bool allow_partial = plan.request().allow_partial;
+  bool partial = false;
+  if (cancel != nullptr) {
+    switch (cancel->ExpiredWhy()) {
+      case CancelToken::Why::kCancelled:
+        return api::Status::Cancelled("request cancelled before execution");
+      case CancelToken::Why::kDeadline:
+        if (!allow_partial) {
+          return api::Status::DeadlineExceeded(
+              "deadline expired before execution");
+        }
+        partial = true;
+        break;
+      case CancelToken::Why::kNone:
+        break;
+    }
+  }
+
   std::vector<const AlaeIndex*> indexes;
   indexes.reserve(slices);
   for (size_t s = 0; s < slices; ++s) {
@@ -176,13 +216,35 @@ api::Status QueryScheduler::RunFusedQuery(
   Timer timer;
   AlaeRunStats run;
   std::vector<ResultCollector> per_slice;
-  Alae::RunSharded(compiled->core(), indexes, &per_slice, &run);
+  if (!partial) {
+    Alae::RunSharded(compiled->core(), indexes, &per_slice, &run, cancel);
+  } else {
+    per_slice.resize(slices);  // already expired: empty partial answer
+  }
   api::EngineStats walk_stats;
   walk_stats.seconds = timer.ElapsedSeconds();
   walk_stats.counters = run.counters;
   walk_stats.anchors_considered = run.anchors_considered;
   walk_stats.grams_searched = run.grams_searched;
   walk_stats.plan_reuses = 1;
+  if (cancel != nullptr && !partial) {
+    switch (cancel->ExpiredWhy()) {
+      case CancelToken::Why::kCancelled:
+        return api::Status::Cancelled("request cancelled during execution");
+      case CancelToken::Why::kDeadline:
+        if (!allow_partial) {
+          return api::Status::DeadlineExceeded("deadline expired mid-search");
+        }
+        partial = true;
+        break;
+      case CancelToken::Why::kNone:
+        break;
+    }
+  }
+  if (partial) {
+    walk_stats.truncated = true;
+    walk_stats.truncated_by_deadline = true;
+  }
   for (size_t s = 0; s < slices; ++s) {
     std::vector<AlignmentHit> raw;
     // Drain unsorted: MergeSlice re-keys and Take sorts.
@@ -190,7 +252,9 @@ api::Status QueryScheduler::RunFusedQuery(
         [&raw](const AlignmentHit& hit) { raw.push_back(hit); });
     // The fused walk's counters cover all slices; attribute them once.
     api::EngineStats stats = s == 0 ? walk_stats : api::EngineStats{};
-    if (frag) {
+    // An aborted walk left every slice's fragment incomplete — merge them
+    // (they are a correct subset) but never cache them.
+    if (frag && !partial) {
       api::SearchResponse fragment;
       fragment.hits = raw;
       shard_cache_.Insert(fkeys[s], fragment);
@@ -207,6 +271,35 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   Timer timer;
   std::vector<api::QueryOutcome> outcomes(requests.size());
   if (requests.empty()) return outcomes;
+
+  // Lifecycle registration: a batch admitted here is guaranteed to finish
+  // (Shutdown waits for it); a batch arriving after Shutdown began is
+  // refused whole.
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (shutdown_) {
+      for (api::QueryOutcome& o : outcomes) {
+        o.status = api::Status::Cancelled("scheduler is shut down");
+      }
+      return outcomes;
+    }
+    ++active_batches_;
+  }
+  // Scheduler-owned effective tokens, one per live query: each observes
+  // the request's token (if any), carries the scheduler default deadline,
+  // and is registered in inflight_ so Shutdown can fire it. Deque: tasks
+  // hold pointers, so addresses must be stable.
+  std::deque<CancelToken> tokens;
+  struct BatchExit {
+    QueryScheduler* self;
+    std::deque<CancelToken>* tokens;
+    ~BatchExit() {
+      std::lock_guard<std::mutex> lock(self->lifecycle_mu_);
+      for (CancelToken& token : *tokens) self->inflight_.erase(&token);
+      --self->active_batches_;
+      self->lifecycle_cv_.notify_all();
+    }
+  } exit_guard{this, &tokens};
 
   // One snapshot serves the whole batch: a concurrent live-corpus
   // mutation or compaction swaps state for *later* batches, while this
@@ -246,6 +339,28 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
       outcomes[i].status = status;
       continue;
     }
+    // Fast-fail before the pool (or even the cache) is touched: an
+    // already-expired request costs the service nothing.
+    if (requests[i].cancel != nullptr) {
+      switch (requests[i].cancel->ExpiredWhy()) {
+        case CancelToken::Why::kCancelled:
+          outcomes[i].status =
+              api::Status::Cancelled("request cancelled before admission");
+          continue;
+        case CancelToken::Why::kDeadline:
+          if (!requests[i].allow_partial) {
+            outcomes[i].status = api::Status::DeadlineExceeded(
+                "deadline expired before admission");
+            continue;
+          }
+          outcomes[i].response.stats.truncated = true;
+          outcomes[i].response.stats.truncated_by_deadline = true;
+          outcomes[i].response.stats.seconds = timer.ElapsedSeconds();
+          continue;
+        case CancelToken::Why::kNone:
+          break;
+      }
+    }
     if (api::Status status = view.ValidateSpan(backend, requests[i]);
         !status.ok()) {
       outcomes[i].status = status;
@@ -261,18 +376,40 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
       outcomes[i].response.stats.seconds = timer.ElapsedSeconds();
       continue;
     }
+    // Compile against the effective token (replacing the caller's in the
+    // plan): engines under this plan observe caller cancellation AND the
+    // scheduler's default deadline AND a scheduler Shutdown, whichever
+    // fires first. Neither token nor allow_partial is fingerprinted, so
+    // cache keys are unaffected.
+    tokens.emplace_back(requests[i].cancel);
+    if (default_deadline_ms_ > 0) {
+      tokens.back().SetDeadlineAfter(
+          std::chrono::milliseconds(default_deadline_ms_));
+    }
     api::SearchRequest uncapped = requests[i];
     uncapped.max_hits = 0;
+    uncapped.cancel = &tokens.back();
     api::StatusOr<std::unique_ptr<api::QueryPlan>> plan =
         aligners[0]->Compile(std::move(uncapped));
     if (!plan.ok()) {
       outcomes[i].status = plan.status();
+      tokens.pop_back();
       continue;
     }
     plans[i] = std::move(*plan);
     live.push_back(i);
   }
   if (live.empty()) return outcomes;
+  {
+    // Register the effective tokens; if Shutdown won the race since this
+    // batch was admitted, its cancel sweep missed them — fire them here so
+    // the batch still winds down promptly.
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    for (CancelToken& token : tokens) {
+      inflight_.insert(&token);
+      if (shutdown_) token.Cancel();
+    }
+  }
 
   // Fan out. Every live query needs every slice; micro-batching packs up
   // to batch_size same-backend queries into one pool task so the task
@@ -356,13 +493,19 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
       }
     }
     if (!pool_.TrySubmitBatch(std::move(tasks))) {
-      api::Status overloaded = api::Status::ResourceExhausted(
-          "service queue is full (" + std::to_string(pool_.QueueDepth()) +
-          "/" + std::to_string(pool_.queue_capacity()) +
-          " tasks queued, this wave needs " + std::to_string(num_tasks) +
-          "); retry with backoff");
+      // A shutdown closes admission too; report that truthfully rather
+      // than as transient overload someone might retry against.
+      api::Status refused =
+          pool_.IsShutdown()
+              ? api::Status::Cancelled("scheduler is shutting down")
+              : api::Status::ResourceExhausted(
+                    "service queue is full (" +
+                    std::to_string(pool_.QueueDepth()) + "/" +
+                    std::to_string(pool_.queue_capacity()) +
+                    " tasks queued, this wave needs " +
+                    std::to_string(num_tasks) + "); retry with backoff");
       for (size_t k = wave; k < wave_end; ++k) {
-        errors[k].Record(overloaded);
+        errors[k].Record(refused);
       }
       continue;
     }
@@ -380,8 +523,12 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
     response.stats.compactions = view.compactions;
     // Cache the computed payload without this call's cache or compile
     // accounting — a later hit reports its own counters and compiled
-    // nothing.
-    cache_.Insert(keys[i], response);
+    // nothing. A deadline-truncated partial is NOT the answer this key
+    // stands for; caching it would serve missing hits until the epoch
+    // turns, so partials are merged to the caller and forgotten.
+    if (!response.stats.truncated_by_deadline) {
+      cache_.Insert(keys[i], response);
+    }
     response.stats.plan_compile_ns = plans[i]->compile_ns();
     response.stats.cache_misses = 1;
     response.stats.seconds = timer.ElapsedSeconds();

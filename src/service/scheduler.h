@@ -1,15 +1,21 @@
 #ifndef ALAE_SERVICE_SCHEDULER_H_
 #define ALAE_SERVICE_SCHEDULER_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "src/api/api.h"
 #include "src/service/corpus_view.h"
 #include "src/service/result_cache.h"
 #include "src/service/thread_pool.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 namespace service {
@@ -51,6 +57,12 @@ struct SchedulerOptions {
   // parallelism for strictly less total work — batch throughput wins,
   // single-query latency on an idle many-core box may prefer `false`.
   bool fuse_alae_shards = true;
+
+  // Default deadline imposed on every query (0 = none). Each query runs
+  // under a scheduler-owned token that carries this deadline AND observes
+  // the request's own cancel token, so whichever fires first wins; a
+  // caller-supplied sooner deadline is unaffected.
+  int64_t default_deadline_ms = 0;
 };
 
 // The multi-tenant front door of the sharded query service: snapshots the
@@ -66,12 +78,29 @@ struct SchedulerOptions {
 // Thread-safe: any number of client threads may call Search/SearchBatch
 // concurrently; they share the worker pool and the caches. Mutating a
 // LiveCorpus source concurrently is safe (each batch works off its own
-// snapshot). Destroying the scheduler while calls are in flight is
-// undefined — join your clients first (the pool drains on destruction).
+// snapshot). Destroying the scheduler while calls are in flight is safe:
+// the destructor runs Shutdown(), which cancels every in-flight query
+// (they return kCancelled), waits them out, and drains the pool.
+//
+// Deadlines and cancellation: a request's CancelToken (and the scheduler's
+// default_deadline_ms) bound each query cooperatively — engines poll every
+// ~4k work units, queued-but-unstarted shard tasks for an expired request
+// fast-fail without running, and the outcome is kDeadlineExceeded /
+// kCancelled, or — with request.allow_partial — an Ok response carrying
+// the hits gathered so far, flagged truncated_by_deadline. Partial
+// responses are never stored in either cache tier.
 class QueryScheduler {
  public:
   explicit QueryScheduler(const CorpusSource& source,
                           SchedulerOptions options = {});
+
+  ~QueryScheduler();
+
+  // Graceful shutdown: refuses new batches (kCancelled), cancels the
+  // tokens of every in-flight query, waits for those batches to return to
+  // their callers, then closes and joins the pool. Idempotent; safe to
+  // call while clients are still issuing Search calls.
+  void Shutdown();
 
   // One query against every slice of the current snapshot. Failure modes
   // beyond the facade's request validation: kInvalidArgument when the
@@ -113,8 +142,20 @@ class QueryScheduler {
   const CorpusSource& source_;
   const size_t batch_size_;
   const bool fuse_alae_shards_;
+  const int64_t default_deadline_ms_;
   ResultCache cache_;
   ResultCache shard_cache_;
+
+  // Shutdown lifecycle. Every SearchBatch registers under lifecycle_mu_
+  // (refused once shutdown_ is set) and registers its queries' effective
+  // cancel tokens in inflight_ so Shutdown can fire them all; the batch
+  // deregisters before returning and signals lifecycle_cv_.
+  std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  bool shutdown_ = false;
+  size_t active_batches_ = 0;
+  std::unordered_set<CancelToken*> inflight_;
+
   ThreadPool pool_;  // declared last: workers must die before the caches
 };
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/fault_injector.h"
 #include "src/util/serialize.h"
 
 namespace alae {
@@ -12,10 +13,25 @@ namespace {
 
 constexpr uint64_t kManifestMagic = 0x414C414553525631ULL;  // "ALAESRV1"
 
-std::string ShardFileName(const std::string& dir, size_t shard) {
+// Generation 0 is the plain historical name; later generations carry a
+// `.g<gen>` infix so a staged save never overwrites the files the current
+// manifest points at.
+std::string ShardFileName(const std::string& dir, size_t shard,
+                          uint64_t gen = 0) {
   std::ostringstream name;
-  name << dir << "/shard-" << shard << ".fm";
+  name << dir << "/shard-" << shard;
+  if (gen > 0) name << ".g" << gen;
+  name << ".fm";
   return name.str();
+}
+
+// Converts a fired token into the matching refusal Status.
+api::Status CancelStatus(const CancelToken& cancel, const char* what) {
+  if (cancel.ExpiredWhy() == CancelToken::Why::kDeadline) {
+    return api::Status::DeadlineExceeded(std::string(what) +
+                                         " hit its deadline");
+  }
+  return api::Status::Cancelled(std::string(what) + " was cancelled");
 }
 
 std::string ManifestFileName(const std::string& dir) {
@@ -26,7 +42,7 @@ std::string ManifestFileName(const std::string& dir) {
 
 api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Assemble(
     Sequence text, ShardedCorpusOptions options,
-    std::vector<FmIndex> prebuilt) {
+    std::vector<FmIndex> prebuilt, const CancelToken* cancel) {
   if (text.empty()) {
     return api::Status::InvalidArgument("corpus text is empty");
   }
@@ -57,6 +73,12 @@ api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Assemble(
   const int64_t step = options.shard_size - 2 * options.overlap;
   int64_t start = 0;
   for (size_t k = 0;; ++k) {
+    // Building (or content-probing) a shard index is the expensive unit of
+    // work here; a cancelled compaction or a shut-down owner aborts at
+    // this boundary rather than finishing a corpus nobody will swap in.
+    if (cancel != nullptr && cancel->Expired()) {
+      return CancelStatus(*cancel, "corpus build");
+    }
     Shard shard;
     shard.start = start;
     shard.owned_begin = k == 0 ? 0 : start + options.overlap;
@@ -67,6 +89,11 @@ api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Assemble(
     Sequence shard_text = corpus->text_.Substr(
         static_cast<size_t>(shard.start), static_cast<size_t>(shard.length));
     if (prebuilt.empty()) {
+      if (FaultInjector::Hit("sharded/build/shard-index")) {
+        return api::Status::ResourceExhausted(
+            "injected allocation failure building shard " +
+            std::to_string(k) + "'s index");
+      }
       shard.registry = std::make_unique<api::AlignerRegistry>(
           std::move(shard_text), options.index);
     } else {
@@ -109,8 +136,8 @@ api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Assemble(
 }
 
 api::StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Build(
-    Sequence text, ShardedCorpusOptions options) {
-  return Assemble(std::move(text), options, {});
+    Sequence text, ShardedCorpusOptions options, const CancelToken* cancel) {
+  return Assemble(std::move(text), options, {}, cancel);
 }
 
 api::Status ShardedCorpus::Save(const std::string& dir) const {
@@ -120,37 +147,55 @@ api::Status ShardedCorpus::Save(const std::string& dir) const {
     return api::Status::InvalidArgument("cannot create corpus directory " +
                                         dir + ": " + ec.message());
   }
-  std::ofstream manifest(ManifestFileName(dir), std::ios::binary);
-  bool ok = manifest.is_open();
-  ok = ok && PutU64(manifest, kManifestMagic);
-  ok = ok && PutU64(manifest, static_cast<uint64_t>(options_.shard_size));
-  ok = ok && PutU64(manifest, static_cast<uint64_t>(options_.overlap));
-  ok = ok && PutU64(manifest, options_.index.use_wavelet ? 1 : 0);
-  ok = ok &&
-       PutU64(manifest, static_cast<uint64_t>(options_.index.sa_sample_rate));
-  ok = ok && PutU64(manifest,
-                    static_cast<uint64_t>(text_.alphabet().kind()));
-  ok = ok && PutU64(manifest, shards_.size());
-  ok = ok && PutVec(manifest, text_.symbols());
-  // Flush before reporting success: a buffered tail lost at destructor
-  // time (disk full, quota) must not be reported as a successful save.
-  manifest.flush();
-  if (!ok || !manifest.good()) {
-    return api::Status::InvalidArgument("failed writing " +
-                                        ManifestFileName(dir));
+  // Shard files first, manifest last (staged + renamed): the manifest is
+  // the cutover, so an interrupted save never publishes one that names
+  // missing or half-written shard files.
+  api::Status shards = SaveShardFiles(dir);
+  if (!shards.ok()) return shards;
+  const std::string tmp = ManifestFileName(dir) + ".tmp";
+  {
+    std::ofstream manifest(tmp, std::ios::binary);
+    bool ok = manifest.is_open() &&
+              !FaultInjector::Hit("sharded/save/manifest");
+    ok = ok && PutU64(manifest, kManifestMagic);
+    ok = ok && PutU64(manifest, static_cast<uint64_t>(options_.shard_size));
+    ok = ok && PutU64(manifest, static_cast<uint64_t>(options_.overlap));
+    ok = ok && PutU64(manifest, options_.index.use_wavelet ? 1 : 0);
+    ok = ok &&
+         PutU64(manifest, static_cast<uint64_t>(options_.index.sa_sample_rate));
+    ok = ok && PutU64(manifest,
+                      static_cast<uint64_t>(text_.alphabet().kind()));
+    ok = ok && PutU64(manifest, shards_.size());
+    ok = ok && PutVec(manifest, text_.symbols());
+    // Flush before reporting success: a buffered tail lost at destructor
+    // time (disk full, quota) must not be reported as a successful save.
+    manifest.flush();
+    if (!ok || !manifest.good()) {
+      return api::Status::InvalidArgument("failed writing " + tmp);
+    }
   }
-  return SaveShardFiles(dir);
+  std::filesystem::rename(tmp, ManifestFileName(dir), ec);
+  if (ec) {
+    return api::Status::InvalidArgument("cannot activate " +
+                                        ManifestFileName(dir) + ": " +
+                                        ec.message());
+  }
+  return api::Status::Ok();
 }
 
-api::Status ShardedCorpus::SaveShardFiles(const std::string& dir) const {
+api::Status ShardedCorpus::SaveShardFiles(const std::string& dir,
+                                          uint64_t gen) const {
   for (size_t k = 0; k < shards_.size(); ++k) {
-    std::ofstream out(ShardFileName(dir, k), std::ios::binary);
-    bool shard_ok =
-        out.is_open() && shards_[k].registry->index().fm().Save(out);
+    std::ofstream out(ShardFileName(dir, k, gen), std::ios::binary);
+    // The fault hook sits past the open: an injected failure leaves a
+    // truncated file behind, exactly the torn write the generation scheme
+    // must tolerate.
+    bool shard_ok = out.is_open() && !FaultInjector::Hit("sharded/save/shard") &&
+                    shards_[k].registry->index().fm().Save(out);
     out.flush();
     if (!shard_ok || !out.good()) {
       return api::Status::InvalidArgument("failed writing " +
-                                          ShardFileName(dir, k));
+                                          ShardFileName(dir, k, gen));
     }
   }
   return api::Status::Ok();

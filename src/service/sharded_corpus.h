@@ -14,6 +14,7 @@
 #include "src/index/fm_index.h"
 #include "src/io/sequence.h"
 #include "src/service/corpus_view.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 namespace service {
@@ -66,19 +67,28 @@ class ShardedCorpus : public CorpusSource {
     std::unique_ptr<api::AlignerRegistry> registry;
   };
 
-  // Splits `text` and builds one FM-index per shard.
+  // Splits `text` and builds one FM-index per shard. The optional cancel
+  // token is observed between shard builds: a compaction (or any other
+  // long rebuild) aborts with kCancelled / kDeadlineExceeded at the next
+  // shard boundary instead of finishing a build nobody wants.
   static api::StatusOr<std::unique_ptr<ShardedCorpus>> Build(
-      Sequence text, ShardedCorpusOptions options = {});
+      Sequence text, ShardedCorpusOptions options = {},
+      const CancelToken* cancel = nullptr);
 
-  // Persists the corpus as a directory: `corpus.manifest` (geometry + the
-  // full text, stored once) plus one `shard-NNNN.fm` ALAEF2M file per
-  // shard. Any index mode round-trips, including wavelet.
+  // Persists the corpus as a directory: one `shard-NNNN.fm` ALAEF2M file
+  // per shard plus `corpus.manifest` (geometry + the full text, stored
+  // once), staged and renamed into place last so an interrupted save of a
+  // fresh directory never leaves a manifest naming missing shards. Any
+  // index mode round-trips, including wavelet.
   api::Status Save(const std::string& dir) const;
 
-  // Writes just the per-shard `shard-NNNN.fm` files into `dir` (which must
-  // exist). Save composes this with the v1 manifest; LiveCorpus::Save
-  // composes it with the v2 live manifest.
-  api::Status SaveShardFiles(const std::string& dir) const;
+  // Writes just the per-shard shard files into `dir` (which must exist):
+  // `shard-NNNN.fm` for generation 0, `shard-NNNN.g<gen>.fm` otherwise.
+  // Save composes this (gen 0) with the v1 manifest; LiveCorpus::Save
+  // composes it with the live manifest under the generation it is staging,
+  // so the files of the still-authoritative previous save are never
+  // touched.
+  api::Status SaveShardFiles(const std::string& dir, uint64_t gen = 0) const;
 
   // Loads a corpus saved by Save, reusing the persisted per-shard
   // FM-indexes instead of rebuilding them.
@@ -92,7 +102,7 @@ class ShardedCorpus : public CorpusSource {
   // content-probed against the text.
   static api::StatusOr<std::unique_ptr<ShardedCorpus>> Assemble(
       Sequence text, ShardedCorpusOptions options,
-      std::vector<FmIndex> prebuilt);
+      std::vector<FmIndex> prebuilt, const CancelToken* cancel = nullptr);
 
   const Sequence& text() const { return text_; }
   int64_t text_size() const { return static_cast<int64_t>(text_.size()); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/fault_injector.h"
+
 namespace alae {
 namespace service {
 
@@ -18,16 +20,35 @@ ThreadPool::ThreadPool(int threads, size_t queue_capacity)
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  bool join_here = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
   }
   work_available_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  if (join_here) {
+    for (std::thread& w : workers_) w.join();
+  }
+  // A concurrent Shutdown call lost the join race; the queue may still be
+  // draining. That is fine — Shutdown only guarantees admission is closed
+  // and (for the joining caller, which includes the destructor) that the
+  // workers are gone.
+}
+
+bool ThreadPool::IsShutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
+  if (FaultInjector::Hit("pool/admit")) return false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_ || queue_.size() >= capacity_) return false;
@@ -39,6 +60,7 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
 
 bool ThreadPool::TrySubmitBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return true;
+  if (FaultInjector::Hit("pool/admit")) return false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_ || queue_.size() + tasks.size() > capacity_) return false;
@@ -72,14 +94,16 @@ void ThreadPool::WorkerLoop() {
 BackgroundWorker::BackgroundWorker(std::function<void()> job)
     : job_(std::move(job)), thread_([this] { Loop(); }) {}
 
-BackgroundWorker::~BackgroundWorker() {
+BackgroundWorker::~BackgroundWorker() { Shutdown(); }
+
+void BackgroundWorker::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
     pending_ = false;  // drop, don't start, queued work at shutdown
   }
   cv_.notify_all();
-  thread_.join();
+  if (thread_.joinable()) thread_.join();
 }
 
 void BackgroundWorker::Trigger() {

@@ -31,6 +31,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // Begins draining: admission is closed (TrySubmit returns false from
+  // here on), already-queued tasks still run — the scheduler's task groups
+  // signal completion latches, so dropping them would strand waiters —
+  // and the workers are joined. Idempotent and safe to call concurrently
+  // with submitters; the destructor calls it.
+  void Shutdown();
+
+  // True once Shutdown began (admission is closed).
+  bool IsShutdown() const;
+
   // Enqueues one task; false when the queue is full or the pool is
   // shutting down.
   bool TrySubmit(std::function<void()> task);
@@ -56,6 +66,7 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+  bool joined_ = false;  // workers joined (only Shutdown writes this)
   std::vector<std::thread> workers_;
 };
 
@@ -77,6 +88,11 @@ class BackgroundWorker {
   // Requests a run. Never blocks; coalesces with an already-pending
   // trigger. No-op after shutdown began.
   void Trigger();
+
+  // Begins shutdown and joins: a pending trigger is dropped, a running
+  // job is waited out (the owner is expected to have cancelled it first
+  // for promptness). Idempotent; the destructor calls it.
+  void Shutdown();
 
   // Completed job runs (for stats and tests).
   uint64_t runs() const;

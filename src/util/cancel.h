@@ -1,0 +1,125 @@
+#ifndef ALAE_UTIL_CANCEL_H_
+#define ALAE_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace alae {
+
+// Cooperative cancellation: an atomic flag plus an optional steady-clock
+// deadline, observed (never blocked on) by the engine hot loops. A token
+// has two producers — the owner calling Cancel()/SetDeadline*, and the
+// clock — and any number of consumer threads polling Expired(). All state
+// is monotone (a fired token never un-fires within one run), so relaxed
+// atomics suffice; Reset() is only for reusing a token between runs that
+// are externally ordered (e.g. consecutive background compactions).
+//
+// Tokens compose by observation: a scheduler-owned token can carry an
+// observe-only pointer to the caller's request token, so the scheduler
+// can impose its own default deadline or shutdown-cancel every in-flight
+// query without mutating (or outliving) caller state. Parents are checked
+// on every Expired() call; chains are expected to be depth <= 2.
+class CancelToken {
+ public:
+  enum class Why : int { kNone = 0, kCancelled, kDeadline };
+
+  CancelToken() = default;
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Fires the token. Idempotent; an explicit cancel wins over a deadline
+  // that expires later (Why() reports the first cause observed).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Absolute steady-clock deadline. 0 duration-since-epoch is reserved to
+  // mean "none"; a real deadline that collapses to 0 is nudged by 1 ns.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     deadline.time_since_epoch())
+                     .count();
+    if (ns == 0) ns = 1;
+    deadline_ns_.store(ns, std::memory_order_relaxed);
+  }
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) {
+    SetDeadline(std::chrono::steady_clock::now() + budget);
+  }
+  void ClearDeadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  // True once the token (or any ancestor) is cancelled or past deadline.
+  // Reads the clock only when a deadline is armed.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns != 0 && NowNanos() >= ns) return true;
+    return parent_ != nullptr && parent_->Expired();
+  }
+
+  // Why the token fired (kNone if it has not). Explicit cancellation wins
+  // over a deadline when both hold — cancel is the more deliberate signal.
+  Why ExpiredWhy() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return Why::kCancelled;
+    const int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns != 0 && NowNanos() >= ns) return Why::kDeadline;
+    return parent_ == nullptr ? Why::kNone : parent_->ExpiredWhy();
+  }
+
+  // Re-arms a token for the next externally-ordered run. Does not touch
+  // the parent (which belongs to someone else).
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // 0 = no deadline
+  const CancelToken* parent_ = nullptr;  // observed, never mutated
+};
+
+// Amortised poll for hot loops: counts work units down and consults the
+// token only when the stride is spent, so the steady-clock read (the
+// expensive part of a deadline check) happens once per ~stride ops. A
+// null token makes Tick() a compare against a never-reached budget —
+// effectively free, which is what keeps the cancellation plumbing
+// unmeasurable on the no-deadline path.
+class CancelScan {
+ public:
+  explicit CancelScan(const CancelToken* token, int64_t stride = 4096)
+      : token_(token), stride_(stride), budget_(stride) {}
+
+  // Accounts `ops` units of work; returns true once the token has fired.
+  // After firing it keeps returning true without further token reads.
+  bool Tick(int64_t ops = 1) {
+    if (token_ == nullptr) return false;
+    budget_ -= ops;
+    if (budget_ > 0) return fired_;
+    budget_ = stride_;
+    if (token_->Expired()) fired_ = true;
+    return fired_;
+  }
+
+  bool fired() const { return fired_; }
+  const CancelToken* token() const { return token_; }
+
+ private:
+  const CancelToken* token_;
+  int64_t stride_;
+  int64_t budget_;
+  bool fired_ = false;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_UTIL_CANCEL_H_

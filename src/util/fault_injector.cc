@@ -1,0 +1,76 @@
+#include "src/util/fault_injector.h"
+
+namespace alae {
+
+std::atomic<FaultInjector*> FaultInjector::current_{nullptr};
+
+void FaultInjector::FailAt(std::string_view site, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_site_ = std::string(site);
+  armed_nth_ = nth == 0 ? 1 : nth;
+  random_mode_ = false;
+}
+
+void FaultInjector::FailRandomly(double probability, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_site_.clear();
+  random_mode_ = true;
+  random_probability_ = probability;
+  rng_state_ = seed == 0 ? 0x9E3779B97F4A7C15ull : seed;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.clear();
+  armed_site_.clear();
+  armed_nth_ = 0;
+  random_mode_ = false;
+  random_probability_ = 0;
+  failures_ = 0;
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  if (it == counts_.end()) {
+    it = counts_.emplace(std::string(site), 0).first;
+  }
+  const uint64_t crossing = ++it->second;  // 1-based ordinal
+  bool fail = false;
+  if (!armed_site_.empty()) {
+    fail = armed_site_ == site && crossing == armed_nth_;
+  } else if (random_mode_) {
+    // splitmix64: deterministic for a fixed seed and crossing order.
+    uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    fail = static_cast<double>(z >> 11) * 0x1.0p-53 < random_probability_;
+  }
+  if (fail) ++failures_;
+  return fail;
+}
+
+std::vector<std::string> FaultInjector::SitesSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> sites;
+  sites.reserve(counts_.size());
+  for (const auto& [site, count] : counts_) {
+    (void)count;
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+uint64_t FaultInjector::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::failures_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+}  // namespace alae

@@ -1,0 +1,110 @@
+#ifndef ALAE_UTIL_FAULT_INJECTOR_H_
+#define ALAE_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alae {
+
+// Deterministic fault injection for the persistence and admission paths.
+//
+// Production code marks its failure points with FaultInjector::Hit("site")
+// — every write/rename/fsync in the corpus save paths, the allocation-
+// pressure point of index build, pool admission. With no injector
+// installed (the default, and the only configuration outside tests) Hit
+// is one relaxed atomic load of a null pointer — the hooks are compiled
+// in everywhere but cost nothing.
+//
+// Tests install an injector and drive it in two phases:
+//
+//   1. Record: install a fresh injector, run the operation once, read
+//      SitesSeen() — the complete, ordered-by-name list of failure points
+//      the operation actually crossed, with per-site hit counts.
+//   2. Sweep: for every (site, nth) pair recorded, re-run the operation
+//      with FailAt(site, nth) armed and assert the failure is contained
+//      (e.g. the previous manifest still loads bit-exact).
+//
+// The sweep is exhaustive by construction: a new persistence write site
+// added to the code shows up in the recording and is swept automatically.
+// FailRandomly's seeded mode exists for soak-style tests.
+//
+// Thread-safe; sites may be hit concurrently.
+class FaultInjector {
+ public:
+  // The process-wide injector, or null when none is installed.
+  static FaultInjector* Get() {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  // Installs `injector` (null to uninstall). The caller owns it and must
+  // uninstall before destroying it; tests use ScopedFaultInjector.
+  static void Install(FaultInjector* injector) {
+    current_.store(injector, std::memory_order_release);
+  }
+
+  // The production-side hook: records the crossing and reports whether
+  // this site should fail now. Free when no injector is installed.
+  static bool Hit(std::string_view site) {
+    FaultInjector* injector = Get();
+    return injector != nullptr && injector->ShouldFail(site);
+  }
+
+  // Arms the nth (1-based) crossing of `site` to fail. Replaces any
+  // previously armed point; one armed point at a time keeps sweeps
+  // single-fault by construction.
+  void FailAt(std::string_view site, uint64_t nth);
+
+  // Seeded pseudo-random mode: every crossing of every site fails with
+  // `probability`, reproducibly for a fixed seed and crossing order.
+  void FailRandomly(double probability, uint64_t seed);
+
+  // Clears armed faults and recorded counts.
+  void Reset();
+
+  // Recording: sites crossed since the last Reset, name-sorted, and the
+  // number of crossings of one site.
+  std::vector<std::string> SitesSeen() const;
+  uint64_t HitCount(std::string_view site) const;
+
+  // Total crossings that were made to fail (for assertions).
+  uint64_t failures_injected() const;
+
+ private:
+  bool ShouldFail(std::string_view site);
+
+  static std::atomic<FaultInjector*> current_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t, std::less<>> counts_;
+  std::string armed_site_;      // empty = nothing armed
+  uint64_t armed_nth_ = 0;      // 1-based crossing ordinal
+  bool random_mode_ = false;
+  double random_probability_ = 0;
+  uint64_t rng_state_ = 0;
+  uint64_t failures_ = 0;
+};
+
+// RAII install/uninstall for tests.
+class ScopedFaultInjector {
+ public:
+  ScopedFaultInjector() { FaultInjector::Install(&injector_); }
+  ~ScopedFaultInjector() { FaultInjector::Install(nullptr); }
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+  FaultInjector* operator->() { return &injector_; }
+  FaultInjector& get() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+}  // namespace alae
+
+#endif  // ALAE_UTIL_FAULT_INJECTOR_H_

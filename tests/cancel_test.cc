@@ -1,0 +1,283 @@
+// Deadline and cancellation semantics across the service stack.
+//
+// The differential at the heart of this file: a generous deadline must be
+// invisible — bit-exact answers on every backend against the undeadlined
+// run — while an already-expired deadline must fail fast (kDeadlineExceeded
+// before the request ever touches the worker pool) and a tiny deadline
+// against a many-shard corpus must return well before the undeadlined
+// query would have finished. allow_partial flips the expiry outcome from
+// an error into an Ok response flagged truncated_by_deadline whose hits
+// are a subset of the full answer, and such partials must never be served
+// back out of either cache tier.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/service/service.h"
+#include "src/sim/workload.h"
+#include "src/util/cancel.h"
+#include "src/util/timer.h"
+
+namespace alae {
+namespace service {
+namespace {
+
+using api::SearchRequest;
+using api::SearchResponse;
+using api::StatusCode;
+
+const std::vector<std::string>& AllBackends() {
+  static const std::vector<std::string> kBackends = {"alae", "basic", "blast",
+                                                     "bwt-sw", "sw"};
+  return kBackends;
+}
+
+TEST(CancelToken, ExplicitCancelWinsOverDeadline) {
+  CancelToken token;
+  EXPECT_FALSE(token.Expired());
+  EXPECT_EQ(token.ExpiredWhy(), CancelToken::Why::kNone);
+  token.SetDeadlineAfter(std::chrono::nanoseconds(-1));  // already past
+  EXPECT_TRUE(token.Expired());
+  EXPECT_EQ(token.ExpiredWhy(), CancelToken::Why::kDeadline);
+  token.Cancel();
+  EXPECT_EQ(token.ExpiredWhy(), CancelToken::Why::kCancelled);
+  token.Reset();
+  EXPECT_FALSE(token.Expired());
+}
+
+TEST(CancelToken, ObservesParentChain) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  EXPECT_FALSE(child.Expired());
+  parent.Cancel();
+  EXPECT_TRUE(child.Expired());
+  EXPECT_EQ(child.ExpiredWhy(), CancelToken::Why::kCancelled);
+}
+
+TEST(CancelScan, AmortisesAndLatches) {
+  CancelToken token;
+  CancelScan scan(&token, /*stride=*/8);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(scan.Tick());
+  token.Cancel();
+  // Fires within one stride of polls, then stays fired.
+  bool fired = false;
+  for (int i = 0; i < 16 && !fired; ++i) fired = scan.Tick();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(scan.fired());
+  EXPECT_TRUE(scan.Tick());
+}
+
+class ServiceCancelTest : public ::testing::Test {
+ protected:
+  void Build(int64_t text_length, int64_t shard_size, int64_t overlap,
+             size_t num_queries, int64_t query_length) {
+    WorkloadSpec spec;
+    spec.text_length = text_length;
+    spec.query_length = query_length;
+    spec.num_queries = static_cast<int>(num_queries);
+    spec.divergence = 0.2;
+    spec.seed = 7;
+    workload_ = BuildWorkload(spec);
+    ShardedCorpusOptions options;
+    options.shard_size = shard_size;
+    options.overlap = overlap;
+    auto corpus = ShardedCorpus::Build(workload_.text, options);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    corpus_ = std::move(corpus).value();
+  }
+
+  SearchRequest Request(size_t q, int32_t threshold = 16) const {
+    SearchRequest request;
+    request.query = workload_.queries[q];
+    request.threshold = threshold;
+    return request;
+  }
+
+  Workload workload_;
+  std::unique_ptr<ShardedCorpus> corpus_;
+};
+
+// A deadline far in the future must change nothing: every backend's hits
+// are bit-identical to the undeadlined answer (the amortised cancellation
+// polls are observation only).
+TEST_F(ServiceCancelTest, GenerousDeadlineIsBitExactOnEveryBackend) {
+  Build(3'000, 700, 170, 4, 40);
+  QueryScheduler scheduler(*corpus_, {.threads = 2, .cache_capacity = 0});
+  for (const std::string& backend : AllBackends()) {
+    for (size_t q = 0; q < workload_.queries.size(); ++q) {
+      api::StatusOr<SearchResponse> plain =
+          scheduler.Search(backend, Request(q));
+      ASSERT_TRUE(plain.ok())
+          << backend << "/" << q << ": " << plain.status().ToString();
+
+      CancelToken token;
+      token.SetDeadlineAfter(std::chrono::hours(1));
+      SearchRequest capped = Request(q);
+      capped.cancel = &token;
+      api::StatusOr<SearchResponse> deadlined =
+          scheduler.Search(backend, capped);
+      ASSERT_TRUE(deadlined.ok())
+          << backend << "/" << q << ": " << deadlined.status().ToString();
+      EXPECT_EQ(deadlined->hits, plain->hits) << backend << "/" << q;
+      EXPECT_FALSE(deadlined->stats.truncated_by_deadline);
+    }
+  }
+}
+
+// An already-expired deadline fails before admission: even with the worker
+// pool wedged completely (its one worker parked, its queue full), the
+// outcome is kDeadlineExceeded — not the kResourceExhausted that any pool
+// submission would produce — proving the request never touched the pool.
+TEST_F(ServiceCancelTest, AlreadyExpiredFailsFastWithoutTouchingThePool) {
+  Build(2'000, 600, 140, 2, 30);
+  QueryScheduler scheduler(
+      *corpus_, {.threads = 1, .queue_capacity = 1, .cache_capacity = 0});
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(scheduler.pool().TrySubmit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  // Wedge the queue too: one more parked task fills capacity 1 (the first
+  // is being held by the lone worker).
+  while (!scheduler.pool().TrySubmit([] {})) {
+  }
+
+  CancelToken token;
+  token.Cancel();
+  SearchRequest cancelled = Request(0);
+  cancelled.cancel = &token;
+  api::StatusOr<SearchResponse> refused = scheduler.Search("sw", cancelled);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kCancelled)
+      << refused.status().ToString();
+
+  CancelToken expired;
+  expired.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  SearchRequest late = Request(0);
+  late.cancel = &expired;
+  api::StatusOr<SearchResponse> timed_out = scheduler.Search("sw", late);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded)
+      << timed_out.status().ToString();
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+// The acceptance scenario: a ~1 ms deadline against a corpus of >= 8
+// shards returns promptly (kDeadlineExceeded, or a truncated partial when
+// allowed) instead of running the full multi-shard query out.
+TEST_F(ServiceCancelTest, TinyDeadlineOnManyShardCorpusReturnsEarly) {
+  Build(60'000, 8'000, 500, 1, 120);
+  ASSERT_GE(corpus_->num_shards(), 8u);
+  QueryScheduler scheduler(*corpus_, {.threads = 2, .cache_capacity = 0});
+
+  // Reference: how long the undeadlined query takes (exact backends only;
+  // sw is the most work per shard and the steadiest clock here).
+  Timer full_timer;
+  api::StatusOr<SearchResponse> full = scheduler.Search("sw", Request(0, 1));
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  const double full_seconds = full_timer.ElapsedSeconds();
+
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::milliseconds(1));
+  SearchRequest capped = Request(0, 1);
+  capped.cancel = &token;
+  Timer capped_timer;
+  api::StatusOr<SearchResponse> timed_out = scheduler.Search("sw", capped);
+  const double capped_seconds = capped_timer.ElapsedSeconds();
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded)
+      << timed_out.status().ToString();
+  // Timing bound, asserted only when the full run is slow enough for the
+  // comparison to be meaningful on this machine/build (sanitizer builds
+  // and loaded CI runners stretch both sides).
+  if (full_seconds > 0.05) {
+    EXPECT_LT(capped_seconds, full_seconds)
+        << "deadlined query took as long as the full query";
+  }
+
+  // Same deadline, partial results allowed: Ok, flagged truncated, and
+  // every returned hit is one the full answer contains.
+  CancelToken token2;
+  token2.SetDeadlineAfter(std::chrono::milliseconds(1));
+  SearchRequest partial = Request(0, 1);
+  partial.cancel = &token2;
+  partial.allow_partial = true;
+  api::StatusOr<SearchResponse> truncated = scheduler.Search("sw", partial);
+  ASSERT_TRUE(truncated.ok()) << truncated.status().ToString();
+  EXPECT_TRUE(truncated->stats.truncated_by_deadline);
+  EXPECT_TRUE(truncated->stats.truncated);
+  for (const AlignmentHit& hit : truncated->hits) {
+    EXPECT_NE(std::find(full->hits.begin(), full->hits.end(), hit),
+              full->hits.end())
+        << "partial result contains a hit the full answer does not";
+  }
+}
+
+// A deadline-truncated partial must never be served from the caches: the
+// identical request issued afterwards without a deadline gets the full
+// answer, not the cached stub.
+TEST_F(ServiceCancelTest, PartialResponsesAreNotCached) {
+  Build(3'000, 700, 170, 2, 40);
+  QueryScheduler scheduler(*corpus_, {.threads = 2,
+                                      .cache_capacity = 64,
+                                      .shard_cache_capacity = 64});
+
+  CancelToken expired;
+  expired.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  SearchRequest partial = Request(0);
+  partial.cancel = &expired;
+  partial.allow_partial = true;
+  api::StatusOr<SearchResponse> stub = scheduler.Search("alae", partial);
+  ASSERT_TRUE(stub.ok()) << stub.status().ToString();
+  EXPECT_TRUE(stub->stats.truncated_by_deadline);
+  EXPECT_TRUE(stub->hits.empty());
+
+  api::StatusOr<SearchResponse> fresh = scheduler.Search("alae", Request(0));
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_FALSE(fresh->stats.truncated_by_deadline);
+
+  QueryScheduler no_cache(*corpus_, {.threads = 2, .cache_capacity = 0});
+  api::StatusOr<SearchResponse> reference =
+      no_cache.Search("alae", Request(0));
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(fresh->hits, reference->hits)
+      << "the cache served the deadline-truncated stub";
+}
+
+// The scheduler-wide default deadline applies when the request carries no
+// token of its own, and a pre-cancelled per-request token still wins.
+TEST_F(ServiceCancelTest, DefaultDeadlineAndPerRequestTokenCompose) {
+  Build(2'000, 600, 140, 2, 30);
+  QueryScheduler scheduler(*corpus_, {.threads = 2,
+                                      .cache_capacity = 0,
+                                      .default_deadline_ms = 60'000});
+  // Generous default: normal answers.
+  api::StatusOr<SearchResponse> ok = scheduler.Search("sw", Request(0));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+
+  CancelToken token;
+  token.Cancel();
+  SearchRequest cancelled = Request(0);
+  cancelled.cancel = &token;
+  api::StatusOr<SearchResponse> refused = scheduler.Search("sw", cancelled);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace alae

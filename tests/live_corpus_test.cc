@@ -361,8 +361,12 @@ TEST_F(LiveCorpusPersistTest, ReloadWithPendingMutationsResumesAnswers) {
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ((*again)->compactions(), 1u);
   EXPECT_EQ(AllBackendAnswers(**again, queries), compacted);
-  // No stale delta files survive the post-compaction save.
-  EXPECT_FALSE(std::filesystem::exists(dir() + "/delta-0.fm"));
+  // No stale delta files survive the post-compaction save (any
+  // generation's: the save sweeps every delta file it does not name).
+  for (const auto& entry : std::filesystem::directory_iterator(dir())) {
+    EXPECT_NE(entry.path().filename().string().rfind("delta-", 0), 0u)
+        << "stale " << entry.path();
+  }
 }
 
 // A v1 directory (plain ShardedCorpus::Save) loads as a single-document
@@ -411,13 +415,27 @@ class LiveManifestHardeningTest : public LiveCorpusPersistTest {
     text_size_ = static_cast<size_t>(live_->text_size());
   }
 
+  // Resolves the (generation-stamped) data file whose name starts with
+  // `prefix` and ends with `ext` — after a successful save exactly the
+  // current generation's files remain, so the match is unique.
+  std::string DataFile(const std::string& prefix, const std::string& ext) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir())) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) == 0 && name.size() >= ext.size() &&
+          name.compare(name.size() - ext.size(), ext.size(), ext) == 0) {
+        return entry.path().string();
+      }
+    }
+    return dir() + "/" + prefix + ext;
+  }
+
   std::unique_ptr<LiveCorpus> live_;
   size_t text_size_ = 0;
 };
 
 TEST_F(LiveManifestHardeningTest, RejectsTruncatedTombstoneJournal) {
   SaveFixture();
-  const std::string journal = dir() + "/tombstones.journal";
+  const std::string journal = DataFile("tombstones", ".journal");
   const auto full = std::filesystem::file_size(journal);
   std::filesystem::resize_file(journal, full - 4);  // torn final entry
   api::StatusOr<std::unique_ptr<LiveCorpus>> live =
@@ -436,7 +454,7 @@ TEST_F(LiveManifestHardeningTest, RejectsOverlappingTombstoneSpans) {
   // Doc 0 spans [0, 450), doc 1 [450, 900).
   ASSERT_TRUE(live_->DeleteDocument(0).ok());
   ASSERT_TRUE(live_->Save(dir()).ok());
-  std::ofstream journal(dir() + "/tombstones.journal",
+  std::ofstream journal(DataFile("tombstones", ".journal"),
                         std::ios::binary | std::ios::trunc);
   PutU64(journal, 0x414C4145544F4D42ULL);  // "ALAETOMB"
   PutU64(journal, 0);
@@ -459,7 +477,7 @@ TEST_F(LiveManifestHardeningTest, RejectsJournalManifestCountMismatch) {
   SaveFixture();
   // Append one extra (well-formed, doc-0) entry: count no longer matches
   // the manifest.
-  std::ofstream journal(dir() + "/tombstones.journal",
+  std::ofstream journal(DataFile("tombstones", ".journal"),
                         std::ios::binary | std::ios::app);
   PutU64(journal, 0);
   PutU64(journal, 0);
@@ -476,15 +494,16 @@ TEST_F(LiveManifestHardeningTest, RejectsJournalManifestCountMismatch) {
 TEST_F(LiveManifestHardeningTest, RejectsDeltaReferencingUnknownDocument) {
   SaveFixture();
   // Corrupt the first delta entry's doc_id in place. Manifest layout up to
-  // the delta table: magic + 7 u64 fields, the text vector (u64 length +
-  // one byte per symbol), 2 bookkeeping u64s, the doc table (num_docs u64 +
-  // 4 u64s per doc), then num_deltas, then the first delta's doc_id.
+  // the delta table: magic + generation + 7 u64 fields, the text vector
+  // (u64 length + one byte per symbol), 2 bookkeeping u64s, the doc table
+  // (num_docs u64 + 4 u64s per doc), then num_deltas, then the first
+  // delta's doc_id.
   const std::string manifest = dir() + "/corpus.manifest";
   std::fstream file(manifest,
                     std::ios::binary | std::ios::in | std::ios::out);
   ASSERT_TRUE(file.is_open());
   const size_t num_docs = 4;
-  const size_t offset = 8 * 8 + (8 + text_size_) + 2 * 8 +
+  const size_t offset = 9 * 8 + (8 + text_size_) + 2 * 8 +
                         (8 + num_docs * 4 * 8) + 8;
   file.seekp(static_cast<std::streamoff>(offset));
   const uint64_t bogus = 0xDEADBEEFULL;
@@ -506,8 +525,8 @@ TEST_F(LiveManifestHardeningTest, RejectsSwappedDeltaIndexFile) {
   SaveFixture();
   // Swapping the two delta index files must trip the content probe even
   // though both are valid FM-index payloads.
-  const std::string a = dir() + "/delta-0.fm";
-  const std::string b = dir() + "/delta-1.fm";
+  const std::string a = DataFile("delta-0.", ".fm");
+  const std::string b = DataFile("delta-1.", ".fm");
   std::filesystem::rename(a, a + ".swap");
   std::filesystem::rename(b, a);
   std::filesystem::rename(a + ".swap", b);
