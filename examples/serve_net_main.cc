@@ -1,0 +1,174 @@
+// TCP serving driver: the socket front-end over a sharded corpus.
+//
+// Builds (or loads) a corpus, starts the NetServer, prints the bound
+// address, and serves the framed wire protocol of docs/PROTOCOL.md until
+// stdin reaches EOF or the process receives SIGINT/SIGTERM. Pair it with
+// any client linking src/net/client.h — bench_net is the reference driver.
+//
+//   # serve a random 2 Mb DNA corpus on an ephemeral port
+//   serve_net_main --random-text=2000000
+//
+//   # serve a previously saved corpus on a fixed port, poll() event loop
+//   serve_net_main --corpus=/tmp/corpus --port=7411 --force-poll=1
+//
+// Exits non-zero on any setup failure.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <cerrno>
+#include <unistd.h>
+
+#include "src/net/server.h"
+#include "src/service/service.h"
+#include "src/sim/generator.h"
+
+namespace {
+
+using namespace alae;  // NOLINT: example brevity
+
+struct Flags {
+  std::string corpus;      // saved corpus directory (optional)
+  std::string host = "127.0.0.1";
+  int port = 0;            // 0 = ephemeral, printed after bind
+  int64_t random_text = 0; // build a random corpus of this many chars
+  int64_t shard_size = 1 << 20;
+  int64_t overlap = 4096;
+  int threads = 0;         // scheduler pool; 0 = hardware concurrency
+  int workers = 2;         // net admission workers
+  uint64_t seed = 42;
+  bool force_poll = false;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value_of = [&](const char* name, std::string* out) {
+        const std::string prefix = std::string("--") + name + "=";
+        if (arg.rfind(prefix, 0) != 0) return false;
+        *out = arg.substr(prefix.size());
+        return true;
+      };
+      std::string value;
+      if (value_of("corpus", &f.corpus) || value_of("host", &f.host)) {
+        continue;
+      } else if (value_of("port", &value)) {
+        f.port = std::atoi(value.c_str());
+      } else if (value_of("random-text", &value)) {
+        f.random_text = std::atoll(value.c_str());
+      } else if (value_of("shard-size", &value)) {
+        f.shard_size = std::atoll(value.c_str());
+      } else if (value_of("overlap", &value)) {
+        f.overlap = std::atoll(value.c_str());
+      } else if (value_of("threads", &value)) {
+        f.threads = std::atoi(value.c_str());
+      } else if (value_of("workers", &value)) {
+        f.workers = std::atoi(value.c_str());
+      } else if (value_of("seed", &value)) {
+        f.seed = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (value_of("force-poll", &value)) {
+        f.force_poll = value != "0";
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return f;
+  }
+};
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+
+  std::unique_ptr<service::ShardedCorpus> corpus;
+  if (!flags.corpus.empty() && flags.random_text == 0) {
+    auto loaded = service::ShardedCorpus::Load(flags.corpus);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", flags.corpus.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(loaded).value();
+  } else {
+    const int64_t n = flags.random_text > 0 ? flags.random_text : 1 << 20;
+    std::fprintf(stderr, "building random %lld-char DNA corpus...\n",
+                 static_cast<long long>(n));
+    Sequence text =
+        SequenceGenerator(flags.seed).Random(n, Alphabet::Dna());
+    service::ShardedCorpusOptions options;
+    options.shard_size = flags.shard_size;
+    options.overlap = flags.overlap;
+    auto built = service::ShardedCorpus::Build(std::move(text), options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(built).value();
+    if (!flags.corpus.empty()) {
+      if (api::Status saved = corpus->Save(flags.corpus); !saved.ok()) {
+        std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "saved corpus to %s\n", flags.corpus.c_str());
+    }
+  }
+
+  service::SchedulerOptions sched_options;
+  sched_options.threads = flags.threads;
+  service::QueryScheduler scheduler(*corpus, sched_options);
+
+  net::NetServerOptions net_options;
+  net_options.host = flags.host;
+  net_options.port = flags.port;
+  net_options.workers = static_cast<size_t>(flags.workers);
+  net_options.force_poll = flags.force_poll;
+  net::NetServer server(&scheduler, net_options);
+  if (api::Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu shards (%lld chars) on %s:%d\n",
+              corpus->num_shards(),
+              static_cast<long long>(corpus->text_size()), flags.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  // sigaction without SA_RESTART: the park below must be *interrupted* by
+  // SIGINT/SIGTERM — std::signal's glibc semantics restart the blocking
+  // read, which would leave the handler's g_stop unobserved forever.
+  struct sigaction sa {};
+  sa.sa_handler = OnSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  // Park until stdin closes or a signal lands; the event loop and workers
+  // do all the serving.
+  char buf[256];
+  while (!g_stop) {
+    ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+    if (n == 0) break;                   // stdin EOF
+    if (n < 0 && errno != EINTR) break;  // EINTR re-checks g_stop
+  }
+
+  std::fprintf(stderr,
+               "shutting down: %llu conns, %llu requests (%llu cancelled, "
+               "%llu protocol errors)\n",
+               static_cast<unsigned long long>(server.connections_accepted()),
+               static_cast<unsigned long long>(server.requests_completed()),
+               static_cast<unsigned long long>(server.requests_cancelled()),
+               static_cast<unsigned long long>(server.protocol_errors()));
+  server.Stop();
+  scheduler.Shutdown();
+  return 0;
+}

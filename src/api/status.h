@@ -12,6 +12,14 @@ namespace api {
 
 // Error vocabulary of the public API. The facade never throws and never
 // silently misbehaves on bad input: every entry point reports one of these.
+//
+// Retryability contract (what the service and wire layers rely on): only
+// kResourceExhausted means "same request, try again shortly" — it reports
+// transient load shedding, not a property of the request. kDeadlineExceeded
+// and kCancelled may accompany *partial* results when the request opted in
+// via allow_partial (the response is then kOk with a truncation flag
+// instead). Everything else is deterministic for the same request against
+// the same corpus epoch; retrying unchanged will fail identically.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,     // the request itself is malformed

@@ -1,0 +1,161 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace alae {
+namespace net {
+
+NetClient::~NetClient() { Close(); }
+
+api::Status NetClient::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) return api::Status::FailedPrecondition("already connected");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return api::Status::Internal(std::string("socket: ") + ::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return api::Status::InvalidArgument("bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    api::Status status = api::Status::Internal(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        ::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return api::Status::Ok();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  reader_.Reset();
+  partial_.clear();
+  done_.clear();
+}
+
+api::Status NetClient::WriteAll(const std::string& bytes) {
+  if (fd_ < 0) return api::Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return api::Status::Internal(std::string("send: ") + ::strerror(errno));
+  }
+  return api::Status::Ok();
+}
+
+api::Status NetClient::Send(const WireRequest& request) {
+  std::string bytes;
+  AppendRequestFrame(request, &bytes);
+  return WriteAll(bytes);
+}
+
+api::Status NetClient::SendCancel(uint32_t request_id) {
+  std::string bytes;
+  AppendCancelFrame(request_id, &bytes);
+  return WriteAll(bytes);
+}
+
+api::Status NetClient::ReadMore() {
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<size_t>(n));
+      return api::Status::Ok();
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      return api::Status::Internal("server closed the connection");
+    }
+    return api::Status::Internal(std::string("recv: ") + ::strerror(errno));
+  }
+}
+
+api::StatusOr<NetClient::Response> NetClient::Await(uint32_t request_id) {
+  if (fd_ < 0) return api::Status::FailedPrecondition("not connected");
+  while (true) {
+    if (auto it = done_.find(request_id); it != done_.end()) {
+      Response response = std::move(it->second);
+      done_.erase(it);
+      return response;
+    }
+    Frame frame;
+    api::Status error;
+    switch (reader_.Next(&frame, &error)) {
+      case FrameReader::Result::kError:
+        return error;
+      case FrameReader::Result::kNeedMore:
+        if (api::Status status = ReadMore(); !status.ok()) return status;
+        continue;
+      case FrameReader::Result::kFrame:
+        break;
+    }
+    const uint32_t id = frame.header.request_id;
+    switch (frame.header.type) {
+      case kFrameHits: {
+        std::vector<AlignmentHit> hits;
+        if (api::Status status = DecodeHitsPayload(frame.payload, &hits);
+            !status.ok()) {
+          return status;
+        }
+        std::vector<AlignmentHit>& sink = partial_[id].hits;
+        sink.insert(sink.end(), hits.begin(), hits.end());
+        break;
+      }
+      case kFrameStatus: {
+        Response response = std::move(partial_[id]);
+        partial_.erase(id);
+        if (api::Status status =
+                DecodeStatusPayload(frame.payload, &response.status);
+            !status.ok()) {
+          return status;
+        }
+        // A protocol-error status is connection-scoped: the server sends
+        // it with request_id 0 and closes. Surface it to whoever is
+        // waiting rather than filing it under a never-awaited id.
+        if (response.status.code == WireCode::kProtocolError &&
+            id != request_id) {
+          return api::Status::InvalidArgument(
+              "server reported a protocol error: " + response.status.message);
+        }
+        done_.emplace(id, std::move(response));
+        break;
+      }
+      default:
+        return api::Status::InvalidArgument(
+            "unexpected client-bound frame type");
+    }
+  }
+}
+
+api::StatusOr<NetClient::Response> NetClient::Call(const WireRequest& request) {
+  if (api::Status status = Send(request); !status.ok()) return status;
+  return Await(request.request_id);
+}
+
+}  // namespace net
+}  // namespace alae

@@ -1,0 +1,78 @@
+#ifndef ALAE_NET_CLIENT_H_
+#define ALAE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/align/result.h"
+#include "src/api/status.h"
+#include "src/net/protocol.h"
+
+namespace alae {
+namespace net {
+
+// Blocking client for the ALAE wire protocol — the driver the tests, the
+// example binary, and bench_net use. One instance owns one TCP connection
+// and must be used from one thread at a time; pipelining comes from
+// issuing several Send() calls before the matching Await() calls, not
+// from sharing the client across threads (run one client per thread for
+// concurrent load).
+//
+// Responses are demultiplexed by request_id: Await(id) reads frames until
+// id's STATUS arrives, filing away interleaved frames of *other*
+// in-flight requests for their own Await calls.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  api::Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // The raw socket, for tests that need to wound the connection
+  // (::shutdown mid-stream) to exercise server-side disconnect handling.
+  int fd() const { return fd_; }
+
+  // Writes one REQUEST frame. Returns once the frame is fully handed to
+  // the kernel; the response is collected by Await(request.request_id).
+  api::Status Send(const WireRequest& request);
+
+  // Writes one CANCEL frame for an in-flight request id.
+  api::Status SendCancel(uint32_t request_id);
+
+  // One complete response: the streamed hits (global sorted order) plus
+  // the terminal status. `status.code` carries the request's outcome —
+  // transport-level failures surface through the StatusOr instead.
+  struct Response {
+    std::vector<AlignmentHit> hits;
+    WireStatus status;
+  };
+
+  // Blocks until request_id's STATUS frame arrives. Fails with kInternal
+  // if the connection drops first, and with the decoded error if the
+  // server's byte stream violates the protocol.
+  api::StatusOr<Response> Await(uint32_t request_id);
+
+  // Send + Await in one call — the non-pipelined convenience path.
+  api::StatusOr<Response> Call(const WireRequest& request);
+
+ private:
+  api::Status WriteAll(const std::string& bytes);
+  api::Status ReadMore();  // one blocking recv into reader_
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::unordered_map<uint32_t, Response> partial_;  // hits before STATUS
+  std::unordered_map<uint32_t, Response> done_;     // STATUS seen
+};
+
+}  // namespace net
+}  // namespace alae
+
+#endif  // ALAE_NET_CLIENT_H_

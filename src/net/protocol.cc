@@ -1,0 +1,390 @@
+#include "src/net/protocol.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace alae {
+namespace net {
+namespace {
+
+// All integers on the wire are little-endian. These helpers are endian-
+// correct on any host (byte-by-byte), and the compilers reduce them to
+// plain loads/stores on little-endian targets.
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>(v >> 8));
+}
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+void PutI32(int32_t v, std::string* out) { PutU32(static_cast<uint32_t>(v), out); }
+void PutI64(int64_t v, std::string* out) { PutU64(static_cast<uint64_t>(v), out); }
+
+// Bounds-checked little-endian cursor over a payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (pos_ + 2 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v |= static_cast<uint16_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool I32(int32_t* v) {
+    uint32_t u;
+    if (!U32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool Bytes(size_t n, std::string* v) {
+    if (pos_ + n > bytes_.size()) return false;
+    v->assign(bytes_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+api::Status Malformed(const char* what) {
+  return api::Status::InvalidArgument(std::string("malformed frame: ") + what);
+}
+
+void AppendHeader(uint8_t type, uint32_t request_id, uint32_t payload_len,
+                  std::string* out) {
+  assert(payload_len <= kMaxPayload && "encoder produced an oversized frame");
+  PutU32(payload_len, out);
+  PutU8(kProtocolVersion, out);
+  PutU8(type, out);
+  PutU16(0, out);  // flags, reserved in v1
+  PutU32(request_id, out);
+}
+
+}  // namespace
+
+bool IsRetryable(WireCode code) {
+  return code == WireCode::kResourceExhausted;
+}
+
+WireCode WireCodeFor(api::StatusCode code) {
+  switch (code) {
+    case api::StatusCode::kOk:
+      return WireCode::kOk;
+    case api::StatusCode::kInvalidArgument:
+      return WireCode::kInvalidArgument;
+    case api::StatusCode::kNotFound:
+      return WireCode::kNotFound;
+    case api::StatusCode::kFailedPrecondition:
+      return WireCode::kFailedPrecondition;
+    case api::StatusCode::kInternal:
+      return WireCode::kInternal;
+    case api::StatusCode::kResourceExhausted:
+      return WireCode::kResourceExhausted;
+    case api::StatusCode::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    case api::StatusCode::kCancelled:
+      return WireCode::kCancelled;
+  }
+  return WireCode::kInternal;
+}
+
+api::StatusCode ApiCodeFor(WireCode code) {
+  switch (code) {
+    case WireCode::kOk:
+      return api::StatusCode::kOk;
+    case WireCode::kInvalidArgument:
+      return api::StatusCode::kInvalidArgument;
+    case WireCode::kNotFound:
+      return api::StatusCode::kNotFound;
+    case WireCode::kFailedPrecondition:
+      return api::StatusCode::kFailedPrecondition;
+    case WireCode::kInternal:
+      return api::StatusCode::kInternal;
+    case WireCode::kResourceExhausted:
+      return api::StatusCode::kResourceExhausted;
+    case WireCode::kDeadlineExceeded:
+      return api::StatusCode::kDeadlineExceeded;
+    case WireCode::kCancelled:
+      return api::StatusCode::kCancelled;
+    case WireCode::kProtocolError:
+      // A framing violation is an internal-contract failure from the
+      // caller's point of view: the conversation itself broke.
+      return api::StatusCode::kInternal;
+  }
+  return api::StatusCode::kInternal;
+}
+
+std::string_view WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOk:
+      return "OK";
+    case WireCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case WireCode::kNotFound:
+      return "NOT_FOUND";
+    case WireCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case WireCode::kInternal:
+      return "INTERNAL";
+    case WireCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case WireCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case WireCode::kCancelled:
+      return "CANCELLED";
+    case WireCode::kProtocolError:
+      return "PROTOCOL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void AppendRequestFrame(const WireRequest& request, std::string* out) {
+  assert(!request.backend.empty() && request.backend.size() <= kMaxBackendLen);
+  assert(request.query.size() <= kMaxQueryLen);
+  std::string payload;
+  PutU8(static_cast<uint8_t>(request.backend.size()), &payload);
+  payload.append(request.backend);
+  PutU8(request.alphabet, &payload);
+  PutU8(request.allow_partial ? kRequestFlagAllowPartial : 0, &payload);
+  PutU8(0, &payload);  // reserved
+  PutI32(request.scheme.sa, &payload);
+  PutI32(request.scheme.sb, &payload);
+  PutI32(request.scheme.sg, &payload);
+  PutI32(request.scheme.ss, &payload);
+  PutI32(request.threshold, &payload);
+  PutU64(request.max_hits, &payload);
+  PutU32(request.deadline_ms, &payload);
+  PutU32(static_cast<uint32_t>(request.query.size()), &payload);
+  payload.append(request.query);
+  AppendHeader(kFrameRequest, request.request_id,
+               static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+void AppendCancelFrame(uint32_t request_id, std::string* out) {
+  AppendHeader(kFrameCancel, request_id, 0, out);
+}
+
+void AppendHitsFrame(uint32_t request_id, const AlignmentHit* hits,
+                     size_t count, std::string* out) {
+  assert(count <= kMaxHitsPerFrame);
+  std::string payload;
+  payload.reserve(4 + count * kWireHitSize);
+  PutU32(static_cast<uint32_t>(count), &payload);
+  for (size_t i = 0; i < count; ++i) {
+    PutI64(hits[i].text_end, &payload);
+    PutI64(hits[i].query_end, &payload);
+    PutI64(hits[i].text_start, &payload);
+    PutI32(hits[i].score, &payload);
+  }
+  AppendHeader(kFrameHits, request_id, static_cast<uint32_t>(payload.size()),
+               out);
+  out->append(payload);
+}
+
+void AppendStatusFrame(uint32_t request_id, const WireStatus& status,
+                       std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(status.code), &payload);
+  PutU8(status.retryable ? kStatusFlagRetryable : 0, &payload);
+  PutU16(0, &payload);  // reserved
+  PutU64(status.stats.hits, &payload);
+  PutU64(status.stats.engine_micros, &payload);
+  uint32_t stat_flags = 0;
+  if (status.stats.truncated) stat_flags |= kStatFlagTruncated;
+  if (status.stats.truncated_by_deadline) {
+    stat_flags |= kStatFlagTruncatedByDeadline;
+  }
+  PutU32(stat_flags, &payload);
+  // The message rides last so the stats block sits at a fixed offset.
+  std::string message = status.message;
+  if (message.size() > kMaxPayload / 2) message.resize(kMaxPayload / 2);
+  PutU32(static_cast<uint32_t>(message.size()), &payload);
+  payload.append(message);
+  AppendHeader(kFrameStatus, request_id, static_cast<uint32_t>(payload.size()),
+               out);
+  out->append(payload);
+}
+
+api::Status DecodeRequestPayload(std::string_view payload, WireRequest* out) {
+  Cursor c(payload);
+  uint8_t backend_len = 0;
+  if (!c.U8(&backend_len)) return Malformed("request truncated at backend_len");
+  if (backend_len == 0 || backend_len > kMaxBackendLen) {
+    return Malformed("backend name length out of range");
+  }
+  if (!c.Bytes(backend_len, &out->backend)) {
+    return Malformed("request truncated inside backend name");
+  }
+  uint8_t options = 0, reserved = 0;
+  if (!c.U8(&out->alphabet) || !c.U8(&options) || !c.U8(&reserved)) {
+    return Malformed("request truncated in option bytes");
+  }
+  if (out->alphabet != kAlphabetDna && out->alphabet != kAlphabetProtein) {
+    return Malformed("unknown alphabet code");
+  }
+  out->allow_partial = (options & kRequestFlagAllowPartial) != 0;
+  if (!c.I32(&out->scheme.sa) || !c.I32(&out->scheme.sb) ||
+      !c.I32(&out->scheme.sg) || !c.I32(&out->scheme.ss) ||
+      !c.I32(&out->threshold) || !c.U64(&out->max_hits) ||
+      !c.U32(&out->deadline_ms)) {
+    return Malformed("request truncated in scoring block");
+  }
+  uint32_t query_len = 0;
+  if (!c.U32(&query_len)) return Malformed("request truncated at query_len");
+  if (query_len == 0 || query_len > kMaxQueryLen) {
+    return Malformed("query length out of range");
+  }
+  if (!c.Bytes(query_len, &out->query)) {
+    return Malformed("request truncated inside query");
+  }
+  if (!c.exhausted()) return Malformed("trailing bytes after request");
+  return api::Status::Ok();
+}
+
+api::Status DecodeHitsPayload(std::string_view payload,
+                              std::vector<AlignmentHit>* out) {
+  Cursor c(payload);
+  uint32_t count = 0;
+  if (!c.U32(&count)) return Malformed("hits frame truncated at count");
+  if (count > kMaxHitsPerFrame) return Malformed("hit count out of range");
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AlignmentHit hit;
+    if (!c.I64(&hit.text_end) || !c.I64(&hit.query_end) ||
+        !c.I64(&hit.text_start) || !c.I32(&hit.score)) {
+      return Malformed("hits frame truncated inside hit records");
+    }
+    out->push_back(hit);
+  }
+  if (!c.exhausted()) return Malformed("trailing bytes after hits");
+  return api::Status::Ok();
+}
+
+api::Status DecodeStatusPayload(std::string_view payload, WireStatus* out) {
+  Cursor c(payload);
+  uint8_t code = 0, sflags = 0;
+  uint16_t reserved = 0;
+  if (!c.U8(&code) || !c.U8(&sflags) || !c.U16(&reserved)) {
+    return Malformed("status frame truncated in code block");
+  }
+  if (code > static_cast<uint8_t>(WireCode::kProtocolError)) {
+    return Malformed("unknown status code");
+  }
+  out->code = static_cast<WireCode>(code);
+  out->retryable = (sflags & kStatusFlagRetryable) != 0;
+  uint32_t stat_flags = 0;
+  if (!c.U64(&out->stats.hits) || !c.U64(&out->stats.engine_micros) ||
+      !c.U32(&stat_flags)) {
+    return Malformed("status frame truncated in stats block");
+  }
+  out->stats.truncated = (stat_flags & kStatFlagTruncated) != 0;
+  out->stats.truncated_by_deadline =
+      (stat_flags & kStatFlagTruncatedByDeadline) != 0;
+  uint32_t message_len = 0;
+  if (!c.U32(&message_len)) return Malformed("status truncated at message_len");
+  if (message_len > kMaxPayload) return Malformed("message length out of range");
+  if (!c.Bytes(message_len, &out->message)) {
+    return Malformed("status truncated inside message");
+  }
+  if (!c.exhausted()) return Malformed("trailing bytes after status");
+  return api::Status::Ok();
+}
+
+FrameReader::Result FrameReader::Next(Frame* out, api::Status* error) {
+  if (poisoned_) {
+    *error = poison_status_;
+    return Result::kError;
+  }
+  // Compact once the consumed prefix dominates the buffer, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderSize) return Result::kNeedMore;
+  Cursor c(std::string_view(buffer_).substr(consumed_, kHeaderSize));
+  FrameHeader header;
+  c.U32(&header.payload_len);
+  c.U8(&header.version);
+  c.U8(&header.type);
+  c.U16(&header.flags);
+  c.U32(&header.request_id);
+  // Header validation before the payload is waited for: an oversized
+  // payload_len or unknown version/type can never become a valid frame, so
+  // the reader reports the error immediately and latches it.
+  if (header.version != kProtocolVersion) {
+    poisoned_ = true;
+    poison_status_ = Malformed("unsupported protocol version");
+  } else if (header.payload_len > max_payload_) {
+    poisoned_ = true;
+    poison_status_ = Malformed("payload length exceeds limit");
+  } else if (header.type != kFrameRequest && header.type != kFrameCancel &&
+             header.type != kFrameHits && header.type != kFrameStatus) {
+    poisoned_ = true;
+    poison_status_ = Malformed("unknown frame type");
+  }
+  if (poisoned_) {
+    *error = poison_status_;
+    return Result::kError;
+  }
+  if (available < kHeaderSize + header.payload_len) return Result::kNeedMore;
+  out->header = header;
+  out->payload.assign(buffer_, consumed_ + kHeaderSize, header.payload_len);
+  consumed_ += kHeaderSize + header.payload_len;
+  return Result::kFrame;
+}
+
+}  // namespace net
+}  // namespace alae

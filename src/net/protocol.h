@@ -1,0 +1,217 @@
+#ifndef ALAE_NET_PROTOCOL_H_
+#define ALAE_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/align/result.h"
+#include "src/align/scoring.h"
+#include "src/api/status.h"
+
+namespace alae {
+namespace net {
+
+// The ALAE wire protocol, version 1 — the framed, length-prefixed byte
+// format the socket front-end speaks. docs/PROTOCOL.md is the normative
+// spec (and its worked byte example is round-tripped through this codec in
+// CI); this header is the single implementation both the server and the
+// client link.
+//
+// Shape: every message is one frame = a fixed 12-byte little-endian header
+// followed by `payload_len` payload bytes. A client sends REQUEST and
+// CANCEL frames; the server answers each request with zero or more HITS
+// frames followed by exactly one STATUS frame. Responses are multiplexed:
+// frames carry the originating request_id, and frames of different
+// in-flight requests may interleave on one connection (per-request frame
+// order is preserved).
+//
+// The codec itself is transport-free — pure byte-buffer encode/decode plus
+// an incremental FrameReader — so tests can fuzz it without sockets.
+
+// ---------------------------------------------------------------------------
+// Frame layout constants.
+// ---------------------------------------------------------------------------
+
+inline constexpr size_t kHeaderSize = 12;
+inline constexpr uint8_t kProtocolVersion = 1;
+
+// Hard upper bound on payload_len. A header announcing more than this is a
+// protocol error (the connection is poisoned — the decoder cannot resync),
+// which also bounds the memory a malicious or corrupt peer can make the
+// reader stage.
+inline constexpr uint32_t kMaxPayload = 1u << 20;
+
+inline constexpr size_t kMaxBackendLen = 32;
+// Query residues must fit one request frame alongside the fixed fields.
+inline constexpr uint32_t kMaxQueryLen = kMaxPayload - 128;
+
+// Wire size of one hit inside a HITS frame (4 little-endian fields).
+inline constexpr size_t kWireHitSize = 8 + 8 + 8 + 4;
+// count field + hits must fit kMaxPayload.
+inline constexpr size_t kMaxHitsPerFrame = (kMaxPayload - 4) / kWireHitSize;
+
+enum FrameType : uint8_t {
+  kFrameRequest = 0x01,  // client -> server: one search request
+  kFrameCancel = 0x02,   // client -> server: cancel an in-flight request_id
+  kFrameHits = 0x81,     // server -> client: a batch of streamed hits
+  kFrameStatus = 0x82,   // server -> client: terminal status (+stats)
+};
+
+// Wire status codes. RESOURCE_EXHAUSTED is the one *retryable* code — the
+// service shed the request under load and a retry with backoff can
+// genuinely succeed; every other code is terminal for the request (and
+// PROTOCOL_ERROR is terminal for the connection: the server closes after
+// sending it, since a framing violation leaves no safe resync point).
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kInternal = 4,
+  kResourceExhausted = 5,  // retryable
+  kDeadlineExceeded = 6,
+  kCancelled = 7,
+  kProtocolError = 8,  // connection-fatal
+};
+
+bool IsRetryable(WireCode code);
+WireCode WireCodeFor(api::StatusCode code);
+api::StatusCode ApiCodeFor(WireCode code);
+std::string_view WireCodeName(WireCode code);
+
+// STATUS frame flag bits (the `sflags` byte).
+inline constexpr uint8_t kStatusFlagRetryable = 0x01;
+
+// STATUS stats-block flag bits.
+inline constexpr uint32_t kStatFlagTruncated = 0x01;
+inline constexpr uint32_t kStatFlagTruncatedByDeadline = 0x02;
+
+// Request alphabet codes.
+inline constexpr uint8_t kAlphabetDna = 0;
+inline constexpr uint8_t kAlphabetProtein = 1;
+
+// Request option bits.
+inline constexpr uint8_t kRequestFlagAllowPartial = 0x01;
+
+// ---------------------------------------------------------------------------
+// Decoded message structs.
+// ---------------------------------------------------------------------------
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  uint8_t version = kProtocolVersion;
+  uint8_t type = 0;
+  uint16_t flags = 0;  // reserved, 0 in v1 (receivers ignore unknown bits)
+  uint32_t request_id = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+// One search request as it travels the wire. The query is ASCII residues
+// (the server encodes them against its corpus alphabet; unknown residues
+// mask to code 0, exactly like Sequence::FromString).
+struct WireRequest {
+  uint32_t request_id = 0;
+  std::string backend;
+  uint8_t alphabet = kAlphabetDna;
+  bool allow_partial = false;
+  ScoringScheme scheme;
+  int32_t threshold = 0;
+  uint64_t max_hits = 0;
+  uint32_t deadline_ms = 0;  // 0 = no per-request deadline
+  std::string query;
+};
+
+// The fixed stats block of a STATUS frame (zeroed on error responses).
+struct WireStats {
+  uint64_t hits = 0;           // hits streamed for this request
+  uint64_t engine_micros = 0;  // server-side engine wall time
+  bool truncated = false;
+  bool truncated_by_deadline = false;
+};
+
+struct WireStatus {
+  WireCode code = WireCode::kOk;
+  bool retryable = false;
+  WireStats stats;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding. Each Append* writes one complete frame (header + payload) to
+// `out`. Inputs are trusted here — the server/client construct them — but
+// size limits are asserted so an encoder bug cannot emit an undecodable
+// frame.
+// ---------------------------------------------------------------------------
+
+void AppendRequestFrame(const WireRequest& request, std::string* out);
+void AppendCancelFrame(uint32_t request_id, std::string* out);
+// `count` <= kMaxHitsPerFrame; callers chunk larger streams.
+void AppendHitsFrame(uint32_t request_id, const AlignmentHit* hits,
+                     size_t count, std::string* out);
+void AppendStatusFrame(uint32_t request_id, const WireStatus& status,
+                       std::string* out);
+
+// ---------------------------------------------------------------------------
+// Decoding. Payload decoders validate every length and bound and return
+// kInvalidArgument on malformed input — never crash, never over-read.
+// The header's request_id is the caller's to carry.
+// ---------------------------------------------------------------------------
+
+api::Status DecodeRequestPayload(std::string_view payload, WireRequest* out);
+api::Status DecodeHitsPayload(std::string_view payload,
+                              std::vector<AlignmentHit>* out);
+api::Status DecodeStatusPayload(std::string_view payload, WireStatus* out);
+
+// Incremental frame decoder: feed arbitrary byte chunks (however the
+// transport fragments them — one byte at a time is fine), pop complete
+// frames. A malformed header (bad version, unknown type, oversized
+// payload_len) latches a permanent error: framing has no resync point, so
+// the connection must be torn down.
+class FrameReader {
+ public:
+  explicit FrameReader(uint32_t max_payload = kMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(const char* data, size_t n) { buffer_.append(data, n); }
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  enum class Result {
+    kFrame,     // *out holds the next complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // framing violation; *error explains; reader is poisoned
+  };
+
+  Result Next(Frame* out, api::Status* error);
+
+  // Bytes buffered but not yet consumed (for tests and slow-loris
+  // accounting).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+  // Drops buffered bytes and clears any poison — for reusing one reader
+  // across connections (the client does on reconnect).
+  void Reset() {
+    buffer_.clear();
+    consumed_ = 0;
+    poisoned_ = false;
+    poison_status_ = api::Status::Ok();
+  }
+
+ private:
+  const uint32_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool poisoned_ = false;
+  api::Status poison_status_;
+};
+
+}  // namespace net
+}  // namespace alae
+
+#endif  // ALAE_NET_PROTOCOL_H_

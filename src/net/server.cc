@@ -1,0 +1,701 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "src/io/sequence.h"
+
+namespace alae {
+namespace net {
+namespace {
+
+api::Status ErrnoStatus(const std::string& what) {
+  return api::Status::Internal(what + ": " + ::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Readiness poller behind the event loop: epoll on Linux, portable poll()
+// elsewhere or when NetServerOptions::force_poll asks for it. Both
+// backends are level-triggered — the loop re-arms write interest only
+// while output is buffered, so level semantics cannot spin.
+class Poller {
+ public:
+  struct Event {
+    int fd;
+    bool readable;
+    bool writable;
+    bool hangup;
+  };
+
+  virtual ~Poller() = default;
+  virtual bool Add(int fd, bool want_write) = 0;
+  virtual void Update(int fd, bool want_write) = 0;
+  virtual void Remove(int fd) = 0;
+  virtual void Wait(std::vector<Event>* out) = 0;
+};
+
+class PollPoller : public Poller {
+ public:
+  bool Add(int fd, bool want_write) override {
+    interest_[fd] = want_write;
+    return true;
+  }
+  void Update(int fd, bool want_write) override { interest_[fd] = want_write; }
+  void Remove(int fd) override { interest_.erase(fd); }
+
+  void Wait(std::vector<Event>* out) override {
+    out->clear();
+    fds_.clear();
+    for (const auto& [fd, want_write] : interest_) {
+      struct pollfd p;
+      p.fd = fd;
+      p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+      p.revents = 0;
+      fds_.push_back(p);
+    }
+    const int n = ::poll(fds_.data(), fds_.size(), /*timeout_ms=*/1000);
+    if (n <= 0) return;  // timeout or EINTR: the loop re-checks stopping_
+    for (const struct pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      out->push_back(Event{p.fd, (p.revents & POLLIN) != 0,
+                           (p.revents & POLLOUT) != 0,
+                           (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0});
+    }
+  }
+
+ private:
+  // Ordered map: deterministic scan order makes poll-backend test runs
+  // reproducible.
+  std::map<int, bool> interest_;
+  std::vector<struct pollfd> fds_;
+};
+
+#ifdef __linux__
+class EpollPoller : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool ok() const { return epfd_ >= 0; }
+
+  bool Add(int fd, bool want_write) override {
+    struct epoll_event ev;
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+  void Update(int fd, bool want_write) override {
+    struct epoll_event ev;
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+  void Remove(int fd) override {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  void Wait(std::vector<Event>* out) override {
+    out->clear();
+    struct epoll_event evs[64];
+    const int n = ::epoll_wait(epfd_, evs, 64, /*timeout_ms=*/1000);
+    for (int i = 0; i < n; ++i) {
+      out->push_back(Event{evs[i].data.fd, (evs[i].events & EPOLLIN) != 0,
+                           (evs[i].events & EPOLLOUT) != 0,
+                           (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0});
+    }
+  }
+
+ private:
+  int epfd_;
+};
+#endif  // __linux__
+
+std::unique_ptr<Poller> MakePoller(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) {
+    auto epoll = std::make_unique<EpollPoller>();
+    if (epoll->ok()) return epoll;
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+uint8_t WireAlphabetCode(AlphabetKind kind) {
+  return kind == AlphabetKind::kProtein ? kAlphabetProtein : kAlphabetDna;
+}
+
+}  // namespace
+
+NetServer::NetServer(service::QueryScheduler* scheduler,
+                     NetServerOptions options)
+    : scheduler_(scheduler), options_(std::move(options)) {}
+
+NetServer::~NetServer() { Stop(); }
+
+api::Status NetServer::Start() {
+  if (started_) return api::Status::FailedPrecondition("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return api::Status::InvalidArgument("bad bind address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0 ||
+      !SetNonBlocking(listen_fd_)) {
+    api::Status status = ErrnoStatus("bind/listen " + options_.host + ":" +
+                                     std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  if (::pipe(wake_pipe_) != 0) {
+    api::Status status = ErrnoStatus("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  stopping_.store(false);
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  const size_t workers = std::max<size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  started_ = true;
+  return api::Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true);
+  Wake();
+  // The event loop exits its next iteration, cancelling every in-flight
+  // token and closing every socket on the way out — which also unblocks
+  // workers stuck inside SearchStream.
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    admit_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) ::close(wake_pipe_[i]);
+    wake_pipe_[i] = -1;
+  }
+  port_ = 0;
+}
+
+void NetServer::Wake() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void NetServer::RingPush(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    if (conn->in_ring) return;
+    conn->in_ring = true;
+    ring_.push_back(conn);
+  }
+  admit_cv_.notify_one();
+}
+
+void NetServer::KillConnection(const std::shared_ptr<Connection>& conn,
+                               bool count_disconnect) {
+  std::vector<std::shared_ptr<CancelToken>> tokens;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+    conn->pending.clear();  // never-dispatched requests die with the peer
+    for (auto& [id, token] : conn->inflight) tokens.push_back(token);
+    conn->out.clear();
+    conn->out_offset = 0;
+  }
+  // Fire outside the lock: workers' sinks take conn->mu.
+  for (const std::shared_ptr<CancelToken>& token : tokens) token->Cancel();
+  if (count_disconnect && !tokens.empty()) {
+    disconnect_cancels_.fetch_add(tokens.size());
+  }
+}
+
+void NetServer::EnqueueOutput(const std::shared_ptr<Connection>& conn,
+                              std::string bytes) {
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) return;
+    if (conn->out.size() - conn->out_offset + bytes.size() >
+        options_.max_output_buffer) {
+      overflow = true;
+    } else {
+      conn->out.append(bytes);
+    }
+  }
+  if (overflow) {
+    // The peer stopped reading: declare it gone rather than buffer without
+    // bound. In-flight queries observe the cancel and wind down.
+    KillConnection(conn, /*count_disconnect=*/true);
+  }
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.push_back(conn);
+  }
+  Wake();
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+// ---------------------------------------------------------------------------
+
+NetServer::FlushResult NetServer::FlushOutput(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return FlushResult::kBlocked;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return FlushResult::kDead;
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+  return FlushResult::kDrained;
+}
+
+void NetServer::EventLoop() {
+  std::unique_ptr<Poller> poller = MakePoller(options_.force_poll);
+  poller->Add(listen_fd_, false);
+  poller->Add(wake_pipe_[0], false);
+
+  std::vector<Poller::Event> events;
+  std::vector<char> buf(64 * 1024);
+
+  auto close_connection = [&](const std::shared_ptr<Connection>& conn,
+                              bool count_disconnect) {
+    KillConnection(conn, count_disconnect);
+    poller->Remove(conn->fd);
+    ::close(conn->fd);
+    connections_.erase(conn->fd);
+  };
+
+  while (!stopping_.load()) {
+    // Worker-side output first: flush what can go now, arm write interest
+    // for the rest, reap worker-killed connections.
+    std::vector<std::shared_ptr<Connection>> dirty;
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty.swap(dirty_);
+    }
+    for (const std::shared_ptr<Connection>& conn : dirty) {
+      auto it = connections_.find(conn->fd);
+      if (it == connections_.end() || it->second != conn) continue;
+      bool dead;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        dead = conn->dead;
+      }
+      if (dead) {
+        close_connection(conn, /*count_disconnect=*/false);
+        continue;
+      }
+      switch (FlushOutput(conn.get())) {
+        case FlushResult::kDrained:
+          poller->Update(conn->fd, false);
+          break;
+        case FlushResult::kBlocked:
+          poller->Update(conn->fd, true);
+          break;
+        case FlushResult::kDead:
+          close_connection(conn, /*count_disconnect=*/true);
+          break;
+      }
+    }
+
+    poller->Wait(&events);
+    if (stopping_.load()) break;
+
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == wake_pipe_[0]) {
+        char drain[256];
+        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (ev.fd == listen_fd_) {
+        while (true) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          SetNonBlocking(fd);
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          auto conn = std::make_shared<Connection>(fd, kMaxPayload);
+          connections_[fd] = conn;
+          poller->Add(fd, false);
+          connections_accepted_.fetch_add(1);
+        }
+        continue;
+      }
+
+      auto it = connections_.find(ev.fd);
+      if (it == connections_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+
+      if (ev.hangup) {
+        close_connection(conn, /*count_disconnect=*/true);
+        continue;
+      }
+      bool closed = false;
+      if (ev.readable) {
+        while (true) {
+          const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+          if (n > 0) {
+            if (!HandleInput(conn, buf.data(), static_cast<size_t>(n))) {
+              // Protocol error: the error STATUS frame is already queued;
+              // push it out best-effort, then drop the peer.
+              FlushOutput(conn.get());
+              close_connection(conn, /*count_disconnect=*/false);
+              closed = true;
+              break;
+            }
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          // n == 0 (orderly shutdown) or a hard error: the peer is gone.
+          close_connection(conn, /*count_disconnect=*/true);
+          closed = true;
+          break;
+        }
+      }
+      if (!closed && ev.writable) {
+        switch (FlushOutput(conn.get())) {
+          case FlushResult::kDrained:
+            poller->Update(conn->fd, false);
+            break;
+          case FlushResult::kBlocked:
+            break;  // interest already armed
+          case FlushResult::kDead:
+            close_connection(conn, /*count_disconnect=*/true);
+            break;
+        }
+      }
+    }
+  }
+
+  // Shutdown sweep: cancel everything, close everything. Tokens fire so
+  // workers blocked in SearchStream wind down promptly.
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) remaining.push_back(conn);
+  for (const std::shared_ptr<Connection>& conn : remaining) {
+    close_connection(conn, /*count_disconnect=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame dispatch (event-loop thread).
+// ---------------------------------------------------------------------------
+
+bool NetServer::HandleInput(const std::shared_ptr<Connection>& conn,
+                            const char* data, size_t n) {
+  conn->reader.Feed(data, n);
+  while (true) {
+    Frame frame;
+    api::Status error;
+    switch (conn->reader.Next(&frame, &error)) {
+      case FrameReader::Result::kNeedMore:
+        return true;
+      case FrameReader::Result::kError: {
+        protocol_errors_.fetch_add(1);
+        WireStatus status;
+        status.code = WireCode::kProtocolError;
+        status.message = error.message();
+        std::string bytes;
+        AppendStatusFrame(/*request_id=*/0, status, &bytes);
+        EnqueueOutput(conn, std::move(bytes));
+        return false;
+      }
+      case FrameReader::Result::kFrame:
+        break;
+    }
+    switch (frame.header.type) {
+      case kFrameRequest:
+        HandleRequestFrame(conn, frame);
+        break;
+      case kFrameCancel:
+        HandleCancelFrame(conn, frame);
+        break;
+      default: {
+        // Server-bound connections must not carry response-type frames.
+        protocol_errors_.fetch_add(1);
+        WireStatus status;
+        status.code = WireCode::kProtocolError;
+        status.message = "unexpected server-bound frame type";
+        std::string bytes;
+        AppendStatusFrame(frame.header.request_id, status, &bytes);
+        EnqueueOutput(conn, std::move(bytes));
+        return false;
+      }
+    }
+  }
+}
+
+void NetServer::HandleRequestFrame(const std::shared_ptr<Connection>& conn,
+                                   const Frame& frame) {
+  const uint32_t id = frame.header.request_id;
+  auto reject = [&](WireCode code, const std::string& message) {
+    WireStatus status;
+    status.code = code;
+    status.retryable = IsRetryable(code);
+    status.message = message;
+    std::string bytes;
+    AppendStatusFrame(id, status, &bytes);
+    EnqueueOutput(conn, std::move(bytes));
+  };
+
+  WireRequest wire;
+  if (api::Status status = DecodeRequestPayload(frame.payload, &wire);
+      !status.ok()) {
+    // A frame that parsed but whose payload is malformed means the peer's
+    // encoder is broken: request-scoped rejection is enough (framing is
+    // intact, so the connection can carry its neighbours' requests).
+    reject(WireCode::kInvalidArgument, status.message());
+    return;
+  }
+  wire.request_id = id;
+  if (wire.alphabet != WireAlphabetCode(options_.alphabet)) {
+    reject(WireCode::kInvalidArgument,
+           "request alphabet does not match the corpus alphabet");
+    return;
+  }
+
+  enum class Verdict { kAdmitted, kDuplicate, kPipelineFull, kDeadPeer };
+  Verdict verdict = Verdict::kAdmitted;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) {
+      verdict = Verdict::kDeadPeer;
+    } else if (conn->inflight.count(id) != 0) {
+      verdict = Verdict::kDuplicate;
+    } else if (conn->inflight.size() >= options_.max_pipeline) {
+      // inflight covers queued AND running requests (ids register at
+      // admission), so this is the full pipelining bound.
+      verdict = Verdict::kPipelineFull;
+    } else {
+      PendingRequest pending;
+      pending.wire = std::move(wire);
+      pending.token = std::make_shared<CancelToken>();
+      if (pending.wire.deadline_ms > 0) {
+        // Armed at admission: time spent queued behind the peer's own
+        // pipeline counts against the peer's deadline.
+        pending.token->SetDeadlineAfter(
+            std::chrono::milliseconds(pending.wire.deadline_ms));
+      }
+      conn->inflight.emplace(id, pending.token);
+      conn->pending.push_back(std::move(pending));
+    }
+  }
+  switch (verdict) {
+    case Verdict::kAdmitted:
+      requests_admitted_.fetch_add(1);
+      RingPush(conn);
+      break;
+    case Verdict::kDuplicate:
+      reject(WireCode::kInvalidArgument,
+             "request_id is already in flight on this connection");
+      break;
+    case Verdict::kPipelineFull:
+      reject(WireCode::kResourceExhausted,
+             "pipeline limit reached (" +
+                 std::to_string(options_.max_pipeline) +
+                 " requests in flight); retry after a response arrives");
+      break;
+    case Verdict::kDeadPeer:
+      break;
+  }
+}
+
+void NetServer::HandleCancelFrame(const std::shared_ptr<Connection>& conn,
+                                  const Frame& frame) {
+  std::shared_ptr<CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    auto it = conn->inflight.find(frame.header.request_id);
+    if (it != conn->inflight.end()) token = it->second;
+  }
+  // Unknown ids are ignored: a CANCEL racing the request's own STATUS is
+  // the normal case, not an error.
+  if (token != nullptr) token->Cancel();
+}
+
+// ---------------------------------------------------------------------------
+// Query workers.
+// ---------------------------------------------------------------------------
+
+void NetServer::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Connection> conn;
+    PendingRequest request;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lock(admit_mu_);
+      admit_cv_.wait(lock, [this] { return stopping_.load() || !ring_.empty(); });
+      if (stopping_.load()) return;
+      conn = ring_.front();
+      ring_.pop_front();
+      {
+        std::lock_guard<std::mutex> cl(conn->mu);
+        if (!conn->pending.empty()) {
+          request = std::move(conn->pending.front());
+          conn->pending.pop_front();
+          have = true;
+        }
+        // ONE request per turn: if the connection still has work, it goes
+        // to the BACK of the ring — round-robin across connections.
+        if (!conn->pending.empty()) {
+          ring_.push_back(conn);
+        } else {
+          conn->in_ring = false;
+        }
+      }
+      if (!ring_.empty()) admit_cv_.notify_one();
+    }
+    if (have) ServeRequest(conn, std::move(request));
+  }
+}
+
+void NetServer::ServeRequest(const std::shared_ptr<Connection>& conn,
+                             PendingRequest pending) {
+  const uint32_t id = pending.wire.request_id;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) {
+      conn->inflight.erase(id);
+      return;
+    }
+  }
+
+  api::SearchRequest request;
+  request.query = Sequence::FromString(pending.wire.query,
+                                       Alphabet::Get(options_.alphabet));
+  request.scheme = pending.wire.scheme;
+  request.threshold = pending.wire.threshold;
+  request.max_hits = pending.wire.max_hits;
+  request.allow_partial = pending.wire.allow_partial;
+  request.cancel = pending.token.get();
+
+  const size_t per_frame =
+      std::min(std::max<size_t>(1, options_.hits_per_frame), kMaxHitsPerFrame);
+  std::vector<AlignmentHit> chunk;
+  chunk.reserve(per_frame);
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    std::string bytes;
+    AppendHitsFrame(id, chunk.data(), chunk.size(), &bytes);
+    chunk.clear();
+    EnqueueOutput(conn, std::move(bytes));
+  };
+
+  api::StatusOr<api::EngineStats> result = scheduler_->SearchStream(
+      pending.wire.backend, request, [&](const AlignmentHit& hit) {
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          // A dead peer stops the stream: SearchStream's cap token fires
+          // and the engines short-circuit instead of computing unread hits.
+          if (conn->dead) return false;
+        }
+        chunk.push_back(hit);
+        if (chunk.size() >= per_frame) flush();
+        return true;
+      });
+
+  WireStatus status;
+  if (result.ok()) {
+    flush();
+    status.code = WireCode::kOk;
+    status.stats.hits = result->hits_emitted;
+    status.stats.engine_micros = static_cast<uint64_t>(result->seconds * 1e6);
+    status.stats.truncated = result->truncated;
+    status.stats.truncated_by_deadline = result->truncated_by_deadline;
+  } else {
+    chunk.clear();  // an errored request keeps its stream incomplete
+    status.code = WireCodeFor(result.status().code());
+    status.retryable = IsRetryable(status.code);
+    status.message = result.status().message();
+    if (status.code == WireCode::kCancelled ||
+        status.code == WireCode::kDeadlineExceeded) {
+      requests_cancelled_.fetch_add(1);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->inflight.erase(id);
+  }
+  std::string bytes;
+  AppendStatusFrame(id, status, &bytes);
+  EnqueueOutput(conn, std::move(bytes));
+  requests_completed_.fetch_add(1);
+}
+
+}  // namespace net
+}  // namespace alae

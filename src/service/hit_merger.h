@@ -8,6 +8,7 @@
 
 #include "src/api/search.h"
 #include "src/service/corpus_view.h"
+#include "src/util/cancel.h"
 
 namespace alae {
 namespace service {
@@ -56,6 +57,101 @@ class HitMerger {
   const int64_t tombstone_guard_;
   std::mutex mu_;
   std::unordered_map<uint64_t, AlignmentHit, KeyHash> hits_;
+  api::EngineStats stats_;
+  uint64_t tombstone_filtered_ = 0;
+};
+
+// Streaming counterpart of HitMerger: a k-way merge over per-slice
+// *sorted* hit streams that forwards hits to a sink in global
+// (text_end, query_end) order while the slice engines are still running,
+// and short-circuits remaining shard work once `max_hits` is satisfied.
+//
+// Why a merge degenerates to an ordered hand-off here: ownership
+// partitions the corpus's text-end positions across slices into disjoint,
+// sorted intervals, and every backend emits its hits in (text_end,
+// query_end) order (the Aligner sink contract) — so after ownership
+// filtering, the slice streams are internally sorted AND pairwise
+// disjoint in rank. Global sorted order is therefore the slices' streams
+// concatenated in owned_begin order. The merger keeps one "live" slice
+// (the lowest-ranked not yet closed): its hits flow straight to the sink;
+// hits published by higher-ranked slices running concurrently are
+// buffered and flushed the moment every lower rank has closed.
+//
+// Short-circuit: once the emitted count reaches `max_hits` (or the sink
+// returns false), the merger fires `cap_token` — the token the slice
+// engines observe — so every still-running slice aborts at its next
+// cancellation poll and queued slice tasks fast-fail, instead of
+// computing a full answer that Take() would then throw away. The emitted
+// prefix is bit-identical to HitMerger::Take(max_hits)'s truncation of
+// the full merge.
+//
+// Thread-safe: Publish/Close may race across slice tasks. The sink runs
+// under the merger's lock (publication order IS the global order), so it
+// must be fast and must not call back into the merger.
+class StreamMerger {
+ public:
+  // `view` must outlive the merger; `guard` is the query's RequiredSpan
+  // (tombstone suppression window). `max_hits` = 0 streams everything.
+  // `cap_token` (not owned, may be null) is fired when the cap is hit.
+  StreamMerger(const CorpusView& view, int64_t guard, uint64_t max_hits,
+               api::HitSink sink, CancelToken* cap_token);
+
+  // Publishes one raw slice-local hit from slice `slice`'s engine stream.
+  // Applies remap + ownership + tombstone filtering inline. Returns false
+  // once the stream is satisfied (cap reached or sink stopped) — the
+  // engine's sink should propagate that false to stop the slice run.
+  bool Publish(size_t slice, const AlignmentHit& raw);
+
+  // Slice `slice` finished (successfully or not); merges its stats and
+  // unblocks buffered successors. Call exactly once per slice.
+  void Close(size_t slice, const api::EngineStats& stats);
+
+  // True once max_hits was reached or the sink returned false; engines
+  // seeing kCancelled from the cap token should treat the run as
+  // successfully truncated when this is set.
+  bool cap_satisfied() const;
+
+  // True when the cap was the *sink* stopping (returned false) rather than
+  // max_hits filling up. A sink-stopped prefix has no cache meaning (the
+  // cache key carries max_hits, not the sink's whim), so the scheduler
+  // refuses to cache it.
+  bool sink_stopped() const;
+
+  // Hits emitted so far, in emission (= global sorted) order. Only valid
+  // after every slice closed; the scheduler uses it to populate the
+  // response cache without re-buffering the stream.
+  const std::vector<AlignmentHit>& emitted() const { return emitted_; }
+
+  uint64_t tombstone_filtered() const;
+
+  // Merged stats: per-slice EngineStats plus emission accounting
+  // (hits_emitted, truncated when capped, tombstone_filtered). Call after
+  // every slice closed.
+  api::EngineStats TakeStats();
+
+ private:
+  // Emits one already-filtered global hit; fires the cap when satisfied.
+  // Caller holds mu_.
+  void EmitLocked(const AlignmentHit& hit);
+  // Advances live_rank_ past closed slices, flushing their buffers.
+  // Caller holds mu_.
+  void AdvanceLocked();
+
+  const CorpusView& view_;
+  const int64_t guard_;
+  const uint64_t max_hits_;
+  const api::HitSink sink_;
+  CancelToken* const cap_token_;
+
+  mutable std::mutex mu_;
+  std::vector<size_t> rank_of_slice_;   // slice index -> merge rank
+  std::vector<size_t> slice_of_rank_;   // merge rank -> slice index
+  std::vector<std::vector<AlignmentHit>> buffered_;  // by rank
+  std::vector<bool> closed_;                         // by rank
+  size_t live_rank_ = 0;
+  std::vector<AlignmentHit> emitted_;
+  bool capped_ = false;
+  bool sink_stopped_ = false;
   api::EngineStats stats_;
   uint64_t tombstone_filtered_ = 0;
 };

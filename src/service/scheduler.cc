@@ -537,5 +537,198 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   return outcomes;
 }
 
+api::Status QueryScheduler::RunStreamSlice(const CorpusView& view, size_t slice,
+                                           const api::Aligner* aligner,
+                                           const api::QueryPlan& plan,
+                                           StreamMerger* merger) {
+  if (shard_cache_.capacity() > 0) {
+    // Lookup only: a streamed run may be cut short by the cap at any
+    // moment, which would leave a raw fragment incomplete — fragments are
+    // inserted exclusively by the buffered (SearchBatch) path.
+    const std::string fkey =
+        ResultCache::FragmentKeyFor(view.slices[slice].content_key, plan);
+    api::SearchResponse fragment;
+    if (shard_cache_.Lookup(fkey, &fragment)) {
+      for (const AlignmentHit& hit : fragment.hits) {
+        if (!merger->Publish(slice, hit)) break;
+      }
+      api::EngineStats stats;
+      stats.shard_cache_hits = 1;
+      merger->Close(slice, stats);
+      return api::Status::Ok();
+    }
+  }
+  api::EngineStats stats;
+  api::Status status = aligner->Search(
+      plan,
+      [merger, slice](const AlignmentHit& hit) {
+        return merger->Publish(slice, hit);
+      },
+      &stats);
+  // Close unconditionally (exactly once per slice): even a failed slice
+  // merged its stats and must unblock buffered successors — the overall
+  // request fails through the error slot, not through a stalled merge.
+  merger->Close(slice, stats);
+  if (!status.ok()) {
+    if (merger->cap_satisfied() && (status.code() == api::StatusCode::kCancelled ||
+                                    status.code() ==
+                                        api::StatusCode::kDeadlineExceeded)) {
+      // The cap token aborted this slice because the stream is already
+      // satisfied: that is the short-circuit working, not a failure.
+      return api::Status::Ok();
+    }
+    return SliceError(slice, status);
+  }
+  return api::Status::Ok();
+}
+
+api::StatusOr<api::EngineStats> QueryScheduler::SearchStream(
+    std::string_view backend, const api::SearchRequest& request,
+    const api::HitSink& sink) {
+  Timer timer;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (shutdown_) return api::Status::Cancelled("scheduler is shut down");
+    ++active_batches_;
+  }
+  // Effective token: observes the caller's token, carries the scheduler
+  // default deadline, and is registered in inflight_ so Shutdown fires it.
+  CancelToken effective(request.cancel);
+  if (default_deadline_ms_ > 0) {
+    effective.SetDeadlineAfter(std::chrono::milliseconds(default_deadline_ms_));
+  }
+  bool registered = false;
+  struct StreamExit {
+    QueryScheduler* self;
+    CancelToken* token;
+    bool* registered;
+    ~StreamExit() {
+      std::lock_guard<std::mutex> lock(self->lifecycle_mu_);
+      if (*registered) self->inflight_.erase(token);
+      --self->active_batches_;
+      self->lifecycle_cv_.notify_all();
+    }
+  } exit_guard{this, &effective, &registered};
+
+  const CorpusView view = source_.Snapshot();
+  const size_t slices = view.slices.size();
+
+  std::vector<const api::Aligner*> aligners;
+  aligners.reserve(slices);
+  for (size_t s = 0; s < slices; ++s) {
+    api::StatusOr<const api::Aligner*> aligner =
+        view.slices[s].aligner_for(backend);
+    if (!aligner.ok()) return aligner.status();
+    aligners.push_back(*aligner);
+  }
+
+  if (api::Status status = aligners[0]->Validate(request); !status.ok()) {
+    return status;
+  }
+  if (request.cancel != nullptr) {
+    switch (request.cancel->ExpiredWhy()) {
+      case CancelToken::Why::kCancelled:
+        return api::Status::Cancelled("request cancelled before admission");
+      case CancelToken::Why::kDeadline: {
+        if (!request.allow_partial) {
+          return api::Status::DeadlineExceeded(
+              "deadline expired before admission");
+        }
+        api::EngineStats stats;
+        stats.truncated = true;
+        stats.truncated_by_deadline = true;
+        stats.seconds = timer.ElapsedSeconds();
+        return stats;  // empty partial stream
+      }
+      case CancelToken::Why::kNone:
+        break;
+    }
+  }
+  if (api::Status status = view.ValidateSpan(backend, request); !status.ok()) {
+    return status;
+  }
+  const int64_t guard = RequiredSpan(backend, request);
+  const std::string key = ResultCache::KeyFor(backend, request, view.epoch);
+  {
+    api::SearchResponse cached;
+    if (cache_.Lookup(key, &cached)) {
+      // Replay the cached (already sorted, already capped) answer through
+      // the sink — a stream and a buffered Search share this cache.
+      for (const AlignmentHit& hit : cached.hits) {
+        if (!sink(hit)) break;
+      }
+      api::EngineStats stats = cached.stats;
+      stats.cache_hits = 1;
+      stats.cache_misses = 0;
+      stats.seconds = timer.ElapsedSeconds();
+      return stats;
+    }
+  }
+
+  // The cap token is what the engines observe: it inherits the effective
+  // token's cancellation/deadline AND fires on its own when the merger
+  // satisfies max_hits (or the sink stops) — the streaming short-circuit.
+  CancelToken cap(&effective);
+  api::SearchRequest uncapped = request;
+  uncapped.max_hits = 0;  // slices stream their full owned answer
+  uncapped.cancel = &cap;
+  api::StatusOr<std::unique_ptr<api::QueryPlan>> plan =
+      aligners[0]->Compile(std::move(uncapped));
+  if (!plan.ok()) return plan.status();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    inflight_.insert(&effective);
+    registered = true;
+    if (shutdown_) effective.Cancel();
+  }
+
+  StreamMerger merger(view, guard, request.max_hits, sink, &cap);
+  ErrorSlot error;
+  TaskGroup done(slices);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slices);
+  for (size_t s = 0; s < slices; ++s) {
+    const api::Aligner* aligner = aligners[s];
+    const api::QueryPlan* compiled = plan->get();
+    tasks.push_back([this, s, aligner, compiled, &view, &merger, &error,
+                     &done] {
+      api::Status status = RunStreamSlice(view, s, aligner, *compiled, &merger);
+      if (!status.ok()) error.Record(std::move(status));
+      done.Done();
+    });
+  }
+  if (!pool_.TrySubmitBatch(std::move(tasks))) {
+    return pool_.IsShutdown()
+               ? api::Status::Cancelled("scheduler is shutting down")
+               : api::Status::ResourceExhausted(
+                     "service queue is full (" +
+                     std::to_string(pool_.QueueDepth()) + "/" +
+                     std::to_string(pool_.queue_capacity()) +
+                     " tasks queued, this stream needs " +
+                     std::to_string(slices) + "); retry with backoff");
+  }
+  done.Wait();
+  if (api::Status status = error.Take(); !status.ok()) return status;
+
+  api::EngineStats stats = merger.TakeStats();
+  stats.delta_shards = view.NumDeltaSlices();
+  stats.compactions = view.compactions;
+  // Cache the completed stream for later Search/SearchStream calls. A
+  // deadline-truncated partial is not the key's answer; neither is a
+  // prefix the *sink* chose to cut (the key carries max_hits, not the
+  // sink's stopping point). A genuine max_hits cap IS the keyed answer —
+  // identical to the truncation Search would cache.
+  if (!stats.truncated_by_deadline && !merger.sink_stopped()) {
+    api::SearchResponse response;
+    response.hits = merger.emitted();
+    response.stats = stats;
+    cache_.Insert(key, response);
+  }
+  stats.plan_compile_ns = (*plan)->compile_ns();
+  stats.cache_misses = 1;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
 }  // namespace service
 }  // namespace alae

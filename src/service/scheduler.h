@@ -21,6 +21,7 @@ namespace alae {
 namespace service {
 
 class HitMerger;
+class StreamMerger;
 
 struct SchedulerOptions {
   // Worker threads; <= 0 picks hardware concurrency.
@@ -119,6 +120,29 @@ class QueryScheduler {
       std::string_view backend,
       const std::vector<api::SearchRequest>& requests);
 
+  // Streaming form, built for the socket front-end: hits reach `sink` in
+  // global (text_end, query_end) order *while slice engines are still
+  // running*, instead of materialising in a response. On success the
+  // returned stats describe the whole stream (hits_emitted, truncated when
+  // the cap fired). Semantics match Search bit-for-bit: the emitted
+  // sequence is exactly Search(...).hits for the same request — including
+  // the max_hits prefix — and both cache tiers are shared (a cached
+  // response is replayed to the sink; a completed stream populates the
+  // cache for later Search calls and vice versa).
+  //
+  // Short-circuit: once max_hits hits have been emitted (or the sink
+  // returns false), a cap token fires and every still-running slice aborts
+  // at its next cancellation poll, so a small max_hits costs a fraction of
+  // the full answer. Streaming always runs one task per slice (never the
+  // fused ALAE walk — fusion produces unordered results, which would force
+  // buffering the very stream this call exists to avoid).
+  //
+  // The sink runs under the merger's lock on pool worker threads: keep it
+  // fast, never call back into the scheduler from it.
+  api::StatusOr<api::EngineStats> SearchStream(std::string_view backend,
+                                               const api::SearchRequest& request,
+                                               const api::HitSink& sink);
+
   const CorpusSource& source() const { return source_; }
   ThreadPool& pool() { return pool_; }
   const ResultCache& cache() const { return cache_; }
@@ -138,6 +162,14 @@ class QueryScheduler {
   api::Status RunFusedQuery(const CorpusView& view, const api::QueryPlan& plan,
                             const std::vector<const api::Aligner*>& aligners,
                             HitMerger* merger);
+
+  // Streaming sibling of RunSliceQuery: publishes each engine hit into the
+  // StreamMerger as it is produced (fragment-cache lookups replay the
+  // cached raw stream; inserts are skipped — a capped run leaves fragments
+  // incomplete). Converts cap-token cancellation into success.
+  api::Status RunStreamSlice(const CorpusView& view, size_t slice,
+                             const api::Aligner* aligner,
+                             const api::QueryPlan& plan, StreamMerger* merger);
 
   const CorpusSource& source_;
   const size_t batch_size_;

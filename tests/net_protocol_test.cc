@@ -1,0 +1,403 @@
+#include "src/net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/align/result.h"
+
+namespace alae {
+namespace net {
+namespace {
+
+WireRequest SampleRequest() {
+  WireRequest request;
+  request.request_id = 7;
+  request.backend = "alae";
+  request.alphabet = kAlphabetDna;
+  request.allow_partial = true;
+  request.scheme.sa = 1;
+  request.scheme.sb = -3;
+  request.scheme.sg = -5;
+  request.scheme.ss = -2;
+  request.threshold = 25;
+  request.max_hits = 100;
+  request.deadline_ms = 1500;
+  request.query = "ACGTACGTTGCA";
+  return request;
+}
+
+std::vector<AlignmentHit> SampleHits() {
+  std::vector<AlignmentHit> hits;
+  AlignmentHit a;
+  a.text_end = 10;
+  a.query_end = 5;
+  a.text_start = 2;
+  a.score = 19;
+  AlignmentHit b;
+  b.text_end = 40;
+  b.query_end = 11;
+  b.text_start = -1;  // "not traced" stays representable
+  b.score = 7;
+  hits.push_back(a);
+  hits.push_back(b);
+  return hits;
+}
+
+// Feeds `bytes` and expects exactly one clean frame.
+Frame MustReadOne(std::string_view bytes) {
+  FrameReader reader;
+  reader.Feed(bytes);
+  Frame frame;
+  api::Status error;
+  EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kFrame)
+      << error.ToString();
+  EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kNeedMore);
+  return frame;
+}
+
+TEST(NetProtocol, RequestRoundTrip) {
+  const WireRequest request = SampleRequest();
+  std::string bytes;
+  AppendRequestFrame(request, &bytes);
+  const Frame frame = MustReadOne(bytes);
+  EXPECT_EQ(frame.header.type, kFrameRequest);
+  EXPECT_EQ(frame.header.version, kProtocolVersion);
+  EXPECT_EQ(frame.header.request_id, 7u);
+
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(frame.payload, &decoded).ok());
+  decoded.request_id = frame.header.request_id;
+  EXPECT_EQ(decoded.backend, "alae");
+  EXPECT_EQ(decoded.alphabet, kAlphabetDna);
+  EXPECT_TRUE(decoded.allow_partial);
+  EXPECT_EQ(decoded.scheme.sa, 1);
+  EXPECT_EQ(decoded.scheme.sb, -3);
+  EXPECT_EQ(decoded.scheme.sg, -5);
+  EXPECT_EQ(decoded.scheme.ss, -2);
+  EXPECT_EQ(decoded.threshold, 25);
+  EXPECT_EQ(decoded.max_hits, 100u);
+  EXPECT_EQ(decoded.deadline_ms, 1500u);
+  EXPECT_EQ(decoded.query, "ACGTACGTTGCA");
+}
+
+TEST(NetProtocol, HitsRoundTrip) {
+  const std::vector<AlignmentHit> hits = SampleHits();
+  std::string bytes;
+  AppendHitsFrame(/*request_id=*/9, hits.data(), hits.size(), &bytes);
+  const Frame frame = MustReadOne(bytes);
+  EXPECT_EQ(frame.header.type, kFrameHits);
+  EXPECT_EQ(frame.header.request_id, 9u);
+
+  std::vector<AlignmentHit> decoded;
+  ASSERT_TRUE(DecodeHitsPayload(frame.payload, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0], hits[0]);
+  EXPECT_EQ(decoded[1], hits[1]);
+}
+
+TEST(NetProtocol, StatusRoundTrip) {
+  WireStatus status;
+  status.code = WireCode::kResourceExhausted;
+  status.retryable = true;
+  status.stats.hits = 12;
+  status.stats.engine_micros = 3456;
+  status.stats.truncated = true;
+  status.stats.truncated_by_deadline = false;
+  status.message = "queue full; retry with backoff";
+
+  std::string bytes;
+  AppendStatusFrame(/*request_id=*/3, status, &bytes);
+  const Frame frame = MustReadOne(bytes);
+  EXPECT_EQ(frame.header.type, kFrameStatus);
+
+  WireStatus decoded;
+  ASSERT_TRUE(DecodeStatusPayload(frame.payload, &decoded).ok());
+  EXPECT_EQ(decoded.code, WireCode::kResourceExhausted);
+  EXPECT_TRUE(decoded.retryable);
+  EXPECT_EQ(decoded.stats.hits, 12u);
+  EXPECT_EQ(decoded.stats.engine_micros, 3456u);
+  EXPECT_TRUE(decoded.stats.truncated);
+  EXPECT_FALSE(decoded.stats.truncated_by_deadline);
+  EXPECT_EQ(decoded.message, "queue full; retry with backoff");
+}
+
+TEST(NetProtocol, CancelRoundTrip) {
+  std::string bytes;
+  AppendCancelFrame(/*request_id=*/77, &bytes);
+  const Frame frame = MustReadOne(bytes);
+  EXPECT_EQ(frame.header.type, kFrameCancel);
+  EXPECT_EQ(frame.header.request_id, 77u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(NetProtocol, StatusCodeMappingsAgree) {
+  // Every api code survives the wire round trip, and exactly one wire code
+  // is retryable.
+  const api::StatusCode api_codes[] = {
+      api::StatusCode::kOk,           api::StatusCode::kInvalidArgument,
+      api::StatusCode::kNotFound,     api::StatusCode::kFailedPrecondition,
+      api::StatusCode::kInternal,     api::StatusCode::kResourceExhausted,
+      api::StatusCode::kDeadlineExceeded, api::StatusCode::kCancelled,
+  };
+  for (api::StatusCode code : api_codes) {
+    EXPECT_EQ(ApiCodeFor(WireCodeFor(code)), code);
+  }
+  int retryable = 0;
+  for (uint8_t c = 0; c <= 8; ++c) {
+    if (IsRetryable(static_cast<WireCode>(c))) ++retryable;
+  }
+  EXPECT_EQ(retryable, 1);
+  EXPECT_TRUE(IsRetryable(WireCode::kResourceExhausted));
+}
+
+// --------------------------------------------------------------------------
+// Incremental delivery: the reader must cope with any transport
+// fragmentation, including one byte at a time (the slow-loris shape).
+// --------------------------------------------------------------------------
+
+TEST(NetProtocol, ByteAtATimeDelivery) {
+  std::string bytes;
+  AppendRequestFrame(SampleRequest(), &bytes);
+  AppendCancelFrame(7, &bytes);
+
+  FrameReader reader;
+  Frame frame;
+  api::Status error;
+  std::vector<uint8_t> types;
+  for (char c : bytes) {
+    reader.Feed(&c, 1);
+    while (reader.Next(&frame, &error) == FrameReader::Result::kFrame) {
+      types.push_back(frame.header.type);
+    }
+  }
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], kFrameRequest);
+  EXPECT_EQ(types[1], kFrameCancel);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(NetProtocol, TruncatedFrameNeedsMore) {
+  std::string bytes;
+  AppendRequestFrame(SampleRequest(), &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameReader reader;
+    reader.Feed(bytes.data(), cut);
+    Frame frame;
+    api::Status error;
+    EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kNeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(NetProtocol, OversizedLengthPrefixFailsBeforePayloadArrives) {
+  // Header announcing 256 MiB: rejected from the header alone — the reader
+  // must not wait for (or try to stage) the announced bytes.
+  std::string bytes;
+  AppendCancelFrame(1, &bytes);
+  bytes[0] = static_cast<char>(0x00);
+  bytes[1] = static_cast<char>(0x00);
+  bytes[2] = static_cast<char>(0x00);
+  bytes[3] = static_cast<char>(0x10);  // payload_len = 0x10000000
+
+  FrameReader reader;
+  reader.Feed(bytes);
+  Frame frame;
+  api::Status error;
+  EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kError);
+  EXPECT_EQ(error.code(), api::StatusCode::kInvalidArgument);
+
+  // Poison latches: even valid follow-up bytes stay rejected.
+  std::string good;
+  AppendCancelFrame(2, &good);
+  reader.Feed(good);
+  EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kError);
+}
+
+TEST(NetProtocol, BadVersionAndUnknownTypeAreErrors) {
+  for (int corrupt : {4, 5}) {  // byte 4 = version, byte 5 = type
+    std::string bytes;
+    AppendCancelFrame(1, &bytes);
+    bytes[corrupt] = static_cast<char>(0x6f);
+    FrameReader reader;
+    reader.Feed(bytes);
+    Frame frame;
+    api::Status error;
+    EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kError)
+        << "corrupted header byte " << corrupt;
+  }
+}
+
+TEST(NetProtocol, GarbageAfterValidFrameStopsCleanly) {
+  std::string bytes;
+  AppendRequestFrame(SampleRequest(), &bytes);
+  bytes += "this is not a frame header, not even close....";
+
+  FrameReader reader;
+  reader.Feed(bytes);
+  Frame frame;
+  api::Status error;
+  ASSERT_EQ(reader.Next(&frame, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(frame.header.type, kFrameRequest);
+  EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kError);
+}
+
+// --------------------------------------------------------------------------
+// Malformed payloads: every decoder rejects cleanly, never over-reads.
+// --------------------------------------------------------------------------
+
+TEST(NetProtocol, TruncatedRequestPayloadRejected) {
+  std::string bytes;
+  AppendRequestFrame(SampleRequest(), &bytes);
+  const std::string payload = bytes.substr(kHeaderSize);
+  WireRequest out;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeRequestPayload(std::string_view(payload).substr(0, cut), &out)
+            .ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+  EXPECT_TRUE(DecodeRequestPayload(payload, &out).ok());
+}
+
+TEST(NetProtocol, RequestLengthFieldsAreBoundsChecked) {
+  std::string bytes;
+  AppendRequestFrame(SampleRequest(), &bytes);
+  std::string payload = bytes.substr(kHeaderSize);
+
+  // backend_len pointing past the payload.
+  std::string bad = payload;
+  bad[0] = static_cast<char>(0xff);
+  WireRequest out;
+  EXPECT_FALSE(DecodeRequestPayload(bad, &out).ok());
+
+  // query_len larger than the remaining bytes.
+  bad = payload;
+  bad[bad.size() - SampleRequest().query.size() - 4] =
+      static_cast<char>(0xff);
+  EXPECT_FALSE(DecodeRequestPayload(bad, &out).ok());
+
+  // Trailing junk after a well-formed request is rejected too.
+  bad = payload + "x";
+  EXPECT_FALSE(DecodeRequestPayload(bad, &out).ok());
+}
+
+TEST(NetProtocol, HitsCountIsBoundsChecked) {
+  const std::vector<AlignmentHit> hits = SampleHits();
+  std::string bytes;
+  AppendHitsFrame(1, hits.data(), hits.size(), &bytes);
+  std::string payload = bytes.substr(kHeaderSize);
+
+  // Count claims more hits than the payload carries.
+  payload[0] = static_cast<char>(200);
+  std::vector<AlignmentHit> out;
+  EXPECT_FALSE(DecodeHitsPayload(payload, &out).ok());
+
+  // Empty payload cannot even hold the count.
+  EXPECT_FALSE(DecodeHitsPayload(std::string_view(), &out).ok());
+}
+
+TEST(NetProtocol, StatusMessageLengthIsBoundsChecked) {
+  WireStatus status;
+  status.code = WireCode::kInternal;
+  status.message = "boom";
+  std::string bytes;
+  AppendStatusFrame(1, status, &bytes);
+  std::string payload = bytes.substr(kHeaderSize);
+  payload[payload.size() - status.message.size() - 1] =
+      static_cast<char>(0x7f);
+  WireStatus out;
+  EXPECT_FALSE(DecodeStatusPayload(payload, &out).ok());
+}
+
+// --------------------------------------------------------------------------
+// Deterministic fuzz: random bytes and random mutations must never crash
+// the reader or the decoders (run under ASan in CI, where an over-read
+// turns into a hard failure).
+// --------------------------------------------------------------------------
+
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 16;
+  }
+  char NextByte() { return static_cast<char>(Next() & 0xff); }
+
+ private:
+  uint64_t state_;
+};
+
+TEST(NetProtocolFuzz, RandomBytesNeverCrashTheReader) {
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    Lcg rng(seed);
+    FrameReader reader;
+    Frame frame;
+    api::Status error;
+    bool dead = false;
+    for (int chunk = 0; chunk < 64 && !dead; ++chunk) {
+      std::string bytes;
+      const size_t n = rng.Next() % 97;
+      for (size_t i = 0; i < n; ++i) bytes.push_back(rng.NextByte());
+      reader.Feed(bytes);
+      while (true) {
+        const FrameReader::Result r = reader.Next(&frame, &error);
+        if (r == FrameReader::Result::kFrame) continue;
+        if (r == FrameReader::Result::kError) dead = true;
+        break;
+      }
+    }
+    // Whatever happened, the reader's buffer never exceeds one max frame
+    // plus one unparsed chunk (no unbounded staging).
+    EXPECT_LE(reader.buffered(), kMaxPayload + kHeaderSize + 97);
+  }
+}
+
+TEST(NetProtocolFuzz, MutatedValidFramesNeverCrashDecoders) {
+  std::string request_bytes;
+  AppendRequestFrame(SampleRequest(), &request_bytes);
+  const std::vector<AlignmentHit> hits = SampleHits();
+  std::string hits_bytes;
+  AppendHitsFrame(2, hits.data(), hits.size(), &hits_bytes);
+  WireStatus status;
+  status.code = WireCode::kOk;
+  status.message = "fine";
+  std::string status_bytes;
+  AppendStatusFrame(3, status, &status_bytes);
+
+  Lcg rng(0xa11ce);
+  for (const std::string* original :
+       {&request_bytes, &hits_bytes, &status_bytes}) {
+    for (int round = 0; round < 400; ++round) {
+      std::string mutated = *original;
+      const int flips = 1 + static_cast<int>(rng.Next() % 4);
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.Next() % mutated.size()] ^=
+            static_cast<char>(1u << (rng.Next() % 8));
+      }
+      const std::string_view payload =
+          std::string_view(mutated).substr(kHeaderSize);
+      WireRequest req;
+      std::vector<AlignmentHit> hv;
+      WireStatus st;
+      // Outcomes may be ok or error; the assertion is "no crash/over-read".
+      (void)DecodeRequestPayload(payload, &req);
+      (void)DecodeHitsPayload(payload, &hv);
+      (void)DecodeStatusPayload(payload, &st);
+
+      FrameReader reader;
+      reader.Feed(mutated);
+      Frame frame;
+      api::Status error;
+      while (reader.Next(&frame, &error) == FrameReader::Result::kFrame) {
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace alae

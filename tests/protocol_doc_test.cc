@@ -1,0 +1,232 @@
+// docs/PROTOCOL.md is the normative wire spec, and its worked byte
+// example must never drift from the implementation. This test parses the
+// hexdump blocks out of the document (each preceded by a
+// `<!-- wire-example: NAME -->` marker) and checks them both ways:
+// encoding the example's stated field values with the real codec must
+// reproduce the documented bytes exactly, and decoding the documented
+// bytes must yield the stated values. CI runs this in the docs job.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/net/protocol.h"
+
+#ifndef ALAE_SOURCE_DIR
+#error "build must define ALAE_SOURCE_DIR (see CMakeLists.txt)"
+#endif
+
+namespace alae {
+namespace net {
+namespace {
+
+// Pulls every `<!-- wire-example: NAME -->` + fenced hexdump block out of
+// the spec. Hexdump lines look like `0000  31 00 ...`; the offset column
+// is ignored, the byte columns are concatenated.
+std::map<std::string, std::string> LoadWireExamples(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::map<std::string, std::string> examples;
+  std::string line;
+  std::string pending;  // marker seen, waiting for the fenced block
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    const std::string marker = "<!-- wire-example:";
+    if (auto pos = line.find(marker); pos != std::string::npos) {
+      auto end = line.find("-->", pos);
+      pending = line.substr(pos + marker.size(),
+                            end - pos - marker.size());
+      // trim whitespace
+      while (!pending.empty() && std::isspace(pending.front())) {
+        pending.erase(pending.begin());
+      }
+      while (!pending.empty() && std::isspace(pending.back())) {
+        pending.pop_back();
+      }
+      continue;
+    }
+    if (pending.empty()) continue;
+    if (line.rfind("```", 0) == 0) {
+      if (!in_block) {
+        in_block = true;
+        continue;
+      }
+      in_block = false;
+      pending.clear();
+      continue;
+    }
+    if (!in_block) continue;
+    // `0000  31 00 00 00 ...` — skip the offset token, take hex pairs.
+    std::istringstream tokens(line);
+    std::string tok;
+    bool first = true;
+    while (tokens >> tok) {
+      if (first) {
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(tok.size(), 2u) << "bad hex token '" << tok << "' in "
+                                << path;
+      examples[pending].push_back(static_cast<char>(
+          std::stoi(tok, nullptr, 16)));
+    }
+  }
+  return examples;
+}
+
+std::string Hex(const std::string& bytes) {
+  std::string out;
+  char buf[4];
+  for (unsigned char c : bytes) {
+    std::snprintf(buf, sizeof(buf), "%02x ", c);
+    out += buf;
+  }
+  return out;
+}
+
+class ProtocolDocTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    examples_ = new std::map<std::string, std::string>(LoadWireExamples(
+        std::string(ALAE_SOURCE_DIR) + "/docs/PROTOCOL.md"));
+  }
+  static void TearDownTestSuite() {
+    delete examples_;
+    examples_ = nullptr;
+  }
+  static const std::string& Example(const std::string& name) {
+    auto it = examples_->find(name);
+    EXPECT_TRUE(it != examples_->end())
+        << "docs/PROTOCOL.md has no <!-- wire-example: " << name
+        << " --> block";
+    static const std::string empty;
+    return it != examples_->end() ? it->second : empty;
+  }
+  static std::map<std::string, std::string>* examples_;
+};
+
+std::map<std::string, std::string>* ProtocolDocTest::examples_ = nullptr;
+
+// The example's stated field values, kept in one place.
+WireRequest DocRequest() {
+  WireRequest request;
+  request.request_id = 7;
+  request.backend = "alae";
+  request.threshold = 4;
+  request.max_hits = 100;
+  request.query = "GCTAG";
+  return request;
+}
+
+TEST_F(ProtocolDocTest, DocumentHasAllFourExamples) {
+  for (const char* name : {"request", "hits", "status", "cancel"}) {
+    EXPECT_FALSE(Example(name).empty()) << name;
+  }
+}
+
+TEST_F(ProtocolDocTest, RequestBytesMatchCodec) {
+  std::string encoded;
+  AppendRequestFrame(DocRequest(), &encoded);
+  EXPECT_EQ(Hex(encoded), Hex(Example("request")));
+}
+
+TEST_F(ProtocolDocTest, HitsBytesMatchCodec) {
+  AlignmentHit hit;
+  hit.text_end = 21;
+  hit.query_end = 5;
+  hit.text_start = 16;
+  hit.score = 5;
+  std::string encoded;
+  AppendHitsFrame(7, &hit, 1, &encoded);
+  EXPECT_EQ(Hex(encoded), Hex(Example("hits")));
+}
+
+TEST_F(ProtocolDocTest, StatusBytesMatchCodec) {
+  WireStatus status;
+  status.code = WireCode::kOk;
+  status.stats.hits = 1;
+  status.stats.engine_micros = 184;
+  std::string encoded;
+  AppendStatusFrame(7, status, &encoded);
+  EXPECT_EQ(Hex(encoded), Hex(Example("status")));
+}
+
+TEST_F(ProtocolDocTest, CancelBytesMatchCodec) {
+  std::string encoded;
+  AppendCancelFrame(7, &encoded);
+  EXPECT_EQ(Hex(encoded), Hex(Example("cancel")));
+}
+
+// The other direction: the documented conversation decodes through the
+// real FrameReader + payload decoders into the stated values.
+TEST_F(ProtocolDocTest, DocumentedConversationDecodes) {
+  FrameReader reader;
+  reader.Feed(Example("request"));
+  reader.Feed(Example("hits"));
+  reader.Feed(Example("status"));
+  reader.Feed(Example("cancel"));
+
+  Frame frame;
+  api::Status error;
+
+  ASSERT_EQ(reader.Next(&frame, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(frame.header.type, kFrameRequest);
+  EXPECT_EQ(frame.header.request_id, 7u);
+  WireRequest request;
+  ASSERT_TRUE(DecodeRequestPayload(frame.payload, &request).ok());
+  const WireRequest want = DocRequest();
+  EXPECT_EQ(request.backend, want.backend);
+  EXPECT_EQ(request.alphabet, kAlphabetDna);
+  EXPECT_EQ(request.threshold, want.threshold);
+  EXPECT_EQ(request.max_hits, want.max_hits);
+  EXPECT_EQ(request.deadline_ms, 0u);
+  EXPECT_EQ(request.query, want.query);
+  EXPECT_EQ(request.scheme.sa, 1);
+  EXPECT_EQ(request.scheme.sb, -3);
+  EXPECT_EQ(request.scheme.sg, -5);
+  EXPECT_EQ(request.scheme.ss, -2);
+
+  ASSERT_EQ(reader.Next(&frame, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(frame.header.type, kFrameHits);
+  std::vector<AlignmentHit> hits;
+  ASSERT_TRUE(DecodeHitsPayload(frame.payload, &hits).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].text_end, 21);
+  EXPECT_EQ(hits[0].query_end, 5);
+  EXPECT_EQ(hits[0].text_start, 16);
+  EXPECT_EQ(hits[0].score, 5);
+
+  ASSERT_EQ(reader.Next(&frame, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(frame.header.type, kFrameStatus);
+  WireStatus status;
+  ASSERT_TRUE(DecodeStatusPayload(frame.payload, &status).ok());
+  EXPECT_EQ(status.code, WireCode::kOk);
+  EXPECT_FALSE(status.retryable);
+  EXPECT_EQ(status.stats.hits, 1u);
+  EXPECT_EQ(status.stats.engine_micros, 184u);
+
+  ASSERT_EQ(reader.Next(&frame, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(frame.header.type, kFrameCancel);
+  EXPECT_EQ(frame.header.request_id, 7u);
+  EXPECT_TRUE(frame.payload.empty());
+
+  EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kNeedMore);
+}
+
+// Constants the prose states numerically must match the header.
+TEST_F(ProtocolDocTest, DocumentedConstantsMatchHeader) {
+  EXPECT_EQ(kHeaderSize, 12u);
+  EXPECT_EQ(kProtocolVersion, 1);
+  EXPECT_EQ(kMaxPayload, 1048576u);
+  EXPECT_EQ(kMaxHitsPerFrame, 37449u);
+  EXPECT_EQ(kWireHitSize, 28u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace alae

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links and file references resolve.
+
+Scans the given markdown files for inline links `[text](target)` and
+fails if a relative target (optionally with a #fragment) does not exist
+on disk. External links (http/https/mailto) are ignored — CI must not
+depend on the network. Fragments are validated against the target
+document's headings (GitHub anchor rules: lowercase, punctuation
+stripped, spaces to dashes).
+
+    tools/check_links.py README.md docs/*.md
+
+Exit codes: 0 ok, 1 broken link(s), 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def anchors_of(path):
+    """GitHub-style anchors for every heading in a markdown file."""
+    anchors = set()
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = HEADING.match(line)
+            if not m:
+                continue
+            text = m.group(1).strip()
+            # drop inline code/emphasis markers, then non-alnum except
+            # spaces and dashes, then spaces -> dashes
+            text = re.sub(r"[`*_]", "", text)
+            anchor = re.sub(r"[^\w\- ]", "", text.lower())
+            anchor = anchor.replace(" ", "-")
+            anchors.add(anchor)
+    return anchors
+
+
+def check(paths):
+    failures = []
+    for path in paths:
+        base = os.path.dirname(os.path.abspath(path))
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            ref, _, fragment = target.partition("#")
+            if not ref:  # same-document fragment
+                dest = os.path.abspath(path)
+            else:
+                dest = os.path.normpath(os.path.join(base, ref))
+            if not os.path.exists(dest):
+                failures.append("%s: broken link -> %s" % (path, target))
+                continue
+            if fragment and dest.endswith(".md"):
+                if fragment not in anchors_of(dest):
+                    failures.append(
+                        "%s: missing anchor #%s in %s" % (path, fragment, ref))
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = check(argv[1:])
+    for f in failures:
+        print("FAIL: %s" % f)
+    if failures:
+        return 1
+    print("ok: %d file(s), all links resolve" % (len(argv) - 1))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
