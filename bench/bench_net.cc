@@ -27,6 +27,7 @@
 #include "bench/bench_util.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/obs/metrics.h"
 #include "src/service/service.h"
 #include "src/util/table_printer.h"
 #include "src/util/timer.h"
@@ -46,20 +47,17 @@ struct Percentiles {
   double p50 = 0, p90 = 0, p99 = 0, mean = 0;
 };
 
-Percentiles Summarise(std::vector<double>* seconds) {
+// The shared obs nearest-rank summary, so this table and serve_main's
+// report agree on what "p99" means.
+Percentiles Summarise(const std::vector<double>& seconds) {
   Percentiles p;
-  if (seconds->empty()) return p;
-  std::sort(seconds->begin(), seconds->end());
-  auto at = [&](double q) {
-    const size_t i = std::min(seconds->size() - 1,
-                              static_cast<size_t>(q * seconds->size()));
-    return (*seconds)[i];
-  };
-  p.p50 = at(0.50);
-  p.p90 = at(0.90);
-  p.p99 = at(0.99);
-  for (double s : *seconds) p.mean += s;
-  p.mean /= static_cast<double>(seconds->size());
+  if (seconds.empty()) return p;
+  obs::SampleSummary summary;
+  for (double s : seconds) summary.Add(s);
+  p.p50 = summary.Percentile(0.50);
+  p.p90 = summary.Percentile(0.90);
+  p.p99 = summary.Percentile(0.99);
+  p.mean = summary.mean();
   return p;
 }
 
@@ -156,7 +154,7 @@ int main(int argc, char** argv) {
       }
       direct.push_back(timer.ElapsedSeconds());
     }
-    Percentiles p = Summarise(&direct);
+    Percentiles p = Summarise(direct);
     std::printf("in-process SearchStream: mean %.3f ms, p99 %.3f ms\n\n",
                 p.mean * 1e3, p.p99 * 1e3);
   }
@@ -171,7 +169,7 @@ int main(int argc, char** argv) {
     std::vector<double> lat =
         RunClients(server.port(), clients, per_client, w);
     const double seconds = wall.ElapsedSeconds();
-    Percentiles p = Summarise(&lat);
+    Percentiles p = Summarise(lat);
     const double qps = static_cast<double>(lat.size()) / seconds;
     table.AddRow({std::to_string(clients), std::to_string(lat.size()),
                   TablePrinter::Fmt(qps, 1),

@@ -249,6 +249,51 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(static_cast<uint64_t>(ns_on))});
   }
 
+  // --- Metrics overhead: the same batch on the same 8-shard corpus
+  // through an uninstrumented scheduler (enable_metrics=false — every
+  // registry pointer is null, so the hot path pays nothing) and through
+  // the default instrumented one (sharded-atomic counters + latency
+  // histogram on every request; tracing stays off, its sampled-out cost
+  // is one RNG draw). compare_bench gates the anchored on/off ratio at
+  // 5%. Rounds interleave the two schedulers so machine-speed drift
+  // cancels out of the ratio.
+  double obs_overhead = 0;
+  {
+    service::QueryScheduler plain(
+        *corpus, {.threads = 4,
+                  .queue_capacity = 1 << 16,
+                  .cache_capacity = 0,
+                  .enable_metrics = false});
+    service::QueryScheduler instrumented(
+        *corpus, {.threads = 4,
+                  .queue_capacity = 1 << 16,
+                  .cache_capacity = 0});
+    RunResult off, on;
+    for (int round = 0; round < kRounds; ++round) {
+      RunOnce(plain, requests, round == 0, &off);
+      RunOnce(instrumented, requests, round == 0, &on);
+    }
+    if (off.hit_checksum != checksum || on.hit_checksum != checksum) {
+      std::fprintf(stderr, "hit checksum diverged under metrics\n");
+      return 1;
+    }
+    const double ns_off = off.seconds * 1e9 / num_queries;
+    const double ns_on = on.seconds * 1e9 / num_queries;
+    obs_overhead = ns_off > 0 ? ns_on / ns_off - 1.0 : 0;
+    report.Add("service/obs/off", ns_off,
+               static_cast<double>(num_queries) / off.seconds);
+    report.Add("service/obs/on", ns_on,
+               static_cast<double>(num_queries) / on.seconds);
+    table.AddRow({"obs=off", std::to_string(corpus->num_shards()),
+                  TablePrinter::Fmt(off.seconds),
+                  TablePrinter::Fmt(num_queries / off.seconds, 1),
+                  TablePrinter::Fmt(static_cast<uint64_t>(ns_off))});
+    table.AddRow({"obs=on", std::to_string(corpus->num_shards()),
+                  TablePrinter::Fmt(on.seconds),
+                  TablePrinter::Fmt(num_queries / on.seconds, 1),
+                  TablePrinter::Fmt(static_cast<uint64_t>(ns_on))});
+  }
+
   // --- Plan-compilation prep cost: what the service pays once per request
   // (and what every shard used to pay before plans were shared).
   {
@@ -294,6 +339,10 @@ int main(int argc, char** argv) {
       "cancellation-check overhead (deadline token, never expires): "
       "%+.1f%% (gated at 5%% by the anchored compare)\n",
       cancel_overhead * 100.0);
+  std::printf(
+      "metrics overhead (sharded-atomic counters + latency histogram): "
+      "%+.1f%% (gated at 5%% by the anchored compare)\n",
+      obs_overhead * 100.0);
 
   if (!report.WriteTo(flags.json)) {
     std::fprintf(stderr, "failed writing %s\n", flags.json.c_str());

@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/service/service.h"
 #include "src/sim/generator.h"
 #include "src/util/timer.h"
@@ -66,6 +67,9 @@ struct Flags {
   int64_t shard_cache = 256;   // fragment-cache entries (0 = off)
   int32_t max_retries = 3;     // retries per query on overload (0 = none)
   bool resave = false;         // persist the corpus again on exit
+  int32_t metrics_dump_sec = 0;  // dump the registry every N sec (0 = off)
+  double trace_sample = 0.0;     // scheduler trace sampling rate
+  int64_t slow_query_ms = 0;     // slow-query log threshold (0 = off)
 
   static Flags Parse(int argc, char** argv) {
     Flags f;
@@ -107,6 +111,12 @@ struct Flags {
         f.max_retries = std::atoi(value.c_str());
       } else if (take("resave", &value)) {
         f.resave = std::atoi(value.c_str()) != 0;
+      } else if (take("metrics-dump-sec", &value)) {
+        f.metrics_dump_sec = std::atoi(value.c_str());
+      } else if (take("trace-sample", &value)) {
+        f.trace_sample = std::atof(value.c_str());
+      } else if (take("slow-query-ms", &value)) {
+        f.slow_query_ms = std::atoll(value.c_str());
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         std::exit(2);
@@ -117,41 +127,24 @@ struct Flags {
                    "usage: serve_main --corpus=DIR [--random-text=N] "
                    "[--queries=FILE|-] [--backend=NAME] [--threads=N] "
                    "[--threshold=H] [--compact-after=N] [--shard-cache=N] "
-                   "[--max-retries=N] [--resave=1]\n");
+                   "[--max-retries=N] [--resave=1] [--metrics-dump-sec=N] "
+                   "[--trace-sample=R] [--slow-query-ms=N]\n");
       std::exit(2);
     }
     return f;
   }
 };
 
-// Log-ish latency histogram in microseconds.
-void PrintLatencies(std::vector<double>* micros) {
-  if (micros->empty()) return;
-  std::sort(micros->begin(), micros->end());
-  auto pct = [&](double p) {
-    size_t i = static_cast<size_t>(p * static_cast<double>(micros->size() - 1));
-    return (*micros)[i];
-  };
+// Log-ish latency histogram in microseconds, through the shared obs
+// summary so the percentiles match every other reporter in the repo.
+void PrintLatencies(obs::SampleSummary* summary) {
+  if (summary->count() == 0) return;
   std::printf("\nlatency (us): p50 %.0f   p90 %.0f   p99 %.0f   max %.0f\n",
-              pct(0.50), pct(0.90), pct(0.99), micros->back());
-  const double buckets[] = {50,    100,   250,    500,    1000,  2500,
-                            5000,  10000, 25000,  50000,  100000};
-  size_t from = 0;
-  for (double edge : buckets) {
-    size_t to = from;
-    while (to < micros->size() && (*micros)[to] < edge) ++to;
-    if (to > from) {
-      std::printf("  <%7.0fus %6zu %s\n", edge, to - from,
-                  std::string(std::min<size_t>(60, (to - from) * 60 /
-                                                       micros->size() + 1),
-                              '#')
-                      .c_str());
-    }
-    from = to;
-  }
-  if (from < micros->size()) {
-    std::printf("  >=100000us %5zu\n", micros->size() - from);
-  }
+              summary->Percentile(0.50), summary->Percentile(0.90),
+              summary->Percentile(0.99), summary->Percentile(1.0));
+  const std::vector<double> bounds = {50,   100,   250,   500,   1000,  2500,
+                                      5000, 10000, 25000, 50000, 100000};
+  std::fputs(summary->RenderHistogram(bounds, "us").c_str(), stdout);
 }
 
 // One parsed input line of the (possibly mutating) serving script.
@@ -213,7 +206,7 @@ int RunScript(const std::vector<ScriptItem>& script, service::LiveCorpus& live,
   uint64_t last_epoch = live.epoch();
   uint64_t last_compactions = live.compactions();
   CacheSnap epoch_snap = CacheSnap::Of(scheduler);
-  std::vector<double> micros;
+  obs::SampleSummary micros;
   for (const ScriptItem& item : script) {
     switch (item.kind) {
       case ScriptItem::kQuery: {
@@ -223,7 +216,7 @@ int RunScript(const std::vector<ScriptItem>& script, service::LiveCorpus& live,
         Timer timer;
         api::StatusOr<api::SearchResponse> response =
             scheduler.Search(flags.backend, request);
-        micros.push_back(timer.ElapsedSeconds() * 1e6);
+        micros.Add(timer.ElapsedSeconds() * 1e6);
         if (!response.ok()) {
           ++failures;
           std::fprintf(stderr, "query: %s\n",
@@ -309,6 +302,33 @@ int RunScript(const std::vector<ScriptItem>& script, service::LiveCorpus& live,
   PrintLatencies(&micros);
   return failures == 0 ? 0 : 1;
 }
+
+// Periodic registry dump (--metrics-dump-sec): a plain thread printing the
+// text exposition to stderr until stopped.
+class MetricsDumper {
+ public:
+  MetricsDumper(obs::MetricsRegistry* registry, int seconds) {
+    if (seconds <= 0) return;
+    thread_ = std::thread([this, registry, seconds] {
+      while (!stop_.load()) {
+        for (int i = 0; i < seconds * 10 && !stop_.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        if (stop_.load()) break;
+        std::fprintf(stderr, "---- metrics ----\n%s",
+                     registry->Expose().c_str());
+      }
+    });
+  }
+  ~MetricsDumper() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -430,7 +450,13 @@ int main(int argc, char** argv) {
       {.threads = flags.threads,
        .cache_capacity = 1024,
        .shard_cache_capacity =
-           flags.shard_cache < 0 ? 0 : static_cast<size_t>(flags.shard_cache)});
+           flags.shard_cache < 0 ? 0 : static_cast<size_t>(flags.shard_cache),
+       .trace_sample_rate = flags.trace_sample,
+       .slow_query_ms = flags.slow_query_ms,
+       .slow_query_sink = [](const std::string& rendered) {
+         std::fprintf(stderr, "slow query:\n%s", rendered.c_str());
+       }});
+  MetricsDumper dumper(&scheduler.registry(), flags.metrics_dump_sec);
 
   int exit_code = 0;
   if (has_commands) {
@@ -503,9 +529,9 @@ int main(int argc, char** argv) {
     for (std::thread& t : clients) t.join();
     const double seconds = wall.ElapsedSeconds();
 
-    std::vector<double> micros;
+    obs::SampleSummary micros;
     for (std::vector<double>& m : client_micros) {
-      micros.insert(micros.end(), m.begin(), m.end());
+      for (double v : m) micros.Add(v);
     }
     std::printf(
         "served %zu queries on backend '%s' with %d threads in %.2fs "
@@ -527,6 +553,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(plan_reuses.load()));
     PrintLatencies(&micros);
     exit_code = failures.load() == 0 ? 0 : 1;
+  }
+
+  if (flags.metrics_dump_sec > 0) {
+    // Final scrape so short runs see at least one exposition.
+    std::fprintf(stderr, "---- metrics (final) ----\n%s",
+                 scheduler.registry().Expose().c_str());
   }
 
   if (flags.resave) {

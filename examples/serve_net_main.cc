@@ -13,6 +13,8 @@
 //
 // Exits non-zero on any setup failure.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -20,11 +22,13 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include <cerrno>
 #include <unistd.h>
 
 #include "src/net/server.h"
+#include "src/obs/metrics.h"
 #include "src/service/service.h"
 #include "src/sim/generator.h"
 
@@ -43,6 +47,9 @@ struct Flags {
   int workers = 2;         // net admission workers
   uint64_t seed = 42;
   bool force_poll = false;
+  int metrics_dump_sec = 0;  // dump the registry every N sec (0 = off)
+  double trace_sample = 0.0; // scheduler trace sampling rate
+  int64_t slow_query_ms = 0; // slow-query log threshold (0 = off)
 
   static Flags Parse(int argc, char** argv) {
     Flags f;
@@ -73,6 +80,12 @@ struct Flags {
         f.seed = std::strtoull(value.c_str(), nullptr, 10);
       } else if (value_of("force-poll", &value)) {
         f.force_poll = value != "0";
+      } else if (value_of("metrics-dump-sec", &value)) {
+        f.metrics_dump_sec = std::atoi(value.c_str());
+      } else if (value_of("trace-sample", &value)) {
+        f.trace_sample = std::atof(value.c_str());
+      } else if (value_of("slow-query-ms", &value)) {
+        f.slow_query_ms = std::atoll(value.c_str());
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         std::exit(2);
@@ -125,6 +138,11 @@ int main(int argc, char** argv) {
 
   service::SchedulerOptions sched_options;
   sched_options.threads = flags.threads;
+  sched_options.trace_sample_rate = flags.trace_sample;
+  sched_options.slow_query_ms = flags.slow_query_ms;
+  sched_options.slow_query_sink = [](const std::string& rendered) {
+    std::fprintf(stderr, "slow query:\n%s", rendered.c_str());
+  };
   service::QueryScheduler scheduler(*corpus, sched_options);
 
   net::NetServerOptions net_options;
@@ -142,6 +160,24 @@ int main(int argc, char** argv) {
               static_cast<long long>(corpus->text_size()), flags.host.c_str(),
               server.port());
   std::fflush(stdout);
+
+  // Periodic metrics dump (--metrics-dump-sec): the same registry a client
+  // scrapes over the wire with a STATS_REQUEST frame.
+  std::atomic<bool> dump_stop{false};
+  std::thread dumper;
+  if (flags.metrics_dump_sec > 0) {
+    dumper = std::thread([&] {
+      while (!dump_stop.load()) {
+        for (int i = 0; i < flags.metrics_dump_sec * 10 && !dump_stop.load();
+             ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        if (dump_stop.load()) break;
+        std::fprintf(stderr, "---- metrics ----\n%s",
+                     scheduler.registry().Expose().c_str());
+      }
+    });
+  }
 
   // sigaction without SA_RESTART: the park below must be *interrupted* by
   // SIGINT/SIGTERM — std::signal's glibc semantics restart the blocking
@@ -161,14 +197,23 @@ int main(int argc, char** argv) {
     if (n < 0 && errno != EINTR) break;  // EINTR re-checks g_stop
   }
 
+  dump_stop.store(true);
+  if (dumper.joinable()) dumper.join();
+  // Stop the server BEFORE reading the counters: the event loop and
+  // workers are joined, so the summary is the final word rather than a
+  // snapshot racing whatever those threads were still completing.
+  server.Stop();
   std::fprintf(stderr,
-               "shutting down: %llu conns, %llu requests (%llu cancelled, "
+               "shut down: %llu conns, %llu requests (%llu cancelled, "
                "%llu protocol errors)\n",
                static_cast<unsigned long long>(server.connections_accepted()),
                static_cast<unsigned long long>(server.requests_completed()),
                static_cast<unsigned long long>(server.requests_cancelled()),
                static_cast<unsigned long long>(server.protocol_errors()));
-  server.Stop();
+  if (flags.metrics_dump_sec > 0) {
+    std::fprintf(stderr, "---- metrics (final) ----\n%s",
+                 scheduler.registry().Expose().c_str());
+  }
   scheduler.Shutdown();
   return 0;
 }

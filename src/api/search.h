@@ -11,6 +11,7 @@
 #include "src/baseline/blast/blast.h"
 #include "src/core/config.h"
 #include "src/io/sequence.h"
+#include "src/obs/trace.h"
 #include "src/util/cancel.h"
 
 namespace alae {
@@ -43,6 +44,14 @@ struct SearchRequest {
   // (flagged truncated_by_deadline in EngineStats) instead of
   // kDeadlineExceeded. Explicit cancellation still fails with kCancelled.
   bool allow_partial = false;
+
+  // Request-scoped trace (not owned; must outlive the call). When set,
+  // the query scheduler records its stage spans — admission, compile,
+  // queue wait, per-slice execute, merge — into it; a caller that
+  // supplies a trace also owns finishing it (the scheduler's own sampler
+  // and slow-query log are bypassed). Like `cancel`, never part of plan
+  // fingerprints or cache keys.
+  obs::Trace* trace = nullptr;
 };
 
 // Instrumentation merged across all backends: wall time and emission info

@@ -49,6 +49,7 @@ void NetClient::Close() {
   reader_.Reset();
   partial_.clear();
   done_.clear();
+  stats_done_.clear();
 }
 
 api::Status NetClient::WriteAll(const std::string& bytes) {
@@ -95,6 +96,64 @@ api::Status NetClient::ReadMore() {
   }
 }
 
+api::Status NetClient::PumpFrame(uint32_t waiting_id) {
+  Frame frame;
+  api::Status error;
+  while (true) {
+    const FrameReader::Result result = reader_.Next(&frame, &error);
+    if (result == FrameReader::Result::kError) return error;
+    if (result == FrameReader::Result::kNeedMore) {
+      if (api::Status status = ReadMore(); !status.ok()) return status;
+      continue;
+    }
+    break;
+  }
+  const uint32_t id = frame.header.request_id;
+  switch (frame.header.type) {
+    case kFrameHits: {
+      std::vector<AlignmentHit> hits;
+      if (api::Status status = DecodeHitsPayload(frame.payload, &hits);
+          !status.ok()) {
+        return status;
+      }
+      std::vector<AlignmentHit>& sink = partial_[id].hits;
+      sink.insert(sink.end(), hits.begin(), hits.end());
+      break;
+    }
+    case kFrameStatus: {
+      Response response = std::move(partial_[id]);
+      partial_.erase(id);
+      if (api::Status status =
+              DecodeStatusPayload(frame.payload, &response.status);
+          !status.ok()) {
+        return status;
+      }
+      // A protocol-error status is connection-scoped: the server sends
+      // it with request_id 0 and closes. Surface it to whoever is
+      // waiting rather than filing it under a never-awaited id.
+      if (response.status.code == WireCode::kProtocolError &&
+          id != waiting_id) {
+        return api::Status::InvalidArgument(
+            "server reported a protocol error: " + response.status.message);
+      }
+      done_.emplace(id, std::move(response));
+      break;
+    }
+    case kFrameStats: {
+      std::string text;
+      if (api::Status status = DecodeStatsPayload(frame.payload, &text);
+          !status.ok()) {
+        return status;
+      }
+      stats_done_[id] = std::move(text);
+      break;
+    }
+    default:
+      return api::Status::InvalidArgument("unexpected client-bound frame type");
+  }
+  return api::Status::Ok();
+}
+
 api::StatusOr<NetClient::Response> NetClient::Await(uint32_t request_id) {
   if (fd_ < 0) return api::Status::FailedPrecondition("not connected");
   while (true) {
@@ -103,52 +162,21 @@ api::StatusOr<NetClient::Response> NetClient::Await(uint32_t request_id) {
       done_.erase(it);
       return response;
     }
-    Frame frame;
-    api::Status error;
-    switch (reader_.Next(&frame, &error)) {
-      case FrameReader::Result::kError:
-        return error;
-      case FrameReader::Result::kNeedMore:
-        if (api::Status status = ReadMore(); !status.ok()) return status;
-        continue;
-      case FrameReader::Result::kFrame:
-        break;
+    if (api::Status status = PumpFrame(request_id); !status.ok()) return status;
+  }
+}
+
+api::StatusOr<std::string> NetClient::Scrape(uint32_t request_id) {
+  std::string bytes;
+  AppendStatsRequestFrame(request_id, &bytes);
+  if (api::Status status = WriteAll(bytes); !status.ok()) return status;
+  while (true) {
+    if (auto it = stats_done_.find(request_id); it != stats_done_.end()) {
+      std::string text = std::move(it->second);
+      stats_done_.erase(it);
+      return text;
     }
-    const uint32_t id = frame.header.request_id;
-    switch (frame.header.type) {
-      case kFrameHits: {
-        std::vector<AlignmentHit> hits;
-        if (api::Status status = DecodeHitsPayload(frame.payload, &hits);
-            !status.ok()) {
-          return status;
-        }
-        std::vector<AlignmentHit>& sink = partial_[id].hits;
-        sink.insert(sink.end(), hits.begin(), hits.end());
-        break;
-      }
-      case kFrameStatus: {
-        Response response = std::move(partial_[id]);
-        partial_.erase(id);
-        if (api::Status status =
-                DecodeStatusPayload(frame.payload, &response.status);
-            !status.ok()) {
-          return status;
-        }
-        // A protocol-error status is connection-scoped: the server sends
-        // it with request_id 0 and closes. Surface it to whoever is
-        // waiting rather than filing it under a never-awaited id.
-        if (response.status.code == WireCode::kProtocolError &&
-            id != request_id) {
-          return api::Status::InvalidArgument(
-              "server reported a protocol error: " + response.status.message);
-        }
-        done_.emplace(id, std::move(response));
-        break;
-      }
-      default:
-        return api::Status::InvalidArgument(
-            "unexpected client-bound frame type");
-    }
+    if (api::Status status = PumpFrame(request_id); !status.ok()) return status;
   }
 }
 

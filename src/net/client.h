@@ -62,14 +62,26 @@ class NetClient {
   // Send + Await in one call — the non-pipelined convenience path.
   api::StatusOr<Response> Call(const WireRequest& request);
 
+  // Scrapes the server's metrics registry: sends one STATS_REQUEST frame
+  // and blocks until the matching STATS frame returns its text exposition.
+  // Interleaves with pipelined requests like any other frame — hits and
+  // statuses arriving meanwhile are filed for their own Await calls.
+  api::StatusOr<std::string> Scrape(uint32_t request_id);
+
  private:
   api::Status WriteAll(const std::string& bytes);
   api::Status ReadMore();  // one blocking recv into reader_
+
+  // Reads exactly one frame (blocking as needed) and files it under its
+  // request_id. `waiting_id` only disambiguates connection-scoped
+  // protocol-error statuses, which must surface to the caller in the loop.
+  api::Status PumpFrame(uint32_t waiting_id);
 
   int fd_ = -1;
   FrameReader reader_;
   std::unordered_map<uint32_t, Response> partial_;  // hits before STATUS
   std::unordered_map<uint32_t, Response> done_;     // STATUS seen
+  std::unordered_map<uint32_t, std::string> stats_done_;
 };
 
 }  // namespace net

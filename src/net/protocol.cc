@@ -256,6 +256,27 @@ void AppendStatusFrame(uint32_t request_id, const WireStatus& status,
   out->append(payload);
 }
 
+void AppendStatsRequestFrame(uint32_t request_id, std::string* out) {
+  AppendHeader(kFrameStatsRequest, request_id, 0, out);
+}
+
+void AppendStatsFrame(uint32_t request_id, std::string_view text,
+                      std::string* out) {
+  // Exposition text is advisory — a registry too big for one frame is
+  // truncated at the last full line that fits rather than rejected.
+  size_t limit = kMaxPayload - 4;
+  if (text.size() > limit) {
+    size_t cut = text.rfind('\n', limit);
+    text = text.substr(0, cut == std::string_view::npos ? limit : cut + 1);
+  }
+  std::string payload;
+  PutU32(static_cast<uint32_t>(text.size()), &payload);
+  payload.append(text);
+  AppendHeader(kFrameStats, request_id, static_cast<uint32_t>(payload.size()),
+               out);
+  out->append(payload);
+}
+
 api::Status DecodeRequestPayload(std::string_view payload, WireRequest* out) {
   Cursor c(payload);
   uint8_t backend_len = 0;
@@ -341,6 +362,18 @@ api::Status DecodeStatusPayload(std::string_view payload, WireStatus* out) {
   return api::Status::Ok();
 }
 
+api::Status DecodeStatsPayload(std::string_view payload, std::string* out) {
+  Cursor c(payload);
+  uint32_t text_len = 0;
+  if (!c.U32(&text_len)) return Malformed("stats frame truncated at text_len");
+  if (text_len > kMaxPayload) return Malformed("stats text length out of range");
+  if (!c.Bytes(text_len, out)) {
+    return Malformed("stats frame truncated inside text");
+  }
+  if (!c.exhausted()) return Malformed("trailing bytes after stats text");
+  return api::Status::Ok();
+}
+
 FrameReader::Result FrameReader::Next(Frame* out, api::Status* error) {
   if (poisoned_) {
     *error = poison_status_;
@@ -371,7 +404,8 @@ FrameReader::Result FrameReader::Next(Frame* out, api::Status* error) {
     poisoned_ = true;
     poison_status_ = Malformed("payload length exceeds limit");
   } else if (header.type != kFrameRequest && header.type != kFrameCancel &&
-             header.type != kFrameHits && header.type != kFrameStatus) {
+             header.type != kFrameStatsRequest && header.type != kFrameHits &&
+             header.type != kFrameStatus && header.type != kFrameStats) {
     poisoned_ = true;
     poison_status_ = Malformed("unknown frame type");
   }

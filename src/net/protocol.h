@@ -54,10 +54,12 @@ inline constexpr size_t kWireHitSize = 8 + 8 + 8 + 4;
 inline constexpr size_t kMaxHitsPerFrame = (kMaxPayload - 4) / kWireHitSize;
 
 enum FrameType : uint8_t {
-  kFrameRequest = 0x01,  // client -> server: one search request
-  kFrameCancel = 0x02,   // client -> server: cancel an in-flight request_id
-  kFrameHits = 0x81,     // server -> client: a batch of streamed hits
-  kFrameStatus = 0x82,   // server -> client: terminal status (+stats)
+  kFrameRequest = 0x01,       // client -> server: one search request
+  kFrameCancel = 0x02,        // client -> server: cancel an in-flight request_id
+  kFrameStatsRequest = 0x03,  // client -> server: scrape the metrics registry
+  kFrameHits = 0x81,          // server -> client: a batch of streamed hits
+  kFrameStatus = 0x82,        // server -> client: terminal status (+stats)
+  kFrameStats = 0x83,         // server -> client: metrics exposition text
 };
 
 // Wire status codes. RESOURCE_EXHAUSTED is the one *retryable* code — the
@@ -157,6 +159,11 @@ void AppendHitsFrame(uint32_t request_id, const AlignmentHit* hits,
                      size_t count, std::string* out);
 void AppendStatusFrame(uint32_t request_id, const WireStatus& status,
                        std::string* out);
+// STATS_REQUEST carries no payload; STATS carries the registry's text
+// exposition verbatim (length-prefixed), truncated to fit kMaxPayload.
+void AppendStatsRequestFrame(uint32_t request_id, std::string* out);
+void AppendStatsFrame(uint32_t request_id, std::string_view text,
+                      std::string* out);
 
 // ---------------------------------------------------------------------------
 // Decoding. Payload decoders validate every length and bound and return
@@ -168,6 +175,7 @@ api::Status DecodeRequestPayload(std::string_view payload, WireRequest* out);
 api::Status DecodeHitsPayload(std::string_view payload,
                               std::vector<AlignmentHit>* out);
 api::Status DecodeStatusPayload(std::string_view payload, WireStatus* out);
+api::Status DecodeStatsPayload(std::string_view payload, std::string* out);
 
 // Incremental frame decoder: feed arbitrary byte chunks (however the
 // transport fragments them — one byte at a time is fine), pop complete

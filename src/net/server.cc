@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "src/io/sequence.h"
+#include "src/obs/trace.h"
 
 namespace alae {
 namespace net {
@@ -150,9 +151,40 @@ uint8_t WireAlphabetCode(AlphabetKind kind) {
 
 }  // namespace
 
+NetServer::Instruments NetServer::MakeInstruments(
+    obs::MetricsRegistry* registry) {
+  Instruments inst;
+  inst.connections = registry->GetCounter("alae_net_connections_total");
+  inst.admitted = registry->GetCounter("alae_net_requests_admitted_total");
+  inst.completed = registry->GetCounter("alae_net_requests_completed_total");
+  inst.cancelled = registry->GetCounter("alae_net_requests_cancelled_total");
+  inst.protocol_errors = registry->GetCounter("alae_net_protocol_errors_total");
+  inst.disconnect_cancels =
+      registry->GetCounter("alae_net_disconnect_cancels_total");
+  inst.bytes_in = registry->GetCounter("alae_net_bytes_in_total");
+  inst.bytes_out = registry->GetCounter("alae_net_bytes_out_total");
+  inst.stats_scrapes = registry->GetCounter("alae_net_stats_scrapes_total");
+  inst.pipeline_depth = registry->GetGauge("alae_net_pipeline_depth");
+  return inst;
+}
+
+NetServer::Baseline NetServer::MakeBaseline(const Instruments& inst) {
+  Baseline base;
+  base.connections = inst.connections->Value();
+  base.admitted = inst.admitted->Value();
+  base.completed = inst.completed->Value();
+  base.cancelled = inst.cancelled->Value();
+  base.protocol_errors = inst.protocol_errors->Value();
+  base.disconnect_cancels = inst.disconnect_cancels->Value();
+  return base;
+}
+
 NetServer::NetServer(service::QueryScheduler* scheduler,
                      NetServerOptions options)
-    : scheduler_(scheduler), options_(std::move(options)) {}
+    : scheduler_(scheduler),
+      options_(std::move(options)),
+      inst_(MakeInstruments(&scheduler->registry())),
+      base_(MakeBaseline(inst_)) {}
 
 NetServer::~NetServer() { Stop(); }
 
@@ -261,13 +293,17 @@ void NetServer::KillConnection(const std::shared_ptr<Connection>& conn,
     conn->dead = true;
     conn->pending.clear();  // never-dispatched requests die with the peer
     for (auto& [id, token] : conn->inflight) tokens.push_back(token);
+    // Retire the connection's slots here; ServeRequest's own erase is a
+    // no-op afterwards, so the gauge never double-decrements.
+    inst_.pipeline_depth->Add(-static_cast<int64_t>(conn->inflight.size()));
+    conn->inflight.clear();
     conn->out.clear();
     conn->out_offset = 0;
   }
   // Fire outside the lock: workers' sinks take conn->mu.
   for (const std::shared_ptr<CancelToken>& token : tokens) token->Cancel();
   if (count_disconnect && !tokens.empty()) {
-    disconnect_cancels_.fetch_add(tokens.size());
+    inst_.disconnect_cancels->Add(static_cast<int64_t>(tokens.size()));
   }
 }
 
@@ -308,6 +344,7 @@ NetServer::FlushResult NetServer::FlushOutput(Connection* conn) {
                conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
     if (n > 0) {
       conn->out_offset += static_cast<size_t>(n);
+      inst_.bytes_out->Add(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -390,7 +427,7 @@ void NetServer::EventLoop() {
           auto conn = std::make_shared<Connection>(fd, kMaxPayload);
           connections_[fd] = conn;
           poller->Add(fd, false);
-          connections_accepted_.fetch_add(1);
+          inst_.connections->Add();
         }
         continue;
       }
@@ -408,6 +445,7 @@ void NetServer::EventLoop() {
         while (true) {
           const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
           if (n > 0) {
+            inst_.bytes_in->Add(n);
             if (!HandleInput(conn, buf.data(), static_cast<size_t>(n))) {
               // Protocol error: the error STATUS frame is already queued;
               // push it out best-effort, then drop the peer.
@@ -465,7 +503,7 @@ bool NetServer::HandleInput(const std::shared_ptr<Connection>& conn,
       case FrameReader::Result::kNeedMore:
         return true;
       case FrameReader::Result::kError: {
-        protocol_errors_.fetch_add(1);
+        inst_.protocol_errors->Add();
         WireStatus status;
         status.code = WireCode::kProtocolError;
         status.message = error.message();
@@ -484,9 +522,12 @@ bool NetServer::HandleInput(const std::shared_ptr<Connection>& conn,
       case kFrameCancel:
         HandleCancelFrame(conn, frame);
         break;
+      case kFrameStatsRequest:
+        HandleStatsRequestFrame(conn, frame);
+        break;
       default: {
         // Server-bound connections must not carry response-type frames.
-        protocol_errors_.fetch_add(1);
+        inst_.protocol_errors->Add();
         WireStatus status;
         status.code = WireCode::kProtocolError;
         status.message = "unexpected server-bound frame type";
@@ -556,7 +597,8 @@ void NetServer::HandleRequestFrame(const std::shared_ptr<Connection>& conn,
   }
   switch (verdict) {
     case Verdict::kAdmitted:
-      requests_admitted_.fetch_add(1);
+      inst_.admitted->Add();
+      inst_.pipeline_depth->Add(1);
       RingPush(conn);
       break;
     case Verdict::kDuplicate:
@@ -585,6 +627,17 @@ void NetServer::HandleCancelFrame(const std::shared_ptr<Connection>& conn,
   // Unknown ids are ignored: a CANCEL racing the request's own STATUS is
   // the normal case, not an error.
   if (token != nullptr) token->Cancel();
+}
+
+void NetServer::HandleStatsRequestFrame(const std::shared_ptr<Connection>& conn,
+                                        const Frame& frame) {
+  // Payload is defined empty in v1; tolerate (and ignore) trailing bytes so
+  // a future revision can extend the request without versioning the frame.
+  inst_.stats_scrapes->Add();
+  std::string bytes;
+  AppendStatsFrame(frame.header.request_id, scheduler_->registry().Expose(),
+                   &bytes);
+  EnqueueOutput(conn, std::move(bytes));
 }
 
 // ---------------------------------------------------------------------------
@@ -629,7 +682,7 @@ void NetServer::ServeRequest(const std::shared_ptr<Connection>& conn,
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->dead) {
-      conn->inflight.erase(id);
+      if (conn->inflight.erase(id) != 0) inst_.pipeline_depth->Add(-1);
       return;
     }
   }
@@ -643,16 +696,24 @@ void NetServer::ServeRequest(const std::shared_ptr<Connection>& conn,
   request.allow_partial = pending.wire.allow_partial;
   request.cancel = pending.token.get();
 
+  // Front-end-owned trace sampling: by supplying the trace ourselves we can
+  // append the "serialize" spans the scheduler never sees before handing
+  // the finished trace back to the shared tracer (slow-query log).
+  std::unique_ptr<obs::Trace> trace = scheduler_->tracer().MaybeSample();
+  request.trace = trace.get();
+
   const size_t per_frame =
       std::min(std::max<size_t>(1, options_.hits_per_frame), kMaxHitsPerFrame);
   std::vector<AlignmentHit> chunk;
   chunk.reserve(per_frame);
   auto flush = [&] {
     if (chunk.empty()) return;
+    const int64_t start = trace ? obs::Trace::NowNanos() : 0;
     std::string bytes;
     AppendHitsFrame(id, chunk.data(), chunk.size(), &bytes);
     chunk.clear();
     EnqueueOutput(conn, std::move(bytes));
+    if (trace) trace->AddSpan("serialize", start, obs::Trace::NowNanos());
   };
 
   api::StatusOr<api::EngineStats> result = scheduler_->SearchStream(
@@ -683,18 +744,23 @@ void NetServer::ServeRequest(const std::shared_ptr<Connection>& conn,
     status.message = result.status().message();
     if (status.code == WireCode::kCancelled ||
         status.code == WireCode::kDeadlineExceeded) {
-      requests_cancelled_.fetch_add(1);
+      inst_.cancelled->Add();
     }
   }
 
   {
     std::lock_guard<std::mutex> lock(conn->mu);
-    conn->inflight.erase(id);
+    if (conn->inflight.erase(id) != 0) inst_.pipeline_depth->Add(-1);
   }
+  const int64_t serialize_start = trace ? obs::Trace::NowNanos() : 0;
   std::string bytes;
   AppendStatusFrame(id, status, &bytes);
   EnqueueOutput(conn, std::move(bytes));
-  requests_completed_.fetch_add(1);
+  if (trace) {
+    trace->AddSpan("serialize", serialize_start, obs::Trace::NowNanos());
+    scheduler_->tracer().Finish(std::move(trace));
+  }
+  inst_.completed->Add();
 }
 
 }  // namespace net

@@ -15,6 +15,7 @@
 #include "src/api/status.h"
 #include "src/io/alphabet.h"
 #include "src/net/protocol.h"
+#include "src/obs/metrics.h"
 #include "src/service/scheduler.h"
 #include "src/util/cancel.h"
 
@@ -112,13 +113,29 @@ class NetServer {
   // The bound port (after Start); 0 before.
   int port() const { return port_; }
 
-  // Observability counters (tests assert on these).
-  uint64_t connections_accepted() const { return connections_accepted_; }
-  uint64_t requests_admitted() const { return requests_admitted_; }
-  uint64_t requests_completed() const { return requests_completed_; }
-  uint64_t requests_cancelled() const { return requests_cancelled_; }
-  uint64_t protocol_errors() const { return protocol_errors_; }
-  uint64_t disconnect_cancels() const { return disconnect_cancels_; }
+  // Observability counters (tests assert on these). Backed by the metrics
+  // registry (`alae_net_*`, scrapable over the wire via STATS frames);
+  // each accessor subtracts the registry value captured at construction,
+  // so it reports this server instance's own activity even when several
+  // servers share one process-wide registry across their lifetimes.
+  uint64_t connections_accepted() const {
+    return Delta(inst_.connections, base_.connections);
+  }
+  uint64_t requests_admitted() const {
+    return Delta(inst_.admitted, base_.admitted);
+  }
+  uint64_t requests_completed() const {
+    return Delta(inst_.completed, base_.completed);
+  }
+  uint64_t requests_cancelled() const {
+    return Delta(inst_.cancelled, base_.cancelled);
+  }
+  uint64_t protocol_errors() const {
+    return Delta(inst_.protocol_errors, base_.protocol_errors);
+  }
+  uint64_t disconnect_cancels() const {
+    return Delta(inst_.disconnect_cancels, base_.disconnect_cancels);
+  }
 
  private:
   struct PendingRequest {
@@ -157,6 +174,10 @@ class NetServer {
                           const Frame& frame);
   void HandleCancelFrame(const std::shared_ptr<Connection>& conn,
                          const Frame& frame);
+  // Answers a STATS_REQUEST with the scheduler registry's text exposition
+  // (event-loop thread; the scrape is a read-only aggregation).
+  void HandleStatsRequestFrame(const std::shared_ptr<Connection>& conn,
+                               const Frame& frame);
 
   // Runs one admitted request to completion (hits streamed, status sent).
   void ServeRequest(const std::shared_ptr<Connection>& conn,
@@ -212,12 +233,37 @@ class NetServer {
   std::mutex dirty_mu_;
   std::vector<std::shared_ptr<Connection>> dirty_;
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> requests_admitted_{0};
-  std::atomic<uint64_t> requests_completed_{0};
-  std::atomic<uint64_t> requests_cancelled_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> disconnect_cancels_{0};
+  // Registry-backed instruments (`alae_net_*` in the scheduler's
+  // registry), resolved once at construction.
+  struct Instruments {
+    obs::Counter* connections = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* disconnect_cancels = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Counter* stats_scrapes = nullptr;
+    obs::Gauge* pipeline_depth = nullptr;  // admitted, not yet answered
+  };
+  // Registry values at construction; the public accessors report deltas.
+  struct Baseline {
+    int64_t connections = 0;
+    int64_t admitted = 0;
+    int64_t completed = 0;
+    int64_t cancelled = 0;
+    int64_t protocol_errors = 0;
+    int64_t disconnect_cancels = 0;
+  };
+  static uint64_t Delta(const obs::Counter* counter, int64_t base) {
+    return static_cast<uint64_t>(counter->Value() - base);
+  }
+  static Instruments MakeInstruments(obs::MetricsRegistry* registry);
+  static Baseline MakeBaseline(const Instruments& inst);
+
+  const Instruments inst_;
+  const Baseline base_;
 };
 
 }  // namespace net

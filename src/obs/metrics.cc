@@ -1,0 +1,211 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace alae {
+namespace obs {
+
+namespace {
+
+// atomic<double> fetch_add is C++20 but not universally lowered well;
+// a relaxed CAS loop on a per-thread shard sees next to no contention.
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// Shortest-ish decimal rendering; %g keeps golden outputs readable
+// (0.0025 stays "0.0025", integers drop the point).
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  for (Shard& shard : shards_) {
+    shard.counts.reset(new std::atomic<uint64_t>[bounds_.size() + 1]);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Shard& shard = shards_[ThreadShardIndex() % kShards];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum, value);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(q, 0.0));
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target) {
+      return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+  }
+  return bounds.back();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::Expose() const {
+  // One sorted block per instrument name; the three maps are merged by
+  // collecting rendered blocks into a name-keyed map.
+  std::map<std::string, std::string> blocks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      blocks[name] = name + " " + std::to_string(counter->Value()) + "\n";
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      blocks[name] = name + " " + std::to_string(gauge->Value()) + "\n";
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      const Histogram::Snapshot snap = histogram->Snap();
+      std::string block;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < snap.counts.size(); ++i) {
+        cumulative += snap.counts[i];
+        const std::string le =
+            i < snap.bounds.size() ? FormatNumber(snap.bounds[i]) : "+Inf";
+        block += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+      }
+      block += name + "_sum " + FormatNumber(snap.sum) + "\n";
+      block += name + "_count " + std::to_string(snap.count) + "\n";
+      blocks[name] = std::move(block);
+    }
+  }
+  std::string out;
+  for (const auto& [name, block] : blocks) out += block;
+  return out;
+}
+
+void SampleSummary::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+double SampleSummary::mean() const {
+  return samples_.empty() ? 0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleSummary::Percentile(double q) {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::min(1.0, std::max(q, 0.0));
+  const size_t n = samples_.size();
+  const size_t rank =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(q * n)));
+  return samples_[std::min(n - 1, rank - 1)];
+}
+
+std::string SampleSummary::RenderHistogram(const std::vector<double>& bounds,
+                                           const std::string& unit) {
+  if (samples_.empty()) return "";
+  std::vector<uint64_t> counts(bounds.size() + 1, 0);
+  for (double v : samples_) {
+    counts[std::upper_bound(bounds.begin(), bounds.end(), v) -
+           bounds.begin()]++;
+  }
+  const uint64_t peak = *std::max_element(counts.begin(), counts.end());
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int bar =
+        static_cast<int>(1 + (counts[i] * 40) / std::max<uint64_t>(peak, 1));
+    std::string label = i < bounds.size()
+                            ? "<= " + FormatNumber(bounds[i]) + unit
+                            : "> " + FormatNumber(bounds.back()) + unit;
+    std::snprintf(line, sizeof(line), "  %-14s %8llu |%s\n", label.c_str(),
+                  static_cast<unsigned long long>(counts[i]),
+                  std::string(static_cast<size_t>(bar), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace alae

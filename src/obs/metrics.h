@@ -1,0 +1,173 @@
+// Process metrics: named counters, gauges and fixed-bucket latency
+// histograms behind a registry, plus a Prometheus-style text exposition.
+//
+// The hot path is lock-free: Counter and Histogram spread their updates
+// over cache-line-padded per-thread atomic shards (a relaxed fetch_add on
+// a line no other thread is hammering), and aggregation only happens when
+// a scrape calls Value()/Snap()/Expose(). Instrument pointers returned by
+// the registry are stable for the registry's lifetime, so callers resolve
+// them once at construction and never touch the registry lock again.
+//
+// SampleSummary is the deliberately *unsharded* sibling: an exact-sample
+// percentile/histogram helper for single-threaded reporting paths (driver
+// summaries, bench tables). It exists so every p50/p90/p99 printed by
+// this repo comes from one tested nearest-rank implementation.
+
+#ifndef ALAE_SRC_OBS_METRICS_H_
+#define ALAE_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace alae {
+namespace obs {
+
+// Stable per-thread index into sharded-atomic arrays, assigned round-robin
+// on first use. Two threads may share a shard (the shard count bounds
+// memory, not correctness — updates stay atomic either way).
+size_t ThreadShardIndex();
+
+// Monotonically increasing event count. Add() is wait-free.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    shards_[ThreadShardIndex() % kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+// Instantaneous signed level (queue depth, outstanding deltas, ...).
+// A single atomic: gauges are updated at bounded rates, not per-cell.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram over ascending upper bounds (plus an implicit
+// +Inf overflow bucket). Observe() is a bucket search plus two relaxed
+// atomic adds on the calling thread's shard.
+class Histogram {
+ public:
+  static constexpr size_t kShards = 8;
+
+  // Latency buckets in seconds, 100us .. 10s, roughly 1-2.5-5 spaced.
+  static std::vector<double> DefaultLatencyBounds();
+
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;    // finite upper bounds, ascending
+    std::vector<uint64_t> counts;  // bounds.size()+1; last is +Inf
+    double sum = 0;
+    uint64_t count = 0;
+
+    // Nearest-rank percentile estimate: the upper bound of the bucket
+    // holding the q-th observation (last finite bound if it landed in
+    // the overflow bucket). q in (0, 1].
+    double Percentile(double q) const;
+  };
+  Snapshot Snap() const;
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;  // bounds_.size()+1
+    std::atomic<double> sum{0};
+  };
+  std::vector<double> bounds_;
+  Shard shards_[kShards];
+};
+
+// Name -> instrument map. Get*() interns the instrument on first use and
+// returns a pointer stable for the registry's lifetime; callers cache it.
+// Names follow Prometheus conventions (`alae_pool_queue_depth`,
+// `alae_scheduler_requests_total{verb="search"}`): any label decoration
+// is part of the name string, the registry does not parse it.
+class MetricsRegistry {
+ public:
+  // The process-wide registry; long-lived components default to it.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // Bounds are fixed on first registration; a second Get with different
+  // bounds returns the existing histogram unchanged.
+  Histogram* GetHistogram(
+      const std::string& name,
+      std::vector<double> bounds = Histogram::DefaultLatencyBounds());
+
+  // Text exposition, one `name value` line per counter/gauge and the
+  // usual `_bucket{le=...}/_sum/_count` triple per histogram, sorted by
+  // instrument name. Safe to call concurrently with hot-path updates.
+  std::string Expose() const;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Exact-sample summary for single-threaded reporting: keeps every value,
+// sorts lazily. Percentile(q) is nearest-rank — index ceil(q*n)-1 into
+// the sorted samples, clamped — so serve_main and bench_net print
+// identical numbers for identical inputs.
+class SampleSummary {
+ public:
+  void Add(double v);
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double Percentile(double q);
+
+  // Bucketed text rendering (`<= bound  count |#####` rows plus an
+  // overflow row), bars scaled to the fullest bucket. `unit` is appended
+  // to each bound label. Returns "" when empty.
+  std::string RenderHistogram(const std::vector<double>& bounds,
+                              const std::string& unit);
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+  bool sorted_ = true;
+};
+
+}  // namespace obs
+}  // namespace alae
+
+#endif  // ALAE_SRC_OBS_METRICS_H_

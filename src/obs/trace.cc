@@ -1,0 +1,153 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace alae {
+namespace obs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int64_t Trace::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int Trace::BeginSpan(std::string name, int parent) {
+  const int64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(TraceSpan{std::move(name), now, 0, parent});
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Trace::EndSpan(int id) {
+  const int64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  if (spans_[id].end_ns == 0) spans_[id].end_ns = now;
+}
+
+int Trace::AddSpan(std::string name, int64_t start_ns, int64_t end_ns,
+                   int parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(TraceSpan{std::move(name), start_ns, end_ns, parent});
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+std::vector<TraceSpan> Trace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+int64_t Trace::WallNanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t first = 0, last = 0;
+  bool any = false;
+  for (const TraceSpan& span : spans_) {
+    const int64_t end = span.end_ns != 0 ? span.end_ns : span.start_ns;
+    if (!any) {
+      first = span.start_ns;
+      last = end;
+      any = true;
+    } else {
+      first = std::min(first, span.start_ns);
+      last = std::max(last, end);
+    }
+  }
+  return any ? last - first : 0;
+}
+
+std::string Trace::Render() const {
+  const std::vector<TraceSpan> spans = Spans();
+  // Children in creation order under each parent; one DFS with an
+  // explicit stack keeps it linear in span count.
+  std::vector<std::vector<int>> children(spans.size());
+  std::vector<int> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const int parent = spans[i].parent;
+    if (parent >= 0 && static_cast<size_t>(parent) < spans.size() &&
+        static_cast<size_t>(parent) != i) {
+      children[parent].push_back(static_cast<int>(i));
+    } else {
+      roots.push_back(static_cast<int>(i));
+    }
+  }
+  std::string out;
+  char line[192];
+  // (index, depth), pushed in reverse so pops come in creation order.
+  std::vector<std::pair<int, int>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    const TraceSpan& span = spans[index];
+    const int64_t end = span.end_ns != 0 ? span.end_ns : span.start_ns;
+    std::snprintf(line, sizeof(line), "%*s%s: %.1fus\n", depth * 2, "",
+                  span.name.c_str(),
+                  static_cast<double>(end - span.start_ns) / 1e3);
+    out += line;
+    for (auto it = children[index].rbegin(); it != children[index].rend();
+         ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+Tracer::Tracer(TracerOptions options)
+    : options_(std::move(options)), rng_state_(options_.seed) {}
+
+std::unique_ptr<Trace> Tracer::MaybeSample() {
+  if (options_.sample_rate <= 0.0) return nullptr;
+  bool take = options_.sample_rate >= 1.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t draw = SplitMix64(&rng_state_);
+    if (!take) {
+      take = static_cast<double>(draw >> 11) * 0x1.0p-53 <
+             options_.sample_rate;
+    }
+  }
+  if (!take) return nullptr;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<Trace>();
+}
+
+void Tracer::Finish(std::unique_ptr<Trace> trace) {
+  if (trace == nullptr) return;
+  if (options_.slow_query_ns <= 0 ||
+      trace->WallNanos() < options_.slow_query_ns) {
+    return;
+  }
+  slow_.fetch_add(1, std::memory_order_relaxed);
+  std::string rendered = trace->Render();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slow_ring_.push_back(rendered);
+    while (slow_ring_.size() > std::max<size_t>(options_.keep_slow, 1)) {
+      slow_ring_.pop_front();
+    }
+  }
+  if (options_.slow_sink) options_.slow_sink(rendered);
+}
+
+std::vector<std::string> Tracer::SlowTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {slow_ring_.begin(), slow_ring_.end()};
+}
+
+}  // namespace obs
+}  // namespace alae

@@ -10,6 +10,7 @@
 
 #include "src/util/fault_injector.h"
 #include "src/util/serialize.h"
+#include "src/util/timer.h"
 
 namespace alae {
 namespace service {
@@ -186,7 +187,24 @@ api::StatusOr<std::unique_ptr<LiveCorpus>> LiveCorpus::Build(
   return live;
 }
 
+void LiveCorpus::InitInstruments() {
+  obs::MetricsRegistry& r = options_.registry != nullptr
+                                ? *options_.registry
+                                : obs::MetricsRegistry::Default();
+  inst_.appends = r.GetCounter("alae_live_appends_total");
+  inst_.deletes = r.GetCounter("alae_live_deletes_total");
+  inst_.compactions = r.GetCounter("alae_live_compactions_total");
+  inst_.tombstones_gced = r.GetCounter("alae_live_tombstones_gced_total");
+  inst_.delta_shards = r.GetGauge("alae_live_delta_shards");
+  inst_.tombstones = r.GetGauge("alae_live_tombstones");
+  inst_.append_seconds = r.GetHistogram("alae_live_append_seconds");
+  inst_.compaction_seconds = r.GetHistogram("alae_live_compaction_seconds");
+  inst_.compaction_pause_seconds =
+      r.GetHistogram("alae_live_compaction_pause_seconds");
+}
+
 void LiveCorpus::StartCompactorIfConfigured() {
+  InitInstruments();
   if (options_.background_compaction && options_.compact_after_deltas > 0) {
     compactor_ = std::make_unique<BackgroundWorker>([this] {
       std::lock_guard<std::mutex> mlock(mutate_mu_);
@@ -207,6 +225,7 @@ api::StatusOr<uint64_t> LiveCorpus::AppendDocument(const Sequence& doc) {
     return api::Status::InvalidArgument(
         "appended document's alphabet does not match the corpus");
   }
+  Timer append_timer;
   std::lock_guard<std::mutex> mlock(mutate_mu_);
   const int64_t begin = static_cast<int64_t>(text_.size());
   const int64_t end = begin + static_cast<int64_t>(doc.size());
@@ -228,13 +247,20 @@ api::StatusOr<uint64_t> LiveCorpus::AppendDocument(const Sequence& doc) {
       text_.Substr(static_cast<size_t>(slice_start),
                    static_cast<size_t>(end - slice_start)),
       meta, options_.base.index);
+  size_t outstanding = 0;
   {
     std::lock_guard<std::mutex> slock(state_mu_);
     docs_.push_back(DocumentInfo{DocumentSpan{id, begin, end}, true});
     deltas_.push_back(std::move(delta));
+    outstanding = deltas_.size();
     text_size_ = end;
     epoch_ = NextServiceEpoch();
   }
+  // Latency up to publication: the synchronous cost a caller experienced
+  // (a triggered compaction below accounts for itself).
+  inst_.appends->Add();
+  inst_.delta_shards->Set(static_cast<int64_t>(outstanding));
+  inst_.append_seconds->Observe(append_timer.ElapsedSeconds());
   MaybeCompactLocked();
   return id;
 }
@@ -267,7 +293,9 @@ api::Status LiveCorpus::DeleteDocument(uint64_t doc_id) {
                          }),
         tomb);
     epoch_ = NextServiceEpoch();
+    inst_.tombstones->Set(static_cast<int64_t>(tombstones_.size()));
   }
+  inst_.deletes->Add();
   return api::Status::Ok();
 }
 
@@ -290,6 +318,7 @@ void LiveCorpus::MaybeCompactLocked() {
 
 api::Status LiveCorpus::CompactLocked(const CancelToken* cancel) {
   if (deltas_.empty() && tombstones_.empty()) return api::Status::Ok();
+  Timer compaction_timer;
 
   // Rewrite the physical text without the dead spans, preserving ids and
   // order; coordinates shift, which is why this publishes a new epoch.
@@ -312,17 +341,29 @@ api::Status LiveCorpus::CompactLocked(const CancelToken* cancel) {
   api::StatusOr<std::unique_ptr<ShardedCorpus>> rebuilt =
       ShardedCorpus::Build(fresh, options_.base, cancel);
   if (!rebuilt.ok()) return rebuilt.status();
+  size_t gced = 0;
+  Timer pause_timer;
   {
+    // The swap: the only window in which a Snapshot() call would wait on
+    // a compaction (the "pause" the metrics histogram records; the full
+    // rebuild above blocks only other mutations).
     std::lock_guard<std::mutex> slock(state_mu_);
     base_ = std::move(rebuilt).value();
     deltas_.clear();
+    gced = tombstones_.size();
     tombstones_.clear();
     docs_ = std::move(remapped);
     text_size_ = static_cast<int64_t>(fresh.size());
     epoch_ = NextServiceEpoch();
     ++compactions_;
   }
+  inst_.compaction_pause_seconds->Observe(pause_timer.ElapsedSeconds());
   text_ = std::move(fresh);
+  inst_.compactions->Add();
+  if (gced > 0) inst_.tombstones_gced->Add(gced);
+  inst_.delta_shards->Set(0);
+  inst_.tombstones->Set(0);
+  inst_.compaction_seconds->Observe(compaction_timer.ElapsedSeconds());
   return api::Status::Ok();
 }
 

@@ -9,6 +9,7 @@
 
 #include "src/api/api.h"
 #include "src/io/sequence.h"
+#include "src/obs/metrics.h"
 #include "src/service/corpus_view.h"
 #include "src/service/delta_shard.h"
 #include "src/service/sharded_corpus.h"
@@ -32,6 +33,12 @@ struct LiveCorpusOptions {
   // joined at destruction); with `false` a triggered compaction runs
   // synchronously inside the mutating call — deterministic, for tests.
   bool background_compaction = true;
+
+  // Registry for the live-corpus instruments — append latency, compaction
+  // duration and swap pause, delta/tombstone levels (null = the process
+  // Default()). Always recorded: every site is on the mutation path, off
+  // the query hot path.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 // A mutable corpus in the log-structured mould (LogBase): an immutable
@@ -157,6 +164,10 @@ class LiveCorpus : public CorpusSource {
  private:
   LiveCorpus() = default;
 
+  // Resolves the registry-backed instruments; options_ must be set.
+  // Called (with StartCompactorIfConfigured) by every construction path.
+  void InitInstruments();
+
   void StartCompactorIfConfigured();
 
   // Compaction body; mutate_mu_ must be held. `cancel` (may be null) is
@@ -169,6 +180,20 @@ class LiveCorpus : public CorpusSource {
 
   LiveCorpusOptions options_;
   const Alphabet* alphabet_ = nullptr;
+
+  // Registry-backed instruments (see LiveCorpusOptions::registry).
+  struct Instruments {
+    obs::Counter* appends = nullptr;
+    obs::Counter* deletes = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Counter* tombstones_gced = nullptr;
+    obs::Gauge* delta_shards = nullptr;
+    obs::Gauge* tombstones = nullptr;
+    obs::Histogram* append_seconds = nullptr;
+    obs::Histogram* compaction_seconds = nullptr;
+    obs::Histogram* compaction_pause_seconds = nullptr;
+  };
+  Instruments inst_;
 
   // Serialises mutations (append/delete/compact/save) against each other;
   // held across index builds. Queries never take it.

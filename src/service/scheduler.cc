@@ -73,9 +73,91 @@ QueryScheduler::QueryScheduler(const CorpusSource& source,
       batch_size_(std::max<size_t>(1, options.batch_size)),
       fuse_alae_shards_(options.fuse_alae_shards),
       default_deadline_ms_(options.default_deadline_ms),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &obs::MetricsRegistry::Default()),
+      inst_(MakeInstruments(options, registry_)),
+      tracer_(obs::TracerOptions{options.trace_sample_rate, options.trace_seed,
+                                 options.slow_query_ms * 1'000'000,
+                                 /*keep_slow=*/8, options.slow_query_sink}),
       cache_(options.cache_capacity),
       shard_cache_(options.shard_cache_capacity),
-      pool_(options.threads, options.queue_capacity) {}
+      pool_(options.threads, options.queue_capacity,
+            PoolMetrics{inst_.pool_queue_depth, inst_.pool_rejects}) {}
+
+QueryScheduler::Instruments QueryScheduler::MakeInstruments(
+    const SchedulerOptions& options, obs::MetricsRegistry* registry) {
+  Instruments inst;
+  if (!options.enable_metrics) return inst;
+  obs::MetricsRegistry& r = *registry;
+  inst.requests_search =
+      r.GetCounter("alae_scheduler_requests_total{verb=\"search\"}");
+  inst.requests_stream =
+      r.GetCounter("alae_scheduler_requests_total{verb=\"stream\"}");
+  inst.sheds = r.GetCounter("alae_scheduler_shed_total");
+  inst.cancelled = r.GetCounter("alae_scheduler_cancelled_total");
+  inst.deadline_exceeded = r.GetCounter("alae_scheduler_deadline_exceeded_total");
+  inst.errors = r.GetCounter("alae_scheduler_errors_total");
+  inst.response_cache_hits =
+      r.GetCounter("alae_scheduler_response_cache_hits_total");
+  inst.response_cache_misses =
+      r.GetCounter("alae_scheduler_response_cache_misses_total");
+  inst.fragment_cache_hits =
+      r.GetCounter("alae_scheduler_fragment_cache_hits_total");
+  inst.fragment_cache_misses =
+      r.GetCounter("alae_scheduler_fragment_cache_misses_total");
+  inst.fused_queries = r.GetCounter("alae_scheduler_fused_queries_total");
+  inst.dp_cells = r.GetCounter("alae_engine_dp_cells_total");
+  inst.fm_extends = r.GetCounter("alae_engine_fm_extends_total");
+  inst.trie_nodes = r.GetCounter("alae_engine_trie_nodes_total");
+  inst.forks_opened = r.GetCounter("alae_engine_forks_opened_total");
+  inst.pool_queue_depth = r.GetGauge("alae_pool_queue_depth");
+  inst.pool_rejects = r.GetCounter("alae_pool_admission_rejects_total");
+  inst.latency = r.GetHistogram("alae_scheduler_search_seconds");
+  return inst;
+}
+
+void QueryScheduler::RecordResult(const api::Status& status,
+                                  const api::EngineStats* stats) {
+  if (inst_.latency == nullptr) return;  // metrics disabled
+  if (!status.ok()) {
+    switch (status.code()) {
+      case api::StatusCode::kResourceExhausted:
+        inst_.sheds->Add();
+        break;
+      case api::StatusCode::kCancelled:
+        inst_.cancelled->Add();
+        break;
+      case api::StatusCode::kDeadlineExceeded:
+        inst_.deadline_exceeded->Add();
+        break;
+      default:
+        inst_.errors->Add();
+        break;
+    }
+    return;
+  }
+  if (stats == nullptr) return;
+  inst_.latency->Observe(stats->seconds);
+  if (stats->cache_hits > 0) inst_.response_cache_hits->Add(stats->cache_hits);
+  if (stats->cache_misses > 0) {
+    inst_.response_cache_misses->Add(stats->cache_misses);
+  }
+  if (stats->shard_cache_hits > 0) {
+    inst_.fragment_cache_hits->Add(stats->shard_cache_hits);
+  }
+  if (stats->shard_cache_misses > 0) {
+    inst_.fragment_cache_misses->Add(stats->shard_cache_misses);
+  }
+  const DpCounters& c = stats->counters;
+  if (const uint64_t cells = c.Calculated(); cells > 0) {
+    inst_.dp_cells->Add(cells);
+  }
+  if (c.fm_extends + c.fm_extend_alls > 0) {
+    inst_.fm_extends->Add(c.fm_extends + c.fm_extend_alls);
+  }
+  if (c.trie_nodes_visited > 0) inst_.trie_nodes->Add(c.trie_nodes_visited);
+  if (c.forks_opened > 0) inst_.forks_opened->Add(c.forks_opened);
+}
 
 QueryScheduler::~QueryScheduler() { Shutdown(); }
 
@@ -103,7 +185,9 @@ api::StatusOr<api::SearchResponse> QueryScheduler::Search(
 api::Status QueryScheduler::RunSliceQuery(const CorpusView& view, size_t slice,
                                           const api::Aligner* aligner,
                                           const api::QueryPlan& plan,
-                                          HitMerger* merger) {
+                                          HitMerger* merger, obs::Trace* trace,
+                                          int root) {
+  obs::ScopedSpan execute_span(trace, "execute", root);
   const bool frag = shard_cache_.capacity() > 0;
   std::string fkey;
   if (frag) {
@@ -143,17 +227,19 @@ api::Status QueryScheduler::RunSliceQuery(const CorpusView& view, size_t slice,
 
 api::Status QueryScheduler::RunFusedQuery(
     const CorpusView& view, const api::QueryPlan& plan,
-    const std::vector<const api::Aligner*>& aligners, HitMerger* merger) {
+    const std::vector<const api::Aligner*>& aligners, HitMerger* merger,
+    obs::Trace* trace, int root) {
   const size_t slices = view.slices.size();
   // The fused walk needs the typed ALAE plan and cannot host the
   // (single-index, test-only) bitset filter; everything else — including
   // plans from a custom backend registered under the "alae" name — runs
-  // the per-slice loop below, serially inside this one task.
+  // the per-slice loop below, serially inside this one task (which opens
+  // its own per-slice execute spans, so none is opened here).
   const auto* compiled = dynamic_cast<const api::AlaePlan*>(&plan);
   if (compiled == nullptr || plan.request().alae.bitset_global_filter) {
     for (size_t s = 0; s < slices; ++s) {
       if (api::Status status =
-              RunSliceQuery(view, s, aligners[s], plan, merger);
+              RunSliceQuery(view, s, aligners[s], plan, merger, trace, root);
           !status.ok()) {
         return status;
       }
@@ -161,6 +247,7 @@ api::Status QueryScheduler::RunFusedQuery(
     return api::Status::Ok();
   }
 
+  obs::ScopedSpan execute_span(trace, "execute", root);
   const bool frag = shard_cache_.capacity() > 0;
   std::vector<std::string> fkeys;
   if (frag) {
@@ -271,6 +358,46 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   Timer timer;
   std::vector<api::QueryOutcome> outcomes(requests.size());
   if (requests.empty()) return outcomes;
+  if (inst_.requests_search != nullptr) {
+    inst_.requests_search->Add(requests.size());
+  }
+
+  // Per-query traces: caller-supplied (the caller finishes those), else
+  // sampled from the tracer. roots[i] is the query's "search" root span.
+  // The exit guard below closes every root, hands sampled traces to the
+  // tracer (slow-query log) and folds final outcomes into the metrics on
+  // every return path.
+  std::vector<obs::Trace*> traces(requests.size(), nullptr);
+  std::vector<std::unique_ptr<obs::Trace>> sampled(requests.size());
+  std::vector<int> roots(requests.size(), -1);
+  bool any_trace = false;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    traces[i] = requests[i].trace;
+    if (traces[i] == nullptr) {
+      sampled[i] = tracer_.MaybeSample();
+      traces[i] = sampled[i].get();
+    }
+    if (traces[i] != nullptr) {
+      roots[i] = traces[i]->BeginSpan("search");
+      any_trace = true;
+    }
+  }
+  struct ObsExit {
+    QueryScheduler* self;
+    std::vector<api::QueryOutcome>* outcomes;
+    std::vector<obs::Trace*>* traces;
+    std::vector<std::unique_ptr<obs::Trace>>* sampled;
+    std::vector<int>* roots;
+    ~ObsExit() {
+      for (size_t i = 0; i < traces->size(); ++i) {
+        if ((*traces)[i] != nullptr) (*traces)[i]->EndSpan((*roots)[i]);
+        self->tracer_.Finish(std::move((*sampled)[i]));
+      }
+      for (const api::QueryOutcome& o : *outcomes) {
+        self->RecordResult(o.status, &o.response.stats);
+      }
+    }
+  } obs_exit{this, &outcomes, &traces, &sampled, &roots};
 
   // Lifecycle registration: a batch admitted here is guaranteed to finish
   // (Shutdown waits for it); a batch arriving after Shutdown began is
@@ -334,6 +461,9 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   std::vector<int64_t> guards(requests.size(), 0);
   std::vector<std::unique_ptr<const api::QueryPlan>> plans(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
+    // Admission span: validation, span check and the cache lookup. Ends
+    // where compilation starts; the scope exit covers every `continue`.
+    obs::ScopedSpan admit_span(traces[i], "admit", roots[i]);
     if (api::Status status = aligners[0]->Validate(requests[i]);
         !status.ok()) {
       outcomes[i].status = status;
@@ -381,6 +511,8 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
     // scheduler's default deadline AND a scheduler Shutdown, whichever
     // fires first. Neither token nor allow_partial is fingerprinted, so
     // cache keys are unaffected.
+    admit_span.End();
+    obs::ScopedSpan compile_span(traces[i], "compile", roots[i]);
     tokens.emplace_back(requests[i].cancel);
     if (default_deadline_ms_ > 0) {
       tokens.back().SetDeadlineAfter(
@@ -420,6 +552,9 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
   const size_t group = batch_size_;
   const bool fused = fuse_alae_shards_ && aligners[0]->name() == "alae";
   const size_t tasks_per_group = fused ? 1 : slices;
+  if (fused && inst_.fused_queries != nullptr) {
+    inst_.fused_queries->Add(live.size());
+  }
   // deque: HitMerger carries a mutex and must be constructed in place.
   std::deque<HitMerger> mergers;
   for (size_t k = 0; k < live.size(); ++k) {
@@ -456,16 +591,27 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
     const size_t num_groups = (wave_end - wave + group - 1) / group;
     const size_t num_tasks = tasks_per_group * num_groups;
     TaskGroup done(num_tasks);
+    // Queue-wait accounting for traced queries: stamped just before the
+    // wave submits, read by the first task that starts running the query.
+    int64_t submit_ns = 0;
     std::vector<std::function<void()>> tasks;
     tasks.reserve(num_tasks);
     if (fused) {
       for (size_t g = wave; g < wave_end; g += group) {
         const size_t g_end = std::min(wave_end, g + group);
         tasks.push_back([this, g, g_end, &view, &live, &plans, &aligners,
-                         &mergers, &errors, &done] {
+                         &mergers, &errors, &done, &traces, &roots,
+                         &submit_ns] {
+          int64_t start_ns = 0;
           for (size_t k = g; k < g_end; ++k) {
-            api::Status status =
-                RunFusedQuery(view, *plans[live[k]], aligners, &mergers[k]);
+            obs::Trace* trace = traces[live[k]];
+            const int root = roots[live[k]];
+            if (trace != nullptr) {
+              if (start_ns == 0) start_ns = obs::Trace::NowNanos();
+              trace->AddSpan("queue", submit_ns, start_ns, root);
+            }
+            api::Status status = RunFusedQuery(view, *plans[live[k]], aligners,
+                                               &mergers[k], trace, root);
             if (!status.ok()) errors[k].Record(std::move(status));
           }
           done.Done();
@@ -477,14 +623,26 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
           const size_t g_end = std::min(wave_end, g + group);
           const api::Aligner* aligner = aligners[s];
           tasks.push_back([this, s, g, g_end, aligner, &view, &live, &plans,
-                           &mergers, &errors, &done] {
+                           &mergers, &errors, &done, &traces, &roots,
+                           &submit_ns] {
+            int64_t start_ns = 0;
             for (size_t k = g; k < g_end; ++k) {
+              obs::Trace* trace = traces[live[k]];
+              const int root = roots[live[k]];
+              // One queue span per query (slice 0's task), not one per
+              // slice: the per-slice waits overlap and would double-book
+              // the tree.
+              if (s == 0 && trace != nullptr) {
+                if (start_ns == 0) start_ns = obs::Trace::NowNanos();
+                trace->AddSpan("queue", submit_ns, start_ns, root);
+              }
               // The shared plan carries max_hits = 0 (see admission), so
               // every slice streams its full owned answer; the global cap
               // is applied by HitMerger::Take on the sorted merged set —
               // which is exactly the unsharded prefix.
               api::Status status =
-                  RunSliceQuery(view, s, aligner, *plans[live[k]], &mergers[k]);
+                  RunSliceQuery(view, s, aligner, *plans[live[k]], &mergers[k],
+                                trace, root);
               if (!status.ok()) errors[k].Record(std::move(status));
             }
             done.Done();
@@ -492,6 +650,7 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
         }
       }
     }
+    if (any_trace) submit_ns = obs::Trace::NowNanos();
     if (!pool_.TrySubmitBatch(std::move(tasks))) {
       // A shutdown closes admission too; report that truthfully rather
       // than as transient overload someone might retry against.
@@ -518,7 +677,9 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
       outcomes[i].status = status;
       continue;
     }
+    obs::ScopedSpan merge_span(traces[i], "merge", roots[i]);
     api::SearchResponse response = mergers[k].Take(requests[i].max_hits);
+    merge_span.End();
     response.stats.delta_shards = num_deltas;
     response.stats.compactions = view.compactions;
     // Cache the computed payload without this call's cache or compile
@@ -540,7 +701,9 @@ std::vector<api::QueryOutcome> QueryScheduler::SearchBatch(
 api::Status QueryScheduler::RunStreamSlice(const CorpusView& view, size_t slice,
                                            const api::Aligner* aligner,
                                            const api::QueryPlan& plan,
-                                           StreamMerger* merger) {
+                                           StreamMerger* merger,
+                                           obs::Trace* trace, int root) {
+  obs::ScopedSpan execute_span(trace, "execute", root);
   if (shard_cache_.capacity() > 0) {
     // Lookup only: a streamed run may be cut short by the cap at any
     // moment, which would leave a raw fragment incomplete — fragments are
@@ -585,6 +748,32 @@ api::Status QueryScheduler::RunStreamSlice(const CorpusView& view, size_t slice,
 api::StatusOr<api::EngineStats> QueryScheduler::SearchStream(
     std::string_view backend, const api::SearchRequest& request,
     const api::HitSink& sink) {
+  if (inst_.requests_stream != nullptr) inst_.requests_stream->Add();
+  // Caller-supplied traces are finished by the caller (the net front-end
+  // appends serialize spans after the scheduler is done); sampled traces
+  // are closed and offered to the slow-query log here.
+  obs::Trace* trace = request.trace;
+  std::unique_ptr<obs::Trace> owned;
+  if (trace == nullptr) {
+    owned = tracer_.MaybeSample();
+    trace = owned.get();
+  }
+  const int root = trace != nullptr ? trace->BeginSpan("search") : -1;
+  api::StatusOr<api::EngineStats> result =
+      SearchStreamImpl(backend, request, sink, trace, root);
+  if (trace != nullptr) trace->EndSpan(root);
+  tracer_.Finish(std::move(owned));
+  if (result.ok()) {
+    RecordResult(api::Status::Ok(), &*result);
+  } else {
+    RecordResult(result.status(), nullptr);
+  }
+  return result;
+}
+
+api::StatusOr<api::EngineStats> QueryScheduler::SearchStreamImpl(
+    std::string_view backend, const api::SearchRequest& request,
+    const api::HitSink& sink, obs::Trace* trace, int root) {
   Timer timer;
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
@@ -610,6 +799,7 @@ api::StatusOr<api::EngineStats> QueryScheduler::SearchStream(
     }
   } exit_guard{this, &effective, &registered};
 
+  obs::ScopedSpan admit_span(trace, "admit", root);
   const CorpusView view = source_.Snapshot();
   const size_t slices = view.slices.size();
 
@@ -665,6 +855,8 @@ api::StatusOr<api::EngineStats> QueryScheduler::SearchStream(
     }
   }
 
+  admit_span.End();
+  obs::ScopedSpan compile_span(trace, "compile", root);
   // The cap token is what the engines observe: it inherits the effective
   // token's cancellation/deadline AND fires on its own when the merger
   // satisfies max_hits (or the sink stops) — the streaming short-circuit.
@@ -675,6 +867,7 @@ api::StatusOr<api::EngineStats> QueryScheduler::SearchStream(
   api::StatusOr<std::unique_ptr<api::QueryPlan>> plan =
       aligners[0]->Compile(std::move(uncapped));
   if (!plan.ok()) return plan.status();
+  compile_span.End();
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     inflight_.insert(&effective);
@@ -685,18 +878,26 @@ api::StatusOr<api::EngineStats> QueryScheduler::SearchStream(
   StreamMerger merger(view, guard, request.max_hits, sink, &cap);
   ErrorSlot error;
   TaskGroup done(slices);
+  int64_t submit_ns = 0;  // stamped just before the batch submits
   std::vector<std::function<void()>> tasks;
   tasks.reserve(slices);
   for (size_t s = 0; s < slices; ++s) {
     const api::Aligner* aligner = aligners[s];
     const api::QueryPlan* compiled = plan->get();
     tasks.push_back([this, s, aligner, compiled, &view, &merger, &error,
-                     &done] {
-      api::Status status = RunStreamSlice(view, s, aligner, *compiled, &merger);
+                     &done, trace, root, &submit_ns] {
+      // One queue span for the stream (slice 0's task); per-slice waits
+      // overlap and would double-book the tree.
+      if (s == 0 && trace != nullptr) {
+        trace->AddSpan("queue", submit_ns, obs::Trace::NowNanos(), root);
+      }
+      api::Status status =
+          RunStreamSlice(view, s, aligner, *compiled, &merger, trace, root);
       if (!status.ok()) error.Record(std::move(status));
       done.Done();
     });
   }
+  if (trace != nullptr) submit_ns = obs::Trace::NowNanos();
   if (!pool_.TrySubmitBatch(std::move(tasks))) {
     return pool_.IsShutdown()
                ? api::Status::Cancelled("scheduler is shutting down")

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/api/api.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/service/corpus_view.h"
 #include "src/service/result_cache.h"
 #include "src/service/thread_pool.h"
@@ -64,6 +66,27 @@ struct SchedulerOptions {
   // the request's own cancel token, so whichever fires first wins; a
   // caller-supplied sooner deadline is unaffected.
   int64_t default_deadline_ms = 0;
+
+  // --- Observability ---
+
+  // Routes scheduler, pool and engine counters into the metrics registry
+  // (`registry`, or the process-wide MetricsRegistry::Default() when
+  // null). `false` skips every metric update — the uninstrumented
+  // baseline the bench overhead gate (service/obs/off) measures against.
+  bool enable_metrics = true;
+  obs::MetricsRegistry* registry = nullptr;
+
+  // Request tracing: this fraction of requests that do NOT carry their
+  // own SearchRequest::trace get a scheduler-owned Trace recording the
+  // admission / compile / queue-wait / per-slice execute / merge stages.
+  // The sampling sequence is deterministic in trace_seed. Sampled traces
+  // whose wall time reaches slow_query_ms are rendered as span trees
+  // into the slow-query log (kept in a small ring, and forwarded to
+  // slow_query_sink when set). 0 disables sampling / the slow log.
+  double trace_sample_rate = 0.0;
+  uint64_t trace_seed = 0x9e3779b97f4a7c15ull;
+  int64_t slow_query_ms = 0;
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 // The multi-tenant front door of the sharded query service: snapshots the
@@ -148,20 +171,60 @@ class QueryScheduler {
   const ResultCache& cache() const { return cache_; }
   const ResultCache& shard_cache() const { return shard_cache_; }
 
+  // The registry scheduler metrics land in (resolved even when
+  // enable_metrics is false, so a front-end can still scrape it) and the
+  // tracer behind sampling + the slow-query log. The front-end uses the
+  // tracer to sample its own request-scoped traces so it can append
+  // serialize spans the scheduler never sees.
+  obs::MetricsRegistry& registry() const { return *registry_; }
+  obs::Tracer& tracer() { return tracer_; }
+
  private:
+  // Registry-backed instruments, resolved once at construction. All null
+  // when the options disable metrics — every hot-path update is a single
+  // null check away from free.
+  struct Instruments {
+    obs::Counter* requests_search = nullptr;
+    obs::Counter* requests_stream = nullptr;
+    obs::Counter* sheds = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* response_cache_hits = nullptr;
+    obs::Counter* response_cache_misses = nullptr;
+    obs::Counter* fragment_cache_hits = nullptr;
+    obs::Counter* fragment_cache_misses = nullptr;
+    obs::Counter* fused_queries = nullptr;
+    obs::Counter* dp_cells = nullptr;
+    obs::Counter* fm_extends = nullptr;
+    obs::Counter* trie_nodes = nullptr;
+    obs::Counter* forks_opened = nullptr;
+    obs::Gauge* pool_queue_depth = nullptr;
+    obs::Counter* pool_rejects = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  static Instruments MakeInstruments(const SchedulerOptions& options,
+                                     obs::MetricsRegistry* registry);
+
+  // Folds one finished outcome into the instruments: error-class counters
+  // for failures; latency, cache-tier and engine DpCounters for answers.
+  void RecordResult(const api::Status& status, const api::EngineStats* stats);
+
   // Executes one compiled query against one slice: fragment-cache lookup,
   // engine run on miss (raw slice-local hits; the fragment inserted before
-  // merging), MergeSlice either way.
+  // merging), MergeSlice either way. `trace`/`root` (nullable / -1) hang
+  // an "execute" span under the request's root span.
   api::Status RunSliceQuery(const CorpusView& view, size_t slice,
                             const api::Aligner* aligner,
-                            const api::QueryPlan& plan, HitMerger* merger);
+                            const api::QueryPlan& plan, HitMerger* merger,
+                            obs::Trace* trace, int root);
 
   // Executes one compiled query against every slice inside one pool task:
   // the fused ALAE walk when the plan supports it (all-or-nothing against
   // the fragment cache), else a serial per-slice loop.
   api::Status RunFusedQuery(const CorpusView& view, const api::QueryPlan& plan,
                             const std::vector<const api::Aligner*>& aligners,
-                            HitMerger* merger);
+                            HitMerger* merger, obs::Trace* trace, int root);
 
   // Streaming sibling of RunSliceQuery: publishes each engine hit into the
   // StreamMerger as it is produced (fragment-cache lookups replay the
@@ -169,12 +232,22 @@ class QueryScheduler {
   // incomplete). Converts cap-token cancellation into success.
   api::Status RunStreamSlice(const CorpusView& view, size_t slice,
                              const api::Aligner* aligner,
-                             const api::QueryPlan& plan, StreamMerger* merger);
+                             const api::QueryPlan& plan, StreamMerger* merger,
+                             obs::Trace* trace, int root);
+
+  // SearchStream's body; the public wrapper owns trace sampling, the
+  // root span and result recording around it.
+  api::StatusOr<api::EngineStats> SearchStreamImpl(
+      std::string_view backend, const api::SearchRequest& request,
+      const api::HitSink& sink, obs::Trace* trace, int root);
 
   const CorpusSource& source_;
   const size_t batch_size_;
   const bool fuse_alae_shards_;
   const int64_t default_deadline_ms_;
+  obs::MetricsRegistry* const registry_;  // never null (Default() fallback)
+  const Instruments inst_;
+  obs::Tracer tracer_;
   ResultCache cache_;
   ResultCache shard_cache_;
 

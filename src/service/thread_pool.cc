@@ -8,8 +8,9 @@
 namespace alae {
 namespace service {
 
-ThreadPool::ThreadPool(int threads, size_t queue_capacity)
-    : capacity_(std::max<size_t>(1, queue_capacity)) {
+ThreadPool::ThreadPool(int threads, size_t queue_capacity,
+                       PoolMetrics metrics)
+    : capacity_(std::max<size_t>(1, queue_capacity)), metrics_(metrics) {
   if (threads <= 0) {
     unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 1 : static_cast<int>(hw);
@@ -51,9 +52,13 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
   if (FaultInjector::Hit("pool/admit")) return false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ || queue_.size() >= capacity_) return false;
+    if (shutdown_ || queue_.size() >= capacity_) {
+      if (metrics_.admission_rejects) metrics_.admission_rejects->Add();
+      return false;
+    }
     queue_.push_back(std::move(task));
   }
+  if (metrics_.queue_depth) metrics_.queue_depth->Add(1);
   work_available_.notify_one();
   return true;
 }
@@ -61,12 +66,19 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
 bool ThreadPool::TrySubmitBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return true;
   if (FaultInjector::Hit("pool/admit")) return false;
+  const size_t admitted = tasks.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ || queue_.size() + tasks.size() > capacity_) return false;
+    if (shutdown_ || queue_.size() + tasks.size() > capacity_) {
+      if (metrics_.admission_rejects) metrics_.admission_rejects->Add();
+      return false;
+    }
     for (std::function<void()>& task : tasks) {
       queue_.push_back(std::move(task));
     }
+  }
+  if (metrics_.queue_depth) {
+    metrics_.queue_depth->Add(static_cast<int64_t>(admitted));
   }
   work_available_.notify_all();
   return true;
@@ -87,6 +99,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (metrics_.queue_depth) metrics_.queue_depth->Add(-1);
     task();
   }
 }

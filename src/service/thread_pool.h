@@ -9,8 +9,18 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace alae {
 namespace service {
+
+// Optional pool instrumentation (null members = uninstrumented). The
+// gauge tracks the queued-task depth live; the counter ticks once per
+// rejected TrySubmit/TrySubmitBatch (the backpressure sheds).
+struct PoolMetrics {
+  obs::Gauge* queue_depth = nullptr;
+  obs::Counter* admission_rejects = nullptr;
+};
 
 // Fixed-size worker pool with a bounded task queue.
 //
@@ -25,7 +35,8 @@ class ThreadPool {
   // `threads` <= 0 picks hardware concurrency (clamped to >= 1).
   // `queue_capacity` bounds the number of *queued* (not yet running)
   // tasks.
-  explicit ThreadPool(int threads, size_t queue_capacity = 1024);
+  explicit ThreadPool(int threads, size_t queue_capacity = 1024,
+                      PoolMetrics metrics = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -62,6 +73,7 @@ class ThreadPool {
   void WorkerLoop();
 
   const size_t capacity_;
+  const PoolMetrics metrics_;
   mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;

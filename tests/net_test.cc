@@ -285,6 +285,42 @@ TEST(NetServer, SlowLorisPartialWritesAreServed) {
   EXPECT_EQ(response->hits, rig.Direct("alae", 0));
 }
 
+// Live metrics over the wire: a STATS_REQUEST frame answers with the
+// server's registry exposition, and the scrape demultiplexes cleanly with
+// a pipelined search in flight on the same connection.
+TEST(NetServer, StatsScrapeOverTheWire) {
+  SmallRig rig;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", rig.server->port()).ok());
+
+  // One served request first so the counters being scraped are non-zero.
+  api::StatusOr<NetClient::Response> served = client.Call(rig.Wire(1, 0));
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ASSERT_EQ(served->status.code, WireCode::kOk);
+
+  api::StatusOr<std::string> scrape = client.Scrape(50);
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  EXPECT_NE(scrape->find("alae_net_requests_completed_total"),
+            std::string::npos);
+  EXPECT_NE(scrape->find("alae_net_stats_scrapes_total"), std::string::npos);
+  EXPECT_NE(scrape->find("alae_scheduler_requests_total{verb=\"search\"}"),
+            std::string::npos);
+  EXPECT_NE(scrape->find("alae_scheduler_search_seconds_bucket"),
+            std::string::npos);
+
+  // Scrape while a search is pipelined: the STATS frame may land between
+  // the search's HITS and STATUS frames, and both must still demux.
+  ASSERT_TRUE(client.Send(rig.Wire(2, 1)).ok());
+  api::StatusOr<std::string> interleaved = client.Scrape(51);
+  ASSERT_TRUE(interleaved.ok()) << interleaved.status().ToString();
+  EXPECT_NE(interleaved->find("alae_net_bytes_out_total"),
+            std::string::npos);
+  api::StatusOr<NetClient::Response> pending = client.Await(2);
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  EXPECT_EQ(pending->status.code, WireCode::kOk);
+  EXPECT_EQ(pending->hits, rig.Direct("alae", 1));
+}
+
 // ---------------------------------------------------------------------------
 // Cancellation end-to-end: these need a query slow enough to still be
 // running when the cancel lands, so they use a larger corpus and a long

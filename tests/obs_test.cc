@@ -1,0 +1,452 @@
+// Observability tests: sharded-atomic instruments (exact totals under
+// concurrent hammering), the Prometheus-style text exposition (golden),
+// the nearest-rank SampleSummary shared by drivers and benches, span-tree
+// tracing, deterministic sampling, the slow-query log — and the scheduler
+// integration contract: a traced request's span tree must account for at
+// least 90% of its end-to-end wall time, and a private registry must see
+// the scheduler's counters (or stay empty with metrics disabled).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/service/service.h"
+#include "src/sim/workload.h"
+#include "src/util/timer.h"
+
+namespace alae {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::SampleSummary;
+using obs::Trace;
+using obs::TraceSpan;
+using obs::Tracer;
+using obs::TracerOptions;
+
+// ---------------------------------------------------------------- counters
+
+TEST(ObsCounter, ConcurrentAddsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(ObsCounter, AddWithWeight) {
+  Counter counter;
+  counter.Add(3);
+  counter.Add(0);
+  counter.Add(39);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+// -------------------------------------------------------------- histograms
+
+TEST(ObsHistogram, ConcurrentObserveExactTotals) {
+  Histogram histogram({1.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Observe(0.5);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Histogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  ASSERT_EQ(snap.counts.size(), 2u);  // one bound plus +Inf
+  EXPECT_EQ(snap.counts[0], snap.count);
+  EXPECT_EQ(snap.counts[1], 0u);
+  // 0.5 is exactly representable, so the CAS-summed total is exact too.
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 * static_cast<double>(snap.count));
+}
+
+TEST(ObsHistogram, BucketingAndPercentiles) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);   // <= 1
+  histogram.Observe(1.5);   // <= 2
+  histogram.Observe(3.0);   // <= 4
+  histogram.Observe(10.0);  // +Inf
+  Histogram::Snapshot snap = histogram.Snap();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.50), 2.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.75), 4.0);
+  // The last observation sits in the overflow bucket; nearest-rank
+  // reports the largest finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 4.0);
+}
+
+TEST(ObsHistogram, EmptySnapshotIsSane) {
+  Histogram histogram({1.0, 2.0});
+  Histogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ObsRegistry, InternedPointersAreStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("alae_test_total");
+  Counter* b = registry.GetCounter("alae_test_total");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("alae_test_seconds", {1.0});
+  // Bounds are fixed on first registration; different bounds on a second
+  // Get return the existing instrument unchanged.
+  Histogram* h2 = registry.GetHistogram("alae_test_seconds", {5.0, 9.0});
+  EXPECT_EQ(h1, h2);
+  h1->Observe(0.5);
+  EXPECT_EQ(h2->Snap().counts.size(), 2u);
+}
+
+TEST(ObsRegistry, ExposeGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("alae_test_events_total")->Add(3);
+  registry.GetGauge("alae_test_depth")->Set(-2);
+  Histogram* histogram =
+      registry.GetHistogram("alae_test_seconds", {0.001, 0.01});
+  histogram->Observe(0.0005);
+  histogram->Observe(0.005);
+  histogram->Observe(5.0);
+  EXPECT_EQ(registry.Expose(),
+            "alae_test_depth -2\n"
+            "alae_test_events_total 3\n"
+            "alae_test_seconds_bucket{le=\"0.001\"} 1\n"
+            "alae_test_seconds_bucket{le=\"0.01\"} 2\n"
+            "alae_test_seconds_bucket{le=\"+Inf\"} 3\n"
+            "alae_test_seconds_sum 5.0055\n"
+            "alae_test_seconds_count 3\n");
+}
+
+// ----------------------------------------------------------- sample summary
+
+TEST(ObsSampleSummary, NearestRankPercentiles) {
+  SampleSummary summary;
+  for (int i = 100; i >= 1; --i) summary.Add(i);  // unsorted insert order
+  EXPECT_EQ(summary.count(), 100u);
+  EXPECT_DOUBLE_EQ(summary.Percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(summary.Percentile(0.90), 90.0);
+  EXPECT_DOUBLE_EQ(summary.Percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(summary.Percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(summary.mean(), 50.5);
+}
+
+TEST(ObsSampleSummary, RenderHistogramShape) {
+  SampleSummary summary;
+  for (int i = 1; i <= 100; ++i) summary.Add(i);
+  const std::string rendered = summary.RenderHistogram({10, 50}, "us");
+  EXPECT_NE(rendered.find("<= 10us"), std::string::npos);
+  EXPECT_NE(rendered.find("<= 50us"), std::string::npos);
+  EXPECT_NE(rendered.find("> 50us"), std::string::npos);
+  EXPECT_NE(rendered.find('|'), std::string::npos);
+
+  SampleSummary empty;
+  EXPECT_EQ(empty.RenderHistogram({10}, "us"), "");
+}
+
+// ------------------------------------------------------------------ tracing
+
+TEST(ObsTrace, SpanNestingAndTiming) {
+  Trace trace;
+  const int root = trace.BeginSpan("root");
+  const int child = trace.BeginSpan("child", root);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  trace.EndSpan(child);
+  const int sibling = trace.BeginSpan("sibling", root);
+  trace.EndSpan(sibling);
+  trace.EndSpan(root);
+
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[root].name, "root");
+  EXPECT_EQ(spans[root].parent, -1);
+  EXPECT_EQ(spans[child].parent, root);
+  EXPECT_EQ(spans[sibling].parent, root);
+  EXPECT_GE(spans[child].end_ns - spans[child].start_ns, 1'000'000);
+  // The root brackets its children, so wall == root duration.
+  EXPECT_GE(spans[root].end_ns, spans[sibling].end_ns);
+  EXPECT_EQ(trace.WallNanos(), spans[root].end_ns - spans[root].start_ns);
+
+  const std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("root:"), std::string::npos);
+  EXPECT_NE(rendered.find("  child:"), std::string::npos);
+  EXPECT_NE(rendered.find("  sibling:"), std::string::npos);
+}
+
+TEST(ObsTrace, AddSpanRecordsForeignIntervals) {
+  Trace trace;
+  const int id = trace.AddSpan("queue", 1'000, 4'500);
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(spans[0].start_ns, 1'000);
+  EXPECT_EQ(spans[0].end_ns, 4'500);
+  EXPECT_EQ(trace.WallNanos(), 3'500);
+}
+
+TEST(ObsTracer, SamplingIsDeterministicInSeed) {
+  TracerOptions options;
+  options.sample_rate = 0.5;
+  options.seed = 12345;
+  Tracer a(options);
+  Tracer b(options);
+  constexpr int kDraws = 256;
+  int sampled = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    std::unique_ptr<Trace> ta = a.MaybeSample();
+    std::unique_ptr<Trace> tb = b.MaybeSample();
+    EXPECT_EQ(ta != nullptr, tb != nullptr) << "draw " << i;
+    if (ta != nullptr) ++sampled;
+  }
+  // A rate-0.5 sequence that samples everything (or nothing) over 256
+  // draws means the RNG is broken, not unlucky (p ~ 2^-256).
+  EXPECT_GT(sampled, 0);
+  EXPECT_LT(sampled, kDraws);
+  EXPECT_EQ(a.sampled(), static_cast<uint64_t>(sampled));
+}
+
+TEST(ObsTracer, RateEndpoints) {
+  TracerOptions always;
+  always.sample_rate = 1.0;
+  Tracer on(always);
+  for (int i = 0; i < 32; ++i) EXPECT_NE(on.MaybeSample(), nullptr);
+
+  TracerOptions never;  // default rate 0.0
+  Tracer off(never);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(off.MaybeSample(), nullptr);
+  EXPECT_EQ(off.sampled(), 0u);
+  off.Finish(nullptr);  // null-safe
+}
+
+TEST(ObsTracer, SlowQueryLogThresholdAndRing) {
+  std::vector<std::string> sink_calls;
+  TracerOptions options;
+  options.sample_rate = 1.0;
+  options.slow_query_ns = 1'000'000;  // 1ms
+  options.keep_slow = 2;
+  options.slow_sink = [&sink_calls](const std::string& rendered) {
+    sink_calls.push_back(rendered);
+  };
+  Tracer tracer(options);
+
+  // Below threshold: counted as sampled, not as slow.
+  std::unique_ptr<Trace> fast = tracer.MaybeSample();
+  ASSERT_NE(fast, nullptr);
+  fast->AddSpan("fast", 0, 100);
+  tracer.Finish(std::move(fast));
+  EXPECT_EQ(tracer.slow(), 0u);
+  EXPECT_TRUE(sink_calls.empty());
+
+  // Three slow traces through a keep_slow=2 ring: all hit the sink, the
+  // ring retains only the most recent two.
+  for (int i = 0; i < 3; ++i) {
+    std::unique_ptr<Trace> slow = tracer.MaybeSample();
+    ASSERT_NE(slow, nullptr);
+    slow->AddSpan("work" + std::to_string(i), 0, 5'000'000);
+    tracer.Finish(std::move(slow));
+  }
+  EXPECT_EQ(tracer.slow(), 3u);
+  ASSERT_EQ(sink_calls.size(), 3u);
+  EXPECT_NE(sink_calls[0].find("work0"), std::string::npos);
+  const std::vector<std::string> ring = tracer.SlowTraces();
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_NE(ring[0].find("work1"), std::string::npos);
+  EXPECT_NE(ring[1].find("work2"), std::string::npos);
+}
+
+// ------------------------------------------------- scheduler integration
+
+std::unique_ptr<service::ShardedCorpus> MustBuild(
+    Sequence text, service::ShardedCorpusOptions options) {
+  auto corpus = service::ShardedCorpus::Build(std::move(text), options);
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  return std::move(corpus).value();
+}
+
+api::SearchRequest MakeRequest(const Sequence& query, int32_t threshold) {
+  api::SearchRequest request;
+  request.query = query;
+  request.threshold = threshold;
+  return request;
+}
+
+Workload ObsWorkload(int64_t text_length, int32_t num_queries) {
+  WorkloadSpec spec;
+  spec.text_length = text_length;
+  spec.query_length = 64;
+  spec.num_queries = num_queries;
+  spec.divergence = 0.15;
+  spec.seed = 97;
+  return BuildWorkload(spec);
+}
+
+// The PR's acceptance bar: for a traced request, the recorded span tree
+// must explain >= 90% of the end-to-end wall time of the call — no large
+// untraced gap hiding between stages. Single shard + one worker thread so
+// the child spans are sequential and their durations sum meaningfully.
+TEST(SchedulerTracing, SpanTreeCoversWallTime) {
+  const Workload w = ObsWorkload(/*text_length=*/200'000, /*num_queries=*/1);
+  service::ShardedCorpusOptions options;
+  options.shard_size = 300'000;  // single shard
+  options.overlap = 512;
+  auto corpus = MustBuild(w.text, options);
+  ASSERT_EQ(corpus->num_shards(), 1u);
+  service::QueryScheduler scheduler(*corpus,
+                                    {.threads = 1, .cache_capacity = 0});
+
+  Trace trace;
+  api::SearchRequest request = MakeRequest(w.queries[0], 20);
+  request.trace = &trace;
+  Timer timer;
+  auto response = scheduler.Search("alae", request);
+  const double wall_ns = timer.ElapsedSeconds() * 1e9;
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  const std::vector<TraceSpan> spans = trace.Spans();
+  int root = -1;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == "search" && spans[i].parent == -1) {
+      root = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_NE(root, -1) << "no root span:\n" << trace.Render();
+
+  int64_t children_ns = 0;
+  std::vector<std::string> child_names;
+  for (const TraceSpan& span : spans) {
+    if (span.parent == root) {
+      children_ns += span.end_ns - span.start_ns;
+      child_names.push_back(span.name);
+    }
+  }
+  auto has_child = [&child_names](const char* name) {
+    for (const std::string& child : child_names) {
+      if (child == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_child("compile")) << trace.Render();
+  EXPECT_TRUE(has_child("execute")) << trace.Render();
+  EXPECT_GE(static_cast<double>(children_ns), 0.90 * wall_ns)
+      << "span tree explains only "
+      << 100.0 * static_cast<double>(children_ns) / wall_ns
+      << "% of the request:\n"
+      << trace.Render();
+}
+
+TEST(SchedulerMetrics, CountersLatencyAndCacheTiers) {
+  const Workload w = ObsWorkload(/*text_length=*/20'000, /*num_queries=*/2);
+  service::ShardedCorpusOptions options;
+  options.shard_size = 8'000;
+  options.overlap = 512;
+  auto corpus = MustBuild(w.text, options);
+
+  MetricsRegistry registry;
+  service::QueryScheduler scheduler(
+      *corpus, {.threads = 2, .cache_capacity = 8, .registry = &registry});
+
+  api::SearchRequest request = MakeRequest(w.queries[0], 20);
+  ASSERT_TRUE(scheduler.Search("alae", request).ok());
+  ASSERT_TRUE(scheduler.Search("alae", request).ok());  // response-cache hit
+
+  EXPECT_EQ(
+      registry.GetCounter("alae_scheduler_requests_total{verb=\"search\"}")
+          ->Value(),
+      2u);
+  EXPECT_GT(registry.GetCounter("alae_engine_dp_cells_total")->Value(), 0u);
+  EXPECT_GE(registry.GetCounter("alae_scheduler_response_cache_hits_total")
+                ->Value(),
+            1u);
+  EXPECT_EQ(registry.GetHistogram("alae_scheduler_search_seconds")
+                ->Snap()
+                .count,
+            2u);
+
+  const std::string exposition = registry.Expose();
+  EXPECT_NE(
+      exposition.find("alae_scheduler_requests_total{verb=\"search\"} 2"),
+      std::string::npos);
+  EXPECT_NE(exposition.find("alae_scheduler_search_seconds_count 2"),
+            std::string::npos);
+}
+
+TEST(SchedulerMetrics, DisabledMetricsLeaveRegistryEmpty) {
+  const Workload w = ObsWorkload(/*text_length=*/10'000, /*num_queries=*/1);
+  service::ShardedCorpusOptions options;
+  options.shard_size = 12'000;
+  options.overlap = 256;
+  auto corpus = MustBuild(w.text, options);
+
+  MetricsRegistry registry;
+  service::QueryScheduler scheduler(
+      *corpus,
+      {.threads = 1, .enable_metrics = false, .registry = &registry});
+  ASSERT_TRUE(scheduler.Search("alae", MakeRequest(w.queries[0], 20)).ok());
+  EXPECT_EQ(registry.Expose(), "");
+}
+
+TEST(SchedulerTracing, SamplerOwnsUnsuppliedTraces) {
+  const Workload w = ObsWorkload(/*text_length=*/10'000, /*num_queries=*/1);
+  service::ShardedCorpusOptions options;
+  options.shard_size = 12'000;
+  options.overlap = 256;
+  auto corpus = MustBuild(w.text, options);
+
+  MetricsRegistry registry;
+  std::vector<std::string> slow_logs;
+  service::QueryScheduler scheduler(
+      *corpus, {.threads = 1,
+                .cache_capacity = 0,
+                .registry = &registry,
+                .trace_sample_rate = 1.0,
+                .slow_query_ms = 0,  // sampled, but nothing qualifies slow
+                .slow_query_sink = [&slow_logs](const std::string& rendered) {
+                  slow_logs.push_back(rendered);
+                }});
+  api::SearchRequest request = MakeRequest(w.queries[0], 20);
+  ASSERT_TRUE(scheduler.Search("alae", request).ok());
+  EXPECT_EQ(scheduler.tracer().sampled(), 1u);
+
+  // slow_query_ms = 0 disables the slow log entirely (not "everything is
+  // slow"): the sink must never fire.
+  EXPECT_TRUE(slow_logs.empty());
+  EXPECT_TRUE(scheduler.tracer().SlowTraces().empty());
+}
+
+}  // namespace
+}  // namespace alae

@@ -123,8 +123,9 @@ WireRequest DocRequest() {
   return request;
 }
 
-TEST_F(ProtocolDocTest, DocumentHasAllFourExamples) {
-  for (const char* name : {"request", "hits", "status", "cancel"}) {
+TEST_F(ProtocolDocTest, DocumentHasAllSixExamples) {
+  for (const char* name :
+       {"request", "hits", "status", "cancel", "stats-request", "stats"}) {
     EXPECT_FALSE(Example(name).empty()) << name;
   }
 }
@@ -160,6 +161,18 @@ TEST_F(ProtocolDocTest, CancelBytesMatchCodec) {
   std::string encoded;
   AppendCancelFrame(7, &encoded);
   EXPECT_EQ(Hex(encoded), Hex(Example("cancel")));
+}
+
+TEST_F(ProtocolDocTest, StatsRequestBytesMatchCodec) {
+  std::string encoded;
+  AppendStatsRequestFrame(9, &encoded);
+  EXPECT_EQ(Hex(encoded), Hex(Example("stats-request")));
+}
+
+TEST_F(ProtocolDocTest, StatsBytesMatchCodec) {
+  std::string encoded;
+  AppendStatsFrame(9, "alae_up 1\n", &encoded);
+  EXPECT_EQ(Hex(encoded), Hex(Example("stats")));
 }
 
 // The other direction: the documented conversation decodes through the
@@ -214,6 +227,21 @@ TEST_F(ProtocolDocTest, DocumentedConversationDecodes) {
   EXPECT_EQ(frame.header.type, kFrameCancel);
   EXPECT_EQ(frame.header.request_id, 7u);
   EXPECT_TRUE(frame.payload.empty());
+
+  reader.Feed(Example("stats-request"));
+  reader.Feed(Example("stats"));
+
+  ASSERT_EQ(reader.Next(&frame, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(frame.header.type, kFrameStatsRequest);
+  EXPECT_EQ(frame.header.request_id, 9u);
+  EXPECT_TRUE(frame.payload.empty());
+
+  ASSERT_EQ(reader.Next(&frame, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(frame.header.type, kFrameStats);
+  EXPECT_EQ(frame.header.request_id, 9u);
+  std::string text;
+  ASSERT_TRUE(DecodeStatsPayload(frame.payload, &text).ok());
+  EXPECT_EQ(text, "alae_up 1\n");
 
   EXPECT_EQ(reader.Next(&frame, &error), FrameReader::Result::kNeedMore);
 }
