@@ -150,6 +150,67 @@ TierResult MeasureTier(simd::DpTier tier, RowSet* set) {
   return res;
 }
 
+// Fork-shaped pair traffic: steps rows two at a time, either through the
+// paired entry point (one 16-lane int16 call when active) or through two
+// sequential dispatched calls. Returns ns per cell.
+double MeasurePairs(RowSet* set, bool paired) {
+  const ScoringScheme scheme = ScoringScheme::Default();
+  auto pass = [&]() {
+    uint64_t sum = 0;
+    for (int64_t r = 0; r + 1 < set->rows; r += 2) {
+      simd::RowSpec spec[2];
+      simd::RowStats stats[2];
+      for (int i = 0; i < 2; ++i) {
+        size_t off = static_cast<size_t>((r + i) * set->len);
+        spec[i].prev_m = set->prev_m.data() + off;
+        spec[i].prev_ga = set->prev_ga.data() + off;
+        spec[i].prev_diag_m = set->diag_m.data() + off;
+        spec[i].delta = set->delta.data() + off;
+        spec[i].out_m = set->out_m.data() + off;
+        spec[i].out_ga = set->out_ga.data() + off;
+        spec[i].out_gb = set->out_gb.data() + off;
+        spec[i].len = set->len;
+        spec[i].gap_extend = scheme.ss;
+        spec[i].gap_open_extend = scheme.sg + scheme.ss;
+        spec[i].gb_init = 10;
+        spec[i].bound_base = 0;
+        spec[i].bound0 = kNegInf;
+        spec[i].bound_step = 0;
+      }
+      if (paired) {
+        simd::ComputeRowPair(spec[0], spec[1], &stats[0], &stats[1]);
+      } else {
+        simd::ComputeRow(spec[0], &stats[0]);
+        simd::ComputeRow(spec[1], &stats[1]);
+      }
+      sum += static_cast<uint32_t>(stats[0].mu_last + stats[1].mu_last);
+    }
+    return sum;
+  };
+  const uint64_t cells_per_pass =
+      static_cast<uint64_t>(set->len) * static_cast<uint64_t>(set->rows & ~1);
+  int passes = 1;
+  double seconds = 0;
+  for (;;) {
+    Timer timer;
+    uint64_t sink = 0;
+    for (int p = 0; p < passes; ++p) sink += pass();
+    seconds = timer.ElapsedSeconds();
+    if (sink == 1) std::printf("!");
+    if (seconds > 0.05 || passes > 1 << 16) break;
+    passes *= 4;
+  }
+  for (int rep = 0; rep < 6; ++rep) {
+    Timer timer;
+    uint64_t sink = 0;
+    for (int p = 0; p < passes; ++p) sink += pass();
+    double s = timer.ElapsedSeconds();
+    if (sink == 1) std::printf("!");
+    seconds = std::min(seconds, s);
+  }
+  return seconds * 1e9 / (static_cast<double>(cells_per_pass) * passes);
+}
+
 std::string Ns(double ns) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2f ns", ns);
@@ -176,7 +237,8 @@ int main(int argc, char** argv) {
   const simd::DpTier saved = simd::ActiveDpTier();
 
   const simd::DpTier tiers[] = {simd::DpTier::kScalar, simd::DpTier::kSse2,
-                                simd::DpTier::kAvx2};
+                                simd::DpTier::kAvx2, simd::DpTier::kAvx2i16};
+  constexpr int kTiers = 4;
   double avx2_long_speedup = -1;
   bool avx2_present = simd::DpTierSupported(simd::DpTier::kAvx2);
 
@@ -184,14 +246,14 @@ int main(int argc, char** argv) {
     // Equal cell budget per width so each table line is comparably timed.
     int64_t rows = flags.Q(static_cast<int32_t>(65536 / len));
     RowSet set = MakeRowSet(len, rows, flags.seed + static_cast<uint64_t>(len));
-    TierResult results[3];
-    for (int t = 0; t < 3; ++t) results[t] = MeasureTier(tiers[t], &set);
+    TierResult results[kTiers];
+    for (int t = 0; t < kTiers; ++t) results[t] = MeasureTier(tiers[t], &set);
     simd::SetDpTier(saved);
 
     std::printf("dna affine rows, len=%lld x %lld rows\n",
                 static_cast<long long>(len), static_cast<long long>(rows));
     TablePrinter table({"kernel", "ns/cell", "cells/s", "vs scalar"});
-    for (int t = 0; t < 3; ++t) {
+    for (int t = 0; t < kTiers; ++t) {
       if (!results[t].supported) continue;
       if (results[t].checksum != results[0].checksum) {
         std::printf("FATAL: %s kernel disagrees with the scalar oracle\n",
@@ -210,6 +272,23 @@ int main(int argc, char** argv) {
       avx2_long_speedup = std::max(
           avx2_long_speedup, results[0].ns_per_cell / results[2].ns_per_cell);
     }
+  }
+
+  // Gap-fork pairing: two 6-cell rows per step, the shape the ALAE engine
+  // batches when sibling forks descend the same suffix-trie node.
+  if (simd::DpTierSupported(simd::DpTier::kAvx2i16)) {
+    RowSet set = MakeRowSet(6, flags.Q(8192), flags.seed + 99);
+    simd::SetDpTier(simd::DpTier::kAvx2i16);
+    double seq_ns = MeasurePairs(&set, /*paired=*/false);
+    double pair_ns = MeasurePairs(&set, /*paired=*/true);
+    simd::SetDpTier(saved);
+    std::printf("fork pairs, len=6 (avx2_i16)\n");
+    TablePrinter table({"entry", "ns/cell", "vs sequential"});
+    table.AddRow({"sequential", Ns(seq_ns), "1.00x"});
+    table.AddRow({"paired", Ns(pair_ns), Speedup(seq_ns, pair_ns)});
+    std::printf("%s\n", table.ToString().c_str());
+    report.Add("dna/pair6/sequential", seq_ns, 1e9 / seq_ns);
+    report.Add("dna/pair6/paired", pair_ns, 1e9 / pair_ns);
   }
 
   if (!report.WriteTo(flags.json)) return 1;

@@ -31,6 +31,10 @@ struct DpCounters {
   uint64_t fm_extends = 0;
   uint64_t fm_extend_alls = 0;
   uint64_t fm_lf_steps = 0;
+  // Singleton-chain steps served by a direct text read after the chain
+  // crossed an SA sample (each replaces one fm_extend AND the LF walk the
+  // hit's Locate would later have spent).
+  uint64_t fm_text_steps = 0;
 
   uint64_t Calculated() const {
     return cells_cost1 + cells_cost2 + cells_cost3;
@@ -53,6 +57,7 @@ struct DpCounters {
     fm_extends += o.fm_extends;
     fm_extend_alls += o.fm_extend_alls;
     fm_lf_steps += o.fm_lf_steps;
+    fm_text_steps += o.fm_text_steps;
   }
 
   void Reset() { *this = DpCounters(); }

@@ -17,6 +17,8 @@ namespace {
 
 RowKernelFn KernelFor(DpTier tier) {
   switch (tier) {
+    case DpTier::kAvx2i16:
+      return internal::Avx2I16Kernel();
     case DpTier::kAvx2:
       return internal::Avx2Kernel();
     case DpTier::kSse2:
@@ -30,6 +32,7 @@ RowKernelFn KernelFor(DpTier tier) {
 bool CpuSupports(DpTier tier) {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
   switch (tier) {
+    case DpTier::kAvx2i16:
     case DpTier::kAvx2:
       return __builtin_cpu_supports("avx2");
     case DpTier::kSse2:
@@ -42,8 +45,18 @@ bool CpuSupports(DpTier tier) {
 }
 
 DpTier DetectTier() {
+  // The int32 AVX2 kernel wins on standalone rows (the int16 tier's
+  // pack/unpack and range checks eat its ALU-width advantage when inputs
+  // and outputs stay int32 in memory — see bench_dp); the int16 kernel's
+  // real edge is the 16-lane *pair* batching, which ComputeRowPair uses
+  // under any AVX2-capable dispatch. So the resolved default is kAvx2,
+  // with kAvx2i16 still selectable through SetDpTier.
   if (KernelFor(DpTier::kAvx2) != nullptr && CpuSupports(DpTier::kAvx2)) {
     return DpTier::kAvx2;
+  }
+  if (KernelFor(DpTier::kAvx2i16) != nullptr &&
+      CpuSupports(DpTier::kAvx2i16)) {
+    return DpTier::kAvx2i16;
   }
   if (KernelFor(DpTier::kSse2) != nullptr && CpuSupports(DpTier::kSse2)) {
     return DpTier::kSse2;
@@ -72,6 +85,24 @@ void ComputeRow(const RowSpec& spec, RowStats* stats) {
   GetDispatch().fn.load(std::memory_order_relaxed)(spec, stats);
 }
 
+void ComputeRowPair(const RowSpec& a, const RowSpec& b, RowStats* sa,
+                    RowStats* sb) {
+  // The int16 pair kernel is where narrow-row batching pays (two fork rows
+  // share one 16-lane pass); it is bit-exact against the scalar spec, so
+  // any AVX2-capable dispatch uses it — including the default int32 tier,
+  // where standalone rows are faster in int32 but paired narrow rows are
+  // not. Scalar/SSE2 dispatches keep pairs on the sequential path.
+  if (ActiveDpTier() >= DpTier::kAvx2 && CpuSupports(DpTier::kAvx2i16)) {
+    PairKernelFn fn = internal::Avx2I16PairKernel();
+    if (fn != nullptr) {
+      fn(a, b, sa, sb);
+      return;
+    }
+  }
+  ComputeRowAuto(a, sa);
+  ComputeRowAuto(b, sb);
+}
+
 DpTier ActiveDpTier() {
   return GetDispatch().tier.load(std::memory_order_relaxed);
 }
@@ -90,6 +121,8 @@ bool SetDpTier(DpTier tier) {
 
 const char* DpTierName(DpTier tier) {
   switch (tier) {
+    case DpTier::kAvx2i16:
+      return "avx2_i16";
     case DpTier::kAvx2:
       return "avx2";
     case DpTier::kSse2:

@@ -7,9 +7,9 @@
 
 namespace alae {
 
-// Sentinel for -infinity that survives additions without overflow. Stored
-// dead cells hold exactly this value; kernel-internal intermediates may
-// drift a few thousand below it, which the store-time squash folds back.
+// Sentinel for -infinity that survives additions without overflow. The
+// recurrence is absorbing in it (see the RowSpec contract): every stored
+// value and every chain value is either exactly kNegInf or a real score.
 constexpr int32_t kNegInf = std::numeric_limits<int32_t>::min() / 4;
 
 namespace simd {
@@ -44,23 +44,41 @@ struct DpRow {
 // One row step of the paper's §2.2 affine recurrence over a contiguous
 // column window, cell k = 0..len-1 (column col0 + k for the caller):
 //
-//   Ga(k) = max(prev_ga[k] + gap_extend, prev_m[k] + gap_open_extend)
-//   Gb(k) = max(Gb(k-1) + gap_extend, M~(k-1) + gap_open_extend),
-//           Gb(0) = gb_init
-//   M~(k) = max(prev_diag_m[k] + delta[k], Ga(k), Gb(k))   (raw score)
+//   Ga(k) = max(prev_ga[k] + gap_extend, prev_m[k] + gap_open_extend,
+//               kNegInf)
+//   Gb(k) = max(Gb(k-1) + gap_extend, M~(k-1) + gap_open_extend, kNegInf),
+//           Gb(0) = max(gb_init, kNegInf)
+//   D(k)  = prev_diag_m[k] == kNegInf ? kNegInf
+//                                     : prev_diag_m[k] + delta[k]
+//   M~(k) = max(D(k), Ga(k), Gb(k))
 //   bound(k) = max(bound_base, bound0 + k * bound_step)
 //   out_m[k] = M~(k) > bound(k) ? M~(k) : kNegInf
 //
-// out_ga/out_gb receive the raw Ga/Gb chains floored at kNegInf ("soft
-// clipping"): unlike the former scalar engine rows, a pruned cell does not
-// reset the gap chains — the floor only stops unbounded drift below the
-// sentinel. This is exact for hit sets whenever bound is non-decreasing
-// along the row and across successive rows (true for the ALAE score filter
-// and for BWT-SW's positivity rule): any chain value that passed through a
-// pruned cell is <= that cell's bound, decays monotonically, and so can
-// never exceed a later bound — it never changes which cells survive nor
-// their scores. Dropping the reset is what turns the Gb column dependence
-// into a weighted max-prefix scan, the vectorizable form.
+// out_ga/out_gb receive the Ga/Gb chains as defined above. Two deliberate
+// deviations from a textbook recurrence, both exact for hit sets:
+//
+// "Soft clipping": unlike the former scalar engine rows, a pruned cell
+// does not reset the gap chains — they decay freely. This is exact
+// whenever bound is non-decreasing along the row and across successive
+// rows (true for the ALAE score filter and for BWT-SW's positivity rule):
+// any chain value that passed through a pruned cell is <= that cell's
+// bound, decays monotonically, and so can never exceed a later bound — it
+// never changes which cells survive nor their scores. Dropping the reset
+// is what turns the Gb column dependence into a weighted max-prefix scan,
+// the vectorizable form.
+//
+// "Absorbing sentinel": kNegInf is an exact fixed point of the
+// arithmetic — a sentinel input yields a sentinel output (the per-step
+// kNegInf floor absorbs the negative gap additions, and D() absorbs the
+// possibly-positive delta explicitly), so no kernel value ever sits in
+// the open interval just above kNegInf where int32 drift used to land.
+// Values there are as dead as the sentinel (bounds are >= 0, chains only
+// decay), so collapsing them changes no survivor and no score; what it
+// buys is a narrow-integer tier: with every value either exactly kNegInf
+// or a real score of bounded magnitude, kNegInf maps 1:1 onto the int16
+// saturation floor -32768 and the int16 kernel can be bit-exact against
+// this spec (out-of-range reals are detected and rerun in int32 — see
+// DpTier::kAvx2i16).
 //
 // Preconditions: len >= 1, gap_extend < 0, gap_open_extend <= gap_extend
 // (i.e. gap open cost <= 0), bound_base >= 0, bound_step >= 0, all input
@@ -83,20 +101,26 @@ struct RowSpec {
 };
 
 // Per-call outputs beyond the row arrays: the surviving-cell window and the
-// raw chain state after the last cell, which callers feed into the scalar
-// Gb spill that may extend the row rightward.
+// chain state after the last cell, which callers feed into the scalar Gb
+// spill that may extend the row rightward.
 struct RowStats {
   int64_t first_alive = -1;  // smallest k with out_m[k] != kNegInf
   int64_t last_alive = -1;
-  int32_t gb_last = kNegInf;  // raw Gb(len-1)
-  int32_t mu_last = kNegInf;  // raw M~(len-1), before bound clipping
+  int32_t gb_last = kNegInf;  // Gb(len-1), floored at kNegInf
+  int32_t mu_last = kNegInf;  // M~(len-1), before bound clipping
 };
 
 using RowKernelFn = void (*)(const RowSpec&, RowStats*);
+using PairKernelFn = void (*)(const RowSpec&, const RowSpec&, RowStats*,
+                              RowStats*);
 
 // Dispatch tiers, ordered by preference. kScalar is always available and is
-// the differential oracle the vector kernels are tested against.
-enum class DpTier { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+// the differential oracle the vector kernels are tested against. kAvx2i16
+// runs the compute chain in saturating int16 (16 cells per instruction)
+// with load-time range detection: a row whose scores cannot be represented
+// exactly is rerun through the int32 AVX2 kernel, so results are bit-exact
+// regardless of tier.
+enum class DpTier { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx2i16 = 3 };
 
 // Computes one row through the currently dispatched kernel.
 void ComputeRow(const RowSpec& spec, RowStats* stats);
@@ -121,6 +145,8 @@ namespace internal {
 // compiled without that instruction set (see CMake flag probing).
 RowKernelFn Sse2Kernel();
 RowKernelFn Avx2Kernel();
+RowKernelFn Avx2I16Kernel();
+PairKernelFn Avx2I16PairKernel();
 
 // Continues the row recurrence cell by cell from k0 with chain state
 // (gb_prev, mu_prev) = raw Gb/M~ of cell k0-1 (ignored when k0 == 0).
@@ -141,7 +167,10 @@ inline void RowScalarTail(const RowSpec& spec, int64_t k0, int32_t gb_prev,
     int32_t ga = spec.prev_ga[k] + ss > spec.prev_m[k] + oe
                      ? spec.prev_ga[k] + ss
                      : spec.prev_m[k] + oe;
-    int32_t diag = spec.prev_diag_m[k] + spec.delta[k];
+    if (ga < kNegInf) ga = kNegInf;
+    int32_t diag = spec.prev_diag_m[k] == kNegInf
+                       ? kNegInf
+                       : spec.prev_diag_m[k] + spec.delta[k];
     int32_t tmp = diag > ga ? diag : ga;
     int32_t gb;
     if (k == 0) {
@@ -149,6 +178,7 @@ inline void RowScalarTail(const RowSpec& spec, int64_t k0, int32_t gb_prev,
     } else {
       gb = gb_prev + ss > mu_prev + oe ? gb_prev + ss : mu_prev + oe;
     }
+    if (gb < kNegInf) gb = kNegInf;
     int32_t mu = tmp > gb ? tmp : gb;
     int32_t bound = spec.bound_base > bound_col ? spec.bound_base : bound_col;
     bound_col += spec.bound_step;
@@ -159,8 +189,8 @@ inline void RowScalarTail(const RowSpec& spec, int64_t k0, int32_t gb_prev,
     } else {
       spec.out_m[k] = kNegInf;
     }
-    spec.out_ga[k] = ga > kNegInf ? ga : kNegInf;
-    if (spec.out_gb != nullptr) spec.out_gb[k] = gb > kNegInf ? gb : kNegInf;
+    spec.out_ga[k] = ga;
+    if (spec.out_gb != nullptr) spec.out_gb[k] = gb;
     gb_prev = gb;
     mu_prev = mu;
   }
@@ -183,6 +213,15 @@ inline void ComputeRowAuto(const RowSpec& spec, RowStats* stats) {
     ComputeRow(spec, stats);
   }
 }
+
+// Computes two INDEPENDENT rows (no data dependence between them) in one
+// call. Identical to ComputeRowAuto on each spec; under the int16 tier,
+// rows of 1..8 cells each are computed together in one 16-lane kernel pass
+// — row a in the low 128-bit lane, row b in the high lane — so the vector
+// lanes a narrow row leaves empty do the other row's work. Results are
+// bit-exact against sequential ComputeRowAuto calls in every case.
+void ComputeRowPair(const RowSpec& a, const RowSpec& b, RowStats* sa,
+                    RowStats* sb);
 
 }  // namespace simd
 }  // namespace alae

@@ -72,17 +72,25 @@ void RowSse2(const RowSpec& spec, RowStats* stats) {
     __m128i dl = _mm_loadu_si128(
         reinterpret_cast<const __m128i*>(spec.delta + k));
 
-    __m128i ga = Max32(_mm_add_epi32(pg, vss), _mm_add_epi32(pm, voe));
-    __m128i tmp = Max32(_mm_add_epi32(dm, dl), ga);
+    __m128i ga =
+        Max32(Max32(_mm_add_epi32(pg, vss), _mm_add_epi32(pm, voe)), vninf);
+    // Absorbing diagonal: a sentinel prev_diag_m stays a sentinel even
+    // under a positive delta.
+    __m128i diag = Blend(_mm_cmpeq_epi32(dm, vninf), vninf,
+                         _mm_add_epi32(dm, dl));
+    __m128i tmp = Max32(diag, ga);
 
     // Gb as a weighted max-prefix scan: with w(k) = tmp(k)+oe-(k+1)*ss,
-    // Gb(k) = k*ss + max(gb_init, max_{j<k} w(j)).
+    // Gb(k) = k*ss + max(gb_init, max_{j<k} w(j)). The per-step kNegInf
+    // floor of the contract commutes with the scan (floored-out chain
+    // terms decay below any later floor), so one floor of the scan result
+    // is exact.
     __m128i w = _mm_sub_epi32(_mm_add_epi32(tmp, voe_minus_ss), vkss);
     __m128i x = Max32(w, Blend(mask_lane0, vfill, _mm_slli_si128(w, 4)));
     x = Max32(x, Blend(mask_lane01, vfill, _mm_slli_si128(x, 8)));
     __m128i excl = Blend(mask_lane0, vfill, _mm_slli_si128(x, 4));
     excl = Max32(excl, _mm_set1_epi32(carry));
-    __m128i gb = _mm_add_epi32(excl, vkss);
+    __m128i gb = Max32(_mm_add_epi32(excl, vkss), vninf);
     carry = std::max(carry, Lane3(x));
 
     __m128i mu = Max32(tmp, gb);
@@ -90,11 +98,9 @@ void RowSse2(const RowSpec& spec, RowStats* stats) {
     __m128i alive = _mm_cmpgt_epi32(mu, bound);
     _mm_storeu_si128(reinterpret_cast<__m128i*>(spec.out_m + k),
                      Blend(alive, mu, vninf));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(spec.out_ga + k),
-                     Max32(ga, vninf));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(spec.out_ga + k), ga);
     if (spec.out_gb != nullptr) {
-      _mm_storeu_si128(reinterpret_cast<__m128i*>(spec.out_gb + k),
-                       Max32(gb, vninf));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(spec.out_gb + k), gb);
     }
     int mask = _mm_movemask_ps(_mm_castsi128_ps(alive));
     if (mask != 0) {

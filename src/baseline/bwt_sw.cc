@@ -172,9 +172,74 @@ void BwtSw::ComputeChildRow(RowCtx* ctx,
   int32_t sb_out_m[kStackWin], sb_out_ga[kStackWin];
   size_t seg_cursor = 0;  // windows and segments are both ascending
 
+  // Below this width a window is stepped straight off its parent segment:
+  // the deep-trie steady state is 1-3 cell islands, where the densify
+  // loops, the RowSpec hand-off, and the dispatched call cost more than
+  // the handful of max/add steps they wrap.
+  constexpr int64_t kSparseWin = 4;
+
   for (const auto& [win_a, win_b] : wins) {
     spill(win_a);
     const int64_t len = win_b - win_a + 1;
+    if (len <= kSparseWin) {
+      while (seg_cursor < parent.size() &&
+             parent[seg_cursor].hi() < win_a - 1) {
+        ++seg_cursor;
+      }
+      const simd::DpRow* seg = seg_cursor < parent.size() &&
+                                       parent[seg_cursor].lo <= win_b
+                                   ? &parent[seg_cursor]
+                                   : nullptr;
+      const bool single_seg = seg == nullptr ||
+                              seg_cursor + 1 >= parent.size() ||
+                              parent[seg_cursor + 1].lo > win_b;
+      if (single_seg) {
+        // Same recurrence as the kernel contract (absorbing in kNegInf,
+        // positivity bound), reading parent cells in place.
+        const int64_t slo = seg != nullptr ? seg->lo : 0;
+        const int64_t shi = seg != nullptr ? seg->hi() : -1;
+        const int32_t* prof = ctx->profile->data() +
+                              static_cast<size_t>(c) * static_cast<size_t>(m);
+        int32_t gb_prev = kNegInf;
+        int32_t mu_prev = kNegInf;
+        for (int64_t col = win_a; col <= win_b; ++col) {
+          int32_t gb;
+          if (col == win_a) {
+            gb = chain.col == win_a - 1
+                     ? std::max(chain.gb + ss, chain.mu + open_ext)
+                     : kNegInf;
+          } else {
+            gb = std::max(gb_prev + ss, mu_prev + open_ext);
+          }
+          if (gb < kNegInf) gb = kNegInf;
+          const bool in_m = col >= slo && col <= shi;
+          const int32_t pm =
+              in_m ? seg->m[static_cast<size_t>(col - slo)] : kNegInf;
+          const int32_t pga =
+              in_m ? seg->ga[static_cast<size_t>(col - slo)] : kNegInf;
+          int32_t ga = std::max(pga + ss, pm + open_ext);
+          if (ga < kNegInf) ga = kNegInf;
+          const int32_t dm = col - 1 >= slo && col - 1 <= shi
+                                 ? seg->m[static_cast<size_t>(col - 1 - slo)]
+                                 : kNegInf;
+          const int32_t diag = dm == kNegInf ? kNegInf : dm + prof[col - 1];
+          const int32_t mu = std::max(std::max(diag, ga), gb);
+          if (mu > 0) {
+            builder.Append(col, mu, ga);
+            if (mu >= threshold) {
+              hits->emplace_back(static_cast<int32_t>(col), mu);
+            }
+          } else {
+            builder.Append(col, kNegInf, ga);
+          }
+          gb_prev = gb;
+          mu_prev = mu;
+        }
+        *cells += static_cast<uint64_t>(len);
+        chain = {win_b, gb_prev, mu_prev};
+        continue;
+      }
+    }
     const size_t slen = static_cast<size_t>(len);
     int32_t *prev_m, *prev_ga, *diag_m, *out_m, *out_ga;
     if (len <= kStackWin) {

@@ -138,9 +138,12 @@ class Alae::Engine {
     const size_t lanes = indexes_.size();
     n_.reserve(lanes);
     fms_.reserve(lanes);
+    cursors_.reserve(lanes);
     for (const AlaeIndex* index : indexes_) {
       n_.push_back(index->text_size());
       fms_.push_back(&index->fm());
+      cursors_.emplace_back(index->fm());
+      texts_.push_back(index->text().symbols().data());
     }
     if (config_.domination_filter) {
       domination_.reserve(lanes);
@@ -162,6 +165,14 @@ class Alae::Engine {
     // engine's.
     std::vector<uint32_t> lanes;
     std::vector<SaRange> ranges;
+    // Lanes whose singleton chain crossed an SA sample and got converted
+    // to direct text descent: pos_vals[i] is the lane-local END position
+    // of this node's (unique) occurrence. Extension is one text read —
+    // the next matched symbol is text[pos+1] — and hit flushing needs no
+    // Locate at all. Results are identical to keeping the lane on FM
+    // extends; only the work per step changes.
+    std::vector<uint32_t> pos_lanes;
+    std::vector<int64_t> pos_vals;
     // Expansion result, bucketed by symbol: child_lanes[c]/child_ranges[c]
     // are exactly child c's live-lane arrays, built in ONE pass over this
     // node's lanes (a singleton lane contributes one bucket push, not a
@@ -170,6 +181,8 @@ class Alae::Engine {
     // ResetFrame leaves them alone.
     std::vector<std::vector<uint32_t>> child_lanes;
     std::vector<std::vector<SaRange>> child_ranges;
+    std::vector<std::vector<uint32_t>> child_pos_lanes;
+    std::vector<std::vector<int64_t>> child_pos_vals;
     std::vector<DiagFork> diag;  // forks in the cheap EMR/NGR phase
     std::vector<ForkState> gap;  // forks with open gap regions
     // Lazily located text end positions, parallel to `lanes`.
@@ -190,6 +203,11 @@ class Alae::Engine {
 
   size_t lanes() const { return indexes_.size(); }
   const FmIndex& fm(size_t lane) const { return *fms_[lane]; }
+  // The fused walk's rank calls all go through per-lane cursors: view and
+  // dispatch are resolved once per run, not once per call — at one-core
+  // L2-resident shard sizes the wrapper overhead is a measurable slice of
+  // every per-lane operation.
+  const FmIndex::RankCursor& cur(size_t lane) const { return cursors_[lane]; }
 
   void ProcessGram(size_t gram_index, const std::vector<int32_t>& anchors);
   bool AnchorSurvivesGlobalFilters(const Symbol* gram,
@@ -197,8 +215,29 @@ class Alae::Engine {
                                    int32_t anchor);
 
   ForkState OpenGapRegion(int32_t anchor, int64_t row, int32_t fgoe_score);
-  ForkState StepGapRow(const ForkState& fork, Symbol c, int64_t row,
-                       const ForkState* source);
+
+  // A gap-fork row step, split around its kernel call so two sibling
+  // forks' windows can issue as ONE paired kernel (16 int16 lanes for the
+  // 1..8-cell rows that dominate deep descent). BeginGapRow builds the
+  // reuse prefix and the RowSpec; the caller runs the kernel (single or
+  // paired); FinishGapRow consumes the stats and runs the scalar
+  // boundary/tail cells. Begin + ComputeRowAuto + Finish is exactly the
+  // old single-fork step.
+  struct GapStep {
+    ForkState next;
+    const ForkState* fork = nullptr;
+    const int32_t* prof = nullptr;  // symbol profile lane at fgoe_col
+    bool has_kernel = false;
+    simd::RowSpec spec;
+    simd::RowStats stats;
+    int64_t start = 0;
+    int64_t copied_cnt = 0;   // cells taken verbatim from the reuse source
+    int32_t chain_gb = 0;     // raw chain state entering the kernel window
+    int32_t chain_mu = 0;
+  };
+  void BeginGapRow(const ForkState& fork, Symbol c, int64_t row,
+                   const ForkState* source, int slot, GapStep* step);
+  ForkState FinishGapRow(GapStep* step, int64_t row);
 
   // Finds a reuse source among this row's already-updated gap forks.
   static const ForkState* FindSource(const std::vector<ForkState>& updated,
@@ -228,10 +267,12 @@ class Alae::Engine {
 
   const std::vector<const AlaeIndex*>& indexes_;
   std::vector<const FmIndex*> fms_;  // per-lane, hoisted out of hot loops
+  std::vector<FmIndex::RankCursor> cursors_;  // parallel to fms_
   const AlaeConfig& config_;
   const Sequence& query_;
   const ScoringScheme& scheme_;
   std::vector<int64_t> n_;  // per-lane text length
+  std::vector<const Symbol*> texts_;  // per-lane original (forward) text
   int64_t m_;
   int32_t threshold_;
   // Query-side compiled state, all borrowed from the (immutable) plan.
@@ -255,8 +296,9 @@ class Alae::Engine {
   std::vector<PendingHit> pending_hits_;
   std::vector<PendingHit> bitset_pending_;
 
-  // Buffer for the one-cell-shifted diagonal view of the previous row.
-  std::vector<int32_t> scratch_diag_m_;
+  // Buffers for the one-cell-shifted diagonal view of the previous row —
+  // one per in-flight GapStep, so a pending pair cannot alias.
+  std::vector<int32_t> scratch_diag_m_[2];
 
   // Retired gap-row buffers, recycled so the DFS does not pay three heap
   // allocations per stepped row.
@@ -281,6 +323,8 @@ class Alae::Engine {
   static void ResetFrame(Frame* frame) {
     frame->lanes.clear();
     frame->ranges.clear();
+    frame->pos_lanes.clear();
+    frame->pos_vals.clear();
     // child_lanes/child_ranges are cleared by the expansion pass itself.
     frame->diag.clear();
     frame->gap.clear();
@@ -310,30 +354,77 @@ void Alae::Engine::Run(std::vector<ResultCollector>* results,
     if (dfs_stack_.size() < max_levels) dfs_stack_.resize(max_levels);
 
     // Root anchoring: locate every distinct gram's subtree in every lane,
-    // descending the gram set in key order as a prefix tree — a prefix
-    // shared by consecutive grams is extended once per lane, not once per
-    // gram (the stack holds the current prefix path's ranges).
+    // descending the gram set in key order as a prefix tree. The walk is
+    // level-order: at depth k, every gram that has diverged from its
+    // key-order predecessor (lcp <= k) owns a tree node and extends its
+    // range by one symbol; a gram whose lcp equals k diverges now and is
+    // seeded from the nearest earlier owner, with which it shares the
+    // depth-k prefix. Each level is then issued as one ExtendBatch per
+    // lane behind a cross-lane prefetch pass — the (gram x lane) boundary
+    // blocks of a level are independent fetches, so batching overlaps the
+    // misses that the old lane-major descent paid one serial chain at a
+    // time. This is what keeps the fused walk's per-lane anchoring cost
+    // roughly flat in the shard count.
     const size_t num_lanes = lanes();
+    const size_t num_slots = descent_.size();
     gram_roots_.assign(grams_.size() * num_lanes, SaRange{});
-    std::vector<SaRange> prefix(static_cast<size_t>(q));
-    for (size_t l = 0; l < num_lanes && !scan_.fired(); ++l) {
-      if (n_[l] < q) continue;
-      for (const AlaeQueryPlan::GramStep& step : descent_) {
-        if (scan_.Tick(q - step.lcp)) break;
-        const Symbol* gram =
-            query_.symbols().data() +
-            grams_[static_cast<size_t>(step.gram)].first;
-        SaRange range = step.lcp == 0
-                            ? fm(l).FullRange()
-                            : prefix[static_cast<size_t>(step.lcp) - 1];
-        for (int32_t k = step.lcp; k < q; ++k) {
-          if (!range.Empty()) {
-            range = fm(l).Extend(range, gram[k]);
-            ++counters_.fm_extends;
+    // Seed source per slot: the nearest earlier slot with lcp <= this
+    // slot's lcp. Every slot in between shares more than lcp symbols with
+    // its own predecessor, hence (transitively) the whole depth-lcp prefix.
+    std::vector<int32_t> seed_from(num_slots, -1);
+    for (size_t s = 1; s < num_slots; ++s) {
+      int32_t s2 = static_cast<int32_t>(s) - 1;
+      while (descent_[static_cast<size_t>(s2)].lcp > descent_[s].lcp) --s2;
+      seed_from[s] = s2;
+    }
+    // Per-(lane, slot) ranges, lane-major so each lane's level batch is
+    // one contiguous in-place ExtendBatch. Unseeded slots sit at the
+    // empty range, which batch-extends to empty for free.
+    std::vector<SaRange> anchor(num_lanes * num_slots);
+    std::vector<Symbol> level_syms(num_slots, 0);
+    bool anchoring_fired = false;
+    for (int32_t k = 0; k < q && !anchoring_fired; ++k) {
+      for (size_t s = 0; s < num_slots; ++s) {
+        const AlaeQueryPlan::GramStep& step = descent_[s];
+        if (step.lcp > k) continue;  // still aliasing an earlier gram's node
+        if (step.lcp == k) {
+          for (size_t l = 0; l < num_lanes; ++l) {
+            anchor[l * num_slots + s] =
+                s == 0 ? (n_[l] >= q ? fm(l).FullRange() : SaRange{})
+                       : anchor[l * num_slots +
+                                static_cast<size_t>(seed_from[s])];
           }
-          prefix[static_cast<size_t>(k)] = range;
         }
-        gram_roots_[static_cast<size_t>(step.gram) * num_lanes + l] = range;
+        level_syms[s] = query_[static_cast<size_t>(
+            grams_[static_cast<size_t>(step.gram)].first + k)];
+      }
+      int64_t live = 0;
+      for (size_t l = 0; l < num_lanes; ++l) {
+        const SaRange* lane_ranges = anchor.data() + l * num_slots;
+        for (size_t s = 0; s < num_slots; ++s) {
+          if (!lane_ranges[s].Empty()) {
+            cur(l).PrefetchRange(lane_ranges[s]);
+            ++live;
+          }
+        }
+      }
+      if (scan_.Tick(std::max<int64_t>(live, 1))) {
+        anchoring_fired = true;
+        break;
+      }
+      for (size_t l = 0; l < num_lanes; ++l) {
+        SaRange* lane_ranges = anchor.data() + l * num_slots;
+        cur(l).ExtendBatch(lane_ranges, level_syms.data(), lane_ranges,
+                          static_cast<int>(num_slots));
+      }
+      counters_.fm_extends += static_cast<uint64_t>(live);
+    }
+    if (!anchoring_fired) {
+      for (size_t s = 0; s < num_slots; ++s) {
+        const size_t g = static_cast<size_t>(descent_[s].gram);
+        for (size_t l = 0; l < num_lanes; ++l) {
+          gram_roots_[g * num_lanes + l] = anchor[l * num_slots + s];
+        }
       }
     }
     for (size_t g = 0; g < grams_.size() && !scan_.fired(); ++g) {
@@ -504,7 +595,7 @@ void Alae::Engine::ProcessGram(size_t gram_index,
 
   while (level > 0) {
     // Cooperative abort: one tick per node visit (DP cells are accounted
-    // inside StepGapRow); a fired token abandons the walk mid-subtree —
+    // inside FinishGapRow); a fired token abandons the walk mid-subtree —
     // results gathered so far stay valid, the rest never materialise.
     if (scan_.Tick()) break;
     Frame& top = dfs_stack_[level - 1];
@@ -529,44 +620,92 @@ void Alae::Engine::ProcessGram(size_t gram_index,
       if (top.child_lanes.size() < stride) {
         top.child_lanes.resize(stride);
         top.child_ranges.resize(stride);
+        top.child_pos_lanes.resize(stride);
+        top.child_pos_vals.resize(stride);
       }
       for (size_t c = 0; c < stride; ++c) {
         top.child_lanes[c].clear();
         top.child_ranges[c].clear();
+        top.child_pos_lanes[c].clear();
+        top.child_pos_vals[c].clear();
       }
       SaRange block[kMaxStride];
+      if (top.lanes.size() > 1) {
+        // Cross-lane prefetch: each live lane is about to rank its
+        // boundary block(s); issuing every lane's fetch up front lets the
+        // misses overlap instead of serialising lane by lane. Singleton
+        // ranges only touch the block holding their one row.
+        for (size_t i = 0; i < top.lanes.size(); ++i) {
+          const SaRange& r = top.ranges[i];
+          if (r.Count() == 1) {
+            cur(top.lanes[i]).PrefetchRow(r.lo);
+          } else {
+            cur(top.lanes[i]).PrefetchRange(r);
+          }
+        }
+      }
       for (size_t i = 0; i < top.lanes.size(); ++i) {
         const SaRange& r = top.ranges[i];
         const uint32_t lane = top.lanes[i];
-        const FmIndex& index = fm(lane);
+        const FmIndex::RankCursor& cursor = cur(lane);
         if (r.Count() == 1) {
           // Deep nodes are mostly singleton chains; one access + one rank
           // (and one bucket push) replaces the two all-symbol boundary
           // ranks and the sigma-wide child scan.
           Symbol only = 0;
           SaRange child;
-          if (index.ExtendSingleton(r.lo, &only, &child)) {
-            top.child_lanes[only].push_back(lane);
-            top.child_ranges[only].push_back(child);
+          if (cursor.ExtendSingleton(r.lo, &only, &child)) {
+            // The chain visits consecutive text positions, so it crosses
+            // an SA sample within sample_rate steps; the moment the child
+            // row carries one, the lane's position is known for free and
+            // the rest of the chain becomes direct text reads.
+            const int64_t p = cursor.SampledPosition(child.lo);
+            if (p >= 0) {
+              top.child_pos_lanes[only].push_back(lane);
+              top.child_pos_vals[only].push_back(n_[lane] - 1 - p);
+            } else {
+              top.child_lanes[only].push_back(lane);
+              top.child_ranges[only].push_back(child);
+            }
           }
           ++counters_.fm_extends;
         } else {
-          index.ExtendAll(r, block);
-          const size_t index_sigma = static_cast<size_t>(index.sigma());
+          cursor.ExtendAll(r, block);
+          const size_t index_sigma = static_cast<size_t>(cursor.sigma());
           for (size_t c = 0; c < index_sigma; ++c) {
             if (block[c].Empty()) continue;
+            if (block[c].Count() == 1) {
+              const int64_t p = cursor.SampledPosition(block[c].lo);
+              if (p >= 0) {
+                top.child_pos_lanes[c].push_back(lane);
+                top.child_pos_vals[c].push_back(n_[lane] - 1 - p);
+                continue;
+              }
+            }
             top.child_lanes[c].push_back(lane);
             top.child_ranges[c].push_back(block[c]);
           }
           ++counters_.fm_extend_alls;
         }
       }
+      // Converted lanes: one sequential text read each — the next matched
+      // symbol is the one after the current occurrence's end — and the
+      // lane dies when the match runs off the text.
+      for (size_t i = 0; i < top.pos_lanes.size(); ++i) {
+        const uint32_t lane = top.pos_lanes[i];
+        const int64_t nt = top.pos_vals[i] + 1;
+        if (nt >= n_[lane]) continue;
+        const Symbol sym = texts_[lane][nt];
+        top.child_pos_lanes[sym].push_back(lane);
+        top.child_pos_vals[sym].push_back(nt);
+        ++counters_.fm_text_steps;
+      }
     }
     Symbol c = top.next_child++;
     // The expansion pass bucketed child c's live lanes already; an empty
     // bucket means the symbol extends nowhere and the candidate dies
     // unpriced.
-    if (top.child_lanes[c].empty()) continue;
+    if (top.child_lanes[c].empty() && top.child_pos_lanes[c].empty()) continue;
 
     // Evolve every fork by one row. Gap forks go first (their reuse
     // sources are earlier gap forks), then the cheap diagonal forks, whose
@@ -579,16 +718,56 @@ void Alae::Engine::ProcessGram(size_t gram_index,
     ResetFrame(&child);
     child.lanes.swap(top.child_lanes[c]);
     child.ranges.swap(top.child_ranges[c]);
+    child.pos_lanes.swap(top.child_pos_lanes[c]);
+    child.pos_vals.swap(top.child_pos_vals[c]);
     child.diag.reserve(top.diag.size());
     child.gap.reserve(top.gap.size());
-    for (const ForkState& fork : top.gap) {
-      ForkState next = StepGapRow(
-          fork, c, depth, FindSource(child.gap, fork.reuse_src_anchor));
-      if (!next.cells.Empty()) {
-        child.gap.push_back(std::move(next));
-      } else {
-        ReleaseRow(std::move(next.cells));
+    // Step forks two at a time: both pending kernel windows issue as one
+    // ComputeRowPair call (one 16-lane int16 kernel when both rows are
+    // narrow). Finishing in fork order keeps child.gap and the hit stream
+    // identical to the sequential step. The only ordering hazard is Lemma-3
+    // reuse — a fork whose source is still pending would miss its prefix
+    // copy — so such a fork forces a flush first.
+    {
+      GapStep steps[2];
+      size_t npend = 0;
+      auto flush = [&]() {
+        if (npend == 2 && steps[0].has_kernel && steps[1].has_kernel) {
+          simd::ComputeRowPair(steps[0].spec, steps[1].spec, &steps[0].stats,
+                               &steps[1].stats);
+        } else {
+          for (size_t j = 0; j < npend; ++j) {
+            if (steps[j].has_kernel) {
+              simd::ComputeRowAuto(steps[j].spec, &steps[j].stats);
+            }
+          }
+        }
+        for (size_t j = 0; j < npend; ++j) {
+          ForkState next = FinishGapRow(&steps[j], depth);
+          if (!next.cells.Empty()) {
+            child.gap.push_back(std::move(next));
+          } else {
+            ReleaseRow(std::move(next.cells));
+          }
+        }
+        npend = 0;
+      };
+      for (const ForkState& fork : top.gap) {
+        if (npend > 0 && fork.reuse_src_anchor >= 0) {
+          bool src_pending = false;
+          for (size_t j = 0; j < npend; ++j) {
+            if (steps[j].next.anchor == fork.reuse_src_anchor) {
+              src_pending = true;
+            }
+          }
+          if (src_pending) flush();
+        }
+        BeginGapRow(fork, c, depth,
+                    FindSource(child.gap, fork.reuse_src_anchor),
+                    static_cast<int>(npend), &steps[npend]);
+        if (++npend == 2) flush();
       }
+      flush();
     }
     const int32_t fgoe_threshold = filters_.fgoe_threshold();
     for (const DiagFork& fork : top.diag) {
@@ -654,9 +833,20 @@ void Alae::Engine::FlushNode(Frame* frame, int64_t depth) {
       }
     }
   }
+  // Converted lanes carry their end position outright — no Locate walk.
+  for (size_t i = 0; i < frame->pos_lanes.size(); ++i) {
+    ResultCollector& out = results_[frame->pos_lanes[i]];
+    const int64_t end = frame->pos_vals[i];
+    for (const PendingHit& hit : pending_hits_) {
+      out.Add(end, hit.col, hit.score, end - depth + 1);
+    }
+  }
   if (bitset_ != nullptr) {
     for (const PendingHit& hit : bitset_pending_) {
-      for (int64_t end : frame->ends[0]) bitset_->Set(end, hit.col);
+      if (!frame->ends.empty()) {
+        for (int64_t end : frame->ends[0]) bitset_->Set(end, hit.col);
+      }
+      for (int64_t end : frame->pos_vals) bitset_->Set(end, hit.col);
     }
   }
   pending_hits_.clear();
@@ -700,9 +890,18 @@ ForkState Alae::Engine::OpenGapRegion(int32_t anchor, int64_t row,
   return next;
 }
 
-ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
-                                   int64_t row, const ForkState* source) {
-  ForkState next;
+void Alae::Engine::BeginGapRow(const ForkState& fork, Symbol c, int64_t row,
+                               const ForkState* source, int slot,
+                               GapStep* step) {
+  step->fork = &fork;
+  step->has_kernel = false;
+  step->copied_cnt = 0;
+  // The kernels merge into RowStats (the scalar tail extends what a vector
+  // prefix recorded), so a reused pairing slot must start from a clean one —
+  // a stale alive window would make FinishGapRow read past this row's cells.
+  step->stats = simd::RowStats();
+  ForkState& next = step->next;
+  next = ForkState();
   AcquireRow(&next.cells);
   next.anchor = fork.anchor;
   next.fgoe_col = fork.fgoe_col;
@@ -717,7 +916,6 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
   const int32_t row_bound = filters_.RowBound(row);
   const int64_t col_base = filters_.ColTermBase();
   const int32_t col_step = filters_.ColTermStep();
-  bool any_alive = false;
 
   // Copyable prefix from the reuse source: offsets below the shared query
   // length evolve identically (Lemma 3), so take them verbatim — three
@@ -736,14 +934,9 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
       next.cells.gb.assign(source->cells.gb.begin(),
                            source->cells.gb.begin() + cnt);
       counters_.reused += static_cast<uint64_t>(cnt);
-      for (int64_t d = src_lo; d <= hi; ++d) {
-        int32_t mv = next.cells.m[static_cast<size_t>(d - src_lo)];
-        int64_t col = next.fgoe_col + d;
-        if (mv != kNegInf && col < m_) {
-          any_alive = true;
-          NoteCell(row, static_cast<int32_t>(col), mv);
-        }
-      }
+      // Hits inside the copied prefix are noted by FinishGapRow, so the
+      // hit stream stays per-fork contiguous under pairing.
+      step->copied_cnt = cnt;
       copied = true;
     }
   }
@@ -756,7 +949,6 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
   int64_t start =
       copied ? next.cells.lo + next.cells.Size() : prev_lo;
   if (!copied) next.cells.lo = start;
-  const int64_t hi_candidate = prev_hi + 1;
   const int64_t max_d = m_ - 1 - next.fgoe_col;  // last offset inside P
   const int64_t kend = std::min(prev_hi, max_d);
 
@@ -770,26 +962,22 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
   const int32_t* prof = profile_.data() +
                         static_cast<size_t>(c) * static_cast<size_t>(m_) +
                         static_cast<size_t>(next.fgoe_col);
-  // Bound(row, col) in the kernel's affine decomposition, for the scalar
-  // cells computed outside the kernel call.
-  const auto bound_at = [row_bound, col_base, col_step](int64_t col) {
-    return static_cast<int32_t>(std::max<int64_t>(
-        row_bound, std::max<int64_t>(col_base + col * col_step, kNegInf)));
-  };
+  step->prof = prof;
   const int64_t len = kend - start + 1;
   if (len > 0) {
-    simd::RowSpec spec;
+    simd::RowSpec& spec = step->spec;
     spec.prev_m = fork.cells.m.data() + (start - prev_lo);
     spec.prev_ga = fork.cells.ga.data() + (start - prev_lo);
     if (start - 1 >= prev_lo) {
       spec.prev_diag_m = fork.cells.m.data() + (start - 1 - prev_lo);
     } else {
       // start == prev_lo: shift the M lane right by one, dead on the left.
-      scratch_diag_m_.resize(static_cast<size_t>(len));
-      scratch_diag_m_[0] = kNegInf;
+      std::vector<int32_t>& scratch = scratch_diag_m_[slot];
+      scratch.resize(static_cast<size_t>(len));
+      scratch[0] = kNegInf;
       std::copy(fork.cells.m.begin(), fork.cells.m.begin() + (len - 1),
-                scratch_diag_m_.begin() + 1);
-      spec.prev_diag_m = scratch_diag_m_.data();
+                scratch.begin() + 1);
+      spec.prev_diag_m = scratch.data();
     }
     spec.delta = prof + start;
     const size_t base = next.cells.m.size();
@@ -807,8 +995,53 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
     spec.bound0 = static_cast<int32_t>(std::max<int64_t>(
         col_base + (next.fgoe_col + start) * col_step, kNegInf));
     spec.bound_step = col_step;
-    simd::RowStats stats;
-    simd::ComputeRowAuto(spec, &stats);
+    step->has_kernel = true;
+  }
+  step->start = start;
+  step->chain_gb = chain_gb;
+  step->chain_mu = chain_mu;
+}
+
+ForkState Alae::Engine::FinishGapRow(GapStep* step, int64_t row) {
+  const ForkState& fork = *step->fork;
+  ForkState& next = step->next;
+  const int32_t ss = scheme_.ss;
+  const int32_t open_ext = scheme_.sg + scheme_.ss;
+  const int64_t prev_lo = fork.cells.lo;
+  const int64_t prev_hi = fork.cells.hi();
+  const int32_t row_bound = filters_.RowBound(row);
+  const int64_t col_base = filters_.ColTermBase();
+  const int32_t col_step = filters_.ColTermStep();
+  // Bound(row, col) in the kernel's affine decomposition, for the scalar
+  // cells computed outside the kernel call.
+  const auto bound_at = [row_bound, col_base, col_step](int64_t col) {
+    return static_cast<int32_t>(std::max<int64_t>(
+        row_bound, std::max<int64_t>(col_base + col * col_step, kNegInf)));
+  };
+  bool any_alive = false;
+
+  if (step->copied_cnt > 0) {
+    const int64_t lo = next.cells.lo;
+    for (int64_t d = lo; d < lo + step->copied_cnt; ++d) {
+      int32_t mv = next.cells.m[static_cast<size_t>(d - lo)];
+      int64_t col = next.fgoe_col + d;
+      if (mv != kNegInf && col < m_) {
+        any_alive = true;
+        NoteCell(row, static_cast<int32_t>(col), mv);
+      }
+    }
+  }
+
+  const int64_t start = step->start;
+  const int64_t hi_candidate = prev_hi + 1;
+  const int64_t max_d = m_ - 1 - next.fgoe_col;  // last offset inside P
+  const int32_t* prof = step->prof;
+  int32_t chain_gb = step->chain_gb;
+  int32_t chain_mu = step->chain_mu;
+  if (step->has_kernel) {
+    const simd::RowSpec& spec = step->spec;
+    const simd::RowStats& stats = step->stats;
+    const int64_t len = spec.len;
     scan_.Tick(len);  // account the kernel's cells toward the cancel stride
     if (start == 0) {
       ++counters_.cells_cost2;  // Left boundary: no Gb/diag inputs.
@@ -871,7 +1104,7 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
 
   if (!any_alive) {
     next.cells.Clear();
-    return next;
+    return std::move(step->next);
   }
   // Trim dead edges in the M lane. A dead cell's soft Ga chain is bounded
   // by that cell's prune bound, and bounds are non-decreasing across rows
@@ -889,7 +1122,7 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
   }
   if (back <= front) {
     next.cells.Clear();
-    return next;
+    return std::move(step->next);
   }
   auto trim = [front, back](std::vector<int32_t>* lane) {
     lane->erase(lane->begin() + static_cast<ptrdiff_t>(back), lane->end());
@@ -899,7 +1132,7 @@ ForkState Alae::Engine::StepGapRow(const ForkState& fork, Symbol c,
   trim(&next.cells.ga);
   trim(&next.cells.gb);
   next.cells.lo += front;
-  return next;
+  return std::move(step->next);
 }
 
 ResultCollector Alae::Run(const Sequence& query, const ScoringScheme& scheme,

@@ -7,272 +7,45 @@
 #include <utility>
 
 #include "src/index/bwt.h"
+#include "src/index/fm_rank.h"
 #include "src/index/suffix_array.h"
 #include "src/util/serialize.h"
+
+// The rank primitives themselves (match masks, block scans, the per-layout
+// OccCount* family) live in fm_rank_impl.inc and are compiled twice — the
+// portable TU and the -mpopcnt clone — behind the coarse dispatch declared
+// in fm_rank.h. This file owns construction, serialisation and the cold
+// paths, and routes each hot entry point to the selected clone.
 
 namespace alae {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Packed-word rank primitives. Each returns an indicator word with one bit
-// set per slot of `w` equal to `code` (at bit kBits*i, except byte mode
-// which flags bit 8i+7), so a prefix rank is a mask + popcount.
-// ---------------------------------------------------------------------------
-
-inline uint64_t Match2(uint64_t w, uint32_t code) {
-  uint64_t x = w ^ (code * 0x5555555555555555ULL);
-  return ~(x | (x >> 1)) & 0x5555555555555555ULL;
-}
-
-inline uint64_t Match4(uint64_t w, uint32_t code) {
-  uint64_t x = w ^ (code * 0x1111111111111111ULL);
-  x |= x >> 1;
-  x |= x >> 2;
-  return ~x & 0x1111111111111111ULL;
-}
-
-inline uint64_t Match8(uint64_t w, uint32_t code) {
-  // Exact per-byte zero detection: (b & 0x7F) + 0x7F overflows into the high
-  // bit iff the low bits are non-zero, so no cross-byte carries occur (the
-  // classic haszero() macro is only exact in aggregate, not per byte).
-  uint64_t x = w ^ (code * 0x0101010101010101ULL);
-  uint64_t y = ((x & 0x7F7F7F7F7F7F7F7FULL) + 0x7F7F7F7F7F7F7F7FULL) | x;
-  return ~(y | 0x7F7F7F7F7F7F7F7FULL);
-}
-
-template <int kBits>
-inline uint64_t MatchMask(uint64_t w, uint32_t code) {
-  if constexpr (kBits == 2) return Match2(w, code);
-  if constexpr (kBits == 4) return Match4(w, code);
-  if constexpr (kBits == 8) return Match8(w, code);
-}
-
-// All-ones over the first `k` slots (k <= 64/kBits).
-template <int kBits>
-inline uint64_t PrefixMask(int k) {
-  return k >= 64 / kBits
-             ? ~0ULL
-             : (1ULL << (static_cast<unsigned>(kBits) * k)) - 1;
-}
-
-// Count of `code` among the first `k` slots of `w` (k <= 64/kBits).
-template <int kBits>
-inline int64_t CountSlots(uint64_t w, uint32_t code, int k) {
-  return std::popcount(MatchMask<kBits>(w, code) & PrefixMask<kBits>(k));
-}
-
-// Count of `code` in slots [a, b) of a block's data words.
-template <int kBits, int kSpw>
-int64_t CountBlockRange(const uint64_t* data, uint32_t code, int a, int b) {
-  if (a >= b) return 0;
-  const int wa = a / kSpw;
-  const int wb = (b - 1) / kSpw;  // last word holding a counted slot
-  const int ra = a % kSpw;
-  if (wa == wb) {
-    uint64_t mask = PrefixMask<kBits>(b - wb * kSpw) & ~PrefixMask<kBits>(ra);
-    return std::popcount(MatchMask<kBits>(data[wa], code) & mask);
-  }
-  int64_t r = std::popcount(MatchMask<kBits>(data[wa], code) &
-                            ~PrefixMask<kBits>(ra));
-  for (int w = wa + 1; w < wb; ++w) {
-    r += std::popcount(MatchMask<kBits>(data[w], code));
-  }
-  r += CountSlots<kBits>(data[wb], code, b - wb * kSpw);
-  return r;
-}
-
-// Per-code totals of the 2-bit slots [a, b) via the even/odd bit planes:
-// slot == 3 has both bits set, 2 only the high bit, 1 only the low bit,
-// and code 0 falls out as the remainder — three popcounts per word instead
-// of four full match-mask chains.
-inline void CountPlanes2(const uint64_t* data, int a, int b, int64_t* c1,
-                         int64_t* c2, int64_t* c3) {
-  constexpr int kSpw = 32;
-  for (int w = a / kSpw; w * kSpw < b; ++w) {
-    const int lo = a > w * kSpw ? a - w * kSpw : 0;
-    const int hi = b - w * kSpw < kSpw ? b - w * kSpw : kSpw;
-    const uint64_t valid =
-        (PrefixMask<2>(hi) & ~PrefixMask<2>(lo)) & 0x5555555555555555ULL;
-    const uint64_t even = data[w] & valid;
-    const uint64_t odd = (data[w] >> 1) & valid;
-    *c3 += std::popcount(even & odd);
-    *c2 += std::popcount(odd & ~even);
-    *c1 += std::popcount(even & ~odd);
-  }
-}
-
-// Read-only view over the interleaved checkpoint+data blocks.
-struct OccView {
-  const uint64_t* data;
-  int32_t cp_words;
-  int32_t block_words;
-  int64_t rows;
-
-  uint32_t Checkpoint(int64_t block, uint32_t code) const {
-    uint64_t word = data[block * block_words + (code >> 1)];
-    return static_cast<uint32_t>(word >> ((code & 1U) * 32));
-  }
-  const uint64_t* BlockData(int64_t block) const {
-    return data + block * block_words + cp_words;
-  }
-};
-
-// Rank of `code` at `row`: checkpoint plus popcounts over the in-block
-// prefix. One block — one cache line for DNA — per rank; counting backward
-// from the next block's checkpoint would halve the expected scan but touch
-// a second line, which measures slower at memory-bound sizes. kSpb/kSpw
-// are compile-time so row/kSpb strength-reduces.
-template <int kBits, int kSpw, int kSpb>
-int64_t OccCount(const OccView& v, uint32_t code, int64_t row) {
-  const int64_t block = row / kSpb;
-  const int k = static_cast<int>(row - block * kSpb);
-  const uint64_t* data = v.BlockData(block);
-  if constexpr (kBits == 2) {
-    // Branchless over all six words: the per-word mask zeroes slots >= k,
-    // so the scan length never feeds a data-dependent branch and the six
-    // match chains retire in parallel.
-    const uint64_t pat = code * 0x5555555555555555ULL;
-    int64_t r = v.Checkpoint(block, code);
-    for (int w = 0; w < kSpb / kSpw; ++w) {
-      const int rem = k - w * kSpw;
-      const uint64_t mask =
-          rem >= kSpw ? 0x5555555555555555ULL
-          : rem <= 0  ? 0
-                      : (1ULL << (2 * rem)) - 1;
-      const uint64_t x = data[w] ^ pat;
-      r += std::popcount(~(x | (x >> 1)) & 0x5555555555555555ULL & mask);
-    }
-    return r;
-  }
-  return v.Checkpoint(block, code) +
-         CountBlockRange<kBits, kSpw>(data, code, 0, k);
-}
-
-// Ranks of every code at `row` in one pass: all checkpoints, then either
-// per-code popcounts (2-bit: four masks per word) or a scalar histogram of
-// the decoded prefix (4-bit/byte: sigma-independent).
-template <int kBits, int kSpw, int kSpb>
-void OccCountAll(const OccView& v, int32_t cp_count, int64_t row,
-                 int64_t* counts) {
-  const int64_t block = row / kSpb;
-  const int k = static_cast<int>(row - block * kSpb);
-  const uint64_t* data = v.BlockData(block);
-  for (int32_t code = 0; code < cp_count; ++code) {
-    counts[code] = v.Checkpoint(block, static_cast<uint32_t>(code));
-  }
-  if constexpr (kBits == 2) {
-    int64_t c1 = 0, c2 = 0, c3 = 0;
-    CountPlanes2(data, 0, k, &c1, &c2, &c3);
-    counts[0] += k - c1 - c2 - c3;
-    counts[1] += c1;
-    counts[2] += c2;
-    counts[3] += c3;
-  } else {
-    constexpr uint64_t kSlotMask = (1ULL << kBits) - 1;
-    for (int i = 0; i < k; ++i) {
-      ++counts[(data[i / kSpw] >> ((i % kSpw) * kBits)) & kSlotMask];
-    }
-  }
-}
-
-// Ranks of `code` at both boundaries of a range in one go. Deep trie nodes
-// have narrow ranges whose boundaries share a block: the checkpoint load
-// and the [0, lo) prefix scan are then paid once, and the hi rank is just
-// the in-between delta (a single mask+popcount for singleton ranges).
-template <int kBits, int kSpw, int kSpb>
-inline std::pair<int64_t, int64_t> OccCountPair(const OccView& v,
-                                                uint32_t code, int64_t lo,
-                                                int64_t hi) {
-  const int64_t block = lo / kSpb;
-  const int64_t khi = hi - block * kSpb;
-  if (khi <= kSpb) {  // hi in the same block (or exactly on its boundary)
-    const int klo = static_cast<int>(lo - block * kSpb);
-    int64_t c_lo = OccCount<kBits, kSpw, kSpb>(v, code, lo);
-    int64_t c_hi = c_lo + CountBlockRange<kBits, kSpw>(
-                              v.BlockData(block), code, klo,
-                              static_cast<int>(khi));
-    return {c_lo, c_hi};
-  }
-  return {OccCount<kBits, kSpw, kSpb>(v, code, lo),
-          OccCount<kBits, kSpw, kSpb>(v, code, hi)};
-}
-
-// OccCountAll at both boundaries: when they share a block the hi counts are
-// the lo counts plus a histogram of the in-between slots.
-template <int kBits, int kSpw, int kSpb>
-void OccCountAllPair(const OccView& v, int32_t cp_count, int64_t lo,
-                     int64_t hi, int64_t* lo_counts, int64_t* hi_counts) {
-  const int64_t block = lo / kSpb;
-  const int64_t khi = hi - block * kSpb;
-  OccCountAll<kBits, kSpw, kSpb>(v, cp_count, lo, lo_counts);
-  if (khi > kSpb) {  // boundaries in different blocks
-    OccCountAll<kBits, kSpw, kSpb>(v, cp_count, hi, hi_counts);
-    return;
-  }
-  for (int32_t code = 0; code < cp_count; ++code) {
-    hi_counts[code] = lo_counts[code];
-  }
-  const int klo = static_cast<int>(lo - block * kSpb);
-  const uint64_t* data = v.BlockData(block);
-  if constexpr (kBits == 2) {
-    int64_t c1 = 0, c2 = 0, c3 = 0;
-    CountPlanes2(data, klo, static_cast<int>(khi), &c1, &c2, &c3);
-    hi_counts[0] += khi - klo - c1 - c2 - c3;
-    hi_counts[1] += c1;
-    hi_counts[2] += c2;
-    hi_counts[3] += c3;
-  } else {
-    constexpr uint64_t kSlotMask = (1ULL << kBits) - 1;
-    for (int i = klo; i < khi; ++i) {
-      ++hi_counts[(data[i / kSpw] >> ((i % kSpw) * kBits)) & kSlotMask];
-    }
-  }
-}
-
-template <int kBits, int kSpw, int kSpb>
-uint32_t OccExtract(const OccView& v, int64_t row) {
-  const int64_t block = row / kSpb;
-  const int k = static_cast<int>(row - block * kSpb);
-  uint64_t word = v.BlockData(block)[k / kSpw];
-  return static_cast<uint32_t>(word >> ((k % kSpw) * kBits)) &
-         ((1U << kBits) - 1);
-}
-
-// OccExtract + OccCount of the extracted code in one block visit: the
-// singleton-descent primitive (symbol at `row` and its rank there share
-// the block base, checkpoint word and data words).
-template <int kBits, int kSpw, int kSpb>
-std::pair<uint32_t, int64_t> OccExtractCount(const OccView& v, int64_t row) {
-  const int64_t block = row / kSpb;
-  const int k = static_cast<int>(row - block * kSpb);
-  const uint64_t* data = v.BlockData(block);
-  const uint32_t code =
-      static_cast<uint32_t>(data[k / kSpw] >> ((k % kSpw) * kBits)) &
-      ((1U << kBits) - 1);
-  if constexpr (kBits == 2) {
-    const uint64_t pat = code * 0x5555555555555555ULL;
-    int64_t r = v.Checkpoint(block, code);
-    for (int w = 0; w < kSpb / kSpw; ++w) {
-      const int rem = k - w * kSpw;
-      const uint64_t mask =
-          rem >= kSpw ? 0x5555555555555555ULL
-          : rem <= 0  ? 0
-                      : (1ULL << (2 * rem)) - 1;
-      const uint64_t x = data[w] ^ pat;
-      r += std::popcount(~(x | (x >> 1)) & 0x5555555555555555ULL & mask);
-    }
-    return {code, r};
-  }
-  return {code, v.Checkpoint(block, code) +
-                    CountBlockRange<kBits, kSpw>(data, code, 0, k)};
-}
-
 constexpr uint64_t kFmMagicV2 = 0x414C414546324D00ULL;  // "ALAEF2M\0"
+constexpr uint64_t kFmMagicV3 = 0x414C414546334D00ULL;  // "ALAEF3M\0"
 
 // Header `packing` value marking a wavelet-mode payload. Flat-mode files
-// store their OccPacking (0/1/2) there, which is fully determined by sigma,
-// so this out-of-band value is unambiguous.
+// store 0/1/2 (2-bit/4-bit/byte) there, which is fully determined by
+// sigma, so this out-of-band value is unambiguous. Two-levelness is a
+// separate header word (v3 only), not a packing value: the packed-symbol
+// width is still sigma's choice, only the checkpoint scheme changes.
 constexpr uint64_t kWaveletModeMarker = 3;
+
+constexpr uint64_t PackingForSigma(int sigma) {
+  return sigma <= 4 ? 0 : sigma <= 15 ? 1 : 2;
+}
+
+// v3 layout-flags word: bit 0 = two-level checkpoints. All other bits must
+// be zero (reserved; rejecting them keeps future format growth detectable
+// rather than silently misread).
+constexpr uint64_t kLayoutTwoLevel = 1;
+
+inline SaRange FlatExtend(const FmFlatView& v, const SaRange& range,
+                          Symbol c) {
+  if (const FmRankOps* native = SelectedNativeRankOps()) {
+    return native->extend(v, range, c);
+  }
+  return fm_rank_portable::Extend(v, range, c);
+}
 
 }  // namespace
 
@@ -280,23 +53,23 @@ void FmIndex::InitOccGeometry() {
   if (sigma_ <= 4) {
     // 2-bit codes are shifted-1; the sentinel row is stored out of band and
     // its slot holds placeholder code 0. 2 cp words + 6 data words = one
-    // 64-byte cache line covering 192 symbols.
-    packing_ = OccPacking::kTwoBit;
-    syms_per_block_ = 192;
-    data_words_ = 6;
+    // 64-byte cache line covering 192 symbols — already optimal, so the
+    // two-level scheme never applies here.
+    two_level_ = false;
+    layout_ = FmOccLayout::k2Bit;
     cp_count_ = 4;
   } else if (sigma_ <= 15) {
-    packing_ = OccPacking::kFourBit;
-    syms_per_block_ = 128;
-    data_words_ = 8;
+    layout_ = two_level_ ? FmOccLayout::k4BitTwoLevel : FmOccLayout::k4Bit;
     cp_count_ = sigma_ + 1;
   } else {
-    packing_ = OccPacking::kByte;
-    syms_per_block_ = 128;
-    data_words_ = 16;
+    layout_ = two_level_ ? FmOccLayout::kByteTwoLevel : FmOccLayout::kByte;
     cp_count_ = sigma_ + 1;
   }
-  cp_words_ = (cp_count_ + 1) / 2;
+  const FmOccGeometry g = FmLayoutGeometry(layout_);
+  syms_per_block_ = g.spb;
+  data_words_ = g.data_words;
+  super_shift_ = g.super_shift;
+  cp_words_ = FmLayoutCpWords(layout_, cp_count_);
   block_words_ = cp_words_ + data_words_;
 }
 
@@ -305,40 +78,65 @@ void FmIndex::BuildFlatOcc(const std::vector<Symbol>& bwt) {
   const int64_t rows = static_cast<int64_t>(bwt.size());
   const int64_t blocks = rows / syms_per_block_ + 1;
   occ_data_.assign(static_cast<size_t>(blocks * block_words_), 0);
+  occ_abs_.clear();
+  if (two_level_) {
+    const int64_t supers = ((blocks - 1) >> super_shift_) + 1;
+    occ_abs_.assign(static_cast<size_t>(supers * cp_count_), 0);
+  }
   std::vector<uint32_t> running(static_cast<size_t>(cp_count_), 0);
+  std::vector<uint32_t> super_base(static_cast<size_t>(cp_count_), 0);
   sentinel_row_ = -1;
 
   auto write_checkpoints = [&](int64_t block) {
-    for (int32_t code = 0; code < cp_count_; ++code) {
-      occ_data_[static_cast<size_t>(block * block_words_ + (code >> 1))] |=
-          static_cast<uint64_t>(running[static_cast<size_t>(code)])
-          << ((code & 1) * 32);
+    if (two_level_) {
+      // A block starting a superblock also snapshots the running counts
+      // into its absolute row; every block then stores the u8 distance to
+      // that row. The geometry bounds the distance at (2^shift - 1) * spb
+      // <= 192 symbols, so the byte can never overflow.
+      if ((block & ((int64_t{1} << super_shift_) - 1)) == 0) {
+        const int64_t super = block >> super_shift_;
+        for (int32_t code = 0; code < cp_count_; ++code) {
+          occ_abs_[static_cast<size_t>(super * cp_count_ + code)] =
+              running[static_cast<size_t>(code)];
+          super_base[static_cast<size_t>(code)] =
+              running[static_cast<size_t>(code)];
+        }
+      }
+      for (int32_t code = 0; code < cp_count_; ++code) {
+        const uint64_t delta = running[static_cast<size_t>(code)] -
+                               super_base[static_cast<size_t>(code)];
+        occ_data_[static_cast<size_t>(block * block_words_ + (code >> 3))] |=
+            delta << ((code & 7) * 8);
+      }
+    } else {
+      for (int32_t code = 0; code < cp_count_; ++code) {
+        occ_data_[static_cast<size_t>(block * block_words_ + (code >> 1))] |=
+            static_cast<uint64_t>(running[static_cast<size_t>(code)])
+            << ((code & 1) * 32);
+      }
     }
   };
 
-  const int bits = packing_ == OccPacking::kTwoBit   ? 2
-                   : packing_ == OccPacking::kFourBit ? 4
-                                                      : 8;
-  const int spw = 64 / bits;
+  const FmOccGeometry g = FmLayoutGeometry(layout_);
   for (int64_t i = 0; i < rows; ++i) {
     const int64_t block = i / syms_per_block_;
     const int64_t k = i - block * syms_per_block_;
     if (k == 0) write_checkpoints(block);
     uint32_t code;
-    if (packing_ == OccPacking::kTwoBit && bwt[static_cast<size_t>(i)] == 0) {
+    if (layout_ == FmOccLayout::k2Bit && bwt[static_cast<size_t>(i)] == 0) {
       sentinel_row_ = i;
       code = 0;  // placeholder slot, counted like a real code-0 symbol so
                  // ranks can also run backward from the next checkpoint;
                  // readers subtract it with one sentinel_row_ compare
     } else {
-      code = packing_ == OccPacking::kTwoBit
+      code = layout_ == FmOccLayout::k2Bit
                  ? static_cast<uint32_t>(bwt[static_cast<size_t>(i)]) - 1
                  : bwt[static_cast<size_t>(i)];
     }
     ++running[code];
     occ_data_[static_cast<size_t>(block * block_words_ + cp_words_ +
-                                  k / spw)] |=
-        static_cast<uint64_t>(code) << ((k % spw) * bits);
+                                  k / g.spw)] |=
+        static_cast<uint64_t>(code) << ((k % g.spw) * g.bits);
   }
   // When rows is a multiple of the block size, the main loop never reaches
   // the final block boundary; fill it so Occ(c, rows) can read it.
@@ -349,6 +147,7 @@ FmIndex::FmIndex(const Sequence& text, FmIndexOptions options)
     : n_(text.size()),
       sigma_(text.sigma()),
       use_wavelet_(options.use_wavelet),
+      two_level_(options.two_level_occ),
       sample_rate_(options.sa_sample_rate) {
   std::vector<int64_t> sa = BuildSuffixArray(text.symbols(), sigma_);
   BwtResult bwt = BuildBwt(text.symbols(), sa);
@@ -360,6 +159,7 @@ FmIndex::FmIndex(const Sequence& text, FmIndexOptions options)
 
   int64_t rows = static_cast<int64_t>(bwt.bwt.size());
   if (use_wavelet_) {
+    two_level_ = false;
     wavelet_ = WaveletTree(bwt.bwt, sigma_ + 1);
   } else {
     BuildFlatOcc(bwt.bwt);
@@ -386,18 +186,11 @@ FmIndex::FmIndex(const Sequence& text, FmIndexOptions options)
 
 Symbol FmIndex::AccessBwt(int64_t row) const {
   if (use_wavelet_) return wavelet_.Access(static_cast<size_t>(row));
-  OccView view{occ_data_.data(), cp_words_, block_words_,
-               static_cast<int64_t>(n_) + 1};
-  switch (packing_) {
-    case OccPacking::kTwoBit:
-      if (row == sentinel_row_) return 0;
-      return static_cast<Symbol>(OccExtract<2, 32, 192>(view, row) + 1);
-    case OccPacking::kFourBit:
-      return static_cast<Symbol>(OccExtract<4, 16, 128>(view, row));
-    case OccPacking::kByte:
-      return static_cast<Symbol>(OccExtract<8, 8, 128>(view, row));
+  const FmFlatView v = View();
+  if (const FmRankOps* native = SelectedNativeRankOps()) {
+    return native->access(v, row);
   }
-  return 0;
+  return fm_rank_portable::Access(v, row);
 }
 
 int64_t FmIndex::Occ(Symbol shifted, int64_t row) const {
@@ -405,53 +198,21 @@ int64_t FmIndex::Occ(Symbol shifted, int64_t row) const {
     return static_cast<int64_t>(
         wavelet_.Rank(shifted, static_cast<size_t>(row)));
   }
-  OccView view{occ_data_.data(), cp_words_, block_words_,
-               static_cast<int64_t>(n_) + 1};
-  switch (packing_) {
-    case OccPacking::kTwoBit: {
-      if (shifted == 0) return sentinel_row_ < row ? 1 : 0;
-      const uint32_t code = static_cast<uint32_t>(shifted) - 1;
-      int64_t r = OccCount<2, 32, 192>(view, code, row);
-      // Code-0 ranks include the sentinel's placeholder slot.
-      if (code == 0 && sentinel_row_ < row) --r;
-      return r;
-    }
-    case OccPacking::kFourBit:
-      return OccCount<4, 16, 128>(view, shifted, row);
-    case OccPacking::kByte:
-      return OccCount<8, 8, 128>(view, shifted, row);
+  const FmFlatView v = View();
+  if (const FmRankOps* native = SelectedNativeRankOps()) {
+    return native->occ(v, shifted, row);
   }
-  return 0;
+  return fm_rank_portable::OccRank(v, shifted, row);
 }
 
 SaRange FmIndex::Extend(const SaRange& range, Symbol c) const {
   if (range.Empty()) return {0, 0};
-  const Symbol shifted = static_cast<Symbol>(c + 1);
-  const int64_t base = c_[shifted];
   if (use_wavelet_) {
+    const Symbol shifted = static_cast<Symbol>(c + 1);
+    const int64_t base = c_[shifted];
     return {base + Occ(shifted, range.lo), base + Occ(shifted, range.hi)};
   }
-  OccView view{occ_data_.data(), cp_words_, block_words_,
-               static_cast<int64_t>(n_) + 1};
-  std::pair<int64_t, int64_t> occ{0, 0};
-  switch (packing_) {
-    case OccPacking::kTwoBit: {
-      const uint32_t code = static_cast<uint32_t>(shifted) - 1;
-      occ = OccCountPair<2, 32, 192>(view, code, range.lo, range.hi);
-      if (code == 0) {  // code-0 ranks include the sentinel's placeholder
-        occ.first -= sentinel_row_ < range.lo ? 1 : 0;
-        occ.second -= sentinel_row_ < range.hi ? 1 : 0;
-      }
-      break;
-    }
-    case OccPacking::kFourBit:
-      occ = OccCountPair<4, 16, 128>(view, shifted, range.lo, range.hi);
-      break;
-    case OccPacking::kByte:
-      occ = OccCountPair<8, 8, 128>(view, shifted, range.lo, range.hi);
-      break;
-  }
-  return {base + occ.first, base + occ.second};
+  return FlatExtend(View(), range, c);
 }
 
 void FmIndex::ExtendAll(const SaRange& range, SaRange* out) const {
@@ -465,46 +226,29 @@ void FmIndex::ExtendAll(const SaRange& range, SaRange* out) const {
     }
     return;
   }
-  OccView view{occ_data_.data(), cp_words_, block_words_,
-               static_cast<int64_t>(n_) + 1};
-  switch (packing_) {
-    case OccPacking::kTwoBit: {
-      int64_t lo_counts[4];
-      int64_t hi_counts[4];
-      OccCountAllPair<2, 32, 192>(view, cp_count_, range.lo, range.hi,
-                                  lo_counts, hi_counts);
-      // Code-0 ranks include the sentinel's placeholder slot.
-      lo_counts[0] -= sentinel_row_ < range.lo ? 1 : 0;
-      hi_counts[0] -= sentinel_row_ < range.hi ? 1 : 0;
-      for (int c = 0; c < sigma_; ++c) {
-        int64_t base = c_[static_cast<size_t>(c) + 1];
-        out[c] = {base + lo_counts[c], base + hi_counts[c]};
-      }
-      return;
-    }
-    case OccPacking::kFourBit: {
-      int64_t lo_counts[16];
-      int64_t hi_counts[16];
-      OccCountAllPair<4, 16, 128>(view, cp_count_, range.lo, range.hi,
-                                  lo_counts, hi_counts);
-      for (int c = 0; c < sigma_; ++c) {
-        int64_t base = c_[static_cast<size_t>(c) + 1];
-        out[c] = {base + lo_counts[c + 1], base + hi_counts[c + 1]};
-      }
-      return;
-    }
-    case OccPacking::kByte: {
-      int64_t lo_counts[256];
-      int64_t hi_counts[256];
-      OccCountAllPair<8, 8, 128>(view, cp_count_, range.lo, range.hi,
-                                 lo_counts, hi_counts);
-      for (int c = 0; c < sigma_; ++c) {
-        int64_t base = c_[static_cast<size_t>(c) + 1];
-        out[c] = {base + lo_counts[c + 1], base + hi_counts[c + 1]};
-      }
-      return;
-    }
+  const FmFlatView v = View();
+  if (const FmRankOps* native = SelectedNativeRankOps()) {
+    native->extend_all(v, range, out);
+    return;
   }
+  fm_rank_portable::ExtendAll(v, range, out);
+}
+
+void FmIndex::ExtendBatch(const SaRange* in, const Symbol* cs, SaRange* out,
+                          int count) const {
+  if (use_wavelet_) {
+    for (int i = 0; i < count; ++i) out[i] = Extend(in[i], cs[i]);
+    return;
+  }
+  // One indirect call for the whole batch; the clone prefetches every
+  // lane's boundary blocks before the first rank runs, then the per-item
+  // extends are exactly the one-by-one results.
+  const FmFlatView v = View();
+  if (const FmRankOps* native = SelectedNativeRankOps()) {
+    native->extend_batch(v, in, cs, out, count);
+    return;
+  }
+  fm_rank_portable::ExtendBatch(v, in, cs, out, count);
 }
 
 SaRange FmIndex::Find(const Symbol* pattern, size_t len) const {
@@ -520,46 +264,16 @@ SaRange FmIndex::Find(const std::vector<Symbol>& pattern) const {
   return Find(pattern.data(), pattern.size());
 }
 
-int64_t FmIndex::LfStep(int64_t row) const {
-  Symbol s = AccessBwt(row);
-  return c_[s] + Occ(s, row);
-}
-
 bool FmIndex::ExtendSingleton(int64_t row, Symbol* c, SaRange* child) const {
   // Extend([row, row+1), BWT[row]-1): the lower boundary rank; the upper
   // is lower + 1 because BWT[row] is itself an occurrence of the symbol.
   // Flat modes fuse the symbol extraction with its rank (one block visit).
   if (!use_wavelet_) {
-    OccView view{occ_data_.data(), cp_words_, block_words_,
-                 static_cast<int64_t>(n_) + 1};
-    switch (packing_) {
-      case OccPacking::kTwoBit: {
-        if (row == sentinel_row_) return false;
-        auto [code, r] = OccExtractCount<2, 32, 192>(view, row);
-        // Code-0 ranks include the sentinel's placeholder slot.
-        if (code == 0 && sentinel_row_ < row) --r;
-        const int64_t lf = c_[code + 1] + r;
-        *c = static_cast<Symbol>(code);
-        *child = {lf, lf + 1};
-        return true;
-      }
-      case OccPacking::kFourBit: {
-        auto [code, r] = OccExtractCount<4, 16, 128>(view, row);
-        if (code == 0) return false;  // sentinel
-        const int64_t lf = c_[code] + r;
-        *c = static_cast<Symbol>(code - 1);
-        *child = {lf, lf + 1};
-        return true;
-      }
-      case OccPacking::kByte: {
-        auto [code, r] = OccExtractCount<8, 8, 128>(view, row);
-        if (code == 0) return false;  // sentinel
-        const int64_t lf = c_[code] + r;
-        *c = static_cast<Symbol>(code - 1);
-        *child = {lf, lf + 1};
-        return true;
-      }
+    const FmFlatView v = View();
+    if (const FmRankOps* native = SelectedNativeRankOps()) {
+      return native->extend_singleton(v, row, c, child);
     }
+    return fm_rank_portable::ExtendSingleton(v, row, c, child);
   }
   const Symbol shifted = AccessBwt(row);
   if (shifted == 0) return false;  // sentinel: nothing precedes this suffix
@@ -571,8 +285,15 @@ bool FmIndex::ExtendSingleton(int64_t row, Symbol* c, SaRange* child) const {
 
 int64_t FmIndex::LocateRowSteps(int64_t row, uint64_t* steps) const {
   int64_t walked = 0;
+  const FmFlatView v = View();
+  const FmRankOps* native = use_wavelet_ ? nullptr : SelectedNativeRankOps();
   while (!sampled_rows_.Get(static_cast<size_t>(row))) {
-    row = LfStep(row);
+    if (use_wavelet_) {
+      const Symbol s = AccessBwt(row);
+      row = c_[s] + Occ(s, row);
+    } else {
+      row = native ? native->lf_step(v, row) : fm_rank_portable::LfStep(v, row);
+    }
     // A valid walk visits distinct rows until it hits a mark, so it can
     // never exceed the row count; corrupted marks must not hang us.
     if (++walked > static_cast<int64_t>(n_) + 1) return 0;
@@ -607,6 +328,8 @@ std::vector<int64_t> FmIndex::Locate(const SaRange& range,
   // prefetches before stepping lets the misses overlap instead of
   // serialising. Outputs land in their range slot, so the result is
   // identical to the row-by-row walk, as is the total step count.
+  const FmFlatView v = View();
+  const FmRankOps* native = SelectedNativeRankOps();
   constexpr int kWays = 4;
   struct Walk {
     int64_t row;
@@ -626,8 +349,7 @@ std::vector<int64_t> FmIndex::Locate(const SaRange& range,
   while (active > 0) {
     if (scan.Tick(active)) return {};  // abort: no partial position list
     for (int i = 0; i < active; ++i) {
-      __builtin_prefetch(occ_data_.data() +
-                         walks[i].row / syms_per_block_ * block_words_);
+      PrefetchRow(walks[i].row);
     }
     for (int i = 0; i < active;) {
       Walk& w = walks[i];
@@ -644,7 +366,8 @@ std::vector<int64_t> FmIndex::Locate(const SaRange& range,
         }
         continue;  // the replacement walk gets processed this sweep
       }
-      w.row = LfStep(w.row);
+      w.row = native ? native->lf_step(v, w.row)
+                     : fm_rank_portable::LfStep(v, w.row);
       // A valid walk visits distinct rows until it hits a mark; corrupted
       // marks must not hang us (mirrors LocateRowSteps).
       if (++w.steps > step_cap) {
@@ -665,20 +388,22 @@ std::vector<int64_t> FmIndex::Locate(const SaRange& range,
 }
 
 bool FmIndex::Save(std::ostream& out) const {
-  if (!PutU64(out, kFmMagicV2)) return false;
+  if (!PutU64(out, kFmMagicV3)) return false;
   if (!PutU64(out, n_)) return false;
   if (!PutU64(out, static_cast<uint64_t>(sigma_))) return false;
   if (!PutU64(out, static_cast<uint64_t>(sample_rate_))) return false;
   if (!PutU64(out, use_wavelet_ ? kWaveletModeMarker
-                                : static_cast<uint64_t>(packing_))) {
+                                : PackingForSigma(sigma_))) {
     return false;
   }
   if (!PutU64(out, static_cast<uint64_t>(sentinel_row_))) return false;
+  if (!PutU64(out, two_level_ ? kLayoutTwoLevel : 0)) return false;
   if (!PutVec(out, c_)) return false;
   if (use_wavelet_) {
     if (!wavelet_.SaveTo(out)) return false;
   } else {
     if (!PutVec(out, occ_data_)) return false;
+    if (two_level_ && !PutVec(out, occ_abs_)) return false;
   }
   // Sampled SA: raw mark words + sample values; rank structures rebuild.
   if (!PutU64(out, sampled_rows_.size())) return false;
@@ -698,11 +423,18 @@ bool FmIndex::Load(std::istream& in) {
 
 bool FmIndex::LoadImpl(std::istream& in) {
   uint64_t magic = 0, n = 0, sigma = 0, rate = 0, packing = 0, sentinel = 0;
-  if (!GetU64(in, &magic) || magic != kFmMagicV2) return false;
+  if (!GetU64(in, &magic)) return false;
+  // v3 adds a layout-flags header word and (for two-level layouts) the
+  // absolute-row table; v2 payloads are the single-level format and still
+  // load bit-exact. Anything else — including the retired v1 — is rejected.
+  if (magic != kFmMagicV2 && magic != kFmMagicV3) return false;
   if (!GetU64(in, &n) || !GetU64(in, &sigma) || !GetU64(in, &rate) ||
       !GetU64(in, &packing) || !GetU64(in, &sentinel)) {
     return false;
   }
+  uint64_t layout_flags = 0;
+  if (magic == kFmMagicV3 && !GetU64(in, &layout_flags)) return false;
+  if ((layout_flags & ~kLayoutTwoLevel) != 0) return false;  // reserved bits
   // Header sanity: the checkpoints are u32, so rows must fit in 32 bits.
   if (sigma < 1 || sigma > 254) return false;
   if (n > 0xFFFFFFFEULL) return false;
@@ -711,18 +443,19 @@ bool FmIndex::LoadImpl(std::istream& in) {
   sigma_ = static_cast<int>(sigma);
   sample_rate_ = static_cast<int>(rate);
   use_wavelet_ = packing == kWaveletModeMarker;
+  two_level_ = (layout_flags & kLayoutTwoLevel) != 0;
+  // The two-level flag only applies to flat sigma > 4 layouts.
+  if (two_level_ && (use_wavelet_ || sigma_ <= 4)) return false;
   InitOccGeometry();
   const int64_t rows = static_cast<int64_t>(n_) + 1;
   // Flat payloads must store the packing sigma dictates; anything else
   // (except the wavelet marker) means corruption.
-  if (!use_wavelet_ && packing != static_cast<uint64_t>(packing_)) {
-    return false;
-  }
+  if (!use_wavelet_ && packing != PackingForSigma(sigma_)) return false;
   sentinel_row_ = static_cast<int64_t>(sentinel);
-  if (!use_wavelet_ && packing_ == OccPacking::kTwoBit) {
+  if (!use_wavelet_ && layout_ == FmOccLayout::k2Bit) {
     if (sentinel_row_ < 0 || sentinel_row_ >= rows) return false;
   } else if (sentinel_row_ != -1) {
-    // Wavelet mode stores the sentinel in-band and never sets this.
+    // Wavelet and sigma > 4 modes store the sentinel in-band, never here.
     return false;
   }
   if (!GetVec(in, &c_)) return false;
@@ -745,51 +478,86 @@ bool FmIndex::LoadImpl(std::istream& in) {
   if (occ_data_.size() != static_cast<size_t>(blocks * block_words_)) {
     return false;
   }
-  // Walk every block: stored checkpoints must equal the running counts of
-  // the packed data, and every populated slot must decode to a valid code
-  // (an out-of-range code would index past c_ in LfStep). Without this, a
-  // corrupted mid-file block passes Load and derails Extend/Locate later.
-  {
-    std::vector<int64_t> running(static_cast<size_t>(cp_count_), 0);
-    for (int64_t b = 0; b < blocks; ++b) {
+  occ_abs_.clear();
+  if (two_level_) {
+    if (!GetVec(in, &occ_abs_)) return false;
+    const int64_t supers = ((blocks - 1) >> super_shift_) + 1;
+    if (occ_abs_.size() != static_cast<size_t>(supers * cp_count_)) {
+      return false;
+    }
+  }
+  if (!ValidateFlatOcc()) return false;
+  return LoadSamplesAndCrossCheck(in);
+}
+
+// Walk every block: stored checkpoints (u32 counts, or u8 deltas plus the
+// superblock absolute rows) must equal the running counts of the packed
+// data, and every populated slot must decode to a valid code (an
+// out-of-range code would index past c_ in an LF step). Without this, a
+// corrupted mid-file block passes Load and derails Extend/Locate later.
+bool FmIndex::ValidateFlatOcc() const {
+  const int64_t rows = static_cast<int64_t>(n_) + 1;
+  const int64_t blocks = rows / syms_per_block_ + 1;
+  const FmOccGeometry g = FmLayoutGeometry(layout_);
+  std::vector<int64_t> running(static_cast<size_t>(cp_count_), 0);
+  std::vector<int64_t> super_base(static_cast<size_t>(cp_count_), 0);
+  for (int64_t b = 0; b < blocks; ++b) {
+    if (two_level_) {
+      if ((b & ((int64_t{1} << super_shift_) - 1)) == 0) {
+        const int64_t super = b >> super_shift_;
+        for (int32_t code = 0; code < cp_count_; ++code) {
+          const uint32_t abs_stored =
+              occ_abs_[static_cast<size_t>(super * cp_count_ + code)];
+          if (abs_stored !=
+              static_cast<uint64_t>(running[static_cast<size_t>(code)])) {
+            return false;
+          }
+          super_base[static_cast<size_t>(code)] =
+              running[static_cast<size_t>(code)];
+        }
+      }
       for (int32_t code = 0; code < cp_count_; ++code) {
-        uint64_t word =
-            occ_data_[static_cast<size_t>(b * block_words_ + (code >> 1))];
-        uint32_t stored = static_cast<uint32_t>(word >> ((code & 1) * 32));
-        if (stored != static_cast<uint64_t>(
-                          running[static_cast<size_t>(code)])) {
+        const uint64_t word =
+            occ_data_[static_cast<size_t>(b * block_words_ + (code >> 3))];
+        const uint32_t delta =
+            static_cast<uint32_t>(word >> ((code & 7) * 8)) & 0xFFU;
+        if (delta != static_cast<uint64_t>(
+                         running[static_cast<size_t>(code)] -
+                         super_base[static_cast<size_t>(code)])) {
           return false;
         }
       }
-      const int64_t start = b * syms_per_block_;
-      const int lim = static_cast<int>(
-          std::min<int64_t>(syms_per_block_, rows - start));
-      if (lim <= 0) continue;
-      const uint64_t* data =
-          occ_data_.data() + b * block_words_ + cp_words_;
-      if (packing_ == OccPacking::kTwoBit) {
-        int64_t c1 = 0, c2 = 0, c3 = 0;
-        CountPlanes2(data, 0, lim, &c1, &c2, &c3);
-        const int64_t per_code[4] = {lim - c1 - c2 - c3, c1, c2, c3};
-        for (int code = 0; code < 4; ++code) {
-          // Code c encodes shifted symbol c+1, which must be <= sigma_.
-          if (code >= sigma_ && per_code[code] != 0) return false;
-          running[static_cast<size_t>(code)] += per_code[code];
-        }
-      } else {
-        const int bits = packing_ == OccPacking::kFourBit ? 4 : 8;
-        const int spw = 64 / bits;
-        const uint64_t slot_mask = (1ULL << bits) - 1;
-        for (int i = 0; i < lim; ++i) {
-          uint32_t code = static_cast<uint32_t>(
-              (data[i / spw] >> ((i % spw) * bits)) & slot_mask);
-          if (code > static_cast<uint32_t>(sigma_)) return false;
-          ++running[code];
+    } else {
+      for (int32_t code = 0; code < cp_count_; ++code) {
+        const uint64_t word =
+            occ_data_[static_cast<size_t>(b * block_words_ + (code >> 1))];
+        const uint32_t stored =
+            static_cast<uint32_t>(word >> ((code & 1) * 32));
+        if (stored !=
+            static_cast<uint64_t>(running[static_cast<size_t>(code)])) {
+          return false;
         }
       }
     }
+    const int64_t start = b * syms_per_block_;
+    const int lim =
+        static_cast<int>(std::min<int64_t>(syms_per_block_, rows - start));
+    if (lim <= 0) continue;
+    const uint64_t* data = occ_data_.data() + b * block_words_ + cp_words_;
+    const uint64_t slot_mask = (1ULL << g.bits) - 1;
+    for (int i = 0; i < lim; ++i) {
+      const uint32_t code = static_cast<uint32_t>(
+          (data[i / g.spw] >> ((i % g.spw) * g.bits)) & slot_mask);
+      if (layout_ == FmOccLayout::k2Bit) {
+        // Code c encodes shifted symbol c+1, which must be <= sigma_.
+        if (code >= static_cast<uint32_t>(sigma_)) return false;
+      } else {
+        if (code > static_cast<uint32_t>(sigma_)) return false;
+      }
+      ++running[code];
+    }
   }
-  return LoadSamplesAndCrossCheck(in);
+  return true;
 }
 
 // Shared tail of both occ-mode load paths: the sampled SA and the final
@@ -826,7 +594,8 @@ FmIndex::Sizes FmIndex::SizeBytes() const {
   if (use_wavelet_) {
     sz.bwt_bytes = wavelet_.SizeBytes();
   } else {
-    sz.bwt_bytes = occ_data_.size() * sizeof(uint64_t);
+    sz.bwt_bytes = occ_data_.size() * sizeof(uint64_t) +
+                   occ_abs_.size() * sizeof(uint32_t);
   }
   sz.sample_bytes =
       sampled_rows_.SizeBytes() + samples_.size() * sizeof(int64_t);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/index/bitvector.h"
+#include "src/index/fm_rank.h"
 #include "src/index/wavelet_tree.h"
 #include "src/io/sequence.h"
 #include "src/util/cancel.h"
@@ -25,6 +26,12 @@ struct FmIndexOptions {
   // Occ structure: packed checkpointed blocks (fast, popcount rank) or
   // wavelet tree (the compressed-suffix-array flavour; O(log sigma) rank).
   bool use_wavelet = false;
+  // Flat mode, sigma > 4: two-level checkpoints (u8 per-block deltas
+  // against sparse u32 absolute rows — see FmOccLayout in fm_rank.h). The
+  // default; off rebuilds the PR 2 single-level u32-checkpoint layout,
+  // kept for A/B benchmarking and because legacy files load into it.
+  // Ignored for sigma <= 4 (the DNA block is already one cache line).
+  bool two_level_occ = true;
   // Sampled-SA density: one sample per `sa_sample_rate` text positions.
   int sa_sample_rate = 32;
 };
@@ -39,13 +46,18 @@ struct FmIndexOptions {
 // Flat-occ representation ("packed occ blocks"): the BWT is bit-packed —
 // 2 bits/symbol for sigma <= 4 (DNA; the sentinel row is stored out of
 // band), 4 bits for sigma <= 15, one byte otherwise — and interleaved with
-// its per-symbol checkpoint counts in fixed-size blocks of uint64 words:
+// per-symbol checkpoint counts in fixed-size blocks of uint64 words:
 //
-//   [ cp_words x u64 : two u32 checkpoints per word ][ data_words x u64 ]
+//   [ cp_words x u64 : checkpoint counts ][ data_words x u64 : packed BWT ]
 //
-// so a rank lands on one block (64 bytes for DNA: exactly a cache line)
-// and counts symbols with mask+popcount over whole 64-bit words instead of
-// a per-symbol scalar scan. See README "Index internals & performance".
+// DNA blocks carry two u32 counts per checkpoint word and span exactly one
+// 64-byte cache line. For sigma > 4 the default is the *two-level* scheme:
+// the block header holds one u8 delta per code and the full-width counts
+// live in a sparse out-of-band table of u32 absolute rows (one row per
+// 2-4 blocks), which shrinks the protein block from 216 to 88 bytes and
+// halves the in-block scan. The rank entry points themselves are compiled
+// twice and dispatched by cpuid (portable SWAR vs native popcnt — see
+// fm_rank.h). See docs/ARCHITECTURE.md "Index internals & performance".
 class FmIndex {
  public:
   FmIndex() = default;
@@ -78,12 +90,131 @@ class FmIndex {
   // their deep nodes on singleton chains, which this roughly halves.
   bool ExtendSingleton(int64_t row, Symbol* c, SaRange* child) const;
 
+  // Batched independent extends: out[i] = Extend(in[i], cs[i]). A single
+  // extend is latency-bound on its two boundary-block fetches; issuing all
+  // the batch's block prefetches before any rank lets the misses overlap
+  // instead of serialising, which is where the "batched single-extend"
+  // bench series gets its headroom. Results are exactly the one-by-one
+  // extends.
+  void ExtendBatch(const SaRange* in, const Symbol* cs, SaRange* out,
+                   int count) const;
+
+  // Hints the cache that the occ block(s) covering `range`'s boundaries are
+  // about to be ranked. No-op for the wavelet mode (no single block to
+  // fetch). Used by the fused sharded walk to overlap the per-lane block
+  // misses across independent index lanes.
+  void PrefetchRange(const SaRange& range) const {
+    PrefetchRow(range.lo);
+    PrefetchRow(range.hi);
+  }
+  void PrefetchRow(int64_t row) const {
+    if (occ_data_.empty()) return;  // wavelet mode
+    // Per-layout constant divisors so the block math strength-reduces; a
+    // runtime divide would eat a measurable slice of the latency this hides.
+    const uint64_t* base = occ_data_.data();
+    switch (layout_) {
+      case FmOccLayout::k2Bit:
+        __builtin_prefetch(base + row / 192 * block_words_);
+        break;
+      case FmOccLayout::k4Bit:
+      case FmOccLayout::kByte:
+        __builtin_prefetch(base + row / 128 * block_words_);
+        break;
+      case FmOccLayout::k4BitTwoLevel:
+        __builtin_prefetch(base + row / 96 * block_words_);
+        break;
+      case FmOccLayout::kByteTwoLevel:
+        __builtin_prefetch(base + row / 64 * block_words_);
+        break;
+    }
+  }
+
+  // Resolved rank cursor for call-dense walk loops: the flat view and the
+  // dispatched rank-op choice are captured once instead of being rebuilt
+  // per call, and every method is header-inline, so a walk issuing
+  // millions of per-lane rank calls pays only the rank itself plus one
+  // predictable branch. Results are identical to the FmIndex wrappers in
+  // every mode. Borrows the index: valid only while the index outlives it
+  // unmodified (walks construct cursors per run, never cache them).
+  class RankCursor {
+   public:
+    explicit RankCursor(const FmIndex& index)
+        : index_(&index),
+          native_(index.use_wavelet_ ? nullptr : SelectedNativeRankOps()),
+          flat_(!index.use_wavelet_) {
+      if (flat_) view_ = index.View();
+    }
+
+    SaRange Extend(const SaRange& range, Symbol c) const {
+      if (!flat_) return index_->Extend(range, c);
+      if (range.Empty()) return {0, 0};
+      if (native_ != nullptr) return native_->extend(view_, range, c);
+      return fm_rank_portable::Extend(view_, range, c);
+    }
+    void ExtendAll(const SaRange& range, SaRange* out) const {
+      if (!flat_ || range.Empty()) {
+        index_->ExtendAll(range, out);
+        return;
+      }
+      if (native_ != nullptr) {
+        native_->extend_all(view_, range, out);
+        return;
+      }
+      fm_rank_portable::ExtendAll(view_, range, out);
+    }
+    int64_t SampledPosition(int64_t row) const {
+      return index_->SampledPosition(row);
+    }
+    bool ExtendSingleton(int64_t row, Symbol* c, SaRange* child) const {
+      if (!flat_) return index_->ExtendSingleton(row, c, child);
+      if (native_ != nullptr) {
+        return native_->extend_singleton(view_, row, c, child);
+      }
+      return fm_rank_portable::ExtendSingleton(view_, row, c, child);
+    }
+    void ExtendBatch(const SaRange* in, const Symbol* cs, SaRange* out,
+                     int count) const {
+      if (!flat_) {
+        index_->ExtendBatch(in, cs, out, count);
+        return;
+      }
+      if (native_ != nullptr) {
+        native_->extend_batch(view_, in, cs, out, count);
+        return;
+      }
+      fm_rank_portable::ExtendBatch(view_, in, cs, out, count);
+    }
+    void PrefetchRange(const SaRange& range) const {
+      index_->PrefetchRange(range);
+    }
+    void PrefetchRow(int64_t row) const { index_->PrefetchRow(row); }
+    SaRange FullRange() const { return index_->FullRange(); }
+    int sigma() const { return index_->sigma(); }
+
+   private:
+    const FmIndex* index_;
+    const FmRankOps* native_;
+    bool flat_;
+    FmFlatView view_;
+  };
+  RankCursor Cursor() const { return RankCursor(*this); }
+
   // Backward search of an entire pattern (processed right to left, §2.3).
   SaRange Find(const std::vector<Symbol>& pattern) const;
   SaRange Find(const Symbol* pattern, size_t len) const;
 
   // Text position (start of suffix) for a single SA row.
   int64_t LocateRow(int64_t row) const;
+
+  // Free position probe: the suffix position of `row` if that row happens
+  // to carry an SA sample, else -1 — one bit test, no LF walk. Singleton
+  // descent visits consecutive text positions, so a chain crosses a
+  // sampled position within sample_rate steps; the engine uses this to
+  // swap the remaining FM extends for direct text reads.
+  int64_t SampledPosition(int64_t row) const {
+    if (!sampled_rows_.Get(static_cast<size_t>(row))) return -1;
+    return samples_[sampled_rows_.Rank1(static_cast<size_t>(row))];
+  }
 
   // Text positions for every row of `range`, unsorted. When `lf_steps` is
   // non-null it is incremented by the number of LF walk steps taken. A
@@ -102,49 +233,69 @@ class FmIndex {
   };
   Sizes SizeBytes() const;
 
-  // Serialisation (magic "ALAEF2M"). Both occ modes have an on-disk form:
-  // flat files carry the packed occ blocks, wavelet files carry the wavelet
-  // tree's node records (an out-of-band `packing` marker distinguishes the
-  // two, so flat files are byte-identical to the pre-wavelet format). Load
-  // validates every derived size and structural invariant (c table, occ
-  // blocks or wavelet topology, SA marks and samples, per-symbol totals)
-  // before accepting the payload and returns false — never a
-  // partially-initialised index — on any mismatch, including files written
-  // by the retired byte-BWT "ALAEF1M" format.
+  // Serialisation (magic "ALAEF3M"; the pre-two-level "ALAEF2M" files
+  // still load, bit-exact, into the single-level layout). Both occ modes
+  // have an on-disk form: flat files carry the packed occ blocks (plus the
+  // absolute-row table in two-level layouts), wavelet files carry the
+  // wavelet tree's node records (an out-of-band `packing` marker
+  // distinguishes the two). Load validates every derived size and
+  // structural invariant (c table, occ blocks — checkpoints, deltas and
+  // absolute rows against running counts — or wavelet topology, SA marks
+  // and samples, per-symbol totals) before accepting the payload and
+  // returns false — never a partially-initialised index — on any mismatch,
+  // including files written by the retired byte-BWT "ALAEF1M" format.
   bool Save(std::ostream& out) const;
   bool Load(std::istream& in);
 
  private:
-  // How the flat occ blocks pack BWT symbols (chosen from sigma).
-  enum class OccPacking : uint8_t { kTwoBit = 0, kFourBit = 1, kByte = 2 };
-
-  // Sets the block geometry fields from sigma_.
+  // Sets the block geometry fields from sigma_ and two_level_.
   void InitOccGeometry();
   void BuildFlatOcc(const std::vector<Symbol>& bwt);
   bool LoadImpl(std::istream& in);
+  bool ValidateFlatOcc() const;
   bool LoadSamplesAndCrossCheck(std::istream& in);
+
+  // Rank view over the flat representation (see fm_rank.h). Rebuilt per
+  // call: pointer aliases into our vectors stay valid across moves only
+  // because nothing caches them.
+  FmFlatView View() const {
+    FmFlatView v;
+    v.occ = occ_data_.data();
+    v.abs = occ_abs_.data();
+    v.c = c_.data();
+    v.sentinel_row = sentinel_row_;
+    v.cp_count = cp_count_;
+    v.cp_words = cp_words_;
+    v.block_words = block_words_;
+    v.sigma = sigma_;
+    v.layout = layout_;
+    return v;
+  }
 
   // Stored symbols are shifted by +1; 0 is the sentinel.
   int64_t Occ(Symbol shifted, int64_t row) const;
   Symbol AccessBwt(int64_t row) const;
-  int64_t LfStep(int64_t row) const;
   int64_t LocateRowSteps(int64_t row, uint64_t* steps) const;
 
   size_t n_ = 0;
   int sigma_ = 0;
   bool use_wavelet_ = false;
+  bool two_level_ = false;
   int sample_rate_ = 32;
   std::vector<int64_t> c_;  // c_[s] = #symbols (shifted) < s in the BWT
 
-  // Flat-occ representation: interleaved checkpoint+data blocks.
-  OccPacking packing_ = OccPacking::kTwoBit;
+  // Flat-occ representation: interleaved checkpoint+data blocks, plus the
+  // sparse absolute-row table in two-level layouts.
+  FmOccLayout layout_ = FmOccLayout::k2Bit;
   int32_t syms_per_block_ = 0;
   int32_t data_words_ = 0;
   int32_t cp_count_ = 0;   // checkpointed codes per block
-  int32_t cp_words_ = 0;   // ceil(cp_count / 2)
+  int32_t cp_words_ = 0;   // u32 pairs (single-level) or packed u8 deltas
   int32_t block_words_ = 0;
+  int32_t super_shift_ = 0;    // log2(blocks per absolute row)
   int64_t sentinel_row_ = -1;  // 2-bit mode: BWT row holding the sentinel
   std::vector<uint64_t> occ_data_;
+  std::vector<uint32_t> occ_abs_;  // absolute rows, [super][code]
 
   // Wavelet representation.
   WaveletTree wavelet_;

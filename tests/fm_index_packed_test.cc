@@ -1,8 +1,10 @@
 // Differential tests for the packed occ blocks: rank results are compared
-// against a naive counting oracle over the BWT for every (row, symbol),
-// ExtendAll against per-symbol Extend, and the "ALAEF2M" serialisation
+// against a naive counting oracle over the BWT for every (row, symbol) in
+// both checkpoint layouts (two-level u8-delta and legacy single-level u32),
+// ExtendAll against per-symbol Extend, and the "ALAEF3M" serialisation
 // against truncation at every byte offset plus targeted header and
-// occ-block corruption.
+// occ-block corruption. Legacy "ALAEF2M" payloads must keep loading
+// bit-exact.
 
 #include <gtest/gtest.h>
 
@@ -43,29 +45,34 @@ struct NaiveOcc {
 };
 
 // Texts whose row count (n+1) straddles the packed block boundaries: DNA
-// blocks cover 192 symbols, 4-bit/byte blocks 128.
+// blocks cover 192 symbols, single-level 4-bit/byte blocks 128, two-level
+// blocks 96/64 with absolute rows every 192/256 symbols.
 std::vector<int64_t> BoundaryLengths() {
-  return {1, 63, 127, 128, 191, 192, 193, 255, 256, 383, 384, 419};
+  return {1, 63, 64, 96, 127, 128, 191, 192, 193, 255, 256, 383, 384, 419};
 }
 
 TEST(FmIndexPacked, OccMatchesNaiveOracleForEveryRowAndSymbol) {
   SequenceGenerator gen(2024);
   for (const Alphabet* alphabet : {&Alphabet::Dna(), &Alphabet::Protein()}) {
-    for (int64_t n : BoundaryLengths()) {
-      Sequence text = gen.Random(n, *alphabet);
-      FmIndex fm(text);
-      NaiveOcc oracle(text);
-      const int64_t rows = static_cast<int64_t>(n) + 1;
-      for (int64_t row = 1; row <= rows; ++row) {
-        for (int c = 0; c < text.sigma(); ++c) {
-          Symbol shifted = static_cast<Symbol>(c + 1);
-          SaRange got = fm.Extend({0, row}, static_cast<Symbol>(c));
-          ASSERT_EQ(got.lo, oracle.c[shifted])
-              << "sigma=" << text.sigma() << " n=" << n << " row=" << row
-              << " c=" << c;
-          ASSERT_EQ(got.hi, oracle.c[shifted] + oracle.Occ(shifted, row))
-              << "sigma=" << text.sigma() << " n=" << n << " row=" << row
-              << " c=" << c;
+    for (bool two_level : {true, false}) {
+      FmIndexOptions options;
+      options.two_level_occ = two_level;
+      for (int64_t n : BoundaryLengths()) {
+        Sequence text = gen.Random(n, *alphabet);
+        FmIndex fm(text, options);
+        NaiveOcc oracle(text);
+        const int64_t rows = static_cast<int64_t>(n) + 1;
+        for (int64_t row = 1; row <= rows; ++row) {
+          for (int c = 0; c < text.sigma(); ++c) {
+            Symbol shifted = static_cast<Symbol>(c + 1);
+            SaRange got = fm.Extend({0, row}, static_cast<Symbol>(c));
+            ASSERT_EQ(got.lo, oracle.c[shifted])
+                << "sigma=" << text.sigma() << " two_level=" << two_level
+                << " n=" << n << " row=" << row << " c=" << c;
+            ASSERT_EQ(got.hi, oracle.c[shifted] + oracle.Occ(shifted, row))
+                << "sigma=" << text.sigma() << " two_level=" << two_level
+                << " n=" << n << " row=" << row << " c=" << c;
+          }
         }
       }
     }
@@ -118,8 +125,11 @@ TEST(FmIndexPacked, ExtendAllMatchesPerSymbolExtend) {
 TEST(FmIndexPacked, SaveLoadRoundTripsNewFormat) {
   SequenceGenerator gen(2026);
   for (const Alphabet* alphabet : {&Alphabet::Dna(), &Alphabet::Protein()}) {
+   for (bool two_level : {true, false}) {
+    FmIndexOptions options;
+    options.two_level_occ = two_level;
     Sequence text = gen.Random(1500, *alphabet);
-    FmIndex original(text);
+    FmIndex original(text, options);
     std::stringstream ss;
     ASSERT_TRUE(original.Save(ss));
     FmIndex loaded;
@@ -140,27 +150,33 @@ TEST(FmIndexPacked, SaveLoadRoundTripsNewFormat) {
           range,
           static_cast<Symbol>(gen.rng().Below(static_cast<uint64_t>(sigma))));
     }
+   }
   }
 }
 
 TEST(FmIndexPacked, EveryTruncationOfThePayloadIsRejected) {
   // Regression for the pre-packed-format validation hole: a truncated file
   // could pass Load (sizes unchecked) and crash later inside Occ. Every
-  // strict prefix of a valid payload must now be rejected cleanly.
+  // strict prefix of a valid payload must now be rejected cleanly — the
+  // protein payload includes the two-level absolute-row table, so its
+  // truncations cover the new vector too.
   SequenceGenerator gen(2027);
-  Sequence text = gen.Random(200, Alphabet::Dna());
-  FmIndex fm(text);
-  std::stringstream ss;
-  ASSERT_TRUE(fm.Save(ss));
-  const std::string payload = ss.str();
-  for (size_t len = 0; len < payload.size(); ++len) {
-    std::stringstream truncated(payload.substr(0, len));
+  for (const Alphabet* alphabet : {&Alphabet::Dna(), &Alphabet::Protein()}) {
+    Sequence text = gen.Random(200, *alphabet);
+    FmIndex fm(text);
+    std::stringstream ss;
+    ASSERT_TRUE(fm.Save(ss));
+    const std::string payload = ss.str();
+    for (size_t len = 0; len < payload.size(); ++len) {
+      std::stringstream truncated(payload.substr(0, len));
+      FmIndex loaded;
+      ASSERT_FALSE(loaded.Load(truncated))
+          << "sigma=" << text.sigma() << " prefix length " << len;
+    }
+    std::stringstream intact(payload);
     FmIndex loaded;
-    ASSERT_FALSE(loaded.Load(truncated)) << "prefix length " << len;
+    EXPECT_TRUE(loaded.Load(intact));
   }
-  std::stringstream intact(payload);
-  FmIndex loaded;
-  EXPECT_TRUE(loaded.Load(intact));
 }
 
 TEST(FmIndexPacked, FailedLoadLeavesIndexUsable) {
@@ -189,6 +205,46 @@ TEST(FmIndexPacked, OldFormatMagicIsRejected) {
   EXPECT_FALSE(loaded.Load(ss));
 }
 
+TEST(FmIndexPacked, LegacySingleLevelPayloadLoadsBitExact) {
+  // Pre-two-level files ("ALAEF2M": no layout-flags word, no absolute-row
+  // table) must keep loading into the single-level layout and answer
+  // exactly like the index that wrote them. Synthesised here from a v3
+  // single-level save: swap the magic and drop the layout word — the rest
+  // of the v2 payload is byte-identical.
+  constexpr uint64_t kV2Magic = 0x414C414546324D00ULL;
+  SequenceGenerator gen(2033);
+  for (const Alphabet* alphabet : {&Alphabet::Dna(), &Alphabet::Protein()}) {
+    FmIndexOptions options;
+    options.two_level_occ = false;
+    Sequence text = gen.Random(900, *alphabet);
+    FmIndex original(text, options);
+    std::stringstream ss;
+    ASSERT_TRUE(original.Save(ss));
+    std::string v2 = ss.str();
+    for (int b = 0; b < 8; ++b) {
+      v2[static_cast<size_t>(b)] = static_cast<char>(kV2Magic >> (b * 8));
+    }
+    v2.erase(6 * 8, 8);  // layout-flags word is v3-only
+    std::stringstream legacy(v2);
+    FmIndex loaded;
+    ASSERT_TRUE(loaded.Load(legacy)) << "sigma=" << text.sigma();
+    EXPECT_EQ(loaded.text_size(), original.text_size());
+    const int sigma = text.sigma();
+    std::vector<SaRange> a(static_cast<size_t>(sigma));
+    std::vector<SaRange> b(static_cast<size_t>(sigma));
+    SaRange range = original.FullRange();
+    while (!range.Empty()) {
+      original.ExtendAll(range, a.data());
+      loaded.ExtendAll(range, b.data());
+      ASSERT_EQ(a, b);
+      ASSERT_EQ(original.Locate(range), loaded.Locate(range));
+      range = original.Extend(
+          range,
+          static_cast<Symbol>(gen.rng().Below(static_cast<uint64_t>(sigma))));
+    }
+  }
+}
+
 TEST(FmIndexPacked, CorruptedHeaderFieldsAreRejected) {
   SequenceGenerator gen(2029);
   Sequence text = gen.Random(250, Alphabet::Dna());
@@ -196,7 +252,8 @@ TEST(FmIndexPacked, CorruptedHeaderFieldsAreRejected) {
   std::stringstream ss;
   ASSERT_TRUE(fm.Save(ss));
   const std::string payload = ss.str();
-  // Header layout: magic, n, sigma, rate, packing, sentinel — 8 bytes each.
+  // Header layout: magic, n, sigma, rate, packing, sentinel, layout flags —
+  // 8 bytes each.
   auto with_u64 = [&](size_t field, uint64_t value) {
     std::string tampered = payload;
     for (int b = 0; b < 8; ++b) {
@@ -212,6 +269,8 @@ TEST(FmIndexPacked, CorruptedHeaderFieldsAreRejected) {
       {3, 0},           // zero sample rate
       {4, 2},           // packing byte for a DNA index
       {5, 1ULL << 20},  // sentinel row out of range
+      {6, 1},           // two-level flag on a sigma<=4 index
+      {6, 2},           // reserved layout-flag bit
   };
   for (const auto& [field, value] : bad_values) {
     std::stringstream bad(with_u64(field, value));
@@ -231,14 +290,17 @@ TEST(FmIndexPacked, CorruptedOccBlocksAreRejected) {
     std::stringstream ss;
     ASSERT_TRUE(fm.Save(ss));
     const std::string payload = ss.str();
-    // Layout: 6 u64 header fields, then c_ (u64 size + sigma+2 values),
+    // Layout: 7 u64 header fields, then c_ (u64 size + sigma+2 values),
     // then the occ_data_ vector (u64 size + blocks of cp+data words).
+    // Protein defaults to the two-level byte layout: 3 delta words + 8
+    // data words per block; DNA keeps the single-cache-line 2-bit block.
     const size_t c_entries = static_cast<size_t>(text.sigma()) + 2;
-    const size_t occ_first_block = 6 * 8 + (8 + c_entries * 8) + 8;
-    const size_t block_bytes = text.sigma() <= 4 ? 8 * 8 : 27 * 8;
-    const size_t cp_bytes = text.sigma() <= 4 ? 2 * 8 : 11 * 8;
-    // Bit-flip block 1's first checkpoint word, then block 1's first data
-    // word (block 1 is fully populated at n=1000 for both geometries).
+    const size_t occ_first_block = 7 * 8 + (8 + c_entries * 8) + 8;
+    const size_t block_bytes = text.sigma() <= 4 ? 8 * 8 : 11 * 8;
+    const size_t cp_bytes = text.sigma() <= 4 ? 2 * 8 : 3 * 8;
+    // Bit-flip block 1's first checkpoint word (a u8 delta in the two-level
+    // layout), then block 1's first data word (block 1 is fully populated
+    // at n=1000 for both geometries).
     for (size_t offset : {occ_first_block + block_bytes,
                           occ_first_block + block_bytes + cp_bytes}) {
       std::string tampered = payload;
